@@ -1,0 +1,105 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"inferray/internal/datagen"
+	"inferray/internal/dictionary"
+	"inferray/internal/rules"
+	"inferray/internal/sorting"
+)
+
+func TestKfmt(t *testing.T) {
+	cases := map[int]string{
+		7:          "7",
+		999:        "999",
+		1000:       "1K",
+		25_000:     "25K",
+		1_000_000:  "1.0M",
+		25_500_000: "25.5M",
+	}
+	for in, want := range cases {
+		if got := kfmt(in); got != want {
+			t.Errorf("kfmt(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMs(t *testing.T) {
+	if got := ms(1500*time.Millisecond, false); got != "1500" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := ms(0, true); got != "-" {
+		t.Errorf("skipped ms = %q", got)
+	}
+}
+
+func TestEncodeFactsMatchesInput(t *testing.T) {
+	triples := datagen.Chain(10)
+	facts, v := encodeFacts(triples, rules.RDFSDefault)
+	if len(facts) != 10 {
+		t.Fatalf("%d facts, want 10", len(facts))
+	}
+	sco := dictionary.PropID(v.SubClassOf)
+	for _, f := range facts {
+		if f[1] != sco {
+			t.Fatalf("fact predicate %d, want subClassOf %d", f[1], sco)
+		}
+	}
+}
+
+func TestRunInferraySmoke(t *testing.T) {
+	d, stats := runInferray(datagen.Chain(20), rules.RDFSDefault)
+	if stats.InferredTriples != datagen.ChainClosureSize(20) {
+		t.Fatalf("inferred %d", stats.InferredTriples)
+	}
+	if d <= 0 {
+		t.Fatal("non-positive duration")
+	}
+}
+
+func TestRunBaselinesSmoke(t *testing.T) {
+	facts, v := encodeFacts(datagen.Chain(15), rules.RhoDF)
+	specs := rules.Specs(rules.RhoDF, v)
+	if _, derived := runHashJoin(facts, specs); derived != datagen.ChainClosureSize(15) {
+		t.Fatalf("hashjoin derived %d", derived)
+	}
+	if _, derived := runGraph(facts, specs); derived != datagen.ChainClosureSize(15) {
+		t.Fatalf("graph derived %d", derived)
+	}
+}
+
+func TestGenTablePairsDenseWindow(t *testing.T) {
+	pairs := genTablePairs(100, 50, 1)
+	if len(pairs) != 200 {
+		t.Fatal("length wrong")
+	}
+	base := dictionary.PropBase + 1
+	for _, v := range pairs {
+		if v < base || v >= base+50 {
+			t.Fatalf("value %d outside the dense window", v)
+		}
+	}
+}
+
+func TestThroughputSmoke(t *testing.T) {
+	if mps := throughput(sorting.Counting, 10_000, 1_000); mps <= 0 {
+		t.Fatalf("throughput %f", mps)
+	}
+}
+
+func TestScalesAreWellFormed(t *testing.T) {
+	for name, cfg := range scales {
+		if cfg.name != name {
+			t.Errorf("scale %q mislabeled %q", name, cfg.name)
+		}
+		if len(cfg.sortSizes) == 0 || len(cfg.bsbmSizes) == 0 ||
+			len(cfg.lubmSizes) == 0 || len(cfg.chainLens) == 0 {
+			t.Errorf("scale %q has empty workload lists", name)
+		}
+		if cfg.graphCap <= 0 || cfg.hashCap <= 0 {
+			t.Errorf("scale %q has non-positive caps", name)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"inferray/internal/baseline"
+	"inferray/internal/datagen"
+	"inferray/internal/mapreduce"
+	"inferray/internal/rdf"
+	"inferray/internal/rules"
+)
+
+// namedDataset couples a dataset label with its triples.
+type namedDataset struct {
+	name    string
+	triples []rdf.Triple
+}
+
+// bsbmDatasets builds the synthetic block of Tables 2 (BSBM sizes).
+func bsbmDatasets(cfg scaleCfg) []namedDataset {
+	out := make([]namedDataset, 0, len(cfg.bsbmSizes))
+	for _, n := range cfg.bsbmSizes {
+		out = append(out, namedDataset{"BSBM " + kfmt(n), datagen.BSBM(n, 11)})
+	}
+	return out
+}
+
+// taxonomyDatasets builds the real-world-like block (Wikipedia, Yago,
+// Wordnet stand-ins; see DESIGN.md §3).
+func taxonomyDatasets(cfg scaleCfg) []namedDataset {
+	return []namedDataset{
+		{"Wikipedia*", datagen.WikipediaLike(cfg.taxScale).Generate()},
+		{"Yago*", datagen.YagoLike(cfg.taxScale).Generate()},
+		{"Wordnet*", datagen.WordnetLike(cfg.taxScale).Generate()},
+	}
+}
+
+// benchRow measures the engines on one dataset × fragment and prints a
+// table row. The graph engine is skipped beyond its cap (shown as "-",
+// the paper's timeout marker), likewise for hash-join. webpie enables
+// the MapReduce column (Table 2 only, RDFS fragments — matching the
+// paper, where WebPIE supports neither ρdf nor RDFS-Plus and is marked
+// N/A).
+func benchRow(cfg scaleCfg, name string, triples []rdf.Triple, fragment rules.Fragment, webpie bool) {
+	infTime, stats := runInferray(triples, fragment)
+
+	facts, v := encodeFacts(triples, fragment)
+	specs := rules.Specs(fragment, v)
+
+	var hashTime, graphTime, webpieTime time.Duration
+	hashSkip := len(facts) > cfg.hashCap
+	if !hashSkip {
+		hashTime, _ = runHashJoin(facts, specs)
+	}
+	graphSkip := len(facts) > cfg.graphCap
+	if !graphSkip {
+		graphTime, _ = runGraph(facts, specs)
+	}
+	webpieSkip := !webpie || fragment == rules.RhoDF || len(facts) > cfg.hashCap
+	if !webpieSkip {
+		wp := baseline.NewWebPIEEngine(v, fragment == rules.RDFSFull, mapreduce.Config{})
+		for _, f := range facts {
+			wp.Add(f)
+		}
+		start := time.Now()
+		wp.Materialize()
+		webpieTime = time.Since(start)
+	}
+
+	fmt.Printf("%-14s %-13s %10s %10s %10s %10s   %9s %9s\n",
+		name, fragment,
+		ms(infTime, false), ms(hashTime, hashSkip), ms(graphTime, graphSkip),
+		ms(webpieTime, webpieSkip),
+		kfmt(stats.InputTriples), kfmt(stats.InferredTriples))
+}
+
+func benchHeader(title string) {
+	fmt.Println(title)
+	fmt.Printf("%-14s %-13s %10s %10s %10s %10s   %9s %9s\n",
+		"Dataset", "Fragment", "Inferray", "HashJoin", "Graph", "WebPIE", "input", "inferred")
+	fmt.Printf("%-14s %-13s %10s %10s %10s %10s\n", "", "", "(ms)", "(RDFox-like)", "(OWLIM-like)", "(MapReduce)")
+}
+
+// table2 reproduces Table 2: the RDFS flavors (ρdf, RDFS-default,
+// RDFS-full) over BSBM and the real-world-like taxonomies.
+func table2(cfg scaleCfg) {
+	benchHeader("== Table 2: RDFS flavors, execution time (ms) ==")
+	fragments := []rules.Fragment{rules.RhoDF, rules.RDFSDefault, rules.RDFSFull}
+	for _, ds := range bsbmDatasets(cfg) {
+		for _, f := range fragments {
+			benchRow(cfg, ds.name, ds.triples, f, true)
+		}
+	}
+	for _, ds := range taxonomyDatasets(cfg) {
+		for _, f := range fragments {
+			benchRow(cfg, ds.name, ds.triples, f, true)
+		}
+	}
+	fmt.Println()
+}
+
+// table3 reproduces Table 3: RDFS-Plus over LUBM and the taxonomies.
+func table3(cfg scaleCfg) {
+	benchHeader("== Table 3: RDFS-Plus, execution time (ms) ==")
+	for _, n := range cfg.lubmSizes {
+		benchRow(cfg, "LUBM "+kfmt(n), datagen.LUBM(n, 13), rules.RDFSPlus, false)
+	}
+	for _, ds := range taxonomyDatasets(cfg) {
+		benchRow(cfg, ds.name, ds.triples, rules.RDFSPlus, false)
+	}
+	fmt.Println()
+}
+
+// table4 reproduces Table 4: transitive closure over subClassOf chains.
+// Inferray uses its dedicated Nuutila stage; the hash-join engine runs
+// semi-naive SCM-SCO; the graph engine runs the naive fixpoint whose
+// duplicate explosion motivates §4.1.
+func table4(cfg scaleCfg) {
+	fmt.Println("== Table 4: transitive closure of subClassOf chains, time (ms) ==")
+	fmt.Printf("%-10s %10s %12s %12s   %10s\n",
+		"Chain", "Inferray", "HashJoin", "Graph", "inferred")
+	for _, n := range cfg.chainLens {
+		triples := datagen.Chain(n)
+		infTime, stats := runInferray(triples, rules.RDFSDefault)
+
+		facts, v := encodeFacts(triples, rules.RhoDF)
+		specs := rules.Specs(rules.RhoDF, v)
+		var hashTime, graphTime time.Duration
+		hashSkip := n > cfg.chainHashCap
+		if !hashSkip {
+			hashTime, _ = runHashJoin(facts, specs)
+		}
+		graphSkip := n > cfg.chainGraphCap
+		if !graphSkip {
+			graphTime, _ = runGraph(facts, specs)
+		}
+		fmt.Printf("%-10d %10s %12s %12s   %10s\n",
+			n, ms(infTime, false), ms(hashTime, hashSkip), ms(graphTime, graphSkip),
+			kfmt(stats.InferredTriples))
+	}
+	fmt.Println()
+}

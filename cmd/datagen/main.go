@@ -1,0 +1,71 @@
+// Command datagen emits the benchmark datasets of §6 as N-Triples.
+//
+// Usage:
+//
+//	datagen -kind chain -size 2500 > chain2500.nt
+//	datagen -kind bsbm -size 1000000 -seed 7 > bsbm1m.nt
+//	datagen -kind lubm -size 1000000 > lubm1m.nt
+//	datagen -kind yago -scale 10 > yago.nt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"inferray/internal/datagen"
+	"inferray/internal/rdf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI with explicit streams so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind  = fs.String("kind", "chain", "dataset: chain | bsbm | lubm | yago | wikipedia | wordnet")
+		size  = fs.Int("size", 1000, "target triple count (chain: chain length)")
+		scale = fs.Int("scale", 1, "taxonomy scale multiplier (yago/wikipedia/wordnet)")
+		seed  = fs.Int64("seed", 1, "generator seed")
+		out   = fs.String("out", "-", "output file ('-' for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var triples []rdf.Triple
+	switch *kind {
+	case "chain":
+		triples = datagen.Chain(*size)
+	case "bsbm":
+		triples = datagen.BSBM(*size, *seed)
+	case "lubm":
+		triples = datagen.LUBM(*size, *seed)
+	case "yago":
+		triples = datagen.YagoLike(*scale).Generate()
+	case "wikipedia":
+		triples = datagen.WikipediaLike(*scale).Generate()
+	case "wordnet":
+		triples = datagen.WordnetLike(*scale).Generate()
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+
+	w := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return rdf.WriteNTriples(w, triples)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"inferray/internal/rdf"
+)
+
+func TestDatagenChainOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-kind", "chain", "-size", "10"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err := rdf.ReadNTriples(strings.NewReader(out.String()), func(tr rdf.Triple) error {
+		if tr.P != rdf.RDFSSubClassOf {
+			t.Fatalf("chain emitted %s", tr.P)
+		}
+		n++
+		return nil
+	})
+	if err != nil || n != 10 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestDatagenAllKindsParse(t *testing.T) {
+	for _, kind := range []string{"bsbm", "lubm", "yago", "wikipedia", "wordnet"} {
+		var out bytes.Buffer
+		if err := run([]string{"-kind", kind, "-size", "500"}, &out, &bytes.Buffer{}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		n := 0
+		if err := rdf.ReadNTriples(strings.NewReader(out.String()), func(rdf.Triple) error {
+			n++
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: output does not re-parse: %v", kind, err)
+		}
+		if n == 0 {
+			t.Fatalf("%s: empty output", kind)
+		}
+	}
+}
+
+func TestDatagenUnknownKind(t *testing.T) {
+	if err := run([]string{"-kind", "nonsense"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestDatagenSeedChangesOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	run([]string{"-kind", "bsbm", "-size", "300", "-seed", "1"}, &a, &bytes.Buffer{})
+	run([]string{"-kind", "bsbm", "-size", "300", "-seed", "2"}, &b, &bytes.Buffer{})
+	if a.String() == b.String() {
+		t.Fatal("seed ignored")
+	}
+}

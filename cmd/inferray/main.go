@@ -1,0 +1,130 @@
+// Command inferray is the stand-alone reasoner: it reads an RDF
+// document (N-Triples or Turtle), materializes its closure under a
+// chosen rule fragment, and writes the result as N-Triples.
+//
+// Usage:
+//
+//	inferray -rules rdfs-plus -in data.nt -out closure.nt
+//	cat data.ttl | inferray -format turtle -rules rhodf > closure.nt
+//
+// With -stats, run statistics (input/inferred counts, iteration count,
+// stage timings) are printed to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"inferray"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "inferray:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI with explicit streams so tests can drive it.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("inferray", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		rulesFlag = fs.String("rules", "rdfs-default", "rule fragment: rhodf | rdfs-default | rdfs-full | rdfs-plus | rdfs-plus-full")
+		inFlag    = fs.String("in", "-", "input file ('-' for stdin)")
+		outFlag   = fs.String("out", "-", "output N-Triples file ('-' for stdout)")
+		format    = fs.String("format", "", "input format: nt | turtle (default: by file extension, nt otherwise)")
+		stats     = fs.Bool("stats", false, "print run statistics to stderr")
+		seq       = fs.Bool("sequential", false, "disable parallel rule execution")
+		quiet     = fs.Bool("quiet", false, "suppress triple output (measure only)")
+		selectQ   = fs.String("select", "", "run a SPARQL SELECT query over the closure instead of dumping triples")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fragment, err := inferray.ParseFragment(*rulesFlag)
+	if err != nil {
+		return err
+	}
+
+	in := stdin
+	if *inFlag != "-" {
+		f, err := os.Open(*inFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	useTurtle := false
+	switch *format {
+	case "turtle", "ttl":
+		useTurtle = true
+	case "nt", "ntriples", "":
+		if *format == "" && (strings.HasSuffix(*inFlag, ".ttl") || strings.HasSuffix(*inFlag, ".turtle")) {
+			useTurtle = true
+		}
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	r := inferray.New(
+		inferray.WithFragment(fragment),
+		inferray.WithParallelism(!*seq),
+	)
+	if useTurtle {
+		err = r.LoadTurtle(in)
+	} else {
+		err = r.LoadNTriples(in)
+	}
+	if err != nil {
+		return err
+	}
+	st, err := r.Materialize()
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintf(stderr,
+			"fragment=%s input=%d inferred=%d total=%d iterations=%d closure=%s loop=%s total=%s\n",
+			fragment, st.InputTriples, st.InferredTriples, st.TotalTriples,
+			st.Iterations, st.ClosureTime, st.LoopTime, st.TotalTime)
+	}
+	if *selectQ != "" {
+		rows, err := r.Select(*selectQ)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			first := true
+			for k, v := range row {
+				if !first {
+					fmt.Fprint(stdout, "\t")
+				}
+				fmt.Fprintf(stdout, "%s=%s", k, v)
+				first = false
+			}
+			fmt.Fprintln(stdout)
+		}
+		return nil
+	}
+	if *quiet {
+		return nil
+	}
+
+	out := stdout
+	if *outFlag != "-" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return r.WriteNTriples(out)
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args []string, stdin string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err = run(args, strings.NewReader(stdin), &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+const sampleNT = `<a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <b> .
+<b> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <c> .
+<x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <a> .
+`
+
+func TestCLIStdinStdout(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-rules", "rdfs-default"}, sampleNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <c> .") {
+		t.Fatalf("closure missing inferred triple:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 6 {
+		t.Fatalf("expected 6 output triples, got %d", lines)
+	}
+}
+
+func TestCLIStatsAndQuiet(t *testing.T) {
+	out, errOut, err := runCLI(t, []string{"-stats", "-quiet"}, sampleNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "" {
+		t.Fatal("quiet mode must suppress triples")
+	}
+	if !strings.Contains(errOut, "inferred=3") {
+		t.Fatalf("stats line wrong: %s", errOut)
+	}
+}
+
+func TestCLITurtleFormat(t *testing.T) {
+	ttl := "@prefix ex: <http://e/> .\n@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\nex:A rdfs:subClassOf ex:B .\nex:x a ex:A .\n"
+	out, _, err := runCLI(t, []string{"-format", "turtle"}, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<http://e/x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/B>") {
+		t.Fatalf("turtle input not inferred:\n%s", out)
+	}
+}
+
+func TestCLIFileIOAndExtensionDetection(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "data.ttl")
+	outPath := filepath.Join(dir, "out.nt")
+	ttl := "@prefix ex: <http://e/> .\nex:a ex:p ex:b .\n"
+	if err := os.WriteFile(inPath, []byte(ttl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCLI(t, []string{"-in", inPath, "-out", outPath}, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<http://e/a> <http://e/p> <http://e/b> .") {
+		t.Fatalf("output file wrong: %s", data)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if _, _, err := runCLI(t, []string{"-rules", "owl-dl"}, ""); err == nil {
+		t.Error("unknown fragment accepted")
+	}
+	if _, _, err := runCLI(t, []string{"-format", "rdfxml"}, ""); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, _, err := runCLI(t, nil, "not a triple\n"); err == nil {
+		t.Error("syntax error not propagated")
+	}
+	if _, _, err := runCLI(t, []string{"-in", "/nonexistent/file.nt"}, ""); err == nil {
+		t.Error("missing input file accepted")
+	}
+}
+
+func TestCLISequentialFlag(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-sequential"}, sampleNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <c> .") {
+		t.Fatal("sequential run lost inferences")
+	}
+}
+
+func TestCLISelectQuery(t *testing.T) {
+	out, _, err := runCLI(t, []string{
+		"-select", "SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <c> }",
+	}, sampleNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "x=<x>") {
+		t.Fatalf("select output wrong:\n%s", out)
+	}
+}

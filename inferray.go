@@ -1,0 +1,220 @@
+// Package inferray is a fast in-memory forward-chaining RDF reasoner, a
+// Go reproduction of "Inferray: fast in-memory RDF inference" (Subercaze
+// et al., PVLDB 9(6), 2016).
+//
+// Inferray materializes the closure of an RDF dataset under one of four
+// rule fragments — ρdf, RDFS (default or full), and RDFS-Plus — using a
+// vertically partitioned store of sorted 64-bit pair arrays, sort-merge
+// join inference, dedicated Nuutila transitive closure, and low-entropy
+// counting/radix sorts. See DESIGN.md for the architecture and
+// EXPERIMENTS.md for the reproduced evaluation.
+//
+// Quickstart:
+//
+//	r := inferray.New(inferray.WithFragment(inferray.RDFSDefault))
+//	r.Add("<human>", inferray.SubClassOf, "<mammal>")
+//	r.Add("<mammal>", inferray.SubClassOf, "<animal>")
+//	r.Add("<Bart>", inferray.Type, "<human>")
+//	stats, _ := r.Materialize()
+//	r.Holds("<Bart>", inferray.Type, "<animal>") // true
+package inferray
+
+import (
+	"fmt"
+	"io"
+
+	"inferray/internal/rdf"
+	"inferray/internal/reasoner"
+	"inferray/internal/rules"
+)
+
+// Fragment selects a supported ruleset.
+type Fragment = rules.Fragment
+
+// The supported rule fragments (Table 5 of the paper).
+const (
+	RhoDF        = rules.RhoDF
+	RDFSDefault  = rules.RDFSDefault
+	RDFSFull     = rules.RDFSFull
+	RDFSPlus     = rules.RDFSPlus
+	RDFSPlusFull = rules.RDFSPlusFull
+)
+
+// ParseFragment resolves a fragment by name ("rhodf", "rdfs-default",
+// "rdfs-full", "rdfs-plus", "rdfs-plus-full").
+func ParseFragment(name string) (Fragment, error) { return rules.ParseFragment(name) }
+
+// Commonly used vocabulary, re-exported for convenience.
+const (
+	Type                      = rdf.RDFType
+	SubClassOf                = rdf.RDFSSubClassOf
+	SubPropertyOf             = rdf.RDFSSubPropertyOf
+	Domain                    = rdf.RDFSDomain
+	Range                     = rdf.RDFSRange
+	SameAs                    = rdf.OWLSameAs
+	EquivalentClass           = rdf.OWLEquivalentClass
+	EquivalentProperty        = rdf.OWLEquivalentProperty
+	InverseOf                 = rdf.OWLInverseOf
+	TransitiveProperty        = rdf.OWLTransitiveProperty
+	FunctionalProperty        = rdf.OWLFunctionalProperty
+	InverseFunctionalProperty = rdf.OWLInverseFunctionalProperty
+	SymmetricProperty         = rdf.OWLSymmetricProperty
+)
+
+// Triple is an RDF statement in N-Triples surface form.
+type Triple = rdf.Triple
+
+// Stats reports what a materialization did.
+type Stats = reasoner.Stats
+
+// Option configures a Reasoner.
+type Option func(*reasoner.Options)
+
+// WithFragment selects the ruleset (default RDFSDefault).
+func WithFragment(f Fragment) Option {
+	return func(o *reasoner.Options) { o.Fragment = f }
+}
+
+// WithParallelism enables or disables parallel rule execution and
+// merging (default enabled).
+func WithParallelism(on bool) Option {
+	return func(o *reasoner.Options) { o.Parallel = on }
+}
+
+// WithMaxIterations bounds the fixpoint loop (0 = unbounded).
+func WithMaxIterations(n int) Option {
+	return func(o *reasoner.Options) { o.MaxIterations = n }
+}
+
+// WithLowMemory drops the ⟨o,s⟩-sorted join caches after every
+// iteration, shrinking the peak footprint at some speed cost (§4.2 of
+// the paper: "this cache may be cleared at runtime if memory is
+// exhausted"). Results are unchanged.
+func WithLowMemory(on bool) Option {
+	return func(o *reasoner.Options) { o.LowMemory = on }
+}
+
+// Reasoner is a one-shot materialization engine: load triples with Add /
+// AddTriples / LoadNTriples, run Materialize once, then query the closure
+// with Holds / Triples / WriteNTriples.
+type Reasoner struct {
+	engine       *reasoner.Engine
+	pending      []rdf.Triple
+	materialized bool
+}
+
+// New creates a reasoner.
+func New(opts ...Option) *Reasoner {
+	o := reasoner.Options{Fragment: rules.RDFSDefault, Parallel: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Reasoner{engine: reasoner.New(o)}
+}
+
+// Add buffers one triple. Terms are N-Triples surface forms: "<iri>",
+// "\"literal\"", or "_:blank".
+func (r *Reasoner) Add(s, p, o string) error {
+	if !rdf.IsIRI(p) {
+		return fmt.Errorf("inferray: predicate %q is not an IRI", p)
+	}
+	if rdf.IsLiteral(s) {
+		return fmt.Errorf("inferray: subject %q may not be a literal", s)
+	}
+	r.pending = append(r.pending, rdf.Triple{S: s, P: p, O: o})
+	return nil
+}
+
+// AddTriples buffers a batch of triples.
+func (r *Reasoner) AddTriples(triples []Triple) {
+	r.pending = append(r.pending, triples...)
+}
+
+// LoadNTriples buffers every triple of an N-Triples document.
+func (r *Reasoner) LoadNTriples(src io.Reader) error {
+	return rdf.ReadNTriples(src, func(t rdf.Triple) error {
+		r.pending = append(r.pending, t)
+		return nil
+	})
+}
+
+// LoadTurtle buffers every triple of a Turtle document (the practical
+// subset documented at rdf.ReadTurtle: prefixes, base, 'a', predicate
+// and object lists; no collections or anonymous blank nodes).
+func (r *Reasoner) LoadTurtle(src io.Reader) error {
+	return rdf.ReadTurtle(src, func(t rdf.Triple) error {
+		r.pending = append(r.pending, t)
+		return nil
+	})
+}
+
+// Materialize computes the closure of everything added so far under the
+// configured fragment. It may be called again after adding more triples;
+// each call recomputes the fixpoint over the union.
+func (r *Reasoner) Materialize() (Stats, error) {
+	r.engine.LoadTriples(r.pending)
+	r.pending = r.pending[:0]
+	stats := r.engine.Materialize()
+	r.materialized = true
+	return stats, nil
+}
+
+// Size returns the number of distinct triples currently stored
+// (including inferred ones after Materialize).
+func (r *Reasoner) Size() int { return r.engine.Size() }
+
+// Holds reports whether the closure contains the triple. It is only
+// meaningful after Materialize.
+func (r *Reasoner) Holds(s, p, o string) bool {
+	return r.engine.Contains(rdf.Triple{S: s, P: p, O: o})
+}
+
+// Triples streams every stored triple; fn may return false to stop.
+func (r *Reasoner) Triples(fn func(t Triple) bool) { r.engine.Triples(fn) }
+
+// AllTriples returns every stored triple as a slice.
+func (r *Reasoner) AllTriples() []Triple {
+	out := make([]Triple, 0, r.Size())
+	r.engine.Triples(func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// WriteNTriples serializes the store (closure, after Materialize) to w.
+func (r *Reasoner) WriteNTriples(w io.Writer) error {
+	var err error
+	bw := newBatchingWriter(w, &err)
+	r.engine.Triples(func(t Triple) bool {
+		bw.write(t)
+		return err == nil
+	})
+	bw.flush()
+	return err
+}
+
+type batchingWriter struct {
+	w   io.Writer
+	err *error
+	buf []Triple
+}
+
+func newBatchingWriter(w io.Writer, err *error) *batchingWriter {
+	return &batchingWriter{w: w, err: err, buf: make([]Triple, 0, 4096)}
+}
+
+func (b *batchingWriter) write(t Triple) {
+	b.buf = append(b.buf, t)
+	if len(b.buf) == cap(b.buf) {
+		b.flush()
+	}
+}
+
+func (b *batchingWriter) flush() {
+	if len(b.buf) == 0 || *b.err != nil {
+		return
+	}
+	*b.err = rdf.WriteNTriples(b.w, b.buf)
+	b.buf = b.buf[:0]
+}

@@ -1,0 +1,286 @@
+package closure
+
+import "sort"
+
+// Close computes the transitive closure of the directed graph given as a
+// flat ⟨subject, object⟩ pair list (the property-table layout) and
+// returns every pair (u, v) with a directed path of length ≥ 1 from u to
+// v — the input edges are therefore included. Nodes on a cycle reach
+// themselves, so cycles produce reflexive pairs, matching RDFS semantics
+// for subClassOf/subPropertyOf cycles.
+//
+// The pipeline follows §4.1 of the paper: connected-component splitting
+// with UNION-FIND, dense renumbering per component, and Nuutila's
+// algorithm (Tarjan SCC → quotient graph in reverse topological order →
+// interval-set reachability) per component.
+//
+// The output ordering is unspecified; callers sort it into table order.
+func Close(pairs []uint64) []uint64 {
+	if len(pairs) == 0 {
+		return nil
+	}
+
+	// Dense global renumbering: collect the distinct node IDs.
+	nodes := collectNodes(pairs)
+	n := len(nodes)
+	idx := func(id uint64) int32 {
+		i := sort.Search(n, func(i int) bool { return nodes[i] >= id })
+		return int32(i)
+	}
+
+	nEdges := len(pairs) / 2
+	src := make([]int32, nEdges)
+	dst := make([]int32, nEdges)
+	for e := 0; e < nEdges; e++ {
+		src[e] = idx(pairs[2*e])
+		dst[e] = idx(pairs[2*e+1])
+	}
+
+	// Connected components (undirected) so each Nuutila run works on a
+	// small dense index space.
+	uf := NewUnionFind(n)
+	for e := 0; e < nEdges; e++ {
+		uf.Union(src[e], dst[e])
+	}
+
+	// Group nodes and edges by component.
+	compOf := make([]int32, n)
+	compCount := 0
+	rootComp := make(map[int32]int32, 16)
+	for v := int32(0); v < int32(n); v++ {
+		r := uf.Find(v)
+		c, ok := rootComp[r]
+		if !ok {
+			c = int32(compCount)
+			rootComp[r] = c
+			compCount++
+		}
+		compOf[v] = c
+	}
+	compNodes := make([][]int32, compCount)
+	for v := int32(0); v < int32(n); v++ {
+		c := compOf[v]
+		compNodes[c] = append(compNodes[c], v)
+	}
+	type edgeList struct{ s, d []int32 }
+	compEdges := make([]edgeList, compCount)
+	for e := 0; e < nEdges; e++ {
+		c := compOf[src[e]]
+		compEdges[c].s = append(compEdges[c].s, src[e])
+		compEdges[c].d = append(compEdges[c].d, dst[e])
+	}
+
+	var out []uint64
+	local := make([]int32, n) // global dense id -> component-local id
+	for c := 0; c < compCount; c++ {
+		members := compNodes[c]
+		for li, v := range members {
+			local[v] = int32(li)
+		}
+		ls := make([]int32, len(compEdges[c].s))
+		ld := make([]int32, len(compEdges[c].d))
+		for i, gs := range compEdges[c].s {
+			ls[i] = local[gs]
+			ld[i] = local[compEdges[c].d[i]]
+		}
+		closeComponent(ls, ld, len(members), func(u, v int32) {
+			out = append(out, nodes[members[u]], nodes[members[v]])
+		})
+	}
+	return out
+}
+
+// collectNodes returns the sorted distinct node IDs of the pair list.
+func collectNodes(pairs []uint64) []uint64 {
+	nodes := make([]uint64, len(pairs))
+	copy(nodes, pairs)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	w := 1
+	for r := 1; r < len(nodes); r++ {
+		if nodes[r] != nodes[w-1] {
+			nodes[w] = nodes[r]
+			w++
+		}
+	}
+	return nodes[:w]
+}
+
+// closeComponent runs Nuutila's algorithm on one component with n local
+// nodes and the given edge lists, invoking emit for every closure pair.
+func closeComponent(es, ed []int32, n int, emit func(u, v int32)) {
+	// CSR adjacency.
+	adjStart := make([]int32, n+1)
+	for _, s := range es {
+		adjStart[s+1]++
+	}
+	for i := 0; i < n; i++ {
+		adjStart[i+1] += adjStart[i]
+	}
+	adj := make([]int32, len(es))
+	fill := make([]int32, n)
+	copy(fill, adjStart[:n])
+	for i, s := range es {
+		adj[fill[s]] = ed[i]
+		fill[s]++
+	}
+
+	scc, nscc, selfLoop := tarjanSCC(n, adjStart, adj)
+
+	// SCC membership lists. Tarjan assigns SCC ids in reverse topological
+	// order of the condensation: every quotient edge goes from a higher
+	// id to a lower id.
+	sccNodes := make([][]int32, nscc)
+	for v := int32(0); v < int32(n); v++ {
+		sccNodes[scc[v]] = append(sccNodes[scc[v]], v)
+	}
+
+	// Quotient-graph edges, grouped by source.
+	type qedge struct{ from, to int32 }
+	qedges := make([]qedge, 0, len(es))
+	for i, s := range es {
+		cf, ct := scc[s], scc[ed[i]]
+		if cf != ct {
+			qedges = append(qedges, qedge{cf, ct})
+		}
+	}
+	sort.Slice(qedges, func(i, j int) bool {
+		if qedges[i].from != qedges[j].from {
+			return qedges[i].from < qedges[j].from
+		}
+		return qedges[i].to < qedges[j].to
+	})
+
+	// Reachability in ascending SCC id (= reverse topological) order:
+	// when SCC c is processed every successor's set is final. Nuutila's
+	// pruning skips successors already contained in the set; duplicate
+	// quotient edges were collapsed by the sort + Contains check.
+	reach := make([]*IntervalSet, nscc)
+	for c := range reach {
+		reach[c] = &IntervalSet{}
+	}
+	qi := 0
+	for c := int32(0); c < int32(nscc); c++ {
+		for qi < len(qedges) && qedges[qi].from == c {
+			t := qedges[qi].to
+			qi++
+			if reach[c].Contains(t) {
+				continue
+			}
+			reach[c].Add(t)
+			reach[c].UnionWith(reach[t])
+		}
+	}
+
+	// Expansion: map the closed quotient graph back to original nodes.
+	for c := 0; c < nscc; c++ {
+		members := sccNodes[c]
+		if selfLoop[c] {
+			for _, u := range members {
+				for _, v := range members {
+					emit(u, v)
+				}
+			}
+		}
+		reach[c].ForEach(func(t int32) {
+			for _, u := range members {
+				for _, v := range sccNodes[t] {
+					emit(u, v)
+				}
+			}
+		})
+	}
+}
+
+// tarjanSCC computes strongly connected components over a CSR graph with
+// an iterative Tarjan traversal. It returns the SCC id of every node, the
+// SCC count, and a per-SCC flag telling whether the component carries a
+// cycle (size > 1, or a explicit self-loop edge). SCC ids are assigned in
+// reverse topological order of the condensation.
+func tarjanSCC(n int, adjStart, adj []int32) (scc []int32, nscc int, selfLoop []bool) {
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	scc = make([]int32, n)
+	for i := range index {
+		index[i] = unvisited
+		scc[i] = unvisited
+	}
+
+	var stack []int32
+	type frame struct {
+		v  int32
+		ei int32 // next adjacency offset to explore
+	}
+	var call []frame
+	var counter int32
+	var hasSelf []bool // per-scc, grown as SCCs are produced
+
+	for root := int32(0); root < int32(n); root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{root, adjStart[root]})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei < adjStart[v+1] {
+				w := adj[f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, adjStart[w]})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			// v is finished.
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				id := int32(nscc)
+				size := 0
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc[w] = id
+					size++
+					if w == v {
+						break
+					}
+				}
+				hasSelf = append(hasSelf, size > 1)
+				nscc++
+			}
+		}
+	}
+
+	// Explicit self-loop edges also make a singleton SCC cyclic.
+	for v := int32(0); v < int32(n); v++ {
+		for ei := adjStart[v]; ei < adjStart[v+1]; ei++ {
+			if adj[ei] == v {
+				hasSelf[scc[v]] = true
+			}
+		}
+	}
+	return scc, nscc, hasSelf
+}

@@ -1,0 +1,40 @@
+package closure
+
+// CloseMonolithic computes the same transitive closure as Close but
+// skips the UNION-FIND connected-component splitting and per-component
+// dense renumbering: Nuutila's algorithm runs once over the whole
+// (globally renumbered) graph. The paper argues the splitting keeps node
+// numbers dense per component so that interval sets stay compact (§4.1);
+// this variant exists to measure that design choice (see the ablation
+// benchmarks) and as a differential-testing twin for Close.
+func CloseMonolithic(pairs []uint64) []uint64 {
+	if len(pairs) == 0 {
+		return nil
+	}
+	nodes := collectNodes(pairs)
+	n := len(nodes)
+	idx := func(id uint64) int32 {
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if nodes[mid] < id {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int32(lo)
+	}
+	nEdges := len(pairs) / 2
+	es := make([]int32, nEdges)
+	ed := make([]int32, nEdges)
+	for e := 0; e < nEdges; e++ {
+		es[e] = idx(pairs[2*e])
+		ed[e] = idx(pairs[2*e+1])
+	}
+	var out []uint64
+	closeComponent(es, ed, n, func(u, v int32) {
+		out = append(out, nodes[u], nodes[v])
+	})
+	return out
+}

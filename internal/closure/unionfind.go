@@ -1,0 +1,57 @@
+package closure
+
+// UnionFind is a standard disjoint-set forest with union by rank and path
+// halving, used to split the schema graph into connected components
+// before Nuutila's algorithm so that the per-component dense renumbering
+// keeps reachable-set intervals compact (§4.1).
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// NewUnionFind creates n singleton sets labelled 0…n-1.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		sets:   n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int32) int32 {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing a and b and reports whether a merge
+// actually happened (false if they were already joined).
+func (uf *UnionFind) Union(a, b int32) bool {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	uf.sets--
+	return true
+}
+
+// Sets returns the current number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// Same reports whether a and b belong to the same set.
+func (uf *UnionFind) Same(a, b int32) bool { return uf.Find(a) == uf.Find(b) }

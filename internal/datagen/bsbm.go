@@ -1,0 +1,91 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"inferray/internal/rdf"
+)
+
+// BSBM generates a Berlin-SPARQL-Benchmark-like e-commerce dataset
+// sized to approximately targetTriples triples. The structural
+// signature matched from the original: a product-type tree (subClassOf),
+// product-feature and vendor/producer properties with domains and
+// ranges, a small subPropertyOf hierarchy, and bulk instance data
+// (products, offers, reviews) — an RDFS workload where CAX-SCO and
+// PRP-DOM/RNG dominate.
+func BSBM(targetTriples int, seed int64) []rdf.Triple {
+	rng := rand.New(rand.NewSource(seed))
+	var out []rdf.Triple
+
+	typeTree := 93 // classes in the product-type tree (BSBM default scale)
+	class := func(i int) string { return iri("bsbm/ProductType%d", i) }
+	for i := 1; i < typeTree; i++ {
+		out = append(out, rdf.Triple{S: class(i), P: rdf.RDFSSubClassOf, O: class((i - 1) / 3)})
+	}
+
+	// Property schema.
+	productFeature := iri("bsbm/productFeature")
+	producer := iri("bsbm/producer")
+	vendor := iri("bsbm/vendor")
+	offerProduct := iri("bsbm/product")
+	price := iri("bsbm/price")
+	reviewFor := iri("bsbm/reviewFor")
+	rating := iri("bsbm/rating")
+	label := iri("bsbm/label")
+	// subPropertyOf hierarchy: textual properties under label.
+	comment := iri("bsbm/comment")
+	out = append(out,
+		rdf.Triple{S: comment, P: rdf.RDFSSubPropertyOf, O: label},
+		rdf.Triple{S: productFeature, P: rdf.RDFSDomain, O: class(0)},
+		rdf.Triple{S: producer, P: rdf.RDFSDomain, O: class(0)},
+		rdf.Triple{S: producer, P: rdf.RDFSRange, O: iri("bsbm/Producer")},
+		rdf.Triple{S: vendor, P: rdf.RDFSRange, O: iri("bsbm/Vendor")},
+		rdf.Triple{S: offerProduct, P: rdf.RDFSDomain, O: iri("bsbm/Offer")},
+		rdf.Triple{S: offerProduct, P: rdf.RDFSRange, O: class(0)},
+		rdf.Triple{S: reviewFor, P: rdf.RDFSDomain, O: iri("bsbm/Review")},
+		rdf.Triple{S: reviewFor, P: rdf.RDFSRange, O: class(0)},
+	)
+
+	// Each product contributes ~6 triples, each offer ~3, each review ~3.
+	// Solve for entity counts from the target size.
+	remaining := targetTriples - len(out)
+	if remaining < 12 {
+		remaining = 12
+	}
+	// Triple budget: 4·products + 3·offers + 2·reviews ≈ remaining.
+	products := remaining / 8
+	offers := remaining / 8
+	reviews := remaining / 16
+
+	product := func(i int) string { return iri("bsbm/Product%d", i) }
+	leafBase := typeTree / 3 // leaves are the last two thirds of the tree
+	nProducers := products/50 + 1
+	nVendors := offers/20 + 1
+	nFeatures := products/10 + 2
+
+	for i := 0; i < products; i++ {
+		leaf := leafBase + rng.Intn(typeTree-leafBase)
+		out = append(out,
+			rdf.Triple{S: product(i), P: rdf.RDFType, O: class(leaf)},
+			rdf.Triple{S: product(i), P: producer, O: iri("bsbm/Producer%d", rng.Intn(nProducers))},
+			rdf.Triple{S: product(i), P: productFeature, O: iri("bsbm/Feature%d", rng.Intn(nFeatures))},
+			rdf.Triple{S: product(i), P: comment, O: rdf.EscapeLiteral("product comment")},
+		)
+	}
+	for i := 0; i < offers; i++ {
+		offer := iri("bsbm/Offer%d", i)
+		out = append(out,
+			rdf.Triple{S: offer, P: offerProduct, O: product(rng.Intn(products))},
+			rdf.Triple{S: offer, P: vendor, O: iri("bsbm/Vendor%d", rng.Intn(nVendors))},
+			rdf.Triple{S: offer, P: price, O: rdf.EscapeLiteral("42.00")},
+		)
+	}
+	for i := 0; i < reviews; i++ {
+		review := iri("bsbm/Review%d", i)
+		out = append(out,
+			rdf.Triple{S: review, P: reviewFor, O: product(rng.Intn(products))},
+			rdf.Triple{S: review, P: rating, O: rdf.EscapeLiteral("4")},
+		)
+	}
+	return out
+}

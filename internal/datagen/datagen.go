@@ -1,0 +1,123 @@
+// Package datagen synthesizes the benchmark workloads of §6 of the
+// paper. The originals (BSBM and LUBM generators, the Yago taxonomy, the
+// Wikipedia ontology, Wordnet) are external artifacts; these generators
+// produce datasets with the same structural signatures — the properties
+// the paper says stress each system — so the benchmark *shapes* carry
+// over (see DESIGN.md §3 for the substitution rationale). All generators
+// are deterministic for a given seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"inferray/internal/rdf"
+)
+
+func iri(format string, args ...interface{}) string {
+	return "<http://example.org/" + fmt.Sprintf(format, args...) + ">"
+}
+
+// Chain generates a subClassOf chain of the given length (n edges over
+// n+1 classes), the transitive-closure workload of Table 4. Closing a
+// chain of length n infers exactly (n²−n)/2 new triples.
+func Chain(length int) []rdf.Triple {
+	triples := make([]rdf.Triple, 0, length)
+	for i := 0; i < length; i++ {
+		triples = append(triples, rdf.Triple{
+			S: iri("chain/C%d", i),
+			P: rdf.RDFSSubClassOf,
+			O: iri("chain/C%d", i+1),
+		})
+	}
+	return triples
+}
+
+// ChainClosureSize returns the number of triples the closure of Chain(n)
+// adds: (n²−n)/2.
+func ChainClosureSize(n int) int { return (n*n - n) / 2 }
+
+// Taxonomy parameterizes the synthetic real-world-like taxonomies.
+type Taxonomy struct {
+	Name          string
+	Classes       int // number of classes in the subClassOf tree
+	Fanout        int // children per class (tree shape)
+	Properties    int // number of instance properties
+	PropDepth     int // length of subPropertyOf chains among them
+	Instances     int // number of typed instances
+	FactsPerInst  int // property assertions per instance
+	DomainsRanges bool
+	Seed          int64
+}
+
+// YagoLike mimics the Yago taxonomy's signature: a very large set of
+// properties and deep subClassOf/subPropertyOf chains that stress
+// vertical partitioning and the closure stage.
+func YagoLike(scale int) Taxonomy {
+	return Taxonomy{
+		Name: "yago", Classes: 120 * scale, Fanout: 4,
+		Properties: 60 * scale, PropDepth: 8,
+		Instances: 400 * scale, FactsPerInst: 4,
+		DomainsRanges: true, Seed: 42,
+	}
+}
+
+// WikipediaLike mimics the Wikipedia category ontology: a huge, wide
+// class set with a large schema and comparatively few facts per class.
+func WikipediaLike(scale int) Taxonomy {
+	return Taxonomy{
+		Name: "wikipedia", Classes: 600 * scale, Fanout: 12,
+		Properties: 10 * scale, PropDepth: 2,
+		Instances: 300 * scale, FactsPerInst: 2,
+		DomainsRanges: true, Seed: 43,
+	}
+}
+
+// WordnetLike mimics Wordnet: a moderate schema with dense instance
+// data.
+func WordnetLike(scale int) Taxonomy {
+	return Taxonomy{
+		Name: "wordnet", Classes: 80 * scale, Fanout: 6,
+		Properties: 15, PropDepth: 3,
+		Instances: 900 * scale, FactsPerInst: 5,
+		DomainsRanges: true, Seed: 44,
+	}
+}
+
+// Generate materializes the taxonomy into triples.
+func (t Taxonomy) Generate() []rdf.Triple {
+	rng := rand.New(rand.NewSource(t.Seed))
+	var out []rdf.Triple
+	name := t.Name
+
+	class := func(i int) string { return iri("%s/class/C%d", name, i) }
+	prop := func(i int) string { return iri("%s/prop/p%d", name, i) }
+	inst := func(i int) string { return iri("%s/inst/i%d", name, i) }
+
+	// subClassOf tree: class i's parent is (i-1)/fanout.
+	for i := 1; i < t.Classes; i++ {
+		out = append(out, rdf.Triple{S: class(i), P: rdf.RDFSSubClassOf, O: class((i - 1) / t.Fanout)})
+	}
+	// subPropertyOf chains of length PropDepth.
+	for i := 0; i < t.Properties; i++ {
+		if t.PropDepth > 1 && i%t.PropDepth != 0 {
+			out = append(out, rdf.Triple{S: prop(i), P: rdf.RDFSSubPropertyOf, O: prop(i - 1)})
+		}
+		if t.DomainsRanges {
+			out = append(out, rdf.Triple{S: prop(i), P: rdf.RDFSDomain, O: class(rng.Intn(t.Classes))})
+			out = append(out, rdf.Triple{S: prop(i), P: rdf.RDFSRange, O: class(rng.Intn(t.Classes))})
+		}
+	}
+	// Instances typed at random classes plus property assertions.
+	for i := 0; i < t.Instances; i++ {
+		out = append(out, rdf.Triple{S: inst(i), P: rdf.RDFType, O: class(rng.Intn(t.Classes))})
+		for f := 0; f < t.FactsPerInst; f++ {
+			out = append(out, rdf.Triple{
+				S: inst(i),
+				P: prop(rng.Intn(t.Properties)),
+				O: inst(rng.Intn(t.Instances)),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package datagen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"inferray/internal/rdf"
+)
+
+func TestChainShape(t *testing.T) {
+	triples := Chain(5)
+	if len(triples) != 5 {
+		t.Fatalf("chain length %d, want 5", len(triples))
+	}
+	for i, tr := range triples {
+		if tr.P != rdf.RDFSSubClassOf {
+			t.Fatalf("triple %d predicate %s", i, tr.P)
+		}
+		if i > 0 && triples[i-1].O != tr.S {
+			t.Fatalf("chain broken at %d", i)
+		}
+	}
+}
+
+func TestChainClosureSize(t *testing.T) {
+	for n, want := range map[int]int{0: 0, 1: 0, 2: 1, 100: 4950, 2500: 3123750} {
+		if got := ChainClosureSize(n); got != want {
+			t.Errorf("ChainClosureSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	if !reflect.DeepEqual(BSBM(500, 1), BSBM(500, 1)) {
+		t.Error("BSBM not deterministic")
+	}
+	if !reflect.DeepEqual(LUBM(500, 1), LUBM(500, 1)) {
+		t.Error("LUBM not deterministic")
+	}
+	if !reflect.DeepEqual(YagoLike(1).Generate(), YagoLike(1).Generate()) {
+		t.Error("taxonomy not deterministic")
+	}
+	if reflect.DeepEqual(BSBM(500, 1), BSBM(500, 2)) {
+		t.Error("BSBM ignores the seed")
+	}
+}
+
+func TestGeneratorSizesTrackTarget(t *testing.T) {
+	for _, target := range []int{1000, 10000, 50000} {
+		for name, gen := range map[string]func() []rdf.Triple{
+			"bsbm": func() []rdf.Triple { return BSBM(target, 3) },
+			"lubm": func() []rdf.Triple { return LUBM(target, 3) },
+		} {
+			n := len(gen())
+			if n < target*6/10 || n > target*16/10 {
+				t.Errorf("%s(%d) produced %d triples (off target)", name, target, n)
+			}
+		}
+	}
+}
+
+func TestGeneratedTriplesAreWellFormed(t *testing.T) {
+	sets := map[string][]rdf.Triple{
+		"bsbm":      BSBM(800, 5),
+		"lubm":      LUBM(800, 5),
+		"yago":      YagoLike(1).Generate(),
+		"wikipedia": WikipediaLike(1).Generate(),
+		"wordnet":   WordnetLike(1).Generate(),
+		"chain":     Chain(50),
+	}
+	for name, triples := range sets {
+		if len(triples) == 0 {
+			t.Errorf("%s: empty dataset", name)
+			continue
+		}
+		for _, tr := range triples {
+			if !rdf.IsIRI(tr.P) {
+				t.Fatalf("%s: predicate %q is not an IRI", name, tr.P)
+			}
+			if rdf.IsLiteral(tr.S) {
+				t.Fatalf("%s: literal subject %q", name, tr.S)
+			}
+			if tr.S == "" || tr.O == "" {
+				t.Fatalf("%s: empty term", name)
+			}
+		}
+	}
+}
+
+func TestLUBMContainsRDFSPlusConstructs(t *testing.T) {
+	triples := LUBM(2000, 1)
+	found := map[string]bool{}
+	for _, tr := range triples {
+		switch {
+		case tr.P == rdf.OWLInverseOf:
+			found["inverseOf"] = true
+		case tr.P == rdf.OWLEquivalentClass:
+			found["equivalentClass"] = true
+		case tr.P == rdf.RDFType && tr.O == rdf.OWLTransitiveProperty:
+			found["transitive"] = true
+		case tr.P == rdf.RDFType && tr.O == rdf.OWLInverseFunctionalProperty:
+			found["ifp"] = true
+		case tr.P == rdf.RDFSSubPropertyOf:
+			found["subPropertyOf"] = true
+		}
+	}
+	for _, k := range []string{"inverseOf", "equivalentClass", "transitive", "ifp", "subPropertyOf"} {
+		if !found[k] {
+			t.Errorf("LUBM schema lacks %s", k)
+		}
+	}
+}
+
+func TestTaxonomySignatures(t *testing.T) {
+	yago := YagoLike(1)
+	wiki := WikipediaLike(1)
+	if yago.Properties <= wiki.Properties {
+		t.Error("Yago-like must carry more properties than Wikipedia-like")
+	}
+	if wiki.Classes <= yago.Classes {
+		t.Error("Wikipedia-like must carry more classes than Yago-like")
+	}
+	wordnet := WordnetLike(1)
+	if wordnet.Instances <= yago.Instances {
+		t.Error("Wordnet-like must be instance-dense")
+	}
+}
+
+func TestRandomOntologyRespectsPools(t *testing.T) {
+	// Property terms and resource terms must come from disjoint pools
+	// (the split-numbering assumption).
+	rng := newTestRNG()
+	triples := RandomOntology(rng, RandomConfig{
+		Classes: 5, Props: 5, Instances: 5, Schema: 30, Data: 50, Plus: true,
+	})
+	for _, tr := range triples {
+		if tr.P == rdf.RDFSSubPropertyOf || tr.P == rdf.OWLEquivalentProperty || tr.P == rdf.OWLInverseOf {
+			if !isPropTerm(tr.S) || !isPropTerm(tr.O) {
+				t.Fatalf("property-schema triple over non-property terms: %v", tr)
+			}
+		}
+	}
+}
+
+func isPropTerm(term string) bool {
+	return len(term) > 0 && containsSub(term, "/prop/")
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(11)) }

@@ -1,0 +1,161 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"inferray/internal/rdf"
+)
+
+// LUBM generates a Lehigh-University-Benchmark-like dataset sized to
+// approximately targetTriples triples, with the schema enriched the way
+// the paper needs it: "Only RDFS-Plus is expressive enough to derive
+// many triples on LUBM" (§6) — so the ontology exercises equivalent
+// classes, a subPropertyOf chain, a transitive subOrganizationOf, an
+// inverseOf pair, and an inverse-functional email property that makes
+// duplicate person records owl:sameAs each other.
+func LUBM(targetTriples int, seed int64) []rdf.Triple {
+	rng := rand.New(rand.NewSource(seed))
+	var out []rdf.Triple
+
+	// Classes.
+	university := iri("lubm/University")
+	organization := iri("lubm/Organization")
+	department := iri("lubm/Department")
+	group := iri("lubm/ResearchGroup")
+	person := iri("lubm/Person")
+	human := iri("lubm/Human") // equivalentClass Person
+	professor := iri("lubm/Professor")
+	fullProf := iri("lubm/FullProfessor")
+	student := iri("lubm/Student")
+	gradStudent := iri("lubm/GraduateStudent")
+	course := iri("lubm/Course")
+
+	// Properties.
+	subOrgOf := iri("lubm/subOrganizationOf") // transitive
+	memberOf := iri("lubm/memberOf")
+	worksFor := iri("lubm/worksFor") // ⊑ memberOf
+	headOf := iri("lubm/headOf")     // ⊑ worksFor
+	teacherOf := iri("lubm/teacherOf")
+	takesCourse := iri("lubm/takesCourse")
+	advisor := iri("lubm/advisor")
+	hasAdvisee := iri("lubm/hasAdvisee") // inverseOf advisor
+	email := iri("lubm/emailAddress")    // inverse functional
+
+	schema := []rdf.Triple{
+		{S: university, P: rdf.RDFSSubClassOf, O: organization},
+		{S: department, P: rdf.RDFSSubClassOf, O: organization},
+		{S: group, P: rdf.RDFSSubClassOf, O: organization},
+		{S: professor, P: rdf.RDFSSubClassOf, O: person},
+		{S: fullProf, P: rdf.RDFSSubClassOf, O: professor},
+		{S: student, P: rdf.RDFSSubClassOf, O: person},
+		{S: gradStudent, P: rdf.RDFSSubClassOf, O: student},
+		{S: person, P: rdf.OWLEquivalentClass, O: human},
+
+		{S: subOrgOf, P: rdf.RDFType, O: rdf.OWLTransitiveProperty},
+		{S: worksFor, P: rdf.RDFSSubPropertyOf, O: memberOf},
+		{S: headOf, P: rdf.RDFSSubPropertyOf, O: worksFor},
+		{S: advisor, P: rdf.OWLInverseOf, O: hasAdvisee},
+		{S: email, P: rdf.RDFType, O: rdf.OWLInverseFunctionalProperty},
+
+		{S: memberOf, P: rdf.RDFSDomain, O: person},
+		{S: memberOf, P: rdf.RDFSRange, O: organization},
+		{S: teacherOf, P: rdf.RDFSDomain, O: professor},
+		{S: teacherOf, P: rdf.RDFSRange, O: course},
+		{S: takesCourse, P: rdf.RDFSDomain, O: student},
+		{S: takesCourse, P: rdf.RDFSRange, O: course},
+		{S: advisor, P: rdf.RDFSDomain, O: student},
+		{S: advisor, P: rdf.RDFSRange, O: professor},
+	}
+	out = append(out, schema...)
+
+	// Instance layout per university: departments, groups, professors,
+	// students, courses. Roughly 11 triples per student "cluster"; solve
+	// entity counts from the target size.
+	remaining := targetTriples - len(out)
+	if remaining < 60 {
+		remaining = 60
+	}
+	students := remaining / 8
+	professors := students/8 + 1
+	universities := students/200 + 1
+	deptsPerUni := 4
+	groupsPerDept := 3
+	courses := professors * 2
+
+	uni := func(u int) string { return iri("lubm/Univ%d", u) }
+	dept := func(u, d int) string { return iri("lubm/Univ%d/Dept%d", u, d) }
+	grp := func(u, d, g int) string { return iri("lubm/Univ%d/Dept%d/Group%d", u, d, g) }
+	prof := func(i int) string { return iri("lubm/Prof%d", i) }
+	stud := func(i int) string { return iri("lubm/Student%d", i) }
+	crs := func(i int) string { return iri("lubm/Course%d", i) }
+
+	nDepts := universities * deptsPerUni
+	pickDept := func() string {
+		u := rng.Intn(universities)
+		return dept(u, rng.Intn(deptsPerUni))
+	}
+
+	for u := 0; u < universities; u++ {
+		out = append(out, rdf.Triple{S: uni(u), P: rdf.RDFType, O: university})
+		for d := 0; d < deptsPerUni; d++ {
+			out = append(out,
+				rdf.Triple{S: dept(u, d), P: rdf.RDFType, O: department},
+				rdf.Triple{S: dept(u, d), P: subOrgOf, O: uni(u)},
+			)
+			for g := 0; g < groupsPerDept; g++ {
+				out = append(out,
+					rdf.Triple{S: grp(u, d, g), P: rdf.RDFType, O: group},
+					rdf.Triple{S: grp(u, d, g), P: subOrgOf, O: dept(u, d)},
+				)
+			}
+		}
+	}
+	_ = nDepts
+
+	for i := 0; i < professors; i++ {
+		p := prof(i)
+		out = append(out,
+			rdf.Triple{S: p, P: rdf.RDFType, O: fullProf},
+			rdf.Triple{S: p, P: worksFor, O: pickDept()},
+			rdf.Triple{S: p, P: teacherOf, O: crs(rng.Intn(courses))},
+		)
+		if i%deptsPerUni == 0 {
+			out = append(out, rdf.Triple{S: p, P: headOf, O: pickDept()})
+		}
+	}
+	for i := 0; i < students; i++ {
+		s := stud(i)
+		out = append(out,
+			rdf.Triple{S: s, P: rdf.RDFType, O: gradStudent},
+			rdf.Triple{S: s, P: memberOf, O: pickDept()},
+			rdf.Triple{S: s, P: takesCourse, O: crs(rng.Intn(courses))},
+			rdf.Triple{S: s, P: advisor, O: prof(rng.Intn(professors))},
+			rdf.Triple{S: s, P: email, O: rdf.EscapeLiteral("student" + itoa(i) + "@univ.edu")},
+		)
+		// 2% of students are duplicate records sharing an email address:
+		// PRP-IFP identifies them, then EQ-REP-* replicate their facts.
+		if rng.Intn(50) == 0 && i > 0 {
+			dupOf := rng.Intn(i)
+			dupID := iri("lubm/StudentDup%d", i)
+			out = append(out,
+				rdf.Triple{S: dupID, P: rdf.RDFType, O: student},
+				rdf.Triple{S: dupID, P: email, O: rdf.EscapeLiteral("student" + itoa(dupOf) + "@univ.edu")},
+			)
+		}
+	}
+	return out
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

@@ -1,0 +1,76 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"inferray/internal/rdf"
+)
+
+// RandomConfig parameterizes RandomOntology, the adversarial generator
+// used by the cross-engine property tests: small random ontologies that
+// exercise every rule of a fragment, with property terms and
+// resource terms drawn from disjoint pools (Inferray's split numbering
+// assumes a term is either a property or a resource; see §5.1).
+type RandomConfig struct {
+	Classes   int
+	Props     int
+	Instances int
+	Schema    int // number of random schema triples
+	Data      int // number of random instance triples
+	Plus      bool
+}
+
+// RandomOntology generates a random ontology under the config.
+func RandomOntology(rng *rand.Rand, cfg RandomConfig) []rdf.Triple {
+	class := func(i int) string { return iri("rnd/class/C%d", i) }
+	prop := func(i int) string { return iri("rnd/prop/p%d", i) }
+	inst := func(i int) string { return iri("rnd/inst/i%d", i) }
+	rc := func() string { return class(rng.Intn(cfg.Classes)) }
+	rp := func() string { return prop(rng.Intn(cfg.Props)) }
+	ri := func() string { return inst(rng.Intn(cfg.Instances)) }
+
+	var out []rdf.Triple
+	schemaKinds := []string{
+		rdf.RDFSSubClassOf, rdf.RDFSSubPropertyOf, rdf.RDFSDomain, rdf.RDFSRange,
+	}
+	plusMarkers := []string{
+		rdf.OWLTransitiveProperty, rdf.OWLSymmetricProperty,
+		rdf.OWLFunctionalProperty, rdf.OWLInverseFunctionalProperty,
+	}
+	for i := 0; i < cfg.Schema; i++ {
+		kindMax := len(schemaKinds)
+		extra := 0
+		if cfg.Plus {
+			extra = 4 // equivalentClass, equivalentProperty, inverseOf, marker
+		}
+		switch k := rng.Intn(kindMax + extra); k {
+		case 0:
+			out = append(out, rdf.Triple{S: rc(), P: rdf.RDFSSubClassOf, O: rc()})
+		case 1:
+			out = append(out, rdf.Triple{S: rp(), P: rdf.RDFSSubPropertyOf, O: rp()})
+		case 2:
+			out = append(out, rdf.Triple{S: rp(), P: rdf.RDFSDomain, O: rc()})
+		case 3:
+			out = append(out, rdf.Triple{S: rp(), P: rdf.RDFSRange, O: rc()})
+		case 4:
+			out = append(out, rdf.Triple{S: rc(), P: rdf.OWLEquivalentClass, O: rc()})
+		case 5:
+			out = append(out, rdf.Triple{S: rp(), P: rdf.OWLEquivalentProperty, O: rp()})
+		case 6:
+			out = append(out, rdf.Triple{S: rp(), P: rdf.OWLInverseOf, O: rp()})
+		case 7:
+			out = append(out, rdf.Triple{S: rp(), P: rdf.RDFType, O: plusMarkers[rng.Intn(len(plusMarkers))]})
+		}
+	}
+	for i := 0; i < cfg.Data; i++ {
+		switch k := rng.Intn(10); {
+		case k < 3:
+			out = append(out, rdf.Triple{S: ri(), P: rdf.RDFType, O: rc()})
+		case k < 4 && cfg.Plus:
+			out = append(out, rdf.Triple{S: ri(), P: rdf.OWLSameAs, O: ri()})
+		default:
+			out = append(out, rdf.Triple{S: ri(), P: rp(), O: ri()})
+		}
+	}
+	return out
+}

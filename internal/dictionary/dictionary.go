@@ -1,0 +1,139 @@
+// Package dictionary implements Inferray's dense-numbering dictionary
+// (§5.1 of the paper).
+//
+// Inference never creates new subjects, properties, or objects — only new
+// combinations of existing ones — so the dictionary is append-only. To
+// keep the integer values dense on both sides without a full pre-scan,
+// the 64-bit numbering space is split at 2³²: properties are numbered
+// downward from 2³² (first property = 2³², second = 2³²−1, …) and
+// non-property resources upward from 2³²+1. Both sides stay dense, which
+// keeps the entropy of property-table contents low — the fact the custom
+// sorts in internal/sorting exploit.
+package dictionary
+
+import "fmt"
+
+// PropBase is the split point of the numbering space. The first property
+// registered receives this ID, and IDs descend from there; the first
+// resource receives PropBase+1, ascending.
+const PropBase uint64 = 1 << 32
+
+// Dictionary maps term surface forms to dense 64-bit IDs and back.
+// The zero value is not ready to use; call New.
+type Dictionary struct {
+	ids   map[string]uint64
+	props []string // props[i] decodes ID PropBase-i
+	res   []string // res[i] decodes ID PropBase+1+i
+}
+
+// New returns an empty dictionary.
+func New() *Dictionary {
+	return &Dictionary{ids: make(map[string]uint64)}
+}
+
+// NewWithVocabulary returns a dictionary with the given property and
+// resource terms pre-registered, in order. Pre-registration pins the
+// vocabulary to known dense indexes so the rule engine can address its
+// property tables in O(1).
+func NewWithVocabulary(properties, resources []string) *Dictionary {
+	d := New()
+	for _, p := range properties {
+		d.EncodeProperty(p)
+	}
+	for _, r := range resources {
+		d.EncodeResource(r)
+	}
+	return d
+}
+
+// IsProperty reports whether id lies on the property side of the split
+// numbering space.
+func IsProperty(id uint64) bool { return id <= PropBase && id > 0 }
+
+// PropIndex converts a property ID to its dense 0-based index.
+func PropIndex(id uint64) int { return int(PropBase - id) }
+
+// PropID converts a dense property index back to the property ID.
+func PropID(index int) uint64 { return PropBase - uint64(index) }
+
+// EncodeProperty returns the ID for a term used in predicate position,
+// registering it on the property side if unseen. If the term was
+// previously registered as a resource, the existing resource ID is
+// returned: callers that need strict property IDs must register
+// predicates first (see the two-pass loader in the reasoner).
+func (d *Dictionary) EncodeProperty(term string) uint64 {
+	if id, ok := d.ids[term]; ok {
+		return id
+	}
+	id := PropBase - uint64(len(d.props))
+	d.props = append(d.props, term)
+	d.ids[term] = id
+	return id
+}
+
+// EncodeResource returns the ID for a term used in subject or object
+// position, registering it on the resource side if unseen. A term already
+// registered as a property keeps its property ID, so schema triples such
+// as ⟨p, rdfs:domain, c⟩ refer to p by the same integer the property
+// table of p is keyed with.
+func (d *Dictionary) EncodeResource(term string) uint64 {
+	if id, ok := d.ids[term]; ok {
+		return id
+	}
+	id := PropBase + 1 + uint64(len(d.res))
+	d.res = append(d.res, term)
+	d.ids[term] = id
+	return id
+}
+
+// Lookup returns the ID of a term if it has been registered.
+func (d *Dictionary) Lookup(term string) (uint64, bool) {
+	id, ok := d.ids[term]
+	return id, ok
+}
+
+// Decode returns the surface form for an ID.
+func (d *Dictionary) Decode(id uint64) (string, bool) {
+	if IsProperty(id) {
+		i := PropIndex(id)
+		if i < len(d.props) {
+			return d.props[i], true
+		}
+		return "", false
+	}
+	i := id - PropBase - 1
+	if i < uint64(len(d.res)) {
+		return d.res[i], true
+	}
+	return "", false
+}
+
+// MustDecode is Decode for IDs known to be valid; it panics otherwise.
+func (d *Dictionary) MustDecode(id uint64) string {
+	s, ok := d.Decode(id)
+	if !ok {
+		panic(fmt.Sprintf("dictionary: unknown id %d", id))
+	}
+	return s
+}
+
+// NumProperties returns how many property terms are registered.
+func (d *Dictionary) NumProperties() int { return len(d.props) }
+
+// NumResources returns how many resource terms are registered.
+func (d *Dictionary) NumResources() int { return len(d.res) }
+
+// ResourceIDRange returns the half-open interval [lo, hi) of resource IDs
+// in use. The interval is empty when no resources are registered.
+func (d *Dictionary) ResourceIDRange() (lo, hi uint64) {
+	return PropBase + 1, PropBase + 1 + uint64(len(d.res))
+}
+
+// Properties iterates all registered property terms with their IDs.
+func (d *Dictionary) Properties(fn func(id uint64, term string) bool) {
+	for i, term := range d.props {
+		if !fn(PropID(i), term) {
+			return
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package dictionary
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitNumbering(t *testing.T) {
+	d := New()
+	p0 := d.EncodeProperty("<p0>")
+	p1 := d.EncodeProperty("<p1>")
+	r0 := d.EncodeResource("<r0>")
+	r1 := d.EncodeResource("<r1>")
+
+	if p0 != PropBase || p1 != PropBase-1 {
+		t.Fatalf("property ids %d, %d: must descend from 2^32", p0, p1)
+	}
+	if r0 != PropBase+1 || r1 != PropBase+2 {
+		t.Fatalf("resource ids %d, %d: must ascend from 2^32+1", r0, r1)
+	}
+	for _, id := range []uint64{p0, p1} {
+		if !IsProperty(id) {
+			t.Errorf("id %d should be a property", id)
+		}
+	}
+	for _, id := range []uint64{r0, r1} {
+		if IsProperty(id) {
+			t.Errorf("id %d should be a resource", id)
+		}
+	}
+}
+
+func TestPropIndexRoundTrip(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		if PropIndex(PropID(i)) != i {
+			t.Fatalf("index %d does not round-trip", i)
+		}
+	}
+}
+
+func TestEncodeIdempotent(t *testing.T) {
+	d := New()
+	a := d.EncodeProperty("<p>")
+	if d.EncodeProperty("<p>") != a {
+		t.Fatal("re-encoding a property changed its id")
+	}
+	if d.EncodeResource("<p>") != a {
+		t.Fatal("a property term must keep its id in resource position")
+	}
+	r := d.EncodeResource("<r>")
+	if d.EncodeResource("<r>") != r || d.EncodeProperty("<r>") != r {
+		t.Fatal("resource id not stable")
+	}
+}
+
+func TestDecode(t *testing.T) {
+	d := New()
+	terms := []string{"<a>", "<b>", `"literal value"`, "_:blank"}
+	ids := make([]uint64, len(terms))
+	for i, term := range terms {
+		if i%2 == 0 {
+			ids[i] = d.EncodeProperty(term)
+		} else {
+			ids[i] = d.EncodeResource(term)
+		}
+	}
+	for i, id := range ids {
+		got, ok := d.Decode(id)
+		if !ok || got != terms[i] {
+			t.Errorf("Decode(%d) = %q, %v; want %q", id, got, ok, terms[i])
+		}
+	}
+	if _, ok := d.Decode(PropBase - 999); ok {
+		t.Error("decoding an unregistered property id must fail")
+	}
+	if _, ok := d.Decode(PropBase + 999); ok {
+		t.Error("decoding an unregistered resource id must fail")
+	}
+}
+
+func TestMustDecodePanics(t *testing.T) {
+	d := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDecode of unknown id must panic")
+		}
+	}()
+	d.MustDecode(12345)
+}
+
+func TestDensity(t *testing.T) {
+	// The point of §5.1: after registering n properties and m resources,
+	// the used id ranges are exactly [PropBase-n+1, PropBase] and
+	// [PropBase+1, PropBase+m] with no holes.
+	d := New()
+	n, m := 100, 1000
+	for i := 0; i < n; i++ {
+		d.EncodeProperty(fmt.Sprintf("<p%d>", i))
+	}
+	for i := 0; i < m; i++ {
+		d.EncodeResource(fmt.Sprintf("<r%d>", i))
+	}
+	if d.NumProperties() != n || d.NumResources() != m {
+		t.Fatalf("counts %d/%d, want %d/%d", d.NumProperties(), d.NumResources(), n, m)
+	}
+	lo, hi := d.ResourceIDRange()
+	if lo != PropBase+1 || hi != PropBase+1+uint64(m) {
+		t.Fatalf("resource range [%d,%d) wrong", lo, hi)
+	}
+	seen := 0
+	d.Properties(func(id uint64, term string) bool {
+		if PropIndex(id) != seen {
+			t.Fatalf("property iteration out of order at %d", seen)
+		}
+		seen++
+		return true
+	})
+	if seen != n {
+		t.Fatalf("iterated %d properties, want %d", seen, n)
+	}
+}
+
+func TestVocabularyPinning(t *testing.T) {
+	props := []string{"<v1>", "<v2>"}
+	res := []string{"<c1>"}
+	d := NewWithVocabulary(props, res)
+	if id, _ := d.Lookup("<v1>"); PropIndex(id) != 0 {
+		t.Fatal("first vocabulary property must take index 0")
+	}
+	if id, _ := d.Lookup("<v2>"); PropIndex(id) != 1 {
+		t.Fatal("second vocabulary property must take index 1")
+	}
+	if id, _ := d.Lookup("<c1>"); id != PropBase+1 {
+		t.Fatal("first vocabulary resource must take the first resource id")
+	}
+}
+
+// TestLookupDecodeQuick: any registered term decodes back to itself.
+func TestLookupDecodeQuick(t *testing.T) {
+	d := New()
+	f := func(term string, isProp bool) bool {
+		if term == "" {
+			return true
+		}
+		var id uint64
+		if isProp {
+			id = d.EncodeProperty(term)
+		} else {
+			id = d.EncodeResource(term)
+		}
+		back, ok := d.Decode(id)
+		lid, lok := d.Lookup(term)
+		return ok && back == term && lok && lid == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

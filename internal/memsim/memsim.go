@@ -1,0 +1,131 @@
+// Package memsim is a small memory-hierarchy simulator used to reproduce
+// the hardware-counter figures of the paper (Figures 7 and 8: cache
+// misses, dTLB misses, and page faults per inferred triple). The paper
+// measures these with Linux perf on real runs; Go's standard library
+// cannot read performance counters, so — per the substitution rule in
+// DESIGN.md §3 — each engine's characteristic access pattern (sequential
+// array scans for Inferray, hash-bucket probes for the RDFox-like
+// engine, pointer chasing for the OWLIM/Sesame-like engine) is replayed
+// through a set-associative L1/LLC/TLB model with the volume parameters
+// taken from real runs of the corresponding Go engines.
+package memsim
+
+// CacheConfig describes one set-associative cache level.
+type CacheConfig struct {
+	SizeBytes int
+	LineSize  int
+	Ways      int
+}
+
+// Default configurations mirror the paper's testbed (Intel Xeon E3
+// 1246v3: 32 KB L1d, 8 MB L3, 64-entry dTLB, 4 KB pages).
+var (
+	DefaultL1  = CacheConfig{SizeBytes: 32 << 10, LineSize: 64, Ways: 8}
+	DefaultLLC = CacheConfig{SizeBytes: 8 << 20, LineSize: 64, Ways: 16}
+	DefaultTLB = CacheConfig{SizeBytes: 64 * 4096, LineSize: 4096, Ways: 4}
+)
+
+// cache is one LRU set-associative cache over block addresses.
+type cache struct {
+	nsets  uint64
+	ways   int
+	line   uint64
+	tags   []uint64 // nsets × ways, LRU-ordered per set (front = MRU)
+	valid  []bool
+	hits   uint64
+	misses uint64
+}
+
+func newCache(cfg CacheConfig) *cache {
+	nsets := cfg.SizeBytes / (cfg.LineSize * cfg.Ways)
+	if nsets < 1 {
+		nsets = 1
+	}
+	return &cache{
+		nsets: uint64(nsets),
+		ways:  cfg.Ways,
+		line:  uint64(cfg.LineSize),
+		tags:  make([]uint64, nsets*cfg.Ways),
+		valid: make([]bool, nsets*cfg.Ways),
+	}
+}
+
+// access touches addr; it reports whether it hit.
+func (c *cache) access(addr uint64) bool {
+	block := addr / c.line
+	set := block % c.nsets
+	base := int(set) * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.tags[base+i] == block {
+			// Move to front (MRU).
+			for j := i; j > 0; j-- {
+				c.tags[base+j] = c.tags[base+j-1]
+				c.valid[base+j] = c.valid[base+j-1]
+			}
+			c.tags[base] = block
+			c.valid[base] = true
+			c.hits++
+			return true
+		}
+	}
+	// Miss: evict LRU (back), insert at front.
+	for j := c.ways - 1; j > 0; j-- {
+		c.tags[base+j] = c.tags[base+j-1]
+		c.valid[base+j] = c.valid[base+j-1]
+	}
+	c.tags[base] = block
+	c.valid[base] = true
+	c.misses++
+	return false
+}
+
+// Counters aggregates the simulated events.
+type Counters struct {
+	Accesses   uint64
+	L1Misses   uint64
+	LLCMisses  uint64
+	TLBMisses  uint64
+	PageFaults uint64
+}
+
+// Hierarchy is an L1 + LLC + dTLB model with first-touch page faults.
+type Hierarchy struct {
+	l1, llc, tlb *cache
+	pageSize     uint64
+	pages        map[uint64]struct{}
+	c            Counters
+}
+
+// NewHierarchy builds a hierarchy with the default (paper-testbed)
+// geometry.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		l1:       newCache(DefaultL1),
+		llc:      newCache(DefaultLLC),
+		tlb:      newCache(DefaultTLB),
+		pageSize: uint64(DefaultTLB.LineSize),
+		pages:    make(map[uint64]struct{}),
+	}
+}
+
+// Access simulates one load/store of the byte at addr.
+func (h *Hierarchy) Access(addr uint64) {
+	h.c.Accesses++
+	if !h.tlb.access(addr) {
+		h.c.TLBMisses++
+	}
+	page := addr / h.pageSize
+	if _, ok := h.pages[page]; !ok {
+		h.pages[page] = struct{}{}
+		h.c.PageFaults++
+	}
+	if !h.l1.access(addr) {
+		h.c.L1Misses++
+		if !h.llc.access(addr) {
+			h.c.LLCMisses++
+		}
+	}
+}
+
+// Counters returns the accumulated event counts.
+func (h *Hierarchy) Counters() Counters { return h.c }

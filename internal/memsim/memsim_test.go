@@ -1,0 +1,152 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSequentialScanLocality(t *testing.T) {
+	h := NewHierarchy()
+	SequentialScan(h, 0, 1<<20) // 1 MiB
+	c := h.Counters()
+	if c.Accesses != (1<<20)/8 {
+		t.Fatalf("accesses %d, want %d", c.Accesses, (1<<20)/8)
+	}
+	// One L1 miss per 64-byte line = accesses/8.
+	wantMisses := c.Accesses / 8
+	if c.L1Misses != wantMisses {
+		t.Fatalf("L1 misses %d, want %d", c.L1Misses, wantMisses)
+	}
+	// One TLB miss and one page fault per 4 KiB page.
+	wantPages := uint64(1 << 20 / 4096)
+	if c.PageFaults != wantPages || c.TLBMisses != wantPages {
+		t.Fatalf("pages: faults=%d tlb=%d, want %d", c.PageFaults, c.TLBMisses, wantPages)
+	}
+}
+
+func TestSmallWorkingSetStaysInCache(t *testing.T) {
+	h := NewHierarchy()
+	// 16 KiB working set scanned 10 times fits L1 after the first pass.
+	for i := 0; i < 10; i++ {
+		SequentialScan(h, 0, 16<<10)
+	}
+	c := h.Counters()
+	coldMisses := uint64(16 << 10 / 64)
+	if c.L1Misses != coldMisses {
+		t.Fatalf("L1 misses %d, want only cold misses %d", c.L1Misses, coldMisses)
+	}
+}
+
+func TestRandomProbesMissMoreThanSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seq := NewHierarchy()
+	SequentialScan(seq, 0, 64<<20)
+	rnd := NewHierarchy()
+	RandomProbes(rnd, 64<<20, int((64<<20)/8), rng)
+
+	seqRate := float64(seq.Counters().L1Misses) / float64(seq.Counters().Accesses)
+	rndRate := float64(rnd.Counters().L1Misses) / float64(rnd.Counters().Accesses)
+	if rndRate < 4*seqRate {
+		t.Fatalf("random probe miss rate %.3f should dwarf sequential %.3f", rndRate, seqRate)
+	}
+	if rnd.Counters().TLBMisses <= seq.Counters().TLBMisses {
+		t.Fatal("random probes must stress the TLB more than a scan")
+	}
+}
+
+func TestPointerChaseTouchesWholeNodes(t *testing.T) {
+	h := NewHierarchy()
+	PointerChase(h, 1<<20, 64, 1000, rand.New(rand.NewSource(2)))
+	c := h.Counters()
+	if c.Accesses != 1000*8 {
+		t.Fatalf("accesses %d, want %d (8 words per 64-byte node)", c.Accesses, 1000*8)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Two blocks mapping to the same set: with 8 ways both stay resident;
+	// 9 distinct blocks in one set must evict the LRU.
+	cfg := CacheConfig{SizeBytes: 64 * 8, LineSize: 64, Ways: 8} // 1 set
+	c := newCache(cfg)
+	for b := 0; b < 8; b++ {
+		c.access(uint64(b * 64))
+	}
+	if c.misses != 8 || c.hits != 0 {
+		t.Fatalf("cold fills: %d misses %d hits", c.misses, c.hits)
+	}
+	for b := 0; b < 8; b++ {
+		if !c.access(uint64(b * 64)) {
+			t.Fatal("resident block missed")
+		}
+	}
+	c.access(8 * 64) // evicts block 0 (LRU)
+	if c.access(0) {
+		t.Fatal("evicted block must miss")
+	}
+	if !c.access(8 * 64) {
+		t.Fatal("recently inserted block must hit")
+	}
+}
+
+func TestProfilesOrdering(t *testing.T) {
+	// The Figure 7/8 claim: per inferred triple, Inferray's sequential
+	// profile must show far fewer cache misses, TLB misses, and page
+	// faults than the hash-join profile, which in turn beats the
+	// pointer-chasing graph profile (which re-generates duplicates).
+	input, inferred := 10000, 300000
+	inf := Normalize(InferrayProfile(input, inferred), inferred)
+	hash := Normalize(HashJoinProfile(input, inferred), inferred)
+	graph := Normalize(GraphProfile(input, inferred, inferred*10), inferred)
+
+	if !(inf.CacheMisses < hash.CacheMisses) {
+		t.Errorf("LLC misses/triple: inferray %.3f !< hashjoin %.3f", inf.CacheMisses, hash.CacheMisses)
+	}
+	if !(hash.CacheMisses < graph.CacheMisses) {
+		t.Errorf("LLC misses/triple: hashjoin %.3f !< graph %.3f", hash.CacheMisses, graph.CacheMisses)
+	}
+	if !(inf.TLBMisses < hash.TLBMisses) {
+		t.Errorf("TLB misses/triple: inferray %.3f !< hashjoin %.3f", inf.TLBMisses, hash.TLBMisses)
+	}
+	if !(inf.PageFaults <= hash.PageFaults) {
+		t.Errorf("page faults/triple: inferray %.4f !<= hashjoin %.4f", inf.PageFaults, hash.PageFaults)
+	}
+}
+
+func TestNormalizeZeroGuard(t *testing.T) {
+	pt := Normalize(Counters{LLCMisses: 10}, 0)
+	if pt.CacheMisses != 10 {
+		t.Fatal("zero inferred triples must not divide by zero")
+	}
+}
+
+func TestSampledReplayMatchesFull(t *testing.T) {
+	// The extrapolation in scaleCounters assumes miss rates are
+	// stationary in the probe count: the same working set probed 4x as
+	// often must show ~4x the misses.
+	const working = 32 << 20
+	run := func(probes int) Counters {
+		h := NewHierarchy()
+		RandomProbes(h, working, probes, rand.New(rand.NewSource(9)))
+		return h.Counters()
+	}
+	a := run(500_000)
+	b := run(2_000_000)
+	ratio := float64(b.LLCMisses) / float64(a.LLCMisses)
+	if ratio < 3.6 || ratio > 4.4 {
+		t.Fatalf("4x probes gave %.2fx LLC misses; rates not stationary", ratio)
+	}
+	tlbRatio := float64(b.TLBMisses) / float64(a.TLBMisses)
+	if tlbRatio < 3.6 || tlbRatio > 4.4 {
+		t.Fatalf("4x probes gave %.2fx TLB misses", tlbRatio)
+	}
+}
+
+func TestProfileMonotoneInGenerated(t *testing.T) {
+	// More duplicate generation must never lower the graph engine's
+	// per-triple cost.
+	a := Normalize(GraphProfile(1000, 50_000, 50_000), 50_000)
+	b := Normalize(GraphProfile(1000, 50_000, 500_000), 50_000)
+	if b.CacheMisses < a.CacheMisses {
+		t.Fatalf("generated 10x but LLC/triple fell: %.3f -> %.3f", a.CacheMisses, b.CacheMisses)
+	}
+}

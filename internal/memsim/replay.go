@@ -1,0 +1,54 @@
+package memsim
+
+import "math/rand"
+
+// The replay kernels below generate the three characteristic address
+// streams of §2.2 / §6.4. Addresses are synthetic (a flat virtual heap);
+// what matters for the counters is the locality structure, not the
+// values.
+
+// heapBase keeps replayed addresses away from page zero.
+const heapBase = 1 << 30
+
+// SequentialScan replays a linear pass over a region of the given size,
+// touching every word (8 bytes) — the access pattern of Inferray's
+// sort-merge joins, merges, and counting-sort rebuild passes.
+func SequentialScan(h *Hierarchy, offset, bytes uint64) {
+	end := heapBase + offset + bytes
+	for addr := heapBase + offset; addr < end; addr += 8 {
+		h.Access(addr)
+	}
+}
+
+// RandomProbes replays n independent uniform accesses into a working set
+// of the given size — the pattern of hash-join bucket probes and hash
+// membership checks (the RDFox-like engine: each join step lands on an
+// unpredictable bucket).
+func RandomProbes(h *Hierarchy, workingSet uint64, n int, rng *rand.Rand) {
+	if workingSet < 8 {
+		workingSet = 8
+	}
+	for i := 0; i < n; i++ {
+		addr := heapBase + (rng.Uint64()%(workingSet/8))*8
+		h.Access(addr)
+	}
+}
+
+// PointerChase replays a dependent chain of n hops through a working
+// set, each hop touching a node of the given size (a statement object in
+// the graph engines). Every hop lands on an unpredictable node and reads
+// its header — the linked-list traversal of the Sesame/OWLIM design —
+// and unlike RandomProbes each node visit touches several fields.
+func PointerChase(h *Hierarchy, workingSet uint64, nodeSize int, hops int, rng *rand.Rand) {
+	if workingSet < uint64(nodeSize) {
+		workingSet = uint64(nodeSize)
+	}
+	nodes := workingSet / uint64(nodeSize)
+	for i := 0; i < hops; i++ {
+		node := rng.Uint64() % nodes
+		base := heapBase + node*uint64(nodeSize)
+		for f := 0; f < nodeSize; f += 8 {
+			h.Access(base + uint64(f))
+		}
+	}
+}

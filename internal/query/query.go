@@ -1,0 +1,214 @@
+// Package query evaluates basic graph patterns (conjunctions of triple
+// patterns) over a materialized store. The paper positions Inferray as a
+// storage-and-inference layer under a SPARQL engine (§1, §2): after
+// forward chaining, queries reduce to index scans over the sorted
+// property tables — subject runs on the ⟨s,o⟩ order, object runs on the
+// cached ⟨o,s⟩ order, full table scans otherwise, with a greedy
+// most-selective-first join order.
+package query
+
+import (
+	"fmt"
+
+	"inferray/internal/dictionary"
+	"inferray/internal/store"
+)
+
+// Term is one position of a triple pattern: a constant ID or a variable
+// slot (index into the solution row).
+type Term struct {
+	IsVar bool
+	Var   int
+	ID    uint64
+}
+
+// Var and Const construct pattern terms.
+func Var(slot int) Term    { return Term{IsVar: true, Var: slot} }
+func Const(id uint64) Term { return Term{ID: id} }
+
+// Pattern is one triple pattern.
+type Pattern struct{ S, P, O Term }
+
+// Engine evaluates patterns against a normalized store.
+type Engine struct {
+	St *store.Store
+}
+
+// Solve enumerates all solutions of the conjunctive pattern list. Each
+// solution is delivered as a row of variable bindings (indexed by
+// variable slot); fn may return false to stop enumeration early.
+// nVars is the number of variable slots used by the patterns.
+func (e *Engine) Solve(patterns []Pattern, nVars int, fn func(row []uint64) bool) error {
+	if nVars < 0 || nVars > 64 {
+		return fmt.Errorf("query: variable count %d out of range", nVars)
+	}
+	for _, p := range patterns {
+		for _, t := range []Term{p.S, p.P, p.O} {
+			if t.IsVar && (t.Var < 0 || t.Var >= nVars) {
+				return fmt.Errorf("query: variable slot %d out of range [0,%d)", t.Var, nVars)
+			}
+		}
+	}
+	row := make([]uint64, nVars)
+	var bound uint64 // bitmask of bound slots
+	remaining := append([]Pattern(nil), patterns...)
+	e.solve(remaining, row, bound, fn)
+	return nil
+}
+
+// solve picks the most selective remaining pattern, enumerates its
+// matches, and recurses. Returns false if fn aborted.
+func (e *Engine) solve(remaining []Pattern, row []uint64, bound uint64, fn func([]uint64) bool) bool {
+	if len(remaining) == 0 {
+		return fn(row)
+	}
+	// Greedy selection: lowest selectivity class first.
+	best, bestClass := 0, 1<<30
+	for i, p := range remaining {
+		c := e.accessClass(p, bound)
+		if c < bestClass {
+			best, bestClass = i, c
+		}
+	}
+	p := remaining[best]
+	rest := make([]Pattern, 0, len(remaining)-1)
+	rest = append(rest, remaining[:best]...)
+	rest = append(rest, remaining[best+1:]...)
+
+	cont := true
+	e.enumerate(p, row, bound, func(newBound uint64) bool {
+		cont = e.solve(rest, row, newBound, fn)
+		return cont
+	})
+	return cont
+}
+
+// accessClass estimates an access path's cost class under the current
+// bindings (lower = more selective).
+func (e *Engine) accessClass(p Pattern, bound uint64) int {
+	s := termBound(p.S, bound)
+	pr := termBound(p.P, bound)
+	o := termBound(p.O, bound)
+	switch {
+	case s && pr && o:
+		return 0 // existence check
+	case pr && (s || o):
+		return 1 // run scan
+	case pr:
+		return 2 // single-table scan
+	case s || o:
+		return 3 // all tables, run scans
+	default:
+		return 4 // full store scan
+	}
+}
+
+func termBound(t Term, bound uint64) bool {
+	return !t.IsVar || bound&(1<<uint(t.Var)) != 0
+}
+
+// termValue resolves a term under the bindings; only valid when bound.
+func termValue(t Term, row []uint64) uint64 {
+	if t.IsVar {
+		return row[t.Var]
+	}
+	return t.ID
+}
+
+// enumerate walks every match of one pattern under the current bindings,
+// binding its free variables into row and invoking fn with the updated
+// bound mask. fn returning false stops the walk.
+func (e *Engine) enumerate(p Pattern, row []uint64, bound uint64, fn func(uint64) bool) {
+	sB := termBound(p.S, bound)
+	pB := termBound(p.P, bound)
+	oB := termBound(p.O, bound)
+
+	tryTriple := func(pidx int, s, o uint64) bool {
+		newBound := bound
+		bind := func(t Term, v uint64) bool {
+			if !t.IsVar {
+				return t.ID == v
+			}
+			if newBound&(1<<uint(t.Var)) != 0 {
+				return row[t.Var] == v
+			}
+			row[t.Var] = v
+			newBound |= 1 << uint(t.Var)
+			return true
+		}
+		if !bind(p.S, s) || !bind(p.P, dictionary.PropID(pidx)) || !bind(p.O, o) {
+			return true // mismatch: keep walking
+		}
+		return fn(newBound)
+	}
+
+	scanTable := func(pidx int, t *store.Table) bool {
+		sv, ov := uint64(0), uint64(0)
+		if sB {
+			sv = termValue(p.S, row)
+		}
+		if oB {
+			ov = termValue(p.O, row)
+		}
+		switch {
+		case sB && oB:
+			if t.Contains(sv, ov) {
+				return tryTriple(pidx, sv, ov)
+			}
+			return true
+		case sB:
+			pairs := t.Pairs()
+			lo, hi := t.SubjectRun(sv)
+			for i := lo; i < hi; i++ {
+				if !tryTriple(pidx, sv, pairs[2*i+1]) {
+					return false
+				}
+			}
+			return true
+		case oB:
+			os := t.OS()
+			lo, hi := t.ObjectRun(ov)
+			for i := lo; i < hi; i++ {
+				if !tryTriple(pidx, os[2*i+1], ov) {
+					return false
+				}
+			}
+			return true
+		default:
+			pairs := t.Pairs()
+			for i := 0; i < len(pairs); i += 2 {
+				if !tryTriple(pidx, pairs[i], pairs[i+1]) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	if pB {
+		pid := termValue(p.P, row)
+		if !dictionary.IsProperty(pid) {
+			return
+		}
+		pidx := dictionary.PropIndex(pid)
+		t := e.St.Table(pidx)
+		if t == nil || t.Empty() {
+			return
+		}
+		scanTable(pidx, t)
+		return
+	}
+	e.St.ForEachTable(func(pidx int, t *store.Table) bool {
+		return scanTable(pidx, t)
+	})
+}
+
+// Count returns the number of solutions of the pattern list.
+func (e *Engine) Count(patterns []Pattern, nVars int) (int, error) {
+	n := 0
+	err := e.Solve(patterns, nVars, func([]uint64) bool {
+		n++
+		return true
+	})
+	return n, err
+}

@@ -1,0 +1,278 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"inferray/internal/dictionary"
+	"inferray/internal/store"
+)
+
+// fixture builds a small store:
+//
+//	table 0 (p): (1,2) (1,3) (2,3)
+//	table 1 (q): (2,4) (3,4)
+func fixture() *Engine {
+	st := store.New(2)
+	st.Ensure(0).AppendPairs([]uint64{1, 2, 1, 3, 2, 3})
+	st.Ensure(1).AppendPairs([]uint64{2, 4, 3, 4})
+	st.Normalize()
+	return &Engine{St: st}
+}
+
+func pid(i int) uint64 { return dictionary.PropID(i) }
+
+func collect(t *testing.T, e *Engine, patterns []Pattern, nVars int) [][]uint64 {
+	t.Helper()
+	var rows [][]uint64
+	err := e.Solve(patterns, nVars, func(row []uint64) bool {
+		rows = append(rows, append([]uint64(nil), row...))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+func TestSinglePatternScans(t *testing.T) {
+	e := fixture()
+	cases := []struct {
+		name    string
+		pattern Pattern
+		nVars   int
+		want    [][]uint64
+	}{
+		{"table-scan", Pattern{Var(0), Const(pid(0)), Var(1)}, 2,
+			[][]uint64{{1, 2}, {1, 3}, {2, 3}}},
+		{"subject-run", Pattern{Const(1), Const(pid(0)), Var(0)}, 1,
+			[][]uint64{{2}, {3}}},
+		{"object-run", Pattern{Var(0), Const(pid(0)), Const(3)}, 1,
+			[][]uint64{{1}, {2}}},
+		{"existence", Pattern{Const(2), Const(pid(0)), Const(3)}, 0,
+			[][]uint64{nil}},
+		{"absent", Pattern{Const(9), Const(pid(0)), Var(0)}, 1, nil},
+		// Property IDs descend from 2³², so pid(1) < pid(0) numerically.
+		{"var-predicate", Pattern{Const(2), Var(0), Var(1)}, 2,
+			[][]uint64{{pid(1), 4}, {pid(0), 3}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := collect(t, e, []Pattern{c.pattern}, c.nVars)
+			want := c.want
+			if len(got) == 0 && len(want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("got %v want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestJoinAcrossTables(t *testing.T) {
+	e := fixture()
+	// ?x p ?y . ?y q ?z  → (1,2,4) (1,3,4) (2,3,4)
+	rows := collect(t, e, []Pattern{
+		{Var(0), Const(pid(0)), Var(1)},
+		{Var(1), Const(pid(1)), Var(2)},
+	}, 3)
+	want := [][]uint64{{1, 2, 4}, {1, 3, 4}, {2, 3, 4}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("got %v want %v", rows, want)
+	}
+}
+
+func TestSharedVariableWithinPattern(t *testing.T) {
+	st := store.New(1)
+	st.Ensure(0).AppendPairs([]uint64{1, 1, 1, 2, 3, 3})
+	st.Normalize()
+	e := &Engine{St: st}
+	rows := collect(t, e, []Pattern{{Var(0), Const(pid(0)), Var(0)}}, 1)
+	want := [][]uint64{{1}, {3}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("self-loop query: got %v want %v", rows, want)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	e := fixture()
+	n := 0
+	err := e.Solve([]Pattern{{Var(0), Const(pid(0)), Var(1)}}, 2, func([]uint64) bool {
+		n++
+		return false
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("early stop delivered %d rows (err %v)", n, err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	e := fixture()
+	if err := e.Solve([]Pattern{{Var(5), Const(pid(0)), Var(0)}}, 2, nil); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+	if err := e.Solve(nil, 100, func([]uint64) bool { return true }); err == nil {
+		t.Error("absurd nVars accepted")
+	}
+}
+
+func TestCount(t *testing.T) {
+	e := fixture()
+	n, err := e.Count([]Pattern{{Var(0), Var(1), Var(2)}}, 3)
+	if err != nil || n != 5 {
+		t.Fatalf("count = %d (err %v), want 5", n, err)
+	}
+}
+
+// TestSolveQuick compares the engine against a brute-force evaluator on
+// random stores and random 1–3 pattern queries.
+func TestSolveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProps := 1 + rng.Intn(3)
+		st := store.New(nProps)
+		var all [][3]uint64
+		for i := 0; i < rng.Intn(40); i++ {
+			p := rng.Intn(nProps)
+			s := uint64(1 + rng.Intn(6))
+			o := uint64(1 + rng.Intn(6))
+			st.Add(p, s, o)
+			all = append(all, [3]uint64{s, pid(p), o})
+		}
+		st.Normalize()
+		// Dedup the oracle facts.
+		seen := map[[3]uint64]bool{}
+		var facts [][3]uint64
+		for _, f := range all {
+			if !seen[f] {
+				seen[f] = true
+				facts = append(facts, f)
+			}
+		}
+		e := &Engine{St: st}
+
+		nVars := 1 + rng.Intn(4)
+		nPats := 1 + rng.Intn(3)
+		patterns := make([]Pattern, nPats)
+		term := func() Term {
+			if rng.Intn(2) == 0 {
+				return Var(rng.Intn(nVars))
+			}
+			return Const(uint64(1 + rng.Intn(6)))
+		}
+		pterm := func() Term {
+			if rng.Intn(3) == 0 {
+				return Var(rng.Intn(nVars))
+			}
+			return Const(pid(rng.Intn(nProps)))
+		}
+		for i := range patterns {
+			patterns[i] = Pattern{S: term(), P: pterm(), O: term()}
+		}
+
+		got := map[string]bool{}
+		if err := e.Solve(patterns, nVars, func(row []uint64) bool {
+			got[rowKey(row)] = true
+			return true
+		}); err != nil {
+			return false
+		}
+		want := bruteForce(facts, patterns, nVars)
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func rowKey(row []uint64) string {
+	b := make([]byte, 0, len(row)*8)
+	for _, v := range row {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(v>>s))
+		}
+	}
+	return string(b)
+}
+
+// bruteForce enumerates all variable assignments by trying every fact
+// for every pattern.
+func bruteForce(facts [][3]uint64, patterns []Pattern, nVars int) map[string]bool {
+	out := map[string]bool{}
+	row := make([]uint64, nVars)
+	var rec func(pi int, bound uint64)
+	rec = func(pi int, bound uint64) {
+		if pi == len(patterns) {
+			// Unbound variables default to 0 in both evaluators only if
+			// they never occur; the engine leaves them 0 too.
+			out[rowKey(row)] = true
+			return
+		}
+		p := patterns[pi]
+		for _, f := range facts {
+			nb := bound
+			save := [3]uint64{}
+			ok := true
+			match := func(t Term, v uint64, idx int) {
+				if !ok {
+					return
+				}
+				if !t.IsVar {
+					if t.ID != v {
+						ok = false
+					}
+					return
+				}
+				if nb&(1<<uint(t.Var)) != 0 {
+					if row[t.Var] != v {
+						ok = false
+					}
+					return
+				}
+				save[idx] = row[t.Var]
+				row[t.Var] = v
+				nb |= 1 << uint(t.Var)
+			}
+			prevNb := nb
+			match(p.S, f[0], 0)
+			match(p.P, f[1], 1)
+			match(p.O, f[2], 2)
+			if ok {
+				rec(pi+1, nb)
+			}
+			// Restore bindings made by this fact.
+			diff := nb &^ prevNb
+			terms := []Term{p.S, p.P, p.O}
+			vals := save
+			for i, tm := range terms {
+				if tm.IsVar && diff&(1<<uint(tm.Var)) != 0 {
+					row[tm.Var] = vals[i]
+					diff &^= 1 << uint(tm.Var)
+				}
+			}
+			nb = prevNb
+		}
+	}
+	rec(0, 0)
+	return out
+}

@@ -1,0 +1,219 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseError describes a syntax error in an N-Triples document.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d: %s", e.Line, e.Msg)
+}
+
+// ReadNTriples parses an N-Triples document, invoking fn for every triple.
+// Comments (# …) and blank lines are skipped. It supports IRIs, blank
+// nodes, and literals with escapes, language tags, and datatype IRIs.
+// Terms are passed in surface form, exactly as the rest of the system
+// stores them.
+func ReadNTriples(r io.Reader, fn func(Triple) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		t, err := ParseTripleLine(line)
+		if err != nil {
+			return &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ParseTripleLine parses one N-Triples statement (with or without the
+// trailing dot).
+func ParseTripleLine(line string) (Triple, error) {
+	var t Triple
+	rest := strings.TrimSpace(line)
+
+	var err error
+	t.S, rest, err = scanTerm(rest)
+	if err != nil {
+		return t, fmt.Errorf("subject: %w", err)
+	}
+	t.P, rest, err = scanTerm(rest)
+	if err != nil {
+		return t, fmt.Errorf("predicate: %w", err)
+	}
+	t.O, rest, err = scanTerm(rest)
+	if err != nil {
+		return t, fmt.Errorf("object: %w", err)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "" && rest != "." {
+		return t, fmt.Errorf("trailing garbage %q", rest)
+	}
+	if !IsIRI(t.P) {
+		return t, fmt.Errorf("predicate %q is not an IRI", t.P)
+	}
+	if IsLiteral(t.S) {
+		return t, fmt.Errorf("subject %q may not be a literal", t.S)
+	}
+	return t, nil
+}
+
+// scanTerm consumes one RDF term from the head of s and returns the term
+// in surface form along with the unconsumed remainder.
+func scanTerm(s string) (term, rest string, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", "", fmt.Errorf("unexpected end of statement")
+	}
+	switch s[0] {
+	case '<':
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated IRI")
+		}
+		return s[:end+1], s[end+1:], nil
+	case '_':
+		if len(s) < 3 || s[1] != ':' {
+			return "", "", fmt.Errorf("malformed blank node")
+		}
+		end := 2
+		for end < len(s) && !isTermBreak(s[end]) {
+			end++
+		}
+		return s[:end], s[end:], nil
+	case '"':
+		// Find the closing quote, honouring backslash escapes.
+		i := 1
+		for {
+			if i >= len(s) {
+				return "", "", fmt.Errorf("unterminated literal")
+			}
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		end := i + 1
+		// Optional language tag or datatype.
+		if end < len(s) && s[end] == '@' {
+			for end < len(s) && !isTermBreak(s[end]) {
+				end++
+			}
+		} else if end+1 < len(s) && s[end] == '^' && s[end+1] == '^' {
+			end += 2
+			if end >= len(s) || s[end] != '<' {
+				return "", "", fmt.Errorf("malformed datatype IRI")
+			}
+			close := strings.IndexByte(s[end:], '>')
+			if close < 0 {
+				return "", "", fmt.Errorf("unterminated datatype IRI")
+			}
+			end += close + 1
+		}
+		return s[:end], s[end:], nil
+	default:
+		return "", "", fmt.Errorf("unexpected character %q", s[0])
+	}
+}
+
+func isTermBreak(b byte) bool {
+	return b == ' ' || b == '\t'
+}
+
+// WriteNTriples serializes triples to w in N-Triples syntax, one
+// statement per line. Terms are written verbatim (they are already in
+// surface form).
+func WriteNTriples(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := fmt.Fprintf(bw, "%s %s %s .\n", t.S, t.P, t.O); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// UnescapeLiteral decodes the lexical form of a literal surface form,
+// resolving the N-Triples escape sequences. It returns the raw string
+// between the quotes; language tags and datatypes are dropped.
+func UnescapeLiteral(term string) (string, bool) {
+	if !IsLiteral(term) {
+		return "", false
+	}
+	i := 1
+	var b strings.Builder
+	for i < len(term) {
+		c := term[i]
+		if c == '"' {
+			return b.String(), true
+		}
+		if c == '\\' && i+1 < len(term) {
+			i++
+			switch term[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			default:
+				b.WriteByte(term[i])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return "", false
+}
+
+// EscapeLiteral builds the surface form of a plain literal from a raw
+// string value.
+func EscapeLiteral(value string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(value); i++ {
+		switch c := value[i]; c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,99 @@
+// Package rdf provides the minimal RDF substrate Inferray is built on:
+// triple and term representations, the RDF/RDFS/OWL vocabulary used by the
+// supported rule fragments, and N-Triples parsing and serialization.
+//
+// Terms are kept in their N-Triples surface form throughout the system
+// ("<http://…>", "\"literal\"", "_:b0"); the dictionary maps surface forms
+// to 64-bit integers and back, so no structured term model is needed.
+package rdf
+
+// Triple is a single RDF statement in surface (N-Triples) form.
+type Triple struct {
+	S, P, O string
+}
+
+// Vocabulary IRIs for the fragments supported by Inferray (Table 5 of the
+// paper). They are written in N-Triples surface form, angle brackets
+// included, because the dictionary stores surface forms verbatim.
+const (
+	RDFType     = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+	RDFProperty = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#Property>"
+
+	RDFSSubClassOf                  = "<http://www.w3.org/2000/01/rdf-schema#subClassOf>"
+	RDFSSubPropertyOf               = "<http://www.w3.org/2000/01/rdf-schema#subPropertyOf>"
+	RDFSDomain                      = "<http://www.w3.org/2000/01/rdf-schema#domain>"
+	RDFSRange                       = "<http://www.w3.org/2000/01/rdf-schema#range>"
+	RDFSResource                    = "<http://www.w3.org/2000/01/rdf-schema#Resource>"
+	RDFSClass                       = "<http://www.w3.org/2000/01/rdf-schema#Class>"
+	RDFSLiteral                     = "<http://www.w3.org/2000/01/rdf-schema#Literal>"
+	RDFSDatatype                    = "<http://www.w3.org/2000/01/rdf-schema#Datatype>"
+	RDFSMember                      = "<http://www.w3.org/2000/01/rdf-schema#member>"
+	RDFSContainerMembershipProperty = "<http://www.w3.org/2000/01/rdf-schema#ContainerMembershipProperty>"
+
+	OWLSameAs                    = "<http://www.w3.org/2002/07/owl#sameAs>"
+	OWLEquivalentClass           = "<http://www.w3.org/2002/07/owl#equivalentClass>"
+	OWLEquivalentProperty        = "<http://www.w3.org/2002/07/owl#equivalentProperty>"
+	OWLInverseOf                 = "<http://www.w3.org/2002/07/owl#inverseOf>"
+	OWLFunctionalProperty        = "<http://www.w3.org/2002/07/owl#FunctionalProperty>"
+	OWLInverseFunctionalProperty = "<http://www.w3.org/2002/07/owl#InverseFunctionalProperty>"
+	OWLSymmetricProperty         = "<http://www.w3.org/2002/07/owl#SymmetricProperty>"
+	OWLTransitiveProperty        = "<http://www.w3.org/2002/07/owl#TransitiveProperty>"
+	OWLClass                     = "<http://www.w3.org/2002/07/owl#Class>"
+	OWLDatatypeProperty          = "<http://www.w3.org/2002/07/owl#DatatypeProperty>"
+	OWLObjectProperty            = "<http://www.w3.org/2002/07/owl#ObjectProperty>"
+	OWLThing                     = "<http://www.w3.org/2002/07/owl#Thing>"
+	OWLNothing                   = "<http://www.w3.org/2002/07/owl#Nothing>"
+)
+
+// VocabularyProperties lists every IRI the rule engine may use in predicate
+// position. Registering them with the dictionary first (in this order)
+// pins them to known dense property indexes, so rule implementations can
+// address their property tables in O(1).
+var VocabularyProperties = []string{
+	RDFType,
+	RDFSSubClassOf,
+	RDFSSubPropertyOf,
+	RDFSDomain,
+	RDFSRange,
+	OWLSameAs,
+	OWLEquivalentClass,
+	OWLEquivalentProperty,
+	OWLInverseOf,
+	RDFSMember,
+}
+
+// VocabularyResources lists every IRI the rule engine may need in subject
+// or object position (class and property-class constants). Registering
+// them first gives them stable resource IDs.
+var VocabularyResources = []string{
+	RDFProperty,
+	RDFSResource,
+	RDFSClass,
+	RDFSLiteral,
+	RDFSDatatype,
+	RDFSContainerMembershipProperty,
+	OWLFunctionalProperty,
+	OWLInverseFunctionalProperty,
+	OWLSymmetricProperty,
+	OWLTransitiveProperty,
+	OWLClass,
+	OWLDatatypeProperty,
+	OWLObjectProperty,
+	OWLThing,
+	OWLNothing,
+}
+
+// IsIRI reports whether the surface form is an IRI reference.
+func IsIRI(term string) bool {
+	return len(term) >= 2 && term[0] == '<' && term[len(term)-1] == '>'
+}
+
+// IsLiteral reports whether the surface form is a literal.
+func IsLiteral(term string) bool {
+	return len(term) >= 2 && term[0] == '"'
+}
+
+// IsBlank reports whether the surface form is a blank node label.
+func IsBlank(term string) bool {
+	return len(term) >= 2 && term[0] == '_' && term[1] == ':'
+}

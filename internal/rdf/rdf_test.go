@@ -1,0 +1,153 @@
+package rdf
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTripleLineBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Triple
+	}{
+		{"<a> <b> <c> .", Triple{"<a>", "<b>", "<c>"}},
+		{"<a> <b> <c>", Triple{"<a>", "<b>", "<c>"}},
+		{"_:b0 <p> _:b1 .", Triple{"_:b0", "<p>", "_:b1"}},
+		{`<a> <p> "hello world" .`, Triple{"<a>", "<p>", `"hello world"`}},
+		{`<a> <p> "esc \" quote" .`, Triple{"<a>", "<p>", `"esc \" quote"`}},
+		{`<a> <p> "v"@en .`, Triple{"<a>", "<p>", `"v"@en`}},
+		{`<a> <p> "5"^^<http://www.w3.org/2001/XMLSchema#int> .`,
+			Triple{"<a>", "<p>", `"5"^^<http://www.w3.org/2001/XMLSchema#int>`}},
+		{"  <a>\t<b>\t<c>  .  ", Triple{"<a>", "<b>", "<c>"}},
+	}
+	for _, c := range cases {
+		got, err := ParseTripleLine(c.in)
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q: got %v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTripleLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<a> <b>",
+		"<a> <b> <c> <d> .",
+		"<a <b> <c> .",
+		`"lit" <p> <o> .`, // literal subject
+		"<a> _:b <c> .",   // non-IRI predicate
+		`<a> <p> "unterminated .`,
+		"<a> <p> .",
+	}
+	for _, in := range bad {
+		if _, err := ParseTripleLine(in); err == nil {
+			t.Errorf("%q: expected error", in)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	triples := []Triple{
+		{"<http://a>", RDFType, "<http://B>"},
+		{"_:x", "<http://p>", `"a literal with \n newline"`},
+		{"<http://a>", "<http://p>", `"v"@fr`},
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, triples); err != nil {
+		t.Fatal(err)
+	}
+	var back []Triple
+	err := ReadNTriples(&buf, func(tr Triple) error {
+		back = append(back, tr)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, triples) {
+		t.Fatalf("round trip: got %v want %v", back, triples)
+	}
+}
+
+func TestReadNTriplesSkipsCommentsAndBlanks(t *testing.T) {
+	doc := "# comment\n\n<a> <b> <c> .\n   \n# another\n<d> <e> <f> .\n"
+	var n int
+	err := ReadNTriples(strings.NewReader(doc), func(Triple) error {
+		n++
+		return nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestReadNTriplesReportsLine(t *testing.T) {
+	doc := "<a> <b> <c> .\nbroken line\n"
+	err := ReadNTriples(strings.NewReader(doc), func(Triple) error { return nil })
+	pe, ok := err.(*ParseError)
+	if !ok || pe.Line != 2 {
+		t.Fatalf("want ParseError at line 2, got %v", err)
+	}
+}
+
+func TestTermPredicates(t *testing.T) {
+	if !IsIRI("<a>") || IsIRI("a") || IsIRI(`"a"`) {
+		t.Error("IsIRI wrong")
+	}
+	if !IsLiteral(`"x"`) || IsLiteral("<x>") {
+		t.Error("IsLiteral wrong")
+	}
+	if !IsBlank("_:b") || IsBlank("<b>") {
+		t.Error("IsBlank wrong")
+	}
+}
+
+func TestEscapeUnescapeLiteralQuick(t *testing.T) {
+	f := func(raw string) bool {
+		// Restrict to byte content the simple escaper handles (no
+		// embedded NUL is fine, any byte works since escaping is per
+		// byte).
+		esc := EscapeLiteral(raw)
+		back, ok := UnescapeLiteral(esc)
+		return ok && back == raw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscapedLiteralParses(t *testing.T) {
+	lit := EscapeLiteral("line1\nline2\t\"quoted\" \\slash")
+	line := "<s> <p> " + lit + " ."
+	tr, err := ParseTripleLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, ok := UnescapeLiteral(tr.O)
+	if !ok || back != "line1\nline2\t\"quoted\" \\slash" {
+		t.Fatalf("literal mangled: %q", back)
+	}
+}
+
+func TestVocabularyListsAreIRIs(t *testing.T) {
+	for _, term := range append(append([]string{}, VocabularyProperties...), VocabularyResources...) {
+		if !IsIRI(term) {
+			t.Errorf("vocabulary term %q is not an IRI", term)
+		}
+	}
+	// No duplicates across the two lists.
+	seen := map[string]bool{}
+	for _, term := range append(append([]string{}, VocabularyProperties...), VocabularyResources...) {
+		if seen[term] {
+			t.Errorf("vocabulary term %q duplicated", term)
+		}
+		seen[term] = true
+	}
+}

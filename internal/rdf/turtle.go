@@ -1,0 +1,436 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// ReadTurtle parses a practical subset of Turtle and invokes fn for
+// every triple. Supported: @prefix / @base directives (and the
+// case-insensitive SPARQL forms PREFIX / BASE), prefixed names, the 'a'
+// keyword, predicate lists (';'), object lists (','), IRIs, literals
+// with language tags and datatypes, blank node labels, and comments.
+// Not supported (rejected with an error): collections '( )', anonymous
+// blank nodes '[ ]', and multi-line (triple-quoted) literals — none of
+// the benchmark datasets need them.
+//
+// Terms are delivered in N-Triples surface form, matching the rest of
+// the system.
+func ReadTurtle(r io.Reader, fn func(Triple) error) error {
+	p := &turtleParser{
+		sc:       bufio.NewReaderSize(r, 64*1024),
+		prefixes: map[string]string{},
+		line:     1,
+	}
+	return p.run(fn)
+}
+
+type turtleParser struct {
+	sc       *bufio.Reader
+	prefixes map[string]string
+	base     string
+	line     int
+}
+
+func (p *turtleParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("turtle: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+// skipWS consumes whitespace and comments; it reports whether input
+// remains.
+func (p *turtleParser) skipWS() bool {
+	for {
+		b, err := p.sc.ReadByte()
+		if err != nil {
+			return false
+		}
+		switch b {
+		case '\n':
+			p.line++
+		case ' ', '\t', '\r':
+		case '#':
+			for {
+				c, err := p.sc.ReadByte()
+				if err != nil {
+					return false
+				}
+				if c == '\n' {
+					p.line++
+					break
+				}
+			}
+		default:
+			p.sc.UnreadByte()
+			return true
+		}
+	}
+}
+
+func (p *turtleParser) peek() byte {
+	b, err := p.sc.ReadByte()
+	if err != nil {
+		return 0
+	}
+	p.sc.UnreadByte()
+	return b
+}
+
+func (p *turtleParser) run(fn func(Triple) error) error {
+	for p.skipWS() {
+		// Directive or statement?
+		if p.peek() == '@' {
+			if err := p.directive(); err != nil {
+				return err
+			}
+			continue
+		}
+		if word, ok := p.peekWord(); ok {
+			lower := strings.ToLower(word)
+			if lower == "prefix" || lower == "base" {
+				p.consume(len(word))
+				if err := p.sparqlDirective(lower); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		if err := p.statement(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// peekWord looks ahead at a bare alphabetic word without consuming it.
+func (p *turtleParser) peekWord() (string, bool) {
+	buf, _ := p.sc.Peek(8)
+	end := 0
+	for end < len(buf) && unicode.IsLetter(rune(buf[end])) {
+		end++
+	}
+	if end == 0 || end == len(buf) {
+		return "", false
+	}
+	// A word is only a directive keyword if not part of a prefixed name.
+	if buf[end] == ':' {
+		return "", false
+	}
+	return string(buf[:end]), true
+}
+
+func (p *turtleParser) consume(n int) {
+	for i := 0; i < n; i++ {
+		p.sc.ReadByte()
+	}
+}
+
+func (p *turtleParser) directive() error {
+	p.sc.ReadByte() // '@'
+	word, err := p.readBareword()
+	if err != nil {
+		return err
+	}
+	switch word {
+	case "prefix":
+		return p.sparqlDirective("prefix")
+	case "base":
+		return p.sparqlDirective("base")
+	}
+	return p.errf("unknown directive @%s", word)
+}
+
+func (p *turtleParser) sparqlDirective(kind string) error {
+	if !p.skipWS() {
+		return p.errf("unexpected EOF in %s directive", kind)
+	}
+	if kind == "base" {
+		iri, err := p.readIRIRef()
+		if err != nil {
+			return err
+		}
+		p.base = iri
+		p.optionalDot()
+		return nil
+	}
+	label, err := p.readPrefixLabel()
+	if err != nil {
+		return err
+	}
+	if !p.skipWS() {
+		return p.errf("unexpected EOF after prefix label")
+	}
+	iri, err := p.readIRIRef()
+	if err != nil {
+		return err
+	}
+	p.prefixes[label] = iri
+	p.optionalDot()
+	return nil
+}
+
+func (p *turtleParser) optionalDot() {
+	if p.skipWS() && p.peek() == '.' {
+		p.sc.ReadByte()
+	}
+}
+
+func (p *turtleParser) readBareword() (string, error) {
+	var b strings.Builder
+	for {
+		c, err := p.sc.ReadByte()
+		if err != nil {
+			break
+		}
+		if !unicode.IsLetter(rune(c)) {
+			p.sc.UnreadByte()
+			break
+		}
+		b.WriteByte(c)
+	}
+	if b.Len() == 0 {
+		return "", p.errf("expected a keyword")
+	}
+	return b.String(), nil
+}
+
+// readPrefixLabel reads "label:" (label may be empty).
+func (p *turtleParser) readPrefixLabel() (string, error) {
+	var b strings.Builder
+	for {
+		c, err := p.sc.ReadByte()
+		if err != nil {
+			return "", p.errf("unexpected EOF in prefix label")
+		}
+		if c == ':' {
+			return b.String(), nil
+		}
+		if c == ' ' || c == '\t' {
+			continue
+		}
+		b.WriteByte(c)
+	}
+}
+
+// readIRIRef reads "<...>" and resolves it against @base, returning the
+// raw IRI (without brackets).
+func (p *turtleParser) readIRIRef() (string, error) {
+	c, err := p.sc.ReadByte()
+	if err != nil || c != '<' {
+		return "", p.errf("expected '<'")
+	}
+	var b strings.Builder
+	for {
+		c, err := p.sc.ReadByte()
+		if err != nil {
+			return "", p.errf("unterminated IRI")
+		}
+		if c == '>' {
+			break
+		}
+		b.WriteByte(c)
+	}
+	iri := b.String()
+	if p.base != "" && !strings.Contains(iri, "://") && !strings.HasPrefix(iri, "urn:") {
+		iri = p.base + iri
+	}
+	return iri, nil
+}
+
+// statement parses: subject predicateObjectList '.'
+func (p *turtleParser) statement(fn func(Triple) error) error {
+	subj, err := p.term(false)
+	if err != nil {
+		return err
+	}
+	for {
+		if !p.skipWS() {
+			return p.errf("unexpected EOF in predicate list")
+		}
+		pred, err := p.predicate()
+		if err != nil {
+			return err
+		}
+		for {
+			if !p.skipWS() {
+				return p.errf("unexpected EOF in object list")
+			}
+			obj, err := p.term(true)
+			if err != nil {
+				return err
+			}
+			if err := fn(Triple{S: subj, P: pred, O: obj}); err != nil {
+				return err
+			}
+			if !p.skipWS() {
+				return p.errf("unexpected EOF after object")
+			}
+			if p.peek() == ',' {
+				p.sc.ReadByte()
+				continue
+			}
+			break
+		}
+		switch p.peek() {
+		case ';':
+			p.sc.ReadByte()
+			// A dangling ';' before '.' is legal Turtle.
+			if p.skipWS() && p.peek() == '.' {
+				p.sc.ReadByte()
+				return nil
+			}
+			continue
+		case '.':
+			p.sc.ReadByte()
+			return nil
+		default:
+			return p.errf("expected ';', ',' or '.' after object, got %q", p.peek())
+		}
+	}
+}
+
+func (p *turtleParser) predicate() (string, error) {
+	if word, ok := p.peekWord(); ok && word == "a" {
+		p.consume(1)
+		return RDFType, nil
+	}
+	return p.term(false)
+}
+
+// term reads one RDF term and returns its N-Triples surface form.
+// Literals are only allowed when allowLiteral is set (object position).
+func (p *turtleParser) term(allowLiteral bool) (string, error) {
+	if !p.skipWS() {
+		return "", p.errf("unexpected EOF, expected a term")
+	}
+	switch c := p.peek(); c {
+	case '<':
+		iri, err := p.readIRIRef()
+		if err != nil {
+			return "", err
+		}
+		return "<" + iri + ">", nil
+	case '_':
+		var b strings.Builder
+		for {
+			c, err := p.sc.ReadByte()
+			if err != nil {
+				break
+			}
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';' || c == ',' || c == '.' {
+				p.sc.UnreadByte()
+				break
+			}
+			b.WriteByte(c)
+		}
+		return b.String(), nil
+	case '"':
+		if !allowLiteral {
+			return "", p.errf("literal not allowed here")
+		}
+		return p.readLiteral()
+	case '(', '[':
+		return "", p.errf("collections and anonymous blank nodes are not supported")
+	default:
+		return p.readPrefixedName()
+	}
+}
+
+func (p *turtleParser) readLiteral() (string, error) {
+	var b strings.Builder
+	open, _ := p.sc.ReadByte() // '"'
+	b.WriteByte(open)
+	if buf, _ := p.sc.Peek(2); len(buf) == 2 && buf[0] == '"' && buf[1] == '"' {
+		return "", p.errf("triple-quoted literals are not supported")
+	}
+	for {
+		c, err := p.sc.ReadByte()
+		if err != nil {
+			return "", p.errf("unterminated literal")
+		}
+		b.WriteByte(c)
+		if c == '\\' {
+			e, err := p.sc.ReadByte()
+			if err != nil {
+				return "", p.errf("unterminated escape")
+			}
+			b.WriteByte(e)
+			continue
+		}
+		if c == '"' {
+			break
+		}
+		if c == '\n' {
+			return "", p.errf("newline in single-quoted literal")
+		}
+	}
+	// Optional language tag or datatype.
+	switch p.peek() {
+	case '@':
+		for {
+			c, err := p.sc.ReadByte()
+			if err != nil {
+				break
+			}
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';' || c == ',' || c == '.' {
+				p.sc.UnreadByte()
+				break
+			}
+			b.WriteByte(c)
+		}
+	case '^':
+		p.sc.ReadByte()
+		if c, _ := p.sc.ReadByte(); c != '^' {
+			return "", p.errf("malformed datatype marker")
+		}
+		b.WriteString("^^")
+		dt, err := p.term(false)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(dt)
+	}
+	return b.String(), nil
+}
+
+// readPrefixedName reads "pre:local" and expands it.
+func (p *turtleParser) readPrefixedName() (string, error) {
+	var pre, local strings.Builder
+	cur := &pre
+	sawColon := false
+	for {
+		c, err := p.sc.ReadByte()
+		if err != nil {
+			break
+		}
+		if c == ':' && !sawColon {
+			sawColon = true
+			cur = &local
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';' || c == ',' {
+			p.sc.UnreadByte()
+			break
+		}
+		if c == '.' {
+			// A dot ends the name unless followed by a name character
+			// (dots are legal inside local names).
+			nxt := p.peek()
+			if nxt == 0 || nxt == ' ' || nxt == '\t' || nxt == '\n' || nxt == '\r' {
+				p.sc.UnreadByte()
+				break
+			}
+		}
+		cur.WriteByte(c)
+	}
+	if !sawColon {
+		return "", p.errf("expected a prefixed name, got %q", pre.String())
+	}
+	ns, ok := p.prefixes[pre.String()]
+	if !ok {
+		return "", p.errf("undefined prefix %q", pre.String())
+	}
+	return "<" + ns + local.String() + ">", nil
+}

@@ -1,0 +1,174 @@
+package rdf
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func parseTurtle(t *testing.T, doc string) []Triple {
+	t.Helper()
+	var out []Triple
+	if err := ReadTurtle(strings.NewReader(doc), func(tr Triple) error {
+		out = append(out, tr)
+		return nil
+	}); err != nil {
+		t.Fatalf("parse: %v\ndoc:\n%s", err, doc)
+	}
+	return out
+}
+
+func TestTurtleBasics(t *testing.T) {
+	doc := `
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+ex:human rdfs:subClassOf ex:mammal .
+ex:Bart a ex:human .
+`
+	got := parseTurtle(t, doc)
+	want := []Triple{
+		{"<http://example.org/human>", RDFSSubClassOf, "<http://example.org/mammal>"},
+		{"<http://example.org/Bart>", RDFType, "<http://example.org/human>"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTurtlePredicateAndObjectLists(t *testing.T) {
+	doc := `
+@prefix ex: <http://e/> .
+ex:a ex:p ex:b , ex:c ;
+     ex:q ex:d ;
+     a ex:T .
+`
+	got := parseTurtle(t, doc)
+	want := []Triple{
+		{"<http://e/a>", "<http://e/p>", "<http://e/b>"},
+		{"<http://e/a>", "<http://e/p>", "<http://e/c>"},
+		{"<http://e/a>", "<http://e/q>", "<http://e/d>"},
+		{"<http://e/a>", RDFType, "<http://e/T>"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTurtleLiterals(t *testing.T) {
+	doc := `
+@prefix ex: <http://e/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:a ex:name "Alice" ;
+     ex:note "esc \" quote" ;
+     ex:lang "bonjour"@fr ;
+     ex:age "42"^^xsd:int .
+`
+	got := parseTurtle(t, doc)
+	if len(got) != 4 {
+		t.Fatalf("parsed %d triples", len(got))
+	}
+	if got[0].O != `"Alice"` {
+		t.Errorf("plain literal: %q", got[0].O)
+	}
+	if got[1].O != `"esc \" quote"` {
+		t.Errorf("escaped literal: %q", got[1].O)
+	}
+	if got[2].O != `"bonjour"@fr` {
+		t.Errorf("lang literal: %q", got[2].O)
+	}
+	if got[3].O != `"42"^^<http://www.w3.org/2001/XMLSchema#int>` {
+		t.Errorf("typed literal: %q", got[3].O)
+	}
+}
+
+func TestTurtleBase(t *testing.T) {
+	doc := `
+@base <http://example.org/> .
+<a> <p> <b> .
+`
+	got := parseTurtle(t, doc)
+	want := Triple{"<http://example.org/a>", "<http://example.org/p>", "<http://example.org/b>"}
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTurtleSPARQLDirectives(t *testing.T) {
+	doc := `
+PREFIX ex: <http://e/>
+ex:a ex:p ex:b .
+`
+	got := parseTurtle(t, doc)
+	if len(got) != 1 || got[0].S != "<http://e/a>" {
+		t.Fatalf("SPARQL PREFIX form failed: %v", got)
+	}
+}
+
+func TestTurtleBlankNodesAndComments(t *testing.T) {
+	doc := `
+@prefix ex: <http://e/> . # trailing comment
+# full-line comment
+_:b0 ex:p _:b1 .
+`
+	got := parseTurtle(t, doc)
+	if len(got) != 1 || got[0].S != "_:b0" || got[0].O != "_:b1" {
+		t.Fatalf("blank nodes: %v", got)
+	}
+}
+
+func TestTurtleNTriplesCompatibility(t *testing.T) {
+	// Every N-Triples document is valid Turtle; the two parsers must
+	// agree.
+	doc := `<a> <p> "lit"@en .
+_:x <q> <b> .
+`
+	viaTurtle := parseTurtle(t, doc)
+	var viaNT []Triple
+	if err := ReadNTriples(strings.NewReader(doc), func(tr Triple) error {
+		viaNT = append(viaNT, tr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaTurtle, viaNT) {
+		t.Fatalf("turtle %v != ntriples %v", viaTurtle, viaNT)
+	}
+}
+
+func TestTurtleErrors(t *testing.T) {
+	bad := map[string]string{
+		"undefined prefix": `ex:a ex:p ex:b .`,
+		"collection":       `@prefix ex: <http://e/> . ex:a ex:p ( ex:b ) .`,
+		"anon-bnode":       `@prefix ex: <http://e/> . ex:a ex:p [ ex:q ex:b ] .`,
+		"triple-quote":     `@prefix ex: <http://e/> . ex:a ex:p """long""" .`,
+		"unterminated-iri": `<http://e/a <p> <b> .`,
+		"bad-directive":    `@nonsense foo .`,
+		"literal-subject":  `"lit" <http://e/p> <http://e/b> .`,
+	}
+	for name, doc := range bad {
+		err := ReadTurtle(strings.NewReader(doc), func(Triple) error { return nil })
+		if err == nil {
+			t.Errorf("%s: accepted invalid document", name)
+		}
+	}
+}
+
+func TestTurtleLineNumbersInErrors(t *testing.T) {
+	doc := "@prefix ex: <http://e/> .\n\nex:a ex:p ( ) .\n"
+	err := ReadTurtle(strings.NewReader(doc), func(Triple) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error lacks line number: %v", err)
+	}
+}
+
+func TestTurtleDotInLocalName(t *testing.T) {
+	doc := `
+@prefix ex: <http://e/> .
+ex:a.b ex:p ex:c .
+`
+	got := parseTurtle(t, doc)
+	if len(got) != 1 || got[0].S != "<http://e/a.b>" {
+		t.Fatalf("dotted local name: %v", got)
+	}
+}

@@ -1,0 +1,321 @@
+// Package reasoner drives Inferray's main loop (Algorithm 1 of the
+// paper): a dedicated transitive-closure stage over the schema followed
+// by semi-naive fixed-point application of the fragment's rules, with
+// per-rule output stores and a parallel per-property merge (Figure 5)
+// between iterations.
+package reasoner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"inferray/internal/closure"
+	"inferray/internal/dictionary"
+	"inferray/internal/rdf"
+	"inferray/internal/rules"
+	"inferray/internal/store"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Fragment selects the ruleset (default RDFSDefault).
+	Fragment rules.Fragment
+	// Parallel enables one goroutine per rule and parallel merging.
+	Parallel bool
+	// MaxIterations aborts runaway fixpoints; 0 means unlimited (the
+	// fixpoint terminates on its own: the term universe is finite).
+	MaxIterations int
+	// LowMemory drops the ⟨o,s⟩-sorted caches after every iteration,
+	// trading join speed for footprint (the paper's clearable cache,
+	// §4.2). Results are identical; only performance changes.
+	LowMemory bool
+}
+
+// Stats reports what a materialization did.
+type Stats struct {
+	InputTriples    int
+	InferredTriples int
+	TotalTriples    int
+	Iterations      int
+	ClosureTime     time.Duration
+	LoopTime        time.Duration
+	TotalTime       time.Duration
+}
+
+// Engine is a one-shot forward-chaining reasoner: load triples, call
+// Materialize, read the closure back out.
+type Engine struct {
+	Dict *dictionary.Dictionary
+	V    *rules.Vocab
+	Main *store.Store
+
+	opts  Options
+	rules []rules.Rule
+	input int
+}
+
+// New creates an engine for the given options, with the vocabulary
+// pre-registered at the head of the dense numbering.
+func New(opts Options) *Engine {
+	d := dictionary.NewWithVocabulary(rdf.VocabularyProperties, rdf.VocabularyResources)
+	e := &Engine{
+		Dict:  d,
+		V:     rules.ResolveVocab(d),
+		opts:  opts,
+		rules: rules.Rules(opts.Fragment),
+	}
+	e.Main = store.New(d.NumProperties())
+	return e
+}
+
+// LoadTriples encodes and stores a batch of triples. Encoding is
+// two-pass so that every term ever used as a property — including terms
+// first seen as subjects/objects of schema triples such as
+// rdfs:subPropertyOf — receives a dense property-side ID (§5.1).
+func (e *Engine) LoadTriples(triples []rdf.Triple) {
+	d := e.Dict
+	var sameAs [][2]string
+	for _, t := range triples {
+		d.EncodeProperty(t.P)
+		switch t.P {
+		case rdf.RDFSSubPropertyOf, rdf.OWLEquivalentProperty, rdf.OWLInverseOf:
+			d.EncodeProperty(t.S)
+			d.EncodeProperty(t.O)
+		case rdf.RDFSDomain, rdf.RDFSRange:
+			d.EncodeProperty(t.S)
+		case rdf.OWLSameAs:
+			sameAs = append(sameAs, [2]string{t.S, t.O})
+		case rdf.RDFType:
+			switch t.O {
+			case rdf.RDFProperty, rdf.RDFSContainerMembershipProperty,
+				rdf.OWLFunctionalProperty, rdf.OWLInverseFunctionalProperty,
+				rdf.OWLSymmetricProperty, rdf.OWLTransitiveProperty,
+				rdf.OWLDatatypeProperty, rdf.OWLObjectProperty:
+				d.EncodeProperty(t.S)
+			}
+		}
+	}
+	// owl:sameAs links between a property and a not-yet-property term
+	// must put both terms on the property side, or EQ-REP-P could not
+	// replicate the table (a term without a property ID has no table).
+	// Sameness is transitive, so iterate to a fixpoint.
+	for changed := true; changed && len(sameAs) > 0; {
+		changed = false
+		for _, pair := range sameAs {
+			a, aOK := d.Lookup(pair[0])
+			b, bOK := d.Lookup(pair[1])
+			aProp := aOK && dictionary.IsProperty(a)
+			bProp := bOK && dictionary.IsProperty(b)
+			if aProp && !bProp {
+				if _, exists := d.Lookup(pair[1]); !exists {
+					d.EncodeProperty(pair[1])
+					changed = true
+				}
+			} else if bProp && !aProp {
+				if _, exists := d.Lookup(pair[0]); !exists {
+					d.EncodeProperty(pair[0])
+					changed = true
+				}
+			}
+		}
+	}
+	e.Main.Grow(d.NumProperties())
+	for _, t := range triples {
+		p, _ := d.Lookup(t.P)
+		s := d.EncodeResource(t.S)
+		o := d.EncodeResource(t.O)
+		e.Main.Add(dictionary.PropIndex(p), s, o)
+	}
+	e.Main.Grow(d.NumProperties())
+	e.input += len(triples)
+}
+
+// Materialize computes the closure of the loaded triples under the
+// engine's fragment and returns run statistics. It implements Algorithm 1.
+func (e *Engine) Materialize() Stats {
+	start := time.Now()
+	e.Main.Normalize()
+	inputSize := e.Main.Size() // after load-time dedup
+
+	// Line 2: transitivity closures on a dedicated layout (§4.1).
+	closureStart := time.Now()
+	e.transitivityClosures()
+	closureTime := time.Since(closureStart)
+
+	// Lines 3–8: fixed point. On the first pass delta aliases main.
+	loopStart := time.Now()
+	delta := e.Main
+	iterations := 0
+	for {
+		iterations++
+		if e.opts.MaxIterations > 0 && iterations > e.opts.MaxIterations {
+			break
+		}
+		inferred := e.applyRules(delta)
+		delta = store.MergeRound(e.Main, inferred, e.opts.Parallel)
+		if e.opts.LowMemory {
+			e.Main.DropOSCaches()
+		}
+		if delta.Size() == 0 {
+			break
+		}
+	}
+	loopTime := time.Since(loopStart)
+
+	total := e.Main.Size()
+	return Stats{
+		InputTriples:    inputSize,
+		InferredTriples: total - inputSize,
+		TotalTriples:    total,
+		Iterations:      iterations,
+		ClosureTime:     closureTime,
+		LoopTime:        loopTime,
+		TotalTime:       time.Since(start),
+	}
+}
+
+// transitivityClosures closes the θ tables in place before the fixpoint:
+// subClassOf and subPropertyOf for every fragment; owl:sameAs (after
+// symmetrization) and every owl:TransitiveProperty for RDFS-Plus.
+func (e *Engine) transitivityClosures() {
+	closeTable := func(pidx int) {
+		t := e.Main.Table(pidx)
+		if t == nil || t.Empty() {
+			return
+		}
+		closed := closure.Close(t.Pairs())
+		t.AppendPairs(closed)
+		t.Normalize()
+	}
+	closeTable(e.V.SubClassOf)
+	closeTable(e.V.SubPropertyOf)
+
+	if !e.opts.Fragment.UsesSameAs() {
+		return
+	}
+	// owl:sameAs: add the symmetric pairs, then close (§4.1).
+	if t := e.Main.Table(e.V.SameAs); t != nil && !t.Empty() {
+		p := t.Pairs()
+		rev := make([]uint64, 0, len(p))
+		for i := 0; i < len(p); i += 2 {
+			if p[i] != p[i+1] {
+				rev = append(rev, p[i+1], p[i])
+			}
+		}
+		t.AppendPairs(rev)
+		t.Normalize()
+		closeTable(e.V.SameAs)
+	}
+	// Every property declared transitive.
+	if tt := e.Main.Table(e.V.Type); tt != nil && !tt.Empty() {
+		os := tt.OS()
+		lo, hi := tt.ObjectRun(e.V.TransitiveProp)
+		for i := lo; i < hi; i++ {
+			p := os[2*i+1]
+			if dictionary.IsProperty(p) {
+				closeTable(dictionary.PropIndex(p))
+			}
+		}
+	}
+}
+
+// applyRules fires every rule of the fragment against (main, delta),
+// each into a private output store (one thread per rule, §4.3), then
+// concatenates the outputs into a single inferred store for merging.
+func (e *Engine) applyRules(delta *store.Store) *store.Store {
+	slots := e.Main.NumSlots()
+	outs := make([]*store.Store, len(e.rules))
+
+	run := func(i int) {
+		out := store.New(slots)
+		ctx := &rules.Context{Main: e.Main, Delta: delta, Out: out, V: e.V}
+		e.rules[i].Apply(ctx)
+		outs[i] = out
+	}
+
+	if e.opts.Parallel && len(e.rules) > 1 {
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		for i := range e.rules {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+				<-sem
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range e.rules {
+			run(i)
+		}
+	}
+
+	inferred := store.New(slots)
+	for _, out := range outs {
+		out.ForEachTable(func(pidx int, t *store.Table) bool {
+			inferred.Ensure(pidx).AppendPairs(t.RawPairs())
+			return true
+		})
+	}
+	return inferred
+}
+
+// RestoreState replaces the engine's dictionary and store with a
+// previously snapshotted pair. The dictionary must contain the standard
+// vocabulary at its head (snapshots written by this package always do:
+// the vocabulary is registered at engine construction, before any data
+// term). The vocabulary indexes are re-resolved and verified.
+func (e *Engine) RestoreState(d *dictionary.Dictionary, st *store.Store) error {
+	for i, term := range rdf.VocabularyProperties {
+		id, ok := d.Lookup(term)
+		if !ok || dictionary.PropIndex(id) != i {
+			return fmt.Errorf("reasoner: snapshot dictionary lacks pinned vocabulary (%s)", term)
+		}
+	}
+	e.Dict = d
+	e.V = rules.ResolveVocab(d)
+	st.Grow(d.NumProperties())
+	e.Main = st
+	e.input = st.Size()
+	return nil
+}
+
+// Size returns the current number of stored triples.
+func (e *Engine) Size() int { return e.Main.Size() }
+
+// Triples streams every stored triple in decoded surface form; fn may
+// return false to stop early. Call after Materialize for the closure,
+// or before for the input.
+func (e *Engine) Triples(fn func(t rdf.Triple) bool) {
+	d := e.Dict
+	e.Main.ForEach(func(pidx int, s, o uint64) bool {
+		t := rdf.Triple{
+			S: d.MustDecode(s),
+			P: d.MustDecode(dictionary.PropID(pidx)),
+			O: d.MustDecode(o),
+		}
+		return fn(t)
+	})
+}
+
+// Contains reports whether the store holds the given (surface form)
+// triple. All three terms must already be known to the dictionary.
+func (e *Engine) Contains(t rdf.Triple) bool {
+	p, ok := e.Dict.Lookup(t.P)
+	if !ok || !dictionary.IsProperty(p) {
+		return false
+	}
+	s, ok := e.Dict.Lookup(t.S)
+	if !ok {
+		return false
+	}
+	o, ok := e.Dict.Lookup(t.O)
+	if !ok {
+		return false
+	}
+	return e.Main.Contains(dictionary.PropIndex(p), s, o)
+}

@@ -1,0 +1,188 @@
+package reasoner
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"inferray/internal/baseline"
+	"inferray/internal/datagen"
+	"inferray/internal/dictionary"
+	"inferray/internal/rdf"
+	"inferray/internal/rules"
+)
+
+// materializeFacts runs the Inferray engine over the triples and returns
+// the closure as an encoded fact set, plus the engine (for vocab reuse).
+func materializeFacts(t *testing.T, fragment rules.Fragment, triples []rdf.Triple, parallel bool) (map[baseline.Fact]struct{}, *Engine) {
+	t.Helper()
+	e := New(Options{Fragment: fragment, Parallel: parallel})
+	e.LoadTriples(triples)
+	e.Materialize()
+	facts := make(map[baseline.Fact]struct{}, e.Main.Size())
+	e.Main.ForEach(func(pidx int, s, o uint64) bool {
+		facts[baseline.Fact{s, dictionary.PropID(pidx), o}] = struct{}{}
+		return true
+	})
+	return facts, e
+}
+
+// oracleFacts computes the closure of the same input with the generic
+// hash-join engine (an independent implementation driven by the
+// declarative specs) using the Inferray engine's encoding.
+func oracleFacts(e *Engine, fragment rules.Fragment, triples []rdf.Triple) map[baseline.Fact]struct{} {
+	specs := rules.Specs(fragment, e.V)
+	h := baseline.NewHashJoinEngine(specs)
+	for _, tr := range triples {
+		p, _ := e.Dict.Lookup(tr.P)
+		s, _ := e.Dict.Lookup(tr.S)
+		o, _ := e.Dict.Lookup(tr.O)
+		h.Add(baseline.Fact{s, p, o})
+	}
+	h.Materialize()
+	out := make(map[baseline.Fact]struct{}, h.Store.Size())
+	for _, f := range h.Store.All() {
+		out[f] = struct{}{}
+	}
+	return out
+}
+
+func describeFact(e *Engine, f baseline.Fact) string {
+	d := func(id uint64) string {
+		s, ok := e.Dict.Decode(id)
+		if !ok {
+			return fmt.Sprintf("?%d", id)
+		}
+		return s
+	}
+	return fmt.Sprintf("⟨%s %s %s⟩", d(f[0]), d(f[1]), d(f[2]))
+}
+
+func diffFactSets(t *testing.T, e *Engine, got, want map[baseline.Fact]struct{}, label string) {
+	t.Helper()
+	var missing, extra []string
+	for f := range want {
+		if _, ok := got[f]; !ok {
+			missing = append(missing, describeFact(e, f))
+		}
+	}
+	for f := range got {
+		if _, ok := want[f]; !ok {
+			extra = append(extra, describeFact(e, f))
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	limit := func(s []string) []string {
+		if len(s) > 12 {
+			return s[:12]
+		}
+		return s
+	}
+	if len(missing) > 0 {
+		t.Errorf("%s: %d facts missing from Inferray, e.g. %v", label, len(missing), limit(missing))
+	}
+	if len(extra) > 0 {
+		t.Errorf("%s: %d extra facts in Inferray, e.g. %v", label, len(extra), limit(extra))
+	}
+}
+
+// TestCrossEngineRandomOntologies checks, for every fragment, that the
+// optimized engine and the independent generic hash-join evaluator agree
+// on the closure of random ontologies.
+func TestCrossEngineRandomOntologies(t *testing.T) {
+	fragments := []rules.Fragment{
+		rules.RhoDF, rules.RDFSDefault, rules.RDFSFull, rules.RDFSPlus, rules.RDFSPlusFull,
+	}
+	for _, fragment := range fragments {
+		fragment := fragment
+		t.Run(fragment.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 12; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				cfg := datagen.RandomConfig{
+					Classes:   4 + rng.Intn(6),
+					Props:     3 + rng.Intn(4),
+					Instances: 5 + rng.Intn(8),
+					Schema:    8 + rng.Intn(15),
+					Data:      10 + rng.Intn(25),
+					Plus:      fragment.UsesSameAs(),
+				}
+				triples := datagen.RandomOntology(rng, cfg)
+				got, e := materializeFacts(t, fragment, triples, seed%2 == 0)
+				want := oracleFacts(e, fragment, triples)
+				diffFactSets(t, e, got, want, fmt.Sprintf("seed %d", seed))
+				if t.Failed() {
+					t.Logf("failing input (%d triples, seed %d):", len(triples), seed)
+					for _, tr := range triples {
+						t.Logf("  %s %s %s .", tr.S, tr.P, tr.O)
+					}
+					return
+				}
+			}
+		})
+	}
+}
+
+// TestCrossEngineStructuredWorkloads runs the same agreement check on
+// the (scaled-down) benchmark generators.
+func TestCrossEngineStructuredWorkloads(t *testing.T) {
+	cases := []struct {
+		name     string
+		fragment rules.Fragment
+		triples  []rdf.Triple
+	}{
+		{"bsbm-rhodf", rules.RhoDF, datagen.BSBM(600, 1)},
+		{"bsbm-rdfs-default", rules.RDFSDefault, datagen.BSBM(600, 2)},
+		{"bsbm-rdfs-full", rules.RDFSFull, datagen.BSBM(400, 3)},
+		{"lubm-rdfs-plus", rules.RDFSPlus, datagen.LUBM(500, 4)},
+		{"yago-rdfs-plus", rules.RDFSPlus, datagen.YagoLike(1).Generate()},
+		{"chain-rdfs-default", rules.RDFSDefault, datagen.Chain(40)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got, e := materializeFacts(t, tc.fragment, tc.triples, true)
+			want := oracleFacts(e, tc.fragment, tc.triples)
+			diffFactSets(t, e, got, want, tc.name)
+		})
+	}
+}
+
+// TestChainClosureCount checks the exact (n²−n)/2 inference count of
+// Table 4's workload.
+func TestChainClosureCount(t *testing.T) {
+	for _, n := range []int{2, 5, 10, 50, 128} {
+		e := New(Options{Fragment: rules.RDFSDefault})
+		e.LoadTriples(datagen.Chain(n))
+		stats := e.Materialize()
+		want := datagen.ChainClosureSize(n)
+		if stats.InferredTriples != want {
+			t.Errorf("chain %d: inferred %d triples, want %d", n, stats.InferredTriples, want)
+		}
+	}
+}
+
+// TestParallelMatchesSequential checks that parallel and sequential
+// materializations produce identical stores.
+func TestParallelMatchesSequential(t *testing.T) {
+	triples := datagen.LUBM(800, 7)
+	seq, _ := materializeFacts(t, rules.RDFSPlus, triples, false)
+	par, e := materializeFacts(t, rules.RDFSPlus, triples, true)
+	diffFactSets(t, e, par, seq, "parallel vs sequential")
+}
+
+// TestMaterializeIdempotent checks that a second materialization adds
+// nothing.
+func TestMaterializeIdempotent(t *testing.T) {
+	e := New(Options{Fragment: rules.RDFSPlus, Parallel: true})
+	e.LoadTriples(datagen.LUBM(400, 9))
+	first := e.Materialize()
+	second := e.Materialize()
+	if second.InferredTriples != 0 {
+		t.Errorf("second materialization inferred %d triples, want 0", second.InferredTriples)
+	}
+	if first.TotalTriples != second.TotalTriples {
+		t.Errorf("store size changed: %d -> %d", first.TotalTriples, second.TotalTriples)
+	}
+}

@@ -1,0 +1,185 @@
+package rules
+
+import (
+	"inferray/internal/dictionary"
+	"inferray/internal/store"
+)
+
+// Class labels a rule with its Table 5 execution class.
+type Class int
+
+// Rule classes of §4.4. Trivial covers the single-antecedent rules the
+// paper leaves undetailed; FuncProp covers the three-antecedent PRP-FP /
+// PRP-IFP self-join rules.
+const (
+	Alpha Class = iota
+	Beta
+	Gamma
+	Delta
+	SameAsClass
+	Theta
+	Trivial
+	FuncProp
+)
+
+// String returns the paper's name for the class.
+func (c Class) String() string {
+	switch c {
+	case Alpha:
+		return "alpha"
+	case Beta:
+		return "beta"
+	case Gamma:
+		return "gamma"
+	case Delta:
+		return "delta"
+	case SameAsClass:
+		return "same-as"
+	case Theta:
+		return "theta"
+	case Trivial:
+		return "trivial"
+	case FuncProp:
+		return "functional"
+	}
+	return "unknown"
+}
+
+// Rule is one inference rule: a name for reporting, its class, and an
+// Apply function that derives triples into ctx.Out.
+type Rule struct {
+	Name  string
+	Class Class
+	Apply func(ctx *Context)
+}
+
+// Context carries one iteration's state into a rule application.
+type Context struct {
+	Main  *store.Store // all triples derived so far (normalized)
+	Delta *store.Store // triples new in the previous iteration
+	Out   *store.Store // this rule's private output (unsorted appends)
+	V     *Vocab
+}
+
+// FirstPass reports whether this is the first iteration, where delta and
+// main are the same store (Algorithm 1 line 3) and rules must join each
+// antecedent combination only once.
+func (c *Context) FirstPass() bool { return c.Delta == c.Main }
+
+// mainTable returns the normalized main table at pidx, or nil when empty.
+func (c *Context) mainTable(pidx int) *store.Table {
+	t := c.Main.Table(pidx)
+	if t == nil || t.Empty() {
+		return nil
+	}
+	return t
+}
+
+// deltaTable returns the delta table at pidx, or nil when empty.
+func (c *Context) deltaTable(pidx int) *store.Table {
+	t := c.Delta.Table(pidx)
+	if t == nil || t.Empty() {
+		return nil
+	}
+	return t
+}
+
+// propIndexOf converts a term ID to a property-table index, reporting
+// whether the ID actually lies on the property side of the numbering.
+func propIndexOf(id uint64) (int, bool) {
+	if !dictionary.IsProperty(id) {
+		return 0, false
+	}
+	return dictionary.PropIndex(id), true
+}
+
+// tablePass describes one semi-naive pass: the A-side and B-side stores
+// to take the two antecedents from.
+type tablePass struct{ a, b *store.Store }
+
+// passes returns the semi-naive pass list: on the first iteration a
+// single Main⋈Main pass; afterwards Delta⋈Main and Main⋈Delta (Main
+// already contains Delta, so this covers Delta⋈Delta too — duplicates
+// are eliminated by the merge).
+func (c *Context) passes() []tablePass {
+	if c.FirstPass() {
+		return []tablePass{{c.Main, c.Main}}
+	}
+	return []tablePass{{c.Delta, c.Main}, {c.Main, c.Delta}}
+}
+
+// view returns the flat key/payload list of a table: subject-keyed order
+// (⟨s,o⟩, the primary list) or object-keyed order (⟨o,s⟩, the cached OS
+// view).
+func view(t *store.Table, keyOnSubject bool) []uint64 {
+	if keyOnSubject {
+		return t.Pairs()
+	}
+	return t.OS()
+}
+
+// mergeJoin joins two key-sorted flat key/payload lists, invoking emit
+// for every pair of entries with equal keys (full cross product within
+// runs). Both lists are scanned sequentially — the sort-merge join of
+// §4.2.
+func mergeJoin(a, b []uint64, emit func(key, apay, bpay uint64)) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i += 2
+		case a[i] > b[j]:
+			j += 2
+		default:
+			k := a[i]
+			iEnd := i
+			for iEnd < len(a) && a[iEnd] == k {
+				iEnd += 2
+			}
+			jEnd := j
+			for jEnd < len(b) && b[jEnd] == k {
+				jEnd += 2
+			}
+			for x := i; x < iEnd; x += 2 {
+				for y := j; y < jEnd; y += 2 {
+					emit(k, a[x+1], b[y+1])
+				}
+			}
+			i, j = iEnd, jEnd
+		}
+	}
+}
+
+// alphaJoin runs the α-rule pattern: join table aProp (keyed on subject
+// or object) with table bProp, semi-naively, emitting the two payloads
+// for every match.
+func (c *Context) alphaJoin(aProp int, aOnSubj bool, bProp int, bOnSubj bool, emit func(apay, bpay uint64)) {
+	for _, p := range c.passes() {
+		at := p.a.Table(aProp)
+		bt := p.b.Table(bProp)
+		if at == nil || at.Empty() || bt == nil || bt.Empty() {
+			continue
+		}
+		mergeJoin(view(at, aOnSubj), view(bt, bOnSubj), func(_, apay, bpay uint64) {
+			emit(apay, bpay)
+		})
+	}
+}
+
+// markerSubjects returns the subjects s with ⟨s, rdf:type, marker⟩ in the
+// given type table (nil-safe).
+func markerSubjects(typeTable *store.Table, marker uint64) []uint64 {
+	if typeTable == nil || typeTable.Empty() {
+		return nil
+	}
+	os := typeTable.OS()
+	lo, hi := typeTable.ObjectRun(marker)
+	if lo == hi {
+		return nil
+	}
+	subs := make([]uint64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		subs = append(subs, os[2*i+1])
+	}
+	return subs
+}

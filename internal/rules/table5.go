@@ -1,0 +1,621 @@
+package rules
+
+import (
+	"inferray/internal/closure"
+	"inferray/internal/dictionary"
+	"inferray/internal/store"
+)
+
+// This file implements the concrete rules of Table 5, grouped by class.
+// Rule numbering comments refer to the table's row numbers.
+
+// ---------------------------------------------------------------- α rules
+
+// ruleCAXSCO (#3): c1 subClassOf c2 ∧ x type c1 ⇒ x type c2.
+func ruleCAXSCO() Rule {
+	return Rule{Name: "CAX-SCO", Class: Alpha, Apply: func(c *Context) {
+		out := c.Out.Ensure(c.V.Type)
+		c.alphaJoin(c.V.SubClassOf, true, c.V.Type, false, func(c2, x uint64) {
+			out.Append(x, c2)
+		})
+	}}
+}
+
+// ruleCAXEQC1 (#1): c1 equivalentClass c2 ∧ x type c2 ⇒ x type c1.
+func ruleCAXEQC1() Rule {
+	return Rule{Name: "CAX-EQC1", Class: Alpha, Apply: func(c *Context) {
+		out := c.Out.Ensure(c.V.Type)
+		c.alphaJoin(c.V.EquivClass, false, c.V.Type, false, func(c1, x uint64) {
+			out.Append(x, c1)
+		})
+	}}
+}
+
+// ruleCAXEQC2 (#2): c1 equivalentClass c2 ∧ x type c1 ⇒ x type c2.
+func ruleCAXEQC2() Rule {
+	return Rule{Name: "CAX-EQC2", Class: Alpha, Apply: func(c *Context) {
+		out := c.Out.Ensure(c.V.Type)
+		c.alphaJoin(c.V.EquivClass, true, c.V.Type, false, func(c2, x uint64) {
+			out.Append(x, c2)
+		})
+	}}
+}
+
+// ruleSCMDOM1 (#20): p domain c1 ∧ c1 subClassOf c2 ⇒ p domain c2.
+func ruleSCMDOM1() Rule {
+	return Rule{Name: "SCM-DOM1", Class: Alpha, Apply: func(c *Context) {
+		out := c.Out.Ensure(c.V.Domain)
+		c.alphaJoin(c.V.Domain, false, c.V.SubClassOf, true, func(p, c2 uint64) {
+			out.Append(p, c2)
+		})
+	}}
+}
+
+// ruleSCMDOM2 (#21): p2 domain c ∧ p1 subPropertyOf p2 ⇒ p1 domain c.
+func ruleSCMDOM2() Rule {
+	return Rule{Name: "SCM-DOM2", Class: Alpha, Apply: func(c *Context) {
+		out := c.Out.Ensure(c.V.Domain)
+		c.alphaJoin(c.V.Domain, true, c.V.SubPropertyOf, false, func(cc, p1 uint64) {
+			out.Append(p1, cc)
+		})
+	}}
+}
+
+// ruleSCMRNG1 (#26): p range c1 ∧ c1 subClassOf c2 ⇒ p range c2.
+func ruleSCMRNG1() Rule {
+	return Rule{Name: "SCM-RNG1", Class: Alpha, Apply: func(c *Context) {
+		out := c.Out.Ensure(c.V.Range)
+		c.alphaJoin(c.V.Range, false, c.V.SubClassOf, true, func(p, c2 uint64) {
+			out.Append(p, c2)
+		})
+	}}
+}
+
+// ruleSCMRNG2 (#27): p2 range c ∧ p1 subPropertyOf p2 ⇒ p1 range c.
+func ruleSCMRNG2() Rule {
+	return Rule{Name: "SCM-RNG2", Class: Alpha, Apply: func(c *Context) {
+		out := c.Out.Ensure(c.V.Range)
+		c.alphaJoin(c.V.Range, true, c.V.SubPropertyOf, false, func(cc, p1 uint64) {
+			out.Append(p1, cc)
+		})
+	}}
+}
+
+// ---------------------------------------------------------------- β rules
+
+// betaSymmetricPair implements the β pattern shared by SCM-EQC2 and
+// SCM-EQP2: ⟨a P b⟩ ∧ ⟨b P a⟩ ⇒ ⟨a H b⟩. One sequential scan of the
+// delta table with a binary-search probe of the (already merged) main
+// table finds every pair with at least one new antecedent.
+func betaSymmetricPair(name string, prop func(*Vocab) int, head func(*Vocab) int) Rule {
+	return Rule{Name: name, Class: Beta, Apply: func(c *Context) {
+		p := prop(c.V)
+		dt := c.deltaTable(p)
+		mt := c.mainTable(p)
+		if dt == nil || mt == nil {
+			return
+		}
+		out := c.Out.Ensure(head(c.V))
+		pairs := dt.Pairs()
+		for i := 0; i < len(pairs); i += 2 {
+			s, o := pairs[i], pairs[i+1]
+			if mt.Contains(o, s) {
+				// The body matches under both variable assignments
+				// (c1,c2) and (c2,c1), so both head orientations hold.
+				out.Append(s, o)
+				out.Append(o, s)
+			}
+		}
+	}}
+}
+
+// ruleSCMEQC2 (#23): c1 subClassOf c2 ∧ c2 subClassOf c1 ⇒ c1 equivalentClass c2.
+func ruleSCMEQC2() Rule {
+	return betaSymmetricPair("SCM-EQC2",
+		func(v *Vocab) int { return v.SubClassOf },
+		func(v *Vocab) int { return v.EquivClass })
+}
+
+// ruleSCMEQP2 (#25): p1 subPropertyOf p2 ∧ p2 subPropertyOf p1 ⇒ p1 equivalentProperty p2.
+func ruleSCMEQP2() Rule {
+	return betaSymmetricPair("SCM-EQP2",
+		func(v *Vocab) int { return v.SubPropertyOf },
+		func(v *Vocab) int { return v.EquivProp })
+}
+
+// ---------------------------------------------------------------- γ rules
+
+// gammaSchemaTable implements the γ pattern of PRP-DOM and PRP-RNG: a
+// schema table holds ⟨p, c⟩ pairs where p names a property table; every
+// instance pair of that table yields a type triple. emitSubject selects
+// whether the subject (domain) or object (range) of the instance triple
+// is typed.
+func gammaSchemaTable(name string, schemaProp func(*Vocab) int, emitSubject bool) Rule {
+	return Rule{Name: name, Class: Gamma, Apply: func(c *Context) {
+		out := c.Out.Ensure(c.V.Type)
+		for _, pass := range c.passes() {
+			schema := pass.a.Table(schemaProp(c.V))
+			if schema == nil || schema.Empty() {
+				continue
+			}
+			sp := schema.Pairs()
+			for i := 0; i < len(sp); i += 2 {
+				p, cls := sp[i], sp[i+1]
+				pidx, ok := propIndexOf(p)
+				if !ok {
+					continue
+				}
+				inst := pass.b.Table(pidx)
+				if inst == nil || inst.Empty() {
+					continue
+				}
+				ip := inst.Pairs()
+				for j := 0; j < len(ip); j += 2 {
+					if emitSubject {
+						out.Append(ip[j], cls)
+					} else {
+						out.Append(ip[j+1], cls)
+					}
+				}
+			}
+		}
+	}}
+}
+
+// rulePRPDOM (#9): p domain c ∧ x p y ⇒ x type c.
+func rulePRPDOM() Rule {
+	return gammaSchemaTable("PRP-DOM", func(v *Vocab) int { return v.Domain }, true)
+}
+
+// rulePRPRNG (#16): p range c ∧ x p y ⇒ y type c.
+func rulePRPRNG() Rule {
+	return gammaSchemaTable("PRP-RNG", func(v *Vocab) int { return v.Range }, false)
+}
+
+// rulePRPSPO1 (#17): p1 subPropertyOf p2 ∧ x p1 y ⇒ x p2 y. The whole
+// p1 table is copied into the p2 output table (γ with a δ-style bulk
+// copy per schema pair).
+func rulePRPSPO1() Rule {
+	return Rule{Name: "PRP-SPO1", Class: Gamma, Apply: func(c *Context) {
+		for _, pass := range c.passes() {
+			schema := pass.a.Table(c.V.SubPropertyOf)
+			if schema == nil || schema.Empty() {
+				continue
+			}
+			sp := schema.Pairs()
+			for i := 0; i < len(sp); i += 2 {
+				p1, p2 := sp[i], sp[i+1]
+				if p1 == p2 {
+					continue
+				}
+				i1, ok1 := propIndexOf(p1)
+				i2, ok2 := propIndexOf(p2)
+				if !ok1 || !ok2 {
+					continue
+				}
+				src := pass.b.Table(i1)
+				if src == nil || src.Empty() {
+					continue
+				}
+				c.Out.Ensure(i2).AppendPairs(src.RawPairs())
+			}
+		}
+	}}
+}
+
+// rulePRPSYMP (#18): p type SymmetricProperty ∧ x p y ⇒ y p x.
+func rulePRPSYMP() Rule {
+	return Rule{Name: "PRP-SYMP", Class: Gamma, Apply: func(c *Context) {
+		for _, pass := range c.passes() {
+			typeTab := pass.a.Table(c.V.Type)
+			for _, p := range markerSubjects(typeTab, c.V.SymmetricProp) {
+				pidx, ok := propIndexOf(p)
+				if !ok {
+					continue
+				}
+				src := pass.b.Table(pidx)
+				if src == nil || src.Empty() {
+					continue
+				}
+				out := c.Out.Ensure(pidx)
+				sp := src.RawPairs()
+				for j := 0; j < len(sp); j += 2 {
+					out.Append(sp[j+1], sp[j])
+				}
+			}
+		}
+	}}
+}
+
+// ---------------------------------------------------------------- δ rules
+
+// deltaCopy implements the δ pattern: for every ⟨p1, p2⟩ in a schema
+// table, the property table selected by src is copied (optionally
+// reversed) into the table selected by dst.
+func deltaCopy(name string, schemaProp func(*Vocab) int, srcFirst, reverse bool) Rule {
+	return Rule{Name: name, Class: Delta, Apply: func(c *Context) {
+		for _, pass := range c.passes() {
+			schema := pass.a.Table(schemaProp(c.V))
+			if schema == nil || schema.Empty() {
+				continue
+			}
+			sp := schema.Pairs()
+			for i := 0; i < len(sp); i += 2 {
+				p1, p2 := sp[i], sp[i+1]
+				srcID, dstID := p1, p2
+				if !srcFirst {
+					srcID, dstID = p2, p1
+				}
+				if srcID == dstID && !reverse {
+					continue
+				}
+				si, ok1 := propIndexOf(srcID)
+				di, ok2 := propIndexOf(dstID)
+				if !ok1 || !ok2 {
+					continue
+				}
+				src := pass.b.Table(si)
+				if src == nil || src.Empty() {
+					continue
+				}
+				out := c.Out.Ensure(di)
+				if !reverse {
+					out.AppendPairs(src.RawPairs())
+					continue
+				}
+				raw := src.RawPairs()
+				for j := 0; j < len(raw); j += 2 {
+					out.Append(raw[j+1], raw[j])
+				}
+			}
+		}
+	}}
+}
+
+// rulePRPEQP1 (#10): p1 equivalentProperty p2 ∧ x p2 y ⇒ x p1 y.
+func rulePRPEQP1() Rule {
+	return deltaCopy("PRP-EQP1", func(v *Vocab) int { return v.EquivProp }, false, false)
+}
+
+// rulePRPEQP2 (#11): p1 equivalentProperty p2 ∧ x p1 y ⇒ x p2 y.
+func rulePRPEQP2() Rule {
+	return deltaCopy("PRP-EQP2", func(v *Vocab) int { return v.EquivProp }, true, false)
+}
+
+// rulePRPINV1 (#14): p1 inverseOf p2 ∧ x p1 y ⇒ y p2 x.
+func rulePRPINV1() Rule {
+	return deltaCopy("PRP-INV1", func(v *Vocab) int { return v.InverseOf }, true, true)
+}
+
+// rulePRPINV2 (#15): p1 inverseOf p2 ∧ x p2 y ⇒ y p1 x.
+func rulePRPINV2() Rule {
+	return deltaCopy("PRP-INV2", func(v *Vocab) int { return v.InverseOf }, false, true)
+}
+
+// ----------------------------------------------------------- same-as rules
+
+// ruleSameAs implements the four same-as rules (#4 EQ-REP-O, #5 EQ-REP-P,
+// #6 EQ-REP-S, #7 EQ-SYM) with the single loop over the sameAs property
+// table the paper describes: for every ⟨a, b⟩ pair the symmetric triple
+// is emitted, property tables are copied when both members are
+// properties, and every property table is probed for subject/object
+// occurrences of b to be replicated under a.
+func ruleSameAs() Rule {
+	return Rule{Name: "EQ-REP/SYM", Class: SameAsClass, Apply: func(c *Context) {
+		sameOut := c.Out.Ensure(c.V.SameAs)
+
+		// EQ-SYM is single-antecedent: the delta pass alone suffices.
+		if dt := c.deltaTable(c.V.SameAs); dt != nil {
+			p := dt.Pairs()
+			for i := 0; i < len(p); i += 2 {
+				if p[i] != p[i+1] {
+					sameOut.Append(p[i+1], p[i])
+				}
+			}
+		}
+
+		for _, pass := range c.passes() {
+			same := pass.a.Table(c.V.SameAs)
+			if same == nil || same.Empty() {
+				continue
+			}
+			sp := same.Pairs()
+			for i := 0; i < len(sp); i += 2 {
+				a, b := sp[i], sp[i+1]
+				if a == b {
+					continue
+				}
+				// EQ-REP-P: replicate b's property table under a.
+				if ai, aok := propIndexOf(a); aok {
+					if bi, bok := propIndexOf(b); bok {
+						if src := pass.b.Table(bi); src != nil && !src.Empty() {
+							c.Out.Ensure(ai).AppendPairs(src.RawPairs())
+						}
+					}
+				}
+				// EQ-REP-S and EQ-REP-O: probe every property table for b
+				// in subject and object position.
+				pass.b.ForEachTable(func(pidx int, t *store.Table) bool {
+					pp := t.Pairs()
+					lo, hi := t.SubjectRun(b)
+					if lo < hi {
+						out := c.Out.Ensure(pidx)
+						for k := lo; k < hi; k++ {
+							out.Append(a, pp[2*k+1])
+						}
+					}
+					os := t.OS()
+					lo, hi = t.ObjectRun(b)
+					if lo < hi {
+						out := c.Out.Ensure(pidx)
+						for k := lo; k < hi; k++ {
+							out.Append(os[2*k+1], a)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}}
+}
+
+// EQ-TRANS (row #8, owl:sameAs transitivity) is θ-class and handled by
+// the closure machinery in thetaRule and the reasoner's pre-loop stage.
+
+// ----------------------------------------------------- functional property
+
+// funcPropRule implements PRP-FP (#12) and PRP-IFP (#13). For every
+// property marked functional (inverse functional), the sorted property
+// table is scanned once; within each subject (object) run, consecutive
+// distinct objects (subjects) yield owl:sameAs links. Emitting only the
+// consecutive pairs is sufficient because the sameAs θ-closure completes
+// the equivalence class — this keeps the self-join linear, matching the
+// paper's O(k·n) bound.
+func funcPropRule(name string, inverse bool) Rule {
+	return Rule{Name: name, Class: FuncProp, Apply: func(c *Context) {
+		marker := c.V.FunctionalProp
+		if inverse {
+			marker = c.V.InverseFunctionalProp
+		}
+		out := c.Out.Ensure(c.V.SameAs)
+
+		process := func(t *store.Table) {
+			var flat []uint64
+			if inverse {
+				flat = t.OS()
+			} else {
+				flat = t.Pairs()
+			}
+			for i := 2; i < len(flat); i += 2 {
+				if flat[i] == flat[i-2] && flat[i+1] != flat[i-1] {
+					out.Append(flat[i-1], flat[i+1])
+				}
+			}
+		}
+
+		if c.FirstPass() {
+			typeTab := c.mainTable(c.V.Type)
+			for _, p := range markerSubjects(typeTab, marker) {
+				if pidx, ok := propIndexOf(p); ok {
+					if t := c.mainTable(pidx); t != nil {
+						process(t)
+					}
+				}
+			}
+			return
+		}
+		// Newly marked properties: full main table scan.
+		seen := map[uint64]bool{}
+		for _, p := range markerSubjects(c.deltaTable(c.V.Type), marker) {
+			seen[p] = true
+			if pidx, ok := propIndexOf(p); ok {
+				if t := c.mainTable(pidx); t != nil {
+					process(t)
+				}
+			}
+		}
+		// Already-marked properties whose table changed: rescan. The run
+		// containing a new pair may straddle old pairs, so the whole main
+		// table is scanned (it is sorted; duplicates wash out in merge).
+		for _, p := range markerSubjects(c.mainTable(c.V.Type), marker) {
+			if seen[p] {
+				continue
+			}
+			pidx, ok := propIndexOf(p)
+			if !ok {
+				continue
+			}
+			if dt := c.deltaTable(pidx); dt == nil {
+				continue
+			}
+			if t := c.mainTable(pidx); t != nil {
+				process(t)
+			}
+		}
+	}}
+}
+
+func rulePRPFP() Rule  { return funcPropRule("PRP-FP", false) }
+func rulePRPIFP() Rule { return funcPropRule("PRP-IFP", true) }
+
+// ---------------------------------------------------------------- θ rules
+
+// thetaRule re-closes the transitive tables whose contents changed in
+// the previous iteration: subClassOf and subPropertyOf (SCM-SCO #28,
+// SCM-SPO #29) and — for RDFS-Plus — owl:sameAs (EQ-TRANS #8) and every
+// property marked owl:TransitiveProperty (PRP-TRP #19). The bulk of the
+// closure work happens in the reasoner's pre-loop stage (§4.1); this rule
+// only fires when other rules feed new pairs into a transitive table
+// mid-fixpoint (e.g. SCM-EQC1 deriving subClassOf from equivalentClass).
+func thetaRule(plus bool) Rule {
+	return Rule{Name: "THETA", Class: Theta, Apply: func(c *Context) {
+		// The pre-loop stage (reasoner.transitivityClosures) already
+		// closed every θ table over the loaded data; on the first pass
+		// nothing new can come out of re-closing.
+		if c.FirstPass() {
+			return
+		}
+		closeNow := func(pidx int) {
+			mt := c.mainTable(pidx)
+			if mt == nil {
+				return
+			}
+			closed := closure.Close(mt.Pairs())
+			if len(closed) > 0 {
+				c.Out.Ensure(pidx).AppendPairs(closed)
+			}
+		}
+		closeIfChanged := func(pidx int) {
+			if c.deltaTable(pidx) != nil {
+				closeNow(pidx)
+			}
+		}
+		closeIfChanged(c.V.SubClassOf)
+		closeIfChanged(c.V.SubPropertyOf)
+		if !plus {
+			return
+		}
+		closeIfChanged(c.V.SameAs)
+		// Properties newly marked transitive this iteration must be
+		// closed even if their own table did not change.
+		newlyMarked := map[uint64]bool{}
+		if !c.FirstPass() {
+			for _, p := range markerSubjects(c.deltaTable(c.V.Type), c.V.TransitiveProp) {
+				newlyMarked[p] = true
+				if pidx, ok := propIndexOf(p); ok {
+					closeNow(pidx)
+				}
+			}
+		}
+		for _, p := range markerSubjects(c.mainTable(c.V.Type), c.V.TransitiveProp) {
+			if newlyMarked[p] {
+				continue
+			}
+			if pidx, ok := propIndexOf(p); ok {
+				closeIfChanged(pidx)
+			}
+		}
+	}}
+}
+
+// ------------------------------------------------------------ trivial rules
+
+// ruleSCMEQC1 (#22): c1 equivalentClass c2 ⇒ c1 subClassOf c2 ∧ c2 subClassOf c1.
+func ruleSCMEQC1() Rule {
+	return Rule{Name: "SCM-EQC1", Class: Trivial, Apply: func(c *Context) {
+		dt := c.deltaTable(c.V.EquivClass)
+		if dt == nil {
+			return
+		}
+		out := c.Out.Ensure(c.V.SubClassOf)
+		p := dt.Pairs()
+		for i := 0; i < len(p); i += 2 {
+			out.Append(p[i], p[i+1])
+			out.Append(p[i+1], p[i])
+		}
+	}}
+}
+
+// ruleSCMEQP1 (#24): p1 equivalentProperty p2 ⇒ p1 subPropertyOf p2 ∧ p2 subPropertyOf p1.
+func ruleSCMEQP1() Rule {
+	return Rule{Name: "SCM-EQP1", Class: Trivial, Apply: func(c *Context) {
+		dt := c.deltaTable(c.V.EquivProp)
+		if dt == nil {
+			return
+		}
+		out := c.Out.Ensure(c.V.SubPropertyOf)
+		p := dt.Pairs()
+		for i := 0; i < len(p); i += 2 {
+			out.Append(p[i], p[i+1])
+			out.Append(p[i+1], p[i])
+		}
+	}}
+}
+
+// markerTrivial builds the ⟨x type M⟩ ⇒ emissions pattern shared by
+// SCM-CLS, SCM-DP/OP and RDFS 6/8/10/12/13.
+func markerTrivial(name string, marker func(*Vocab) uint64, emit func(c *Context, x uint64)) Rule {
+	return Rule{Name: name, Class: Trivial, Apply: func(c *Context) {
+		dt := c.deltaTable(c.V.Type)
+		for _, x := range markerSubjects(dt, marker(c.V)) {
+			emit(c, x)
+		}
+	}}
+}
+
+// ruleSCMCLS (#30): c type owl:Class ⇒ c subClassOf c, c equivalentClass
+// c, c subClassOf owl:Thing, owl:Nothing subClassOf c.
+func ruleSCMCLS() Rule {
+	return markerTrivial("SCM-CLS", func(v *Vocab) uint64 { return v.OWLClass },
+		func(c *Context, x uint64) {
+			c.Out.Ensure(c.V.SubClassOf).Append(x, x)
+			c.Out.Ensure(c.V.EquivClass).Append(x, x)
+			c.Out.Ensure(c.V.SubClassOf).Append(x, c.V.Thing)
+			c.Out.Ensure(c.V.SubClassOf).Append(c.V.Nothing, x)
+		})
+}
+
+// ruleSCMDP (#31) and ruleSCMOP (#32): p type owl:{Datatype,Object}Property
+// ⇒ p subPropertyOf p ∧ p equivalentProperty p.
+func ruleSCMDP() Rule {
+	return markerTrivial("SCM-DP", func(v *Vocab) uint64 { return v.DatatypeProp },
+		func(c *Context, x uint64) {
+			c.Out.Ensure(c.V.SubPropertyOf).Append(x, x)
+			c.Out.Ensure(c.V.EquivProp).Append(x, x)
+		})
+}
+
+func ruleSCMOP() Rule {
+	return markerTrivial("SCM-OP", func(v *Vocab) uint64 { return v.ObjectProp },
+		func(c *Context, x uint64) {
+			c.Out.Ensure(c.V.SubPropertyOf).Append(x, x)
+			c.Out.Ensure(c.V.EquivProp).Append(x, x)
+		})
+}
+
+// ruleRDFS4 (#33): x p y ⇒ x type Resource ∧ y type Resource.
+func ruleRDFS4() Rule {
+	return Rule{Name: "RDFS4", Class: Trivial, Apply: func(c *Context) {
+		out := c.Out.Ensure(c.V.Type)
+		c.Delta.ForEachTable(func(pidx int, t *store.Table) bool {
+			p := t.RawPairs()
+			for i := 0; i < len(p); i += 2 {
+				out.Append(p[i], c.V.Resource)
+				out.Append(p[i+1], c.V.Resource)
+			}
+			return true
+		})
+	}}
+}
+
+// ruleRDFS6 (#37): x type rdf:Property ⇒ x subPropertyOf x.
+func ruleRDFS6() Rule {
+	return markerTrivial("RDFS6", func(v *Vocab) uint64 { return v.Property },
+		func(c *Context, x uint64) { c.Out.Ensure(c.V.SubPropertyOf).Append(x, x) })
+}
+
+// ruleRDFS8 (#34): x type rdfs:Class ⇒ x type rdfs:Resource.
+func ruleRDFS8() Rule {
+	return markerTrivial("RDFS8", func(v *Vocab) uint64 { return v.Class },
+		func(c *Context, x uint64) { c.Out.Ensure(c.V.Type).Append(x, c.V.Resource) })
+}
+
+// ruleRDFS10 (#38): x type rdfs:Class ⇒ x subClassOf x.
+func ruleRDFS10() Rule {
+	return markerTrivial("RDFS10", func(v *Vocab) uint64 { return v.Class },
+		func(c *Context, x uint64) { c.Out.Ensure(c.V.SubClassOf).Append(x, x) })
+}
+
+// ruleRDFS12 (#35): x type ContainerMembershipProperty ⇒ x subPropertyOf rdfs:member.
+func ruleRDFS12() Rule {
+	return markerTrivial("RDFS12", func(v *Vocab) uint64 { return v.ContainerMembership },
+		func(c *Context, x uint64) {
+			c.Out.Ensure(c.V.SubPropertyOf).Append(x, dictionary.PropID(c.V.Member))
+		})
+}
+
+// ruleRDFS13 (#36): x type rdfs:Datatype ⇒ x subClassOf rdfs:Literal.
+func ruleRDFS13() Rule {
+	return markerTrivial("RDFS13", func(v *Vocab) uint64 { return v.Datatype },
+		func(c *Context, x uint64) { c.Out.Ensure(c.V.SubClassOf).Append(x, c.V.Literal) })
+}

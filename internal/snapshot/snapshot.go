@@ -1,0 +1,238 @@
+// Package snapshot serializes a materialized store — dictionary and
+// property tables — to a compact binary image and restores it. The
+// paper's motivation for forward chaining is exactly this workflow:
+// "off-line or pre-runtime execution of inference and
+// consumer-independent data access" (§1) — materialize once, persist,
+// then serve the closure without the inference engine.
+//
+// Format (little-endian):
+//
+//	magic "IFRY" | version u32
+//	numProps u32 | numResources u32
+//	property terms: numProps × (len u32, bytes)
+//	resource terms: numResources × (len u32, bytes)
+//	numTables u32
+//	tables: numTables × (propIndex u32, numPairs u32, pairs as delta-
+//	        encoded uvarint stream)
+//
+// Pair streams are delta-encoded: subjects ascend in a sorted table, so
+// consecutive differences are tiny and uvarint encoding shrinks the
+// image well below the raw 16 bytes/triple.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"inferray/internal/dictionary"
+	"inferray/internal/store"
+)
+
+const (
+	magic   = "IFRY"
+	version = 1
+)
+
+// Write serializes the dictionary and store to w. Tables must be
+// normalized (sorted, duplicate-free).
+func Write(w io.Writer, d *dictionary.Dictionary, st *store.Store) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	writeU32(bw, version)
+	writeU32(bw, uint32(d.NumProperties()))
+	writeU32(bw, uint32(d.NumResources()))
+
+	var err error
+	d.Properties(func(id uint64, term string) bool {
+		err = writeString(bw, term)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	lo, hi := d.ResourceIDRange()
+	for id := lo; id < hi; id++ {
+		term, ok := d.Decode(id)
+		if !ok {
+			return fmt.Errorf("snapshot: resource id %d missing from dictionary", id)
+		}
+		if err := writeString(bw, term); err != nil {
+			return err
+		}
+	}
+
+	nTables := 0
+	st.ForEachTable(func(int, *store.Table) bool { nTables++; return true })
+	writeU32(bw, uint32(nTables))
+	st.ForEachTable(func(pidx int, t *store.Table) bool {
+		writeU32(bw, uint32(pidx))
+		pairs := t.Pairs()
+		writeU32(bw, uint32(len(pairs)/2))
+		err = writePairs(bw, pairs)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read restores a snapshot. The returned store is normalized.
+func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, nil, fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, nil, fmt.Errorf("snapshot: bad magic %q", head)
+	}
+	v, err := readU32(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if v != version {
+		return nil, nil, fmt.Errorf("snapshot: unsupported version %d", v)
+	}
+	nProps, err := readU32(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	nRes, err := readU32(br)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	d := dictionary.New()
+	for i := uint32(0); i < nProps; i++ {
+		term, err := readString(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		d.EncodeProperty(term)
+	}
+	for i := uint32(0); i < nRes; i++ {
+		term, err := readString(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		d.EncodeResource(term)
+	}
+	if d.NumProperties() != int(nProps) || d.NumResources() != int(nRes) {
+		return nil, nil, fmt.Errorf("snapshot: duplicate terms corrupted the dictionary")
+	}
+
+	st := store.New(int(nProps))
+	nTables, err := readU32(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := uint32(0); i < nTables; i++ {
+		pidx, err := readU32(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pidx >= nProps {
+			return nil, nil, fmt.Errorf("snapshot: table index %d out of range", pidx)
+		}
+		nPairs, err := readU32(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		pairs, err := readPairs(br, int(nPairs))
+		if err != nil {
+			return nil, nil, err
+		}
+		st.Ensure(int(pidx)).SetPairs(pairs)
+	}
+	st.Normalize()
+	return d, st, nil
+}
+
+// writePairs delta-encodes a sorted pair list: subjects as differences
+// from the previous subject, objects as differences from the previous
+// object under the same subject (reset on subject change).
+func writePairs(w *bufio.Writer, pairs []uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	var prevS, prevO uint64
+	for i := 0; i < len(pairs); i += 2 {
+		s, o := pairs[i], pairs[i+1]
+		ds := s - prevS
+		if ds != 0 {
+			prevO = 0
+		}
+		do := o - prevO // may wrap; uvarint round-trips uint64 exactly
+		n := binary.PutUvarint(buf[:], ds)
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], do)
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+		prevS, prevO = s, o
+	}
+	return nil
+}
+
+func readPairs(r *bufio.Reader, nPairs int) ([]uint64, error) {
+	pairs := make([]uint64, 0, 2*nPairs)
+	var prevS, prevO uint64
+	for i := 0; i < nPairs; i++ {
+		ds, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: pair stream: %w", err)
+		}
+		do, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: pair stream: %w", err)
+		}
+		if ds != 0 {
+			prevO = 0
+		}
+		s := prevS + ds
+		o := prevO + do
+		pairs = append(pairs, s, o)
+		prevS, prevO = s, o
+	}
+	return pairs, nil
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.Write(buf[:])
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	writeU32(w, uint32(len(s)))
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("snapshot: implausible term length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

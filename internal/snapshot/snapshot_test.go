@@ -1,0 +1,192 @@
+package snapshot
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"inferray/internal/dictionary"
+	"inferray/internal/rdf"
+	"inferray/internal/store"
+)
+
+func buildFixture() (*dictionary.Dictionary, *store.Store) {
+	d := dictionary.NewWithVocabulary(rdf.VocabularyProperties, rdf.VocabularyResources)
+	p := dictionary.PropIndex(d.EncodeProperty("<p>"))
+	q := dictionary.PropIndex(d.EncodeProperty("<q>"))
+	a := d.EncodeResource("<a>")
+	b := d.EncodeResource("<b>")
+	lit := d.EncodeResource(`"a literal with \n escapes"@en`)
+	st := store.New(d.NumProperties())
+	st.Add(p, a, b)
+	st.Add(p, a, lit)
+	st.Add(p, b, a)
+	st.Add(q, b, lit)
+	st.Normalize()
+	return d, st
+}
+
+func TestRoundTrip(t *testing.T) {
+	d, st := buildFixture()
+	var buf bytes.Buffer
+	if err := Write(&buf, d, st); err != nil {
+		t.Fatal(err)
+	}
+	d2, st2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumProperties() != d.NumProperties() || d2.NumResources() != d.NumResources() {
+		t.Fatal("dictionary sizes changed")
+	}
+	// Every term keeps its ID.
+	d.Properties(func(id uint64, term string) bool {
+		got, ok := d2.Lookup(term)
+		if !ok || got != id {
+			t.Fatalf("property %q: id %d -> %d", term, id, got)
+		}
+		return true
+	})
+	if st2.Size() != st.Size() {
+		t.Fatalf("store size %d -> %d", st.Size(), st2.Size())
+	}
+	st.ForEachTable(func(pidx int, tab *store.Table) bool {
+		if !reflect.DeepEqual(st2.Table(pidx).Pairs(), tab.Pairs()) {
+			t.Fatalf("table %d differs", pidx)
+		}
+		return true
+	})
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := dictionary.New()
+		nProps := 1 + rng.Intn(5)
+		for i := 0; i < nProps; i++ {
+			d.EncodeProperty(randTerm(rng))
+		}
+		nRes := rng.Intn(30)
+		for i := 0; i < nRes; i++ {
+			d.EncodeResource(randTerm(rng))
+		}
+		st := store.New(d.NumProperties())
+		lo, hi := d.ResourceIDRange()
+		for i := 0; i < rng.Intn(80); i++ {
+			if hi == lo {
+				break
+			}
+			st.Add(rng.Intn(nProps),
+				lo+uint64(rng.Intn(int(hi-lo))),
+				lo+uint64(rng.Intn(int(hi-lo))))
+		}
+		st.Normalize()
+
+		var buf bytes.Buffer
+		if err := Write(&buf, d, st); err != nil {
+			return false
+		}
+		d2, st2, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if st2.Size() != st.Size() || d2.NumResources() != d.NumResources() {
+			return false
+		}
+		ok := true
+		st.ForEachTable(func(pidx int, tab *store.Table) bool {
+			t2 := st2.Table(pidx)
+			if t2 == nil || !reflect.DeepEqual(t2.Pairs(), tab.Pairs()) {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randTerm generates unique-ish surface forms, some with non-ASCII.
+func randTerm(rng *rand.Rand) string {
+	const chars = "abcdefghijklmnopqrstuvwxyz0123456789é∀"
+	n := 3 + rng.Intn(20)
+	b := make([]byte, 0, n+2)
+	b = append(b, '<')
+	for i := 0; i < n; i++ {
+		b = append(b, chars[rng.Intn(len(chars))])
+	}
+	b = append(b, byte('0'+rng.Intn(10)), byte('0'+rng.Intn(10)), '>')
+	return string(b)
+}
+
+func TestRejectsCorruptInput(t *testing.T) {
+	d, st := buildFixture()
+	var buf bytes.Buffer
+	if err := Write(&buf, d, st); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad-magic": append([]byte("NOPE"), img[4:]...),
+		"bad-version": func() []byte {
+			c := append([]byte{}, img...)
+			c[4] = 0xFF
+			return c
+		}(),
+		"truncated": img[:len(img)/2],
+	}
+	for name, data := range cases {
+		if _, _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", name)
+		}
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// Dense sequential pairs must compress far below 16 bytes/triple.
+	d := dictionary.New()
+	p := dictionary.PropIndex(d.EncodeProperty("<p>"))
+	st := store.New(1)
+	base := dictionary.PropBase + 1
+	n := 10000
+	for i := 0; i < n; i++ {
+		d.EncodeResource(randFixed(i))
+		st.Add(p, base+uint64(i), base+uint64(i)+1)
+	}
+	st.Normalize()
+	var withTable, withoutTable bytes.Buffer
+	if err := Write(&withTable, d, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&withoutTable, d, store.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	pairBytes := withTable.Len() - withoutTable.Len()
+	if perTriple := float64(pairBytes) / float64(n); perTriple > 8 {
+		t.Errorf("%.1f bytes/triple; delta encoding ineffective (raw is 16)", perTriple)
+	}
+}
+
+func randFixed(i int) string {
+	return "<http://example.org/resource/" + string(rune('a'+i%26)) + itoa(i) + ">"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [12]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,273 @@
+// Package sparql parses a practical subset of SPARQL SELECT queries
+// into the triple-pattern form the query engine evaluates. The paper
+// positions Inferray as the storage-and-inference layer *under* a
+// SPARQL engine (§1: triple stores "support SPARQL, a mature,
+// feature-rich query language"); after materialization every SPARQL
+// basic graph pattern is answerable by plain index scans, which this
+// front-end exposes.
+//
+// Supported: PREFIX declarations, SELECT with a projection list or *,
+// WHERE with a basic graph pattern (triple patterns separated by '.'),
+// the 'a' keyword, IRIs, prefixed names, literals (with language tags
+// and datatypes), variables, and LIMIT. Not supported (rejected):
+// FILTER, OPTIONAL, UNION, GROUP BY, property paths, subqueries.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Query is a parsed SELECT query.
+type Query struct {
+	// Vars is the projection in declaration order; empty means SELECT *
+	// (project every variable in order of first appearance).
+	Vars []string
+	// Patterns is the basic graph pattern; terms are N-Triples surface
+	// forms, with variables as "?name".
+	Patterns [][3]string
+	// Limit bounds the number of solutions; 0 means unlimited.
+	Limit int
+}
+
+// ParseSelect parses a SELECT query.
+func ParseSelect(text string) (*Query, error) {
+	p := &parser{toks: tokenize(text)}
+	q := &Query{}
+	prefixes := map[string]string{}
+
+	for p.peekKeyword("PREFIX") {
+		p.next()
+		label, ok := p.nextPrefixLabel()
+		if !ok {
+			return nil, p.errf("expected prefix label after PREFIX")
+		}
+		iri, ok := p.nextIRI()
+		if !ok {
+			return nil, p.errf("expected IRI after prefix label")
+		}
+		prefixes[label] = iri
+	}
+
+	if !p.peekKeyword("SELECT") {
+		return nil, p.errf("expected SELECT")
+	}
+	p.next()
+	if p.peekTok("*") {
+		p.next()
+	} else {
+		for strings.HasPrefix(p.peek(), "?") {
+			q.Vars = append(q.Vars, strings.TrimPrefix(p.next(), "?"))
+		}
+		if len(q.Vars) == 0 {
+			return nil, p.errf("SELECT needs a projection list or *")
+		}
+	}
+
+	if !p.peekKeyword("WHERE") {
+		return nil, p.errf("expected WHERE")
+	}
+	p.next()
+	if !p.peekTok("{") {
+		return nil, p.errf("expected '{' after WHERE")
+	}
+	p.next()
+
+	for !p.peekTok("}") {
+		var pat [3]string
+		for i := 0; i < 3; i++ {
+			tok := p.next()
+			if tok == "" {
+				return nil, p.errf("unexpected end of query in triple pattern")
+			}
+			term, err := resolveTerm(tok, i == 1, prefixes)
+			if err != nil {
+				return nil, err
+			}
+			pat[i] = term
+		}
+		q.Patterns = append(q.Patterns, pat)
+		if p.peekTok(".") {
+			p.next()
+		}
+	}
+	p.next() // consume '}'
+
+	if p.peekKeyword("LIMIT") {
+		p.next()
+		n := 0
+		if _, err := fmt.Sscanf(p.next(), "%d", &n); err != nil || n < 0 {
+			return nil, p.errf("LIMIT needs a non-negative integer")
+		}
+		q.Limit = n
+	}
+	if tok := p.peek(); tok != "" {
+		return nil, p.errf("unsupported or trailing syntax at %q (FILTER/OPTIONAL/UNION are not supported)", tok)
+	}
+	if len(q.Patterns) == 0 {
+		return nil, p.errf("empty basic graph pattern")
+	}
+	return q, nil
+}
+
+// resolveTerm converts one token into an N-Triples surface form.
+func resolveTerm(tok string, predicatePos bool, prefixes map[string]string) (string, error) {
+	switch {
+	case tok == "a" && predicatePos:
+		return "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>", nil
+	case strings.HasPrefix(tok, "?"):
+		if len(tok) == 1 {
+			return "", fmt.Errorf("sparql: bare '?' is not a variable")
+		}
+		return tok, nil
+	case strings.HasPrefix(tok, "<"):
+		if !strings.HasSuffix(tok, ">") {
+			return "", fmt.Errorf("sparql: unterminated IRI %q", tok)
+		}
+		return tok, nil
+	case strings.HasPrefix(tok, `"`):
+		return tok, nil
+	case strings.HasPrefix(tok, "_:"):
+		return tok, nil
+	default:
+		colon := strings.IndexByte(tok, ':')
+		if colon < 0 {
+			return "", fmt.Errorf("sparql: cannot parse term %q", tok)
+		}
+		ns, ok := prefixes[tok[:colon]]
+		if !ok {
+			return "", fmt.Errorf("sparql: undefined prefix %q", tok[:colon])
+		}
+		return "<" + ns + tok[colon+1:] + ">", nil
+	}
+}
+
+// parser is a simple token cursor.
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) peekTok(s string) bool { return p.peek() == s }
+
+func (p *parser) peekKeyword(kw string) bool {
+	return strings.EqualFold(p.peek(), kw)
+}
+
+func (p *parser) nextPrefixLabel() (string, bool) {
+	t := p.next()
+	if !strings.HasSuffix(t, ":") {
+		return "", false
+	}
+	return strings.TrimSuffix(t, ":"), true
+}
+
+func (p *parser) nextIRI() (string, bool) {
+	t := p.next()
+	if strings.HasPrefix(t, "<") && strings.HasSuffix(t, ">") {
+		return strings.TrimPrefix(strings.TrimSuffix(t, ">"), "<"), true
+	}
+	return "", false
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sparql: %s (near token %d)", fmt.Sprintf(format, args...), p.pos)
+}
+
+// tokenize splits query text into tokens: punctuation ({ } .), IRIs,
+// literals (kept intact with tags/datatypes), and whitespace-separated
+// words. Comments (#) run to end of line.
+func tokenize(text string) []string {
+	var toks []string
+	i := 0
+	n := len(text)
+	for i < n {
+		c := text[i]
+		switch {
+		case c == '#':
+			for i < n && text[i] != '\n' {
+				i++
+			}
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '{' || c == '}':
+			toks = append(toks, string(c))
+			i++
+		case c == '.':
+			toks = append(toks, ".")
+			i++
+		case c == '<':
+			j := strings.IndexByte(text[i:], '>')
+			if j < 0 {
+				toks = append(toks, text[i:])
+				return toks
+			}
+			toks = append(toks, text[i:i+j+1])
+			i += j + 1
+		case c == '"':
+			j := i + 1
+			for j < n {
+				if text[j] == '\\' {
+					j += 2
+					continue
+				}
+				if text[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= n {
+				toks = append(toks, text[i:])
+				return toks
+			}
+			j++ // past closing quote
+			// Attach language tag or datatype.
+			if j < n && text[j] == '@' {
+				for j < n && !unicode.IsSpace(rune(text[j])) && text[j] != '.' && text[j] != '}' {
+					j++
+				}
+			} else if j+1 < n && text[j] == '^' && text[j+1] == '^' {
+				j += 2
+				if j < n && text[j] == '<' {
+					if k := strings.IndexByte(text[j:], '>'); k >= 0 {
+						j += k + 1
+					}
+				}
+			}
+			toks = append(toks, text[i:j])
+			i = j
+		default:
+			j := i
+			for j < n && !unicode.IsSpace(rune(text[j])) &&
+				text[j] != '{' && text[j] != '}' && text[j] != '#' {
+				// A '.' ends a token unless it is inside a prefixed
+				// local name followed by more name characters.
+				if text[j] == '.' {
+					if j+1 >= n || unicode.IsSpace(rune(text[j+1])) || text[j+1] == '}' {
+						break
+					}
+				}
+				j++
+			}
+			toks = append(toks, text[i:j])
+			i = j
+		}
+	}
+	return toks
+}

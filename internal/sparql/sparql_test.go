@@ -1,0 +1,135 @@
+package sparql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBasicSelect(t *testing.T) {
+	q, err := ParseSelect(`
+PREFIX ex: <http://e/>
+SELECT ?who ?org WHERE {
+  ?who ex:memberOf ?org .
+  ?org a ex:Department .
+}
+LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.Vars, []string{"who", "org"}) {
+		t.Fatalf("vars = %v", q.Vars)
+	}
+	want := [][3]string{
+		{"?who", "<http://e/memberOf>", "?org"},
+		{"?org", "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>", "<http://e/Department>"},
+	}
+	if !reflect.DeepEqual(q.Patterns, want) {
+		t.Fatalf("patterns = %v", q.Patterns)
+	}
+	if q.Limit != 10 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q, err := ParseSelect(`SELECT * WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Vars) != 0 {
+		t.Fatal("SELECT * must leave Vars empty")
+	}
+	if len(q.Patterns) != 1 || q.Patterns[0] != [3]string{"?s", "?p", "?o"} {
+		t.Fatalf("patterns = %v", q.Patterns)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q, err := ParseSelect(`
+PREFIX ex: <http://e/>
+SELECT ?x WHERE {
+  ?x ex:name "Alice" .
+  ?x ex:motto "vive la vie"@fr .
+  ?x ex:age "42"^^<http://www.w3.org/2001/XMLSchema#int>
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0][2] != `"Alice"` {
+		t.Errorf("plain literal: %q", q.Patterns[0][2])
+	}
+	if q.Patterns[1][2] != `"vive la vie"@fr` {
+		t.Errorf("lang literal: %q", q.Patterns[1][2])
+	}
+	if q.Patterns[2][2] != `"42"^^<http://www.w3.org/2001/XMLSchema#int>` {
+		t.Errorf("typed literal: %q", q.Patterns[2][2])
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := ParseSelect(`prefix ex: <http://e/>
+select ?x where { ?x a ex:T } limit 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit != 3 || len(q.Patterns) != 1 {
+		t.Fatalf("q = %+v", q)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q, err := ParseSelect(`
+# find everything
+SELECT * WHERE {
+  ?s ?p ?o . # any triple
+}`)
+	if err != nil || len(q.Patterns) != 1 {
+		t.Fatalf("q=%+v err=%v", q, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"no-select":        `WHERE { ?s ?p ?o }`,
+		"no-where":         `SELECT ?s { ?s ?p ?o }`,
+		"empty-bgp":        `SELECT * WHERE { }`,
+		"undefined-prefix": `SELECT * WHERE { ex:a ?p ?o }`,
+		"filter":           `SELECT * WHERE { ?s ?p ?o } FILTER(?s > 3)`,
+		"optional":         `SELECT * WHERE { ?s ?p ?o } OPTIONAL { ?s ?q ?r }`,
+		"bad-limit":        `SELECT * WHERE { ?s ?p ?o } LIMIT many`,
+		"no-projection":    `SELECT WHERE { ?s ?p ?o }`,
+		"dangling-pattern": `SELECT * WHERE { ?s ?p }`,
+	}
+	for name, text := range bad {
+		if _, err := ParseSelect(text); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}
+
+func TestTokenizerLiteralEdgeCases(t *testing.T) {
+	toks := tokenize(`"a \" quote" "x"@en "5"^^<http://t> .`)
+	want := []string{`"a \" quote"`, `"x"@en`, `"5"^^<http://t>`, "."}
+	if !reflect.DeepEqual(toks, want) {
+		t.Fatalf("toks = %q", toks)
+	}
+}
+
+func TestDotVersusDecimalInLocalNames(t *testing.T) {
+	q, err := ParseSelect(`PREFIX ex: <http://e/>
+SELECT * WHERE { ex:a.b ex:p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0][0] != "<http://e/a.b>" {
+		t.Fatalf("dotted local name: %q", q.Patterns[0][0])
+	}
+}
+
+func TestKeywordAOnlyInPredicatePosition(t *testing.T) {
+	_, err := ParseSelect(`SELECT * WHERE { a ?p ?o }`)
+	if err == nil || !strings.Contains(err.Error(), "cannot parse term") {
+		t.Fatalf("'a' in subject position must fail, got %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"runtime"
+	"sync"
+
+	"inferray/internal/sorting"
+)
+
+// MergeRound performs the per-iteration update of Figure 5 for every
+// property that received inferred triples: the inferred table is sorted
+// and deduplicated, then merged into main while the pairs not already in
+// main are collected into the returned delta store ("new" in Algorithm
+// 1). Main's tables remain sorted and duplicate-free; their ⟨o,s⟩ caches
+// are invalidated when new triples arrive (§4.2).
+//
+// Each property is independent, so tables are merged in parallel when
+// parallel is true (§4.3).
+func MergeRound(main, inferred *Store, parallel bool) *Store {
+	main.Grow(len(inferred.tables))
+	delta := New(len(main.tables))
+
+	work := make([]int, 0, len(inferred.tables))
+	for pidx, t := range inferred.tables {
+		if t != nil && !t.Empty() {
+			work = append(work, pidx)
+		}
+	}
+
+	mergeOne := func(pidx int) {
+		inf := sorting.SortPairs(inferred.tables[pidx].RawPairs(), true)
+		mt := main.Ensure(pidx)
+		merged, fresh := mergeSorted(mt.pairs, inf)
+		if len(fresh) == 0 {
+			return
+		}
+		mt.pairs = merged
+		mt.dirty = false
+		mt.osOK = false
+		mt.os = nil
+		dt := &Table{pairs: fresh}
+		delta.tables[pidx] = dt
+	}
+
+	if parallel && len(work) > 1 {
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		for _, pidx := range work {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(pidx int) {
+				defer wg.Done()
+				mergeOne(pidx)
+				<-sem
+			}(pidx)
+		}
+		wg.Wait()
+	} else {
+		for _, pidx := range work {
+			mergeOne(pidx)
+		}
+	}
+	return delta
+}
+
+// mergeSorted merges two ⟨s,o⟩-sorted duplicate-free pair lists. It
+// returns the union (sorted, duplicate-free) and the pairs of inf that
+// were not present in main ("keep new triples & skip duplicates",
+// Figure 5). When inf adds nothing, merged aliases main and fresh is nil.
+func mergeSorted(main, inf []uint64) (merged, fresh []uint64) {
+	if len(inf) == 0 {
+		return main, nil
+	}
+	if len(main) == 0 {
+		return inf, inf
+	}
+	merged = make([]uint64, 0, len(main)+len(inf))
+	fresh = make([]uint64, 0, len(inf))
+	i, j := 0, 0
+	for i < len(main) && j < len(inf) {
+		ms, mo := main[i], main[i+1]
+		is, io := inf[j], inf[j+1]
+		switch {
+		case ms < is || (ms == is && mo < io):
+			merged = append(merged, ms, mo)
+			i += 2
+		case ms == is && mo == io:
+			merged = append(merged, ms, mo)
+			i += 2
+			j += 2
+		default:
+			merged = append(merged, is, io)
+			fresh = append(fresh, is, io)
+			j += 2
+		}
+	}
+	for ; i < len(main); i += 2 {
+		merged = append(merged, main[i], main[i+1])
+	}
+	for ; j < len(inf); j += 2 {
+		merged = append(merged, inf[j], inf[j+1])
+		fresh = append(fresh, inf[j], inf[j+1])
+	}
+	if len(fresh) == 0 {
+		return main, nil
+	}
+	return merged, fresh
+}
+
+// Union merges every table of src into dst (both normalized afterwards).
+// It is a convenience for building stores outside the inference loop.
+func Union(dst, src *Store) {
+	src.ForEachTable(func(pidx int, t *Table) bool {
+		dst.Ensure(pidx).AppendPairs(t.RawPairs())
+		return true
+	})
+	dst.Normalize()
+}

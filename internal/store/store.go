@@ -1,0 +1,283 @@
+// Package store implements Inferray's triple-store layout (§3–4 of the
+// paper): vertical partitioning into one property table per property,
+// each a flat dynamic array of 64-bit ⟨subject, object⟩ pairs kept sorted
+// on ⟨s,o⟩ and free of duplicates, with a lazily materialized ⟨o,s⟩-sorted
+// cache for the joins that need object order. All inference reads are
+// sequential scans or galloping searches over these arrays.
+package store
+
+import (
+	"sync"
+
+	"inferray/internal/sorting"
+)
+
+// Table is one property table: a flat ⟨s,o⟩ pair list. After Normalize
+// the primary list is sorted on ⟨s,o⟩ and duplicate-free; OS() serves the
+// ⟨o,s⟩-sorted view, built on demand and invalidated by any mutation
+// (the paper's clearable cache).
+type Table struct {
+	pairs []uint64
+	os    []uint64 // cache: pairs re-ordered as (o,s), sorted
+	osOK  bool
+	dirty bool // true when unsorted appends are pending
+
+	osMu sync.Mutex // guards lazy construction of os (rules run in parallel)
+}
+
+// Append adds one pair. The table becomes dirty until Normalize.
+func (t *Table) Append(s, o uint64) {
+	t.pairs = append(t.pairs, s, o)
+	t.dirty = true
+	t.osOK = false
+}
+
+// AppendPairs bulk-adds a flat pair list.
+func (t *Table) AppendPairs(pairs []uint64) {
+	if len(pairs) == 0 {
+		return
+	}
+	t.pairs = append(t.pairs, pairs...)
+	t.dirty = true
+	t.osOK = false
+}
+
+// SetPairs replaces the table contents with an owned, unsorted pair list.
+func (t *Table) SetPairs(pairs []uint64) {
+	t.pairs = pairs
+	t.dirty = true
+	t.osOK = false
+}
+
+// Normalize sorts the primary list on ⟨s,o⟩ and removes duplicates using
+// the operating-range sort selector (§5.4). It is a no-op on clean tables.
+func (t *Table) Normalize() {
+	if !t.dirty {
+		return
+	}
+	t.pairs = sorting.SortPairs(t.pairs, true)
+	t.dirty = false
+}
+
+// Pairs returns the ⟨s,o⟩-sorted pair list. The table must be normalized.
+func (t *Table) Pairs() []uint64 {
+	if t.dirty {
+		panic("store: Pairs on dirty table; call Normalize first")
+	}
+	return t.pairs
+}
+
+// RawPairs returns the pair list without asserting sortedness (loaders
+// and mergers use it).
+func (t *Table) RawPairs() []uint64 { return t.pairs }
+
+// Size returns the number of pairs.
+func (t *Table) Size() int { return len(t.pairs) / 2 }
+
+// Empty reports whether the table holds no pairs.
+func (t *Table) Empty() bool { return len(t.pairs) == 0 }
+
+// OS returns the ⟨o,s⟩-sorted view: a flat pair list whose even indices
+// are objects and odd indices subjects, sorted on ⟨o,s⟩. It is computed
+// lazily and cached until the table changes (§4.2).
+func (t *Table) OS() []uint64 {
+	if t.dirty {
+		panic("store: OS on dirty table; call Normalize first")
+	}
+	t.osMu.Lock()
+	defer t.osMu.Unlock()
+	if !t.osOK {
+		os := make([]uint64, len(t.pairs))
+		for i := 0; i < len(t.pairs); i += 2 {
+			os[i] = t.pairs[i+1]
+			os[i+1] = t.pairs[i]
+		}
+		t.os = sorting.SortPairs(os, false)
+		t.osOK = true
+	}
+	return t.os
+}
+
+// DropOSCache releases the ⟨o,s⟩ cache (the paper clears it under memory
+// pressure; benchmarks use it for the cache ablation).
+func (t *Table) DropOSCache() {
+	t.os = nil
+	t.osOK = false
+}
+
+// SubjectRun returns the half-open pair-index range [lo, hi) of pairs
+// whose subject equals s. The table must be normalized.
+func (t *Table) SubjectRun(s uint64) (lo, hi int) {
+	return pairRun(t.Pairs(), s)
+}
+
+// ObjectRun returns the half-open pair-index range [lo, hi) in the OS
+// view of pairs whose object equals o.
+func (t *Table) ObjectRun(o uint64) (lo, hi int) {
+	return pairRun(t.OS(), o)
+}
+
+// Contains reports whether the pair (s, o) is present.
+func (t *Table) Contains(s, o uint64) bool {
+	p := t.Pairs()
+	lo, hi := pairRun(p, s)
+	for i := lo; i < hi; i++ {
+		if p[2*i+1] == o {
+			return true
+		}
+		if p[2*i+1] > o {
+			return false
+		}
+	}
+	return false
+}
+
+// pairRun binary-searches a key-sorted flat pair list for the run of
+// pairs whose key (even index) equals k, returned as pair indices.
+func pairRun(pairs []uint64, k uint64) (lo, hi int) {
+	n := len(pairs) / 2
+	lo = lowerBound(pairs, n, k)
+	hi = lo
+	for hi < n && pairs[2*hi] == k {
+		hi++
+	}
+	return lo, hi
+}
+
+// lowerBound returns the first pair index whose key is >= k.
+func lowerBound(pairs []uint64, n int, k uint64) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pairs[2*mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Store is a set of property tables indexed by dense property index
+// (dictionary.PropIndex). A nil entry means the property has no triples.
+type Store struct {
+	tables []*Table
+}
+
+// New creates a store sized for the given number of properties; it grows
+// automatically when later properties appear.
+func New(numProps int) *Store {
+	return &Store{tables: make([]*Table, numProps)}
+}
+
+// Grow ensures the store can index at least numProps properties.
+func (st *Store) Grow(numProps int) {
+	for len(st.tables) < numProps {
+		st.tables = append(st.tables, nil)
+	}
+}
+
+// NumSlots returns the size of the property-table index space.
+func (st *Store) NumSlots() int { return len(st.tables) }
+
+// Table returns the table at a property index, or nil.
+func (st *Store) Table(pidx int) *Table {
+	if pidx < 0 || pidx >= len(st.tables) {
+		return nil
+	}
+	return st.tables[pidx]
+}
+
+// Ensure returns the table at a property index, creating it if missing.
+func (st *Store) Ensure(pidx int) *Table {
+	st.Grow(pidx + 1)
+	if st.tables[pidx] == nil {
+		st.tables[pidx] = &Table{}
+	}
+	return st.tables[pidx]
+}
+
+// Add appends one triple by property index.
+func (st *Store) Add(pidx int, s, o uint64) {
+	st.Ensure(pidx).Append(s, o)
+}
+
+// Normalize normalizes every table.
+func (st *Store) Normalize() {
+	for _, t := range st.tables {
+		if t != nil {
+			t.Normalize()
+		}
+	}
+}
+
+// Size returns the total number of triples.
+func (st *Store) Size() int {
+	n := 0
+	for _, t := range st.tables {
+		if t != nil {
+			n += t.Size()
+		}
+	}
+	return n
+}
+
+// Empty reports whether the store holds no triples.
+func (st *Store) Empty() bool { return st.Size() == 0 }
+
+// ForEachTable calls fn for every non-empty property table.
+func (st *Store) ForEachTable(fn func(pidx int, t *Table) bool) {
+	for i, t := range st.tables {
+		if t != nil && !t.Empty() {
+			if !fn(i, t) {
+				return
+			}
+		}
+	}
+}
+
+// ForEach calls fn for every triple in table order.
+func (st *Store) ForEach(fn func(pidx int, s, o uint64) bool) {
+	for i, t := range st.tables {
+		if t == nil {
+			continue
+		}
+		p := t.RawPairs()
+		for j := 0; j < len(p); j += 2 {
+			if !fn(i, p[j], p[j+1]) {
+				return
+			}
+		}
+	}
+}
+
+// Contains reports whether the triple is present (tables must be
+// normalized).
+func (st *Store) Contains(pidx int, s, o uint64) bool {
+	t := st.Table(pidx)
+	return t != nil && !t.Empty() && t.Contains(s, o)
+}
+
+// DropOSCaches releases every table's ⟨o,s⟩ cache (the paper clears
+// these under memory pressure, §4.2).
+func (st *Store) DropOSCaches() {
+	for _, t := range st.tables {
+		if t != nil {
+			t.DropOSCache()
+		}
+	}
+}
+
+// Clone returns a deep copy of the store (used by tests and baselines).
+func (st *Store) Clone() *Store {
+	c := New(len(st.tables))
+	for i, t := range st.tables {
+		if t == nil {
+			continue
+		}
+		nt := &Table{dirty: t.dirty}
+		nt.pairs = append(make([]uint64, 0, len(t.pairs)), t.pairs...)
+		c.tables[i] = nt
+	}
+	return c
+}

@@ -1,0 +1,244 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"inferray/internal/sorting"
+)
+
+func TestTableNormalizeSortsAndDedups(t *testing.T) {
+	var tab Table
+	tab.Append(5, 1)
+	tab.Append(3, 2)
+	tab.Append(5, 1)
+	tab.Append(3, 1)
+	tab.Normalize()
+	want := []uint64{3, 1, 3, 2, 5, 1}
+	if !reflect.DeepEqual(tab.Pairs(), want) {
+		t.Fatalf("got %v want %v", tab.Pairs(), want)
+	}
+	if tab.Size() != 3 {
+		t.Fatalf("size %d want 3", tab.Size())
+	}
+}
+
+func TestTablePanicsOnDirtyRead(t *testing.T) {
+	var tab Table
+	tab.Append(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pairs on a dirty table must panic")
+		}
+	}()
+	tab.Pairs()
+}
+
+func TestTableOSViewLazyAndInvalidated(t *testing.T) {
+	var tab Table
+	tab.AppendPairs([]uint64{1, 9, 2, 8, 3, 7})
+	tab.Normalize()
+	os := tab.OS()
+	want := []uint64{7, 3, 8, 2, 9, 1}
+	if !reflect.DeepEqual(os, want) {
+		t.Fatalf("OS view %v want %v", os, want)
+	}
+	// Same backing array until invalidated.
+	if &tab.OS()[0] != &os[0] {
+		t.Fatal("OS view must be cached")
+	}
+	tab.Append(0, 99)
+	tab.Normalize()
+	os2 := tab.OS()
+	if len(os2) != 8 || os2[len(os2)-2] != 99 {
+		t.Fatalf("OS cache not rebuilt after mutation: %v", os2)
+	}
+}
+
+func TestTableRuns(t *testing.T) {
+	var tab Table
+	tab.AppendPairs([]uint64{1, 5, 2, 1, 2, 4, 2, 9, 7, 0})
+	tab.Normalize()
+	lo, hi := tab.SubjectRun(2)
+	if lo != 1 || hi != 4 {
+		t.Fatalf("SubjectRun(2) = [%d,%d), want [1,4)", lo, hi)
+	}
+	lo, hi = tab.SubjectRun(3)
+	if lo != hi {
+		t.Fatal("absent subject must give empty run")
+	}
+	lo, hi = tab.ObjectRun(4)
+	if hi-lo != 1 {
+		t.Fatalf("ObjectRun(4) width %d, want 1", hi-lo)
+	}
+	if !tab.Contains(2, 4) || tab.Contains(2, 5) || tab.Contains(9, 9) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestStoreEnsureGrowAndSize(t *testing.T) {
+	st := New(2)
+	st.Add(0, 1, 2)
+	st.Add(5, 3, 4) // beyond initial size: must grow
+	st.Normalize()
+	if st.NumSlots() < 6 {
+		t.Fatalf("slots %d, want >= 6", st.NumSlots())
+	}
+	if st.Size() != 2 {
+		t.Fatalf("size %d, want 2", st.Size())
+	}
+	if st.Table(1) != nil {
+		t.Fatal("untouched slot must stay nil")
+	}
+	if !st.Contains(5, 3, 4) || st.Contains(5, 4, 3) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestStoreForEachOrder(t *testing.T) {
+	st := New(3)
+	st.Add(2, 10, 11)
+	st.Add(0, 1, 2)
+	st.Normalize()
+	var got [][3]uint64
+	st.ForEach(func(pidx int, s, o uint64) bool {
+		got = append(got, [3]uint64{uint64(pidx), s, o})
+		return true
+	})
+	want := [][3]uint64{{0, 1, 2}, {2, 10, 11}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestStoreClone(t *testing.T) {
+	st := New(1)
+	st.Add(0, 1, 2)
+	st.Normalize()
+	c := st.Clone()
+	c.Add(0, 3, 4)
+	c.Normalize()
+	if st.Size() != 1 || c.Size() != 2 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+// TestMergeRoundFigure5 replays the exact example of Figure 5:
+// main = (1,1)(1,2)(1,8)(9,7) [as one property table's s,o pairs],
+// inferred = (1,2)(1,6)(4,3)(3,7)(1,2); after the round main must be the
+// union and new must hold exactly the pairs not previously in main.
+func TestMergeRoundFigure5(t *testing.T) {
+	main := New(1)
+	main.Ensure(0).AppendPairs([]uint64{1, 1, 1, 2, 1, 8, 9, 7})
+	main.Normalize()
+
+	inferred := New(1)
+	inferred.Ensure(0).AppendPairs([]uint64{1, 2, 4, 3, 1, 6, 3, 7, 1, 2})
+
+	delta := MergeRound(main, inferred, false)
+
+	wantMain := []uint64{1, 1, 1, 2, 1, 6, 1, 8, 3, 7, 4, 3, 9, 7}
+	if !reflect.DeepEqual(main.Table(0).Pairs(), wantMain) {
+		t.Fatalf("main after merge = %v, want %v", main.Table(0).Pairs(), wantMain)
+	}
+	wantNew := []uint64{1, 6, 3, 7, 4, 3}
+	if !reflect.DeepEqual(delta.Table(0).Pairs(), wantNew) {
+		t.Fatalf("new = %v, want %v", delta.Table(0).Pairs(), wantNew)
+	}
+}
+
+func TestMergeRoundEmptyDelta(t *testing.T) {
+	main := New(1)
+	main.Ensure(0).AppendPairs([]uint64{1, 2})
+	main.Normalize()
+	inferred := New(1)
+	inferred.Ensure(0).AppendPairs([]uint64{1, 2}) // pure duplicate
+	delta := MergeRound(main, inferred, false)
+	if delta.Size() != 0 {
+		t.Fatalf("delta size %d, want 0", delta.Size())
+	}
+	if main.Size() != 1 {
+		t.Fatal("main must be unchanged")
+	}
+}
+
+// TestMergeRoundQuick: for random main/inferred contents, merging must
+// equal the map-based oracle, sequentially and in parallel.
+func TestMergeRoundQuick(t *testing.T) {
+	f := func(seed int64, parallel bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProps := 1 + rng.Intn(4)
+		main := New(nProps)
+		inferred := New(nProps)
+		oracleMain := map[[3]uint64]bool{}
+		for i := 0; i < rng.Intn(60); i++ {
+			p, s, o := rng.Intn(nProps), uint64(rng.Intn(9)), uint64(rng.Intn(9))
+			main.Add(p, s, o)
+			oracleMain[[3]uint64{uint64(p), s, o}] = true
+		}
+		main.Normalize()
+		oracleNew := map[[3]uint64]bool{}
+		for i := 0; i < rng.Intn(60); i++ {
+			p, s, o := rng.Intn(nProps), uint64(rng.Intn(9)), uint64(rng.Intn(9))
+			inferred.Add(p, s, o)
+			k := [3]uint64{uint64(p), s, o}
+			if !oracleMain[k] {
+				oracleNew[k] = true
+			}
+		}
+		delta := MergeRound(main, inferred, parallel)
+
+		gotNew := map[[3]uint64]bool{}
+		delta.ForEach(func(pidx int, s, o uint64) bool {
+			gotNew[[3]uint64{uint64(pidx), s, o}] = true
+			return true
+		})
+		if !reflect.DeepEqual(gotNew, oracleNew) {
+			return false
+		}
+		// Main must now contain both sets, sorted and deduplicated.
+		want := len(oracleMain) + len(oracleNew)
+		if main.Size() != want {
+			return false
+		}
+		ok := true
+		main.ForEachTable(func(pidx int, tab *Table) bool {
+			if !sorting.IsSortedPairs(tab.Pairs()) {
+				ok = false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionHelper(t *testing.T) {
+	a := New(1)
+	a.Ensure(0).AppendPairs([]uint64{1, 2})
+	a.Normalize()
+	b := New(2)
+	b.Ensure(0).AppendPairs([]uint64{1, 2, 3, 4})
+	b.Ensure(1).AppendPairs([]uint64{5, 6})
+	b.Normalize()
+	Union(a, b)
+	if a.Size() != 3 {
+		t.Fatalf("union size %d, want 3", a.Size())
+	}
+}
+
+func TestDropOSCache(t *testing.T) {
+	var tab Table
+	tab.AppendPairs([]uint64{1, 2, 3, 4})
+	tab.Normalize()
+	_ = tab.OS()
+	tab.DropOSCache()
+	os := tab.OS() // must rebuild, not panic
+	if len(os) != 4 {
+		t.Fatal("OS rebuild after drop failed")
+	}
+}

@@ -1,0 +1,147 @@
+package inferray
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"inferray/internal/query"
+	"inferray/internal/snapshot"
+	"inferray/internal/sparql"
+)
+
+// Query evaluates a basic graph pattern — a conjunction of triple
+// patterns — over the store (run Materialize first to query the
+// closure). Pattern terms starting with '?' are variables; anything
+// else is an N-Triples surface form. Each solution binds every variable
+// name to a surface form.
+//
+//	rows, err := r.Query(
+//	    [3]string{"?prof", "<worksFor>", "?dept"},
+//	    [3]string{"?dept", "<subOrganizationOf>", "<Univ0>"},
+//	)
+func (r *Reasoner) Query(patterns ...[3]string) ([]map[string]string, error) {
+	var rows []map[string]string
+	err := r.QueryFunc(func(row map[string]string) bool {
+		rows = append(rows, row)
+		return true
+	}, patterns...)
+	return rows, err
+}
+
+// QueryFunc is the streaming form of Query; fn may return false to stop.
+func (r *Reasoner) QueryFunc(fn func(row map[string]string) bool, patterns ...[3]string) error {
+	if len(patterns) == 0 {
+		return fmt.Errorf("inferray: empty pattern list")
+	}
+	varSlots := map[string]int{}
+	var varNames []string
+	unknownConst := false
+
+	term := func(raw string) query.Term {
+		if strings.HasPrefix(raw, "?") {
+			name := raw[1:]
+			if name == "" {
+				name = fmt.Sprintf("_anon%d", len(varNames))
+			}
+			slot, ok := varSlots[name]
+			if !ok {
+				slot = len(varNames)
+				varSlots[name] = slot
+				varNames = append(varNames, name)
+			}
+			return query.Var(slot)
+		}
+		id, ok := r.engine.Dict.Lookup(raw)
+		if !ok {
+			unknownConst = true
+		}
+		return query.Const(id)
+	}
+
+	qp := make([]query.Pattern, len(patterns))
+	for i, p := range patterns {
+		qp[i] = query.Pattern{S: term(p[0]), P: term(p[1]), O: term(p[2])}
+	}
+	if len(varNames) > 64 {
+		return fmt.Errorf("inferray: more than 64 distinct variables")
+	}
+	if unknownConst {
+		return nil // a constant not in the dictionary can match nothing
+	}
+
+	eng := &query.Engine{St: r.engine.Main}
+	return eng.Solve(qp, len(varNames), func(row []uint64) bool {
+		out := make(map[string]string, len(varNames))
+		for i, name := range varNames {
+			out[name] = r.engine.Dict.MustDecode(row[i])
+		}
+		return fn(out)
+	})
+}
+
+// QueryCount returns the number of solutions without materializing them.
+func (r *Reasoner) QueryCount(patterns ...[3]string) (int, error) {
+	n := 0
+	err := r.QueryFunc(func(map[string]string) bool {
+		n++
+		return true
+	}, patterns...)
+	return n, err
+}
+
+// SaveSnapshot writes the dictionary and store (closure, after
+// Materialize) as a compact binary image — the paper's off-line
+// materialization workflow: infer once, persist, serve without the
+// engine.
+func (r *Reasoner) SaveSnapshot(w io.Writer) error {
+	r.engine.Main.Normalize()
+	return snapshot.Write(w, r.engine.Dict, r.engine.Main)
+}
+
+// LoadSnapshot restores a reasoner from a snapshot image. The restored
+// reasoner can be queried immediately, extended with Add, and
+// re-materialized.
+func LoadSnapshot(src io.Reader, opts ...Option) (*Reasoner, error) {
+	d, st, err := snapshot.Read(src)
+	if err != nil {
+		return nil, err
+	}
+	r := New(opts...)
+	if err := r.engine.RestoreState(d, st); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Select parses and evaluates a SPARQL SELECT query (the subset
+// documented at internal/sparql: PREFIX, SELECT list or *, a basic
+// graph pattern, LIMIT) against the store. Each solution maps the
+// projected variable names to surface forms.
+func (r *Reasoner) Select(queryText string) ([]map[string]string, error) {
+	q, err := sparql.ParseSelect(queryText)
+	if err != nil {
+		return nil, err
+	}
+	var rows []map[string]string
+	patterns := make([][3]string, len(q.Patterns))
+	copy(patterns, q.Patterns)
+	err = r.QueryFunc(func(row map[string]string) bool {
+		if len(q.Vars) > 0 {
+			projected := make(map[string]string, len(q.Vars))
+			for _, v := range q.Vars {
+				if val, ok := row[v]; ok {
+					projected[v] = val
+				}
+			}
+			rows = append(rows, projected)
+		} else {
+			rows = append(rows, row)
+		}
+		return q.Limit == 0 || len(rows) < q.Limit
+	}, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,207 @@
+package inferray_test
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"inferray"
+)
+
+func universityFixture(t *testing.T) *inferray.Reasoner {
+	t.Helper()
+	r := inferray.New(inferray.WithFragment(inferray.RDFSPlus))
+	add := func(s, p, o string) {
+		if err := r.Add(s, p, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("<subOrgOf>", inferray.Type, inferray.TransitiveProperty)
+	add("<worksFor>", inferray.SubPropertyOf, "<memberOf>")
+	add("<GroupA>", "<subOrgOf>", "<DeptCS>")
+	add("<DeptCS>", "<subOrgOf>", "<Univ0>")
+	add("<alice>", "<worksFor>", "<DeptCS>")
+	add("<bob>", "<worksFor>", "<GroupA>")
+	add("<alice>", inferray.Type, "<Professor>")
+	add("<Professor>", inferray.SubClassOf, "<Person>")
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestQuerySinglePattern(t *testing.T) {
+	r := universityFixture(t)
+	rows, err := r.Query([3]string{"?x", inferray.Type, "<Person>"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["x"] != "<alice>" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestQueryJoin(t *testing.T) {
+	r := universityFixture(t)
+	// Who is a member of something that is (transitively) part of Univ0?
+	rows, err := r.Query(
+		[3]string{"?who", "<memberOf>", "?org"},
+		[3]string{"?org", "<subOrgOf>", "<Univ0>"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var who []string
+	for _, row := range rows {
+		who = append(who, row["who"])
+	}
+	sort.Strings(who)
+	want := []string{"<alice>", "<bob>"}
+	if len(who) != 2 || who[0] != want[0] || who[1] != want[1] {
+		t.Fatalf("who = %v, want %v", who, want)
+	}
+}
+
+func TestQueryVariablePredicate(t *testing.T) {
+	r := universityFixture(t)
+	n, err := r.QueryCount([3]string{"<alice>", "?p", "?o"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice: worksFor DeptCS, memberOf DeptCS, type Professor, type Person.
+	if n != 4 {
+		t.Fatalf("alice has %d facts, want 4", n)
+	}
+}
+
+func TestQueryUnknownConstant(t *testing.T) {
+	r := universityFixture(t)
+	rows, err := r.Query([3]string{"?x", inferray.Type, "<NeverSeen>"})
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+}
+
+func TestQueryEmptyPatternsRejected(t *testing.T) {
+	r := universityFixture(t)
+	if _, err := r.Query(); err == nil {
+		t.Fatal("empty pattern list accepted")
+	}
+}
+
+func TestQueryFuncEarlyStop(t *testing.T) {
+	r := universityFixture(t)
+	n := 0
+	err := r.QueryFunc(func(map[string]string) bool {
+		n++
+		return false
+	}, [3]string{"?s", "?p", "?o"})
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestSnapshotRoundTripThroughFacade(t *testing.T) {
+	r := universityFixture(t)
+	var buf bytes.Buffer
+	if err := r.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := inferray.LoadSnapshot(bytes.NewReader(buf.Bytes()),
+		inferray.WithFragment(inferray.RDFSPlus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Size() != r.Size() {
+		t.Fatalf("restored size %d, want %d", r2.Size(), r.Size())
+	}
+	// Queries work immediately on the restored store.
+	if !r2.Holds("<alice>", inferray.Type, "<Person>") {
+		t.Fatal("restored store lost an inferred triple")
+	}
+	n, err := r2.QueryCount([3]string{"?s", "?p", "?o"})
+	if err != nil || n != r.Size() {
+		t.Fatalf("restored query count %d (err %v), want %d", n, err, r.Size())
+	}
+	// The restored reasoner remains usable: add + re-materialize.
+	if err := r2.Add("<GroupA>", "<subOrgOf>", "<Campus>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Holds("<GroupA>", "<subOrgOf>", "<Campus>") {
+		t.Fatal("restored reasoner cannot extend")
+	}
+}
+
+func TestSnapshotIsFixpoint(t *testing.T) {
+	r := universityFixture(t)
+	var buf bytes.Buffer
+	if err := r.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := inferray.LoadSnapshot(bytes.NewReader(buf.Bytes()),
+		inferray.WithFragment(inferray.RDFSPlus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r2.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InferredTriples != 0 {
+		t.Fatalf("restored closure re-derived %d triples", stats.InferredTriples)
+	}
+}
+
+func TestSelectSPARQL(t *testing.T) {
+	r := universityFixture(t)
+	rows, err := r.Select(`
+SELECT ?who ?org WHERE {
+  ?who <memberOf> ?org .
+  ?org <subOrgOf> <Univ0>
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, row := range rows {
+		if len(row) != 2 || row["who"] == "" || row["org"] == "" {
+			t.Fatalf("projection wrong: %v", row)
+		}
+	}
+}
+
+func TestSelectStarAndLimit(t *testing.T) {
+	r := universityFixture(t)
+	rows, err := r.Select(`SELECT * WHERE { ?s ?p ?o } LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("limit ignored: %d rows", len(rows))
+	}
+}
+
+func TestSelectSyntaxError(t *testing.T) {
+	r := universityFixture(t)
+	if _, err := r.Select(`SELECT WHERE`); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestSelectWithPrefixAndA(t *testing.T) {
+	r := universityFixture(t)
+	rows, err := r.Select(`
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?x WHERE { ?x a <Person> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["x"] != "<alice>" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
