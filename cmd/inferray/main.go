@@ -6,9 +6,17 @@
 //
 //	inferray -rules rdfs-plus -in data.nt -out closure.nt
 //	cat data.ttl | inferray -format turtle -rules rhodf > closure.nt
+//	inferray -in base.nt -delta day1.nt -delta day2.nt -stats > closure.nt
+//
+// Each -delta file (repeatable, applied in order) is loaded after the
+// initial materialization and materialized incrementally: the fixpoint
+// is seeded with only the new triples, and the final output is the
+// closure of the union — identical to concatenating all inputs, but
+// without recomputing the already-derived closure.
 //
 // With -stats, run statistics (input/inferred counts, iteration count,
-// stage timings) are printed to stderr.
+// rules fired/skipped by the dependency scheduler, stage timings) are
+// printed to stderr, one line per materialization.
 package main
 
 import (
@@ -28,10 +36,20 @@ func main() {
 	}
 }
 
+// multiFlag collects a repeatable string flag in order.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 // run executes the CLI with explicit streams so tests can drive it.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("inferray", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	var deltas multiFlag
 	var (
 		rulesFlag = fs.String("rules", "rdfs-default", "rule fragment: rhodf | rdfs-default | rdfs-full | rdfs-plus | rdfs-plus-full")
 		inFlag    = fs.String("in", "-", "input file ('-' for stdin)")
@@ -42,6 +60,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		quiet     = fs.Bool("quiet", false, "suppress triple output (measure only)")
 		selectQ   = fs.String("select", "", "run a SPARQL SELECT query over the closure instead of dumping triples")
 	)
+	fs.Var(&deltas, "delta", "delta file to load and materialize incrementally after the initial run (repeatable, applied in order)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,39 +80,71 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		in = f
 	}
 
-	useTurtle := false
-	switch *format {
-	case "turtle", "ttl":
-		useTurtle = true
-	case "nt", "ntriples", "":
-		if *format == "" && (strings.HasSuffix(*inFlag, ".ttl") || strings.HasSuffix(*inFlag, ".turtle")) {
-			useTurtle = true
+	isTurtle := func(path string) (bool, error) {
+		switch *format {
+		case "turtle", "ttl":
+			return true, nil
+		case "nt", "ntriples":
+			return false, nil
+		case "":
+			return strings.HasSuffix(path, ".ttl") || strings.HasSuffix(path, ".turtle"), nil
 		}
-	default:
-		return fmt.Errorf("unknown format %q", *format)
+		return false, fmt.Errorf("unknown format %q", *format)
+	}
+	if _, err := isTurtle(""); err != nil {
+		return err
 	}
 
 	r := inferray.New(
 		inferray.WithFragment(fragment),
 		inferray.WithParallelism(!*seq),
 	)
-	if useTurtle {
-		err = r.LoadTurtle(in)
-	} else {
-		err = r.LoadNTriples(in)
+	load := func(src io.Reader, path string) error {
+		turtle, err := isTurtle(path)
+		if err != nil {
+			return err
+		}
+		if turtle {
+			return r.LoadTurtle(src)
+		}
+		return r.LoadNTriples(src)
 	}
-	if err != nil {
+	printStats := func(st inferray.Stats, batch string) {
+		if !*stats {
+			return
+		}
+		fmt.Fprintf(stderr,
+			"fragment=%s batch=%s incremental=%t input=%d inferred=%d total=%d iterations=%d fired=%d skipped=%d closure=%s loop=%s total=%s\n",
+			fragment, batch, st.Incremental, st.InputTriples, st.InferredTriples,
+			st.TotalTriples, st.Iterations, st.RulesFired, st.RulesSkipped,
+			st.ClosureTime, st.LoopTime, st.TotalTime)
+	}
+
+	if err := load(in, *inFlag); err != nil {
 		return err
 	}
 	st, err := r.Materialize()
 	if err != nil {
 		return err
 	}
-	if *stats {
-		fmt.Fprintf(stderr,
-			"fragment=%s input=%d inferred=%d total=%d iterations=%d closure=%s loop=%s total=%s\n",
-			fragment, st.InputTriples, st.InferredTriples, st.TotalTriples,
-			st.Iterations, st.ClosureTime, st.LoopTime, st.TotalTime)
+	printStats(st, "initial")
+
+	// Each delta file extends the closure incrementally.
+	for _, path := range deltas {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = load(f, path)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		st, err := r.Materialize()
+		if err != nil {
+			return err
+		}
+		printStats(st, path)
 	}
 	if *selectQ != "" {
 		rows, err := r.Select(*selectQ)

@@ -113,3 +113,54 @@ func TestCLISelectQuery(t *testing.T) {
 		t.Fatalf("select output wrong:\n%s", out)
 	}
 }
+
+// TestCLIDeltaFlag: a base file plus two -delta files must produce the
+// same closure as concatenating everything into one input, and the
+// delta batches must report incremental materializations.
+func TestCLIDeltaFlag(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.nt")
+	d1 := filepath.Join(dir, "day1.nt")
+	d2 := filepath.Join(dir, "day2.nt")
+	writeFile := func(path, data string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(base, "<a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <b> .\n")
+	writeFile(d1, "<b> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <c> .\n")
+	writeFile(d2, "<x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <a> .\n")
+
+	out, errOut, err := runCLI(t, []string{"-in", base, "-delta", d1, "-delta", d2, "-stats"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, _, err := runCLI(t, nil, sampleNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLines := strings.Split(strings.TrimSpace(out), "\n")
+	wantLines := strings.Split(strings.TrimSpace(oneShot), "\n")
+	got := map[string]bool{}
+	for _, l := range gotLines {
+		got[l] = true
+	}
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("delta closure has %d triples, one-shot %d\n%s", len(gotLines), len(wantLines), out)
+	}
+	for _, l := range wantLines {
+		if !got[l] {
+			t.Errorf("delta closure missing %q", l)
+		}
+	}
+	if !strings.Contains(errOut, "batch=initial incremental=false") {
+		t.Errorf("missing initial stats line: %s", errOut)
+	}
+	if !strings.Contains(errOut, "incremental=true") {
+		t.Errorf("delta batches did not run incrementally: %s", errOut)
+	}
+	if strings.Count(errOut, "\n") != 3 {
+		t.Errorf("expected 3 stats lines, got: %s", errOut)
+	}
+}

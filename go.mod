@@ -1,0 +1,3 @@
+module inferray
+
+go 1.24

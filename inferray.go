@@ -94,13 +94,16 @@ func WithLowMemory(on bool) Option {
 	return func(o *reasoner.Options) { o.LowMemory = on }
 }
 
-// Reasoner is a one-shot materialization engine: load triples with Add /
-// AddTriples / LoadNTriples, run Materialize once, then query the closure
-// with Holds / Triples / WriteNTriples.
+// Reasoner is a long-lived materialization engine: load triples with
+// Add / AddTriples / LoadNTriples, run Materialize, then query the
+// closure with Holds / Triples / WriteNTriples. Materialize is
+// re-entrant: triples added afterwards are staged as a delta, and the
+// next Materialize extends the closure incrementally from only the new
+// triples — the result is always identical to rematerializing the union
+// from scratch.
 type Reasoner struct {
-	engine       *reasoner.Engine
-	pending      []rdf.Triple
-	materialized bool
+	engine  *reasoner.Engine
+	pending []rdf.Triple
 }
 
 // New creates a reasoner.
@@ -149,15 +152,20 @@ func (r *Reasoner) LoadTurtle(src io.Reader) error {
 }
 
 // Materialize computes the closure of everything added so far under the
-// configured fragment. It may be called again after adding more triples;
-// each call recomputes the fixpoint over the union.
+// configured fragment. The first call runs the full Algorithm 1 of the
+// paper; subsequent calls seed the fixpoint with only the triples added
+// since (Stats.Incremental is set), guaranteed equivalent to a full
+// rematerialization over the union. Calling it with nothing new staged
+// is a cheap no-op.
 func (r *Reasoner) Materialize() (Stats, error) {
 	r.engine.LoadTriples(r.pending)
 	r.pending = r.pending[:0]
-	stats := r.engine.Materialize()
-	r.materialized = true
-	return stats, nil
+	return r.engine.Materialize(), nil
 }
+
+// Pending returns how many added triples are staged for the next
+// Materialize call.
+func (r *Reasoner) Pending() int { return len(r.pending) }
 
 // Size returns the number of distinct triples currently stored
 // (including inferred ones after Materialize).

@@ -88,11 +88,67 @@ func TestIncrementalAddThenRematerialize(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustAdd(t, r, "<b>", inferray.SubClassOf, "<c>")
-	if _, err := r.Materialize(); err != nil {
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", r.Pending())
+	}
+	st, err := r.Materialize()
+	if err != nil {
 		t.Fatal(err)
+	}
+	if !st.Incremental {
+		t.Fatal("second materialization must run incrementally")
 	}
 	if !r.Holds("<a>", inferray.SubClassOf, "<c>") {
 		t.Fatal("second materialization missed the new chain link")
+	}
+
+	// The incremental closure must equal a one-shot closure of the union.
+	oneShot := inferray.New(inferray.WithFragment(inferray.RDFSDefault))
+	mustAdd(t, oneShot, "<a>", inferray.SubClassOf, "<b>")
+	mustAdd(t, oneShot, "<b>", inferray.SubClassOf, "<c>")
+	if _, err := oneShot.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if oneShot.Size() != r.Size() {
+		t.Fatalf("incremental size %d != one-shot size %d", r.Size(), oneShot.Size())
+	}
+	for _, tr := range oneShot.AllTriples() {
+		if !r.Holds(tr.S, tr.P, tr.O) {
+			t.Fatalf("incremental closure missing ⟨%s %s %s⟩", tr.S, tr.P, tr.O)
+		}
+	}
+}
+
+// TestSnapshotAfterPromotion: a reasoner whose dictionary tombstoned a
+// resource slot (a term later revealed to be a property) must still
+// snapshot and restore losslessly.
+func TestSnapshotAfterPromotion(t *testing.T) {
+	r := inferray.New(inferray.WithFragment(inferray.RDFSDefault))
+	mustAdd(t, r, "<x>", "<q>", "<p>") // <p> encoded as a resource
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, r, "<p>", inferray.Domain, "<c>") // promotes <p>
+	mustAdd(t, r, "<y>", "<p>", "<z>")
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.SaveSnapshot(&buf); err != nil {
+		t.Fatalf("SaveSnapshot after promotion: %v", err)
+	}
+	restored, err := inferray.LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if restored.Size() != r.Size() {
+		t.Fatalf("restored size %d != %d", restored.Size(), r.Size())
+	}
+	for _, tr := range r.AllTriples() {
+		if !restored.Holds(tr.S, tr.P, tr.O) {
+			t.Fatalf("restored snapshot missing ⟨%s %s %s⟩", tr.S, tr.P, tr.O)
+		}
 	}
 }
 

@@ -86,13 +86,46 @@ func (d *Dictionary) EncodeResource(term string) uint64 {
 	return id
 }
 
+// PromoteToProperty returns a property-side ID for a term, whatever its
+// current state: an unseen term is registered as a property; a term
+// already on the property side keeps its ID. A term previously encoded
+// as a resource is *moved* — it receives a fresh property ID, its
+// resource slot is tombstoned (the ID range stays dense; the old ID no
+// longer decodes), and (oldID, true) is returned so the caller can
+// rewrite any stored triples that reference the old ID (see
+// store.RewriteTerms). This is how owl:sameAs links and late schema
+// triples can make a property out of a term that earlier batches only
+// saw as a subject or object.
+func (d *Dictionary) PromoteToProperty(term string) (id, oldID uint64, moved bool) {
+	cur, ok := d.ids[term]
+	if !ok {
+		return d.EncodeProperty(term), 0, false
+	}
+	if IsProperty(cur) {
+		return cur, 0, false
+	}
+	d.res[cur-PropBase-1] = "" // tombstone; terms are never empty strings
+	id = PropBase - uint64(len(d.props))
+	d.props = append(d.props, term)
+	d.ids[term] = id
+	return id, cur, true
+}
+
+// ReserveTombstone appends an empty, non-decodable resource slot,
+// keeping the resource numbering dense. Snapshot restore uses it to
+// reproduce the slots PromoteToProperty vacated.
+func (d *Dictionary) ReserveTombstone() {
+	d.res = append(d.res, "")
+}
+
 // Lookup returns the ID of a term if it has been registered.
 func (d *Dictionary) Lookup(term string) (uint64, bool) {
 	id, ok := d.ids[term]
 	return id, ok
 }
 
-// Decode returns the surface form for an ID.
+// Decode returns the surface form for an ID. Resource IDs tombstoned by
+// PromoteToProperty no longer decode.
 func (d *Dictionary) Decode(id uint64) (string, bool) {
 	if IsProperty(id) {
 		i := PropIndex(id)
@@ -102,7 +135,7 @@ func (d *Dictionary) Decode(id uint64) (string, bool) {
 		return "", false
 	}
 	i := id - PropBase - 1
-	if i < uint64(len(d.res)) {
+	if i < uint64(len(d.res)) && d.res[i] != "" {
 		return d.res[i], true
 	}
 	return "", false

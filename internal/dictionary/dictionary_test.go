@@ -157,3 +157,44 @@ func TestLookupDecodeQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPromoteToProperty covers the three promotion states: unseen terms
+// register as properties, property terms are unchanged, and
+// resource-encoded terms move to the property side with their old slot
+// tombstoned.
+func TestPromoteToProperty(t *testing.T) {
+	d := New()
+
+	// Unseen: plain property registration, no move.
+	id, old, moved := d.PromoteToProperty("<fresh>")
+	if moved || old != 0 || !IsProperty(id) {
+		t.Fatalf("unseen term: id=%d old=%d moved=%v", id, old, moved)
+	}
+
+	// Already a property: identity.
+	id2, _, moved2 := d.PromoteToProperty("<fresh>")
+	if moved2 || id2 != id {
+		t.Fatalf("re-promotion changed id: %d -> %d (moved=%v)", id, id2, moved2)
+	}
+
+	// Resource-encoded: moved, old slot tombstoned.
+	rid := d.EncodeResource("<late>")
+	pid, oldID, moved3 := d.PromoteToProperty("<late>")
+	if !moved3 || oldID != rid || !IsProperty(pid) {
+		t.Fatalf("promotion: pid=%d old=%d moved=%v (rid=%d)", pid, oldID, moved3, rid)
+	}
+	if got, ok := d.Lookup("<late>"); !ok || got != pid {
+		t.Fatal("Lookup must return the property id after promotion")
+	}
+	if back, ok := d.Decode(pid); !ok || back != "<late>" {
+		t.Fatal("property id must decode to the term")
+	}
+	if _, ok := d.Decode(rid); ok {
+		t.Fatal("tombstoned resource id must no longer decode")
+	}
+
+	// EncodeResource after promotion keeps the property id.
+	if got := d.EncodeResource("<late>"); got != pid {
+		t.Fatal("EncodeResource must not re-register a promoted term")
+	}
+}

@@ -1,0 +1,265 @@
+package reasoner
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"inferray/internal/datagen"
+	"inferray/internal/rdf"
+	"inferray/internal/rules"
+)
+
+// surfaceClosure materializes nothing further and returns the decoded
+// triple set of the engine's store.
+func surfaceClosure(e *Engine) map[rdf.Triple]struct{} {
+	out := make(map[rdf.Triple]struct{}, e.Size())
+	e.Triples(func(t rdf.Triple) bool {
+		out[t] = struct{}{}
+		return true
+	})
+	return out
+}
+
+func diffSurface(t *testing.T, got, want map[rdf.Triple]struct{}, label string) {
+	t.Helper()
+	count := 0
+	for tr := range want {
+		if _, ok := got[tr]; !ok {
+			if count < 8 {
+				t.Errorf("%s: missing ⟨%s %s %s⟩", label, tr.S, tr.P, tr.O)
+			}
+			count++
+		}
+	}
+	for tr := range got {
+		if _, ok := want[tr]; !ok {
+			if count < 8 {
+				t.Errorf("%s: extra ⟨%s %s %s⟩", label, tr.S, tr.P, tr.O)
+			}
+			count++
+		}
+	}
+	if count > 0 {
+		t.Errorf("%s: %d total differences", label, count)
+	}
+}
+
+// TestIncrementalMatchesOneShotAllFragments is the incrementality
+// equivalence property: loading a random ontology in k batches with an
+// incremental Materialize after each batch must yield exactly the
+// closure of a one-shot materialization, for every fragment.
+func TestIncrementalMatchesOneShotAllFragments(t *testing.T) {
+	fragments := []rules.Fragment{
+		rules.RhoDF, rules.RDFSDefault, rules.RDFSFull, rules.RDFSPlus, rules.RDFSPlusFull,
+	}
+	for _, fragment := range fragments {
+		fragment := fragment
+		t.Run(fragment.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 10; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				cfg := datagen.RandomConfig{
+					Classes:   4 + rng.Intn(5),
+					Props:     3 + rng.Intn(4),
+					Instances: 5 + rng.Intn(7),
+					Schema:    8 + rng.Intn(12),
+					Data:      10 + rng.Intn(20),
+					Plus:      fragment.UsesSameAs(),
+				}
+				triples := datagen.RandomOntology(rng, cfg)
+				k := 2 + rng.Intn(3) // 2–4 batches
+
+				inc := New(Options{Fragment: fragment, Parallel: seed%2 == 0})
+				for b := 0; b < k; b++ {
+					lo := b * len(triples) / k
+					hi := (b + 1) * len(triples) / k
+					inc.LoadTriples(triples[lo:hi])
+					st := inc.Materialize()
+					if b > 0 && !st.Incremental {
+						t.Fatalf("seed %d batch %d: expected an incremental run", seed, b)
+					}
+				}
+
+				oneShot := New(Options{Fragment: fragment, Parallel: true})
+				oneShot.LoadTriples(triples)
+				oneShot.Materialize()
+
+				got := surfaceClosure(inc)
+				want := surfaceClosure(oneShot)
+				diffSurface(t, got, want, fmt.Sprintf("seed %d (%d batches)", seed, k))
+				if t.Failed() {
+					t.Logf("failing input (%d triples, seed %d):", len(triples), seed)
+					for _, tr := range triples {
+						t.Logf("  %s %s %s .", tr.S, tr.P, tr.O)
+					}
+					return
+				}
+			}
+		})
+	}
+}
+
+// TestRulesSkippedOnLUBM is the scheduler's acceptance check: an RDFS
+// materialization of the LUBM generator output must skip rules in later
+// iterations (only a subset of tables changes once the schema settles).
+func TestRulesSkippedOnLUBM(t *testing.T) {
+	e := New(Options{Fragment: rules.RDFSDefault, Parallel: true})
+	e.LoadTriples(datagen.LUBM(3000, 5))
+	st := e.Materialize()
+	if st.RulesSkipped == 0 {
+		t.Fatalf("dependency scheduler skipped no rules: %+v", st)
+	}
+	if st.RulesFired == 0 {
+		t.Fatal("no rules fired at all")
+	}
+	// Per-iteration accounting: every iteration partitions the ruleset.
+	if len(st.Rounds) != st.Iterations {
+		t.Fatalf("rounds %d != iterations %d", len(st.Rounds), st.Iterations)
+	}
+	total := len(rules.Rules(rules.RDFSDefault))
+	firedSum, skippedSum := 0, 0
+	for i, r := range st.Rounds {
+		if r.RulesFired+r.RulesSkipped != total {
+			t.Errorf("round %d: fired %d + skipped %d != %d rules", i, r.RulesFired, r.RulesSkipped, total)
+		}
+		firedSum += r.RulesFired
+		skippedSum += r.RulesSkipped
+	}
+	if firedSum != st.RulesFired || skippedSum != st.RulesSkipped {
+		t.Errorf("totals (%d,%d) disagree with rounds (%d,%d)",
+			st.RulesFired, st.RulesSkipped, firedSum, skippedSum)
+	}
+	// The first iteration fires everything (the changed set is unknown).
+	if len(st.Rounds) > 0 && st.Rounds[0].RulesSkipped != 0 {
+		t.Errorf("first iteration skipped %d rules", st.Rounds[0].RulesSkipped)
+	}
+}
+
+// TestSchedulingMatchesOracle: skipping rules must never change the
+// closure — the scheduled engine is checked against the spec-driven
+// hash-join oracle on a workload large enough to take several
+// iterations.
+func TestSchedulingMatchesOracle(t *testing.T) {
+	triples := datagen.LUBM(1500, 11)
+	got, e := materializeFacts(t, rules.RDFSDefault, triples, true)
+	want := oracleFacts(e, rules.RDFSDefault, triples)
+	diffFactSets(t, e, got, want, "scheduled lubm")
+}
+
+// TestPromotionAcrossLoads is the regression for the owl:sameAs
+// property-promotion audit: a term first encoded as a plain resource (in
+// an earlier batch) and later linked to a property via owl:sameAs must
+// still end up on the property side, with the previously stored triples
+// rewritten, so EQ-REP-P can replicate the table.
+func TestPromotionAcrossLoads(t *testing.T) {
+	e := New(Options{Fragment: rules.RDFSPlus})
+	// Batch 1: <alias> is only ever an object — encoded as a resource.
+	e.LoadTriples([]rdf.Triple{
+		{S: "<doc>", P: "<mentions>", O: "<alias>"},
+	})
+	// Batch 2: the sameAs link reveals <alias> to be a property.
+	e.LoadTriples([]rdf.Triple{
+		{S: "<alias>", P: rdf.OWLSameAs, O: "<real>"},
+		{S: "<x>", P: "<real>", O: "<y>"},
+	})
+	e.Materialize()
+	if !e.Contains(rdf.Triple{S: "<x>", P: "<alias>", O: "<y>"}) {
+		t.Fatal("EQ-REP-P failed: <alias> was not promoted across loads")
+	}
+	if !e.Contains(rdf.Triple{S: "<doc>", P: "<mentions>", O: "<alias>"}) {
+		t.Fatal("pre-promotion triple lost after store rewrite")
+	}
+}
+
+// TestPromotionAcrossMaterializations: the same scenario, but with a
+// materialization between the two batches (the incremental path).
+func TestPromotionAcrossMaterializations(t *testing.T) {
+	e := New(Options{Fragment: rules.RDFSPlus})
+	e.LoadTriples([]rdf.Triple{
+		{S: "<doc>", P: "<mentions>", O: "<alias>"},
+	})
+	e.Materialize()
+	e.LoadTriples([]rdf.Triple{
+		{S: "<alias>", P: rdf.OWLSameAs, O: "<real>"},
+		{S: "<x>", P: "<real>", O: "<y>"},
+	})
+	st := e.Materialize()
+	if !st.Incremental {
+		t.Fatal("second materialization must be incremental")
+	}
+	if !e.Contains(rdf.Triple{S: "<x>", P: "<alias>", O: "<y>"}) {
+		t.Fatal("EQ-REP-P failed after incremental promotion")
+	}
+	if !e.Contains(rdf.Triple{S: "<doc>", P: "<mentions>", O: "<alias>"}) {
+		t.Fatal("pre-promotion triple lost after incremental store rewrite")
+	}
+}
+
+// TestLateSchemaPromotion: a subPropertyOf triple arriving after its
+// subject was resource-encoded must promote it, so PRP-SPO1 fires.
+func TestLateSchemaPromotion(t *testing.T) {
+	e := New(Options{Fragment: rules.RDFSDefault})
+	e.LoadTriples([]rdf.Triple{
+		{S: "<a>", P: "<knows>", O: "<worksWith>"}, // <worksWith> becomes a resource
+	})
+	e.Materialize()
+	e.LoadTriples([]rdf.Triple{
+		{S: "<worksWith>", P: rdf.RDFSSubPropertyOf, O: "<knows>"},
+		{S: "<b>", P: "<worksWith>", O: "<c>"},
+	})
+	e.Materialize()
+	if !e.Contains(rdf.Triple{S: "<b>", P: "<knows>", O: "<c>"}) {
+		t.Fatal("PRP-SPO1 failed: late schema triple did not promote <worksWith>")
+	}
+	if !e.Contains(rdf.Triple{S: "<a>", P: "<knows>", O: "<worksWith>"}) {
+		t.Fatal("original triple lost after promotion rewrite")
+	}
+}
+
+// TestIncrementalStatsAccounting: on an incremental run, the previous
+// closure plus new inputs plus new inferences must equal the new total.
+func TestIncrementalStatsAccounting(t *testing.T) {
+	e := New(Options{Fragment: rules.RDFSDefault, Parallel: true})
+	e.LoadTriples(datagen.Chain(30))
+	first := e.Materialize()
+	e.LoadTriples(datagen.Chain(40)) // extends the chain: 10 new links
+	second := e.Materialize()
+	if !second.Incremental {
+		t.Fatal("second run must be incremental")
+	}
+	if first.TotalTriples+second.InputTriples+second.InferredTriples != second.TotalTriples {
+		t.Fatalf("accounting broken: %d + %d + %d != %d",
+			first.TotalTriples, second.InputTriples, second.InferredTriples, second.TotalTriples)
+	}
+	if second.TotalTriples != datagen.ChainClosureSize(40)+40 {
+		t.Fatalf("incremental chain closure has %d triples, want %d",
+			second.TotalTriples, datagen.ChainClosureSize(40)+40)
+	}
+	// No staged data: a further materialization is a cheap no-op.
+	third := e.Materialize()
+	if third.InputTriples != 0 || third.InferredTriples != 0 || third.Iterations != 0 {
+		t.Fatalf("no-op incremental run did work: %+v", third)
+	}
+	if third.TotalTriples != second.TotalTriples {
+		t.Fatal("no-op run changed the store")
+	}
+}
+
+// TestDependencyEdgesExposed: the static graph is built at construction
+// and carries the expected structure.
+func TestDependencyEdgesExposed(t *testing.T) {
+	e := New(Options{Fragment: rules.RDFSDefault})
+	edges := e.DependencyEdges()
+	if len(edges) == 0 {
+		t.Fatal("no dependency edges")
+	}
+	found := false
+	for _, succ := range edges["SCM-DOM1"] {
+		if succ == "PRP-DOM" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("SCM-DOM1 → PRP-DOM edge missing: %v", edges["SCM-DOM1"])
+	}
+}

@@ -3,6 +3,17 @@
 // by semi-naive fixed-point application of the fragment's rules, with
 // per-rule output stores and a parallel per-property merge (Figure 5)
 // between iterations.
+//
+// Two refinements extend the paper's loop. First, rule firing is
+// dependency-scheduled: every rule carries a property footprint derived
+// from its declarative spec (rules.AnnotateFootprints), and an iteration
+// only fires the rules whose read footprint intersects the set of
+// property tables the previous merge round changed — the rest are
+// skipped, which Stats reports per iteration. Second, materialization is
+// incremental: triples loaded after a materialization are staged as a
+// delta, and the next Materialize seeds the fixpoint with only the new
+// triples instead of recomputing the closure from scratch; the result is
+// equivalent to a full rematerialization over the union.
 package reasoner
 
 import (
@@ -33,19 +44,35 @@ type Options struct {
 	LowMemory bool
 }
 
-// Stats reports what a materialization did.
+// RoundStats reports what one fixpoint iteration did.
+type RoundStats struct {
+	RulesFired   int // rules whose read footprint met the changed set
+	RulesSkipped int // rules the dependency scheduler skipped
+	NewTriples   int // distinct new triples the merge round produced
+}
+
+// Stats reports what a materialization did. On an incremental run
+// (Incremental true), InputTriples counts the distinct triples newly
+// added since the previous materialization and InferredTriples the
+// further closure growth; the pre-existing closure is neither.
 type Stats struct {
 	InputTriples    int
 	InferredTriples int
 	TotalTriples    int
 	Iterations      int
+	RulesFired      int          // total across iterations
+	RulesSkipped    int          // total across iterations
+	Rounds          []RoundStats // per-iteration breakdown
+	Incremental     bool
 	ClosureTime     time.Duration
 	LoopTime        time.Duration
 	TotalTime       time.Duration
 }
 
-// Engine is a one-shot forward-chaining reasoner: load triples, call
-// Materialize, read the closure back out.
+// Engine is a forward-chaining reasoner: load triples, call Materialize,
+// read the closure back out. Loading more triples after a
+// materialization stages them as a delta; the next Materialize extends
+// the closure incrementally.
 type Engine struct {
 	Dict *dictionary.Dictionary
 	V    *rules.Vocab
@@ -53,11 +80,17 @@ type Engine struct {
 
 	opts  Options
 	rules []rules.Rule
+	deps  [][]int // static rule→rule dependency graph (writer → readers)
 	input int
+
+	materialized bool
+	staged       *store.Store // triples loaded since the last Materialize
 }
 
 // New creates an engine for the given options, with the vocabulary
-// pre-registered at the head of the dense numbering.
+// pre-registered at the head of the dense numbering, every rule
+// annotated with its property footprint, and the static rule-dependency
+// graph built.
 func New(opts Options) *Engine {
 	d := dictionary.NewWithVocabulary(rdf.VocabularyProperties, rdf.VocabularyResources)
 	e := &Engine{
@@ -66,25 +99,70 @@ func New(opts Options) *Engine {
 		opts:  opts,
 		rules: rules.Rules(opts.Fragment),
 	}
+	if err := rules.AnnotateFootprints(e.rules, opts.Fragment, e.V); err != nil {
+		panic(err) // drift between table5.go and spec.go; caught by tests
+	}
+	e.deps = rules.DependencyGraph(e.rules)
 	e.Main = store.New(d.NumProperties())
 	return e
+}
+
+// DependencyEdges returns the static rule→rule dependency graph by rule
+// name: for every rule, the (deduplicated) rules that may derive new
+// facts once it fires — i.e. whose read footprint intersects its write
+// footprint.
+func (e *Engine) DependencyEdges() map[string][]string {
+	out := make(map[string][]string, len(e.rules))
+	for i, succs := range e.deps {
+		names := make([]string, 0, len(succs))
+		for _, j := range succs {
+			names = append(names, e.rules[j].Name)
+		}
+		out[e.rules[i].Name] = names
+	}
+	return out
 }
 
 // LoadTriples encodes and stores a batch of triples. Encoding is
 // two-pass so that every term ever used as a property — including terms
 // first seen as subjects/objects of schema triples such as
-// rdfs:subPropertyOf — receives a dense property-side ID (§5.1).
+// rdfs:subPropertyOf — receives a dense property-side ID (§5.1). Terms
+// that earlier batches encoded as resources are promoted (the stored
+// triples are rewritten to the new ID), so incremental loads reach the
+// same encoding a one-shot load would.
+//
+// Before the first Materialize, triples accumulate in the main store;
+// afterwards they are staged as a delta for the next (incremental)
+// materialization.
 func (e *Engine) LoadTriples(triples []rdf.Triple) {
+	if len(triples) == 0 {
+		return
+	}
 	d := e.Dict
+	// asProperty gives term a property-side ID. A term previously encoded
+	// as a resource (first seen as plain subject/object, only now revealed
+	// to be a property — by a schema triple or an owl:sameAs link in a
+	// later batch) is promoted; the stored occurrences of its old ID are
+	// collected and rewritten in one batched pass after the first pass.
+	renames := make(map[uint64]uint64)
+	asProperty := func(term string) {
+		if id, ok := d.Lookup(term); ok && dictionary.IsProperty(id) {
+			return
+		}
+		newID, oldID, moved := d.PromoteToProperty(term)
+		if moved {
+			renames[oldID] = newID
+		}
+	}
 	var sameAs [][2]string
 	for _, t := range triples {
-		d.EncodeProperty(t.P)
+		asProperty(t.P)
 		switch t.P {
 		case rdf.RDFSSubPropertyOf, rdf.OWLEquivalentProperty, rdf.OWLInverseOf:
-			d.EncodeProperty(t.S)
-			d.EncodeProperty(t.O)
+			asProperty(t.S)
+			asProperty(t.O)
 		case rdf.RDFSDomain, rdf.RDFSRange:
-			d.EncodeProperty(t.S)
+			asProperty(t.S)
 		case rdf.OWLSameAs:
 			sameAs = append(sameAs, [2]string{t.S, t.O})
 		case rdf.RDFType:
@@ -93,14 +171,15 @@ func (e *Engine) LoadTriples(triples []rdf.Triple) {
 				rdf.OWLFunctionalProperty, rdf.OWLInverseFunctionalProperty,
 				rdf.OWLSymmetricProperty, rdf.OWLTransitiveProperty,
 				rdf.OWLDatatypeProperty, rdf.OWLObjectProperty:
-				d.EncodeProperty(t.S)
+				asProperty(t.S)
 			}
 		}
 	}
-	// owl:sameAs links between a property and a not-yet-property term
-	// must put both terms on the property side, or EQ-REP-P could not
+	// owl:sameAs links between a property and a non-property term must
+	// put both terms on the property side, or EQ-REP-P could not
 	// replicate the table (a term without a property ID has no table).
-	// Sameness is transitive, so iterate to a fixpoint.
+	// Sameness is transitive, so iterate to a fixpoint; each pass either
+	// moves at least one term to the property side or stops.
 	for changed := true; changed && len(sameAs) > 0; {
 		changed = false
 		for _, pair := range sameAs {
@@ -108,33 +187,52 @@ func (e *Engine) LoadTriples(triples []rdf.Triple) {
 			b, bOK := d.Lookup(pair[1])
 			aProp := aOK && dictionary.IsProperty(a)
 			bProp := bOK && dictionary.IsProperty(b)
-			if aProp && !bProp {
-				if _, exists := d.Lookup(pair[1]); !exists {
-					d.EncodeProperty(pair[1])
-					changed = true
-				}
-			} else if bProp && !aProp {
-				if _, exists := d.Lookup(pair[0]); !exists {
-					d.EncodeProperty(pair[0])
-					changed = true
-				}
+			switch {
+			case aProp && !bProp:
+				asProperty(pair[1])
+				changed = true
+			case bProp && !aProp:
+				asProperty(pair[0])
+				changed = true
 			}
 		}
 	}
-	e.Main.Grow(d.NumProperties())
+	if len(renames) > 0 {
+		e.Main.RewriteTerms(renames)
+		if e.staged != nil {
+			e.staged.RewriteTerms(renames)
+		}
+		// A promotion may have moved a vocabulary resource (markers like
+		// owl:TransitiveProperty are resources); refresh the cached IDs.
+		e.V = rules.ResolveVocab(d)
+	}
+	target := e.Main
+	if e.materialized {
+		if e.staged == nil {
+			e.staged = store.New(d.NumProperties())
+		}
+		target = e.staged
+	}
+	target.Grow(d.NumProperties())
 	for _, t := range triples {
 		p, _ := d.Lookup(t.P)
 		s := d.EncodeResource(t.S)
 		o := d.EncodeResource(t.O)
-		e.Main.Add(dictionary.PropIndex(p), s, o)
+		target.Add(dictionary.PropIndex(p), s, o)
 	}
 	e.Main.Grow(d.NumProperties())
 	e.input += len(triples)
 }
 
 // Materialize computes the closure of the loaded triples under the
-// engine's fragment and returns run statistics. It implements Algorithm 1.
+// engine's fragment and returns run statistics. The first call
+// implements Algorithm 1 in full; subsequent calls extend the existing
+// closure incrementally from the staged delta, producing the same store
+// a full rematerialization over the union would.
 func (e *Engine) Materialize() Stats {
+	if e.materialized {
+		return e.materializeIncremental()
+	}
 	start := time.Now()
 	e.Main.Normalize()
 	inputSize := e.Main.Size() // after load-time dedup
@@ -144,35 +242,80 @@ func (e *Engine) Materialize() Stats {
 	e.transitivityClosures()
 	closureTime := time.Since(closureStart)
 
-	// Lines 3–8: fixed point. On the first pass delta aliases main.
+	// Lines 3–8: fixed point. On the first pass delta aliases main and
+	// every rule fires (the changed set is unknown).
 	loopStart := time.Now()
-	delta := e.Main
-	iterations := 0
+	st := Stats{}
+	e.fixpoint(e.Main, nil, true, &st)
+	st.LoopTime = time.Since(loopStart)
+
+	total := e.Main.Size()
+	st.InputTriples = inputSize
+	st.InferredTriples = total - inputSize
+	st.TotalTriples = total
+	st.ClosureTime = closureTime
+	st.TotalTime = time.Since(start)
+	e.materialized = true
+	return st
+}
+
+// materializeIncremental merges the staged delta into main and runs the
+// fixpoint seeded with only the genuinely new triples. The θ closures of
+// the pre-loop stage are unnecessary here: the in-loop θ rule re-closes
+// every transitive table the delta touches.
+func (e *Engine) materializeIncremental() Stats {
+	start := time.Now()
+	prevTotal := e.Main.Size()
+	st := Stats{Incremental: true, TotalTriples: prevTotal}
+	staged := e.staged
+	e.staged = nil
+	if staged == nil || staged.Size() == 0 {
+		st.TotalTime = time.Since(start)
+		return st
+	}
+	loopStart := time.Now()
+	delta, changed := store.MergeRound(e.Main, staged, e.opts.Parallel)
+	newInput := delta.Size()
+	if newInput > 0 {
+		e.fixpoint(delta, changed, false, &st)
+	}
+	st.LoopTime = time.Since(loopStart)
+
+	total := e.Main.Size()
+	st.InputTriples = newInput
+	st.InferredTriples = total - prevTotal - newInput
+	st.TotalTriples = total
+	st.TotalTime = time.Since(start)
+	return st
+}
+
+// fixpoint runs the semi-naive loop (Algorithm 1 lines 3–8) until a
+// merge round produces nothing new. delta and changed seed the first
+// iteration; fireAll forces every rule on the first iteration (full
+// materializations, where delta aliases main and the changed set is
+// unknown).
+func (e *Engine) fixpoint(delta *store.Store, changed []int, fireAll bool, st *Stats) {
 	for {
-		iterations++
-		if e.opts.MaxIterations > 0 && iterations > e.opts.MaxIterations {
+		st.Iterations++
+		if e.opts.MaxIterations > 0 && st.Iterations > e.opts.MaxIterations {
 			break
 		}
-		inferred := e.applyRules(delta)
-		delta = store.MergeRound(e.Main, inferred, e.opts.Parallel)
+		inferred, fired, skipped := e.applyRules(delta, changed, fireAll)
+		fireAll = false
+		st.RulesFired += fired
+		st.RulesSkipped += skipped
+		delta, changed = store.MergeRound(e.Main, inferred, e.opts.Parallel)
+		st.Rounds = append(st.Rounds, RoundStats{
+			RulesFired:   fired,
+			RulesSkipped: skipped,
+			NewTriples:   delta.Size(),
+		})
 		if e.opts.LowMemory {
 			e.Main.DropOSCaches()
 		}
 		if delta.Size() == 0 {
 			break
 		}
-	}
-	loopTime := time.Since(loopStart)
-
-	total := e.Main.Size()
-	return Stats{
-		InputTriples:    inputSize,
-		InferredTriples: total - inputSize,
-		TotalTriples:    total,
-		Iterations:      iterations,
-		ClosureTime:     closureTime,
-		LoopTime:        loopTime,
-		TotalTime:       time.Since(start),
 	}
 }
 
@@ -221,13 +364,38 @@ func (e *Engine) transitivityClosures() {
 	}
 }
 
-// applyRules fires every rule of the fragment against (main, delta),
-// each into a private output store (one thread per rule, §4.3), then
-// concatenates the outputs into a single inferred store for merging.
-func (e *Engine) applyRules(delta *store.Store) *store.Store {
+// applyRules fires the scheduled rules of the fragment against (main,
+// delta), each into a private output store (one thread per rule, §4.3),
+// then concatenates the outputs into a single inferred store for
+// merging. Unless fireAll is set, a rule is scheduled only when its read
+// footprint intersects the changed-property set of the previous merge
+// round — a rule whose antecedent tables received nothing new cannot
+// derive anything new (semi-naive evaluation) and is skipped.
+func (e *Engine) applyRules(delta *store.Store, changed []int, fireAll bool) (*store.Store, int, int) {
 	slots := e.Main.NumSlots()
-	outs := make([]*store.Store, len(e.rules))
 
+	runnable := make([]int, 0, len(e.rules))
+	if fireAll {
+		for i := range e.rules {
+			runnable = append(runnable, i)
+		}
+	} else {
+		mask := make([]bool, slots)
+		for _, p := range changed {
+			if p < slots {
+				mask[p] = true
+			}
+		}
+		anyChanged := len(changed) > 0
+		for i := range e.rules {
+			if e.rules[i].Reads().Triggered(mask, anyChanged) {
+				runnable = append(runnable, i)
+			}
+		}
+	}
+	skipped := len(e.rules) - len(runnable)
+
+	outs := make([]*store.Store, len(e.rules))
 	run := func(i int) {
 		out := store.New(slots)
 		ctx := &rules.Context{Main: e.Main, Delta: delta, Out: out, V: e.V}
@@ -235,10 +403,10 @@ func (e *Engine) applyRules(delta *store.Store) *store.Store {
 		outs[i] = out
 	}
 
-	if e.opts.Parallel && len(e.rules) > 1 {
+	if e.opts.Parallel && len(runnable) > 1 {
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 		var wg sync.WaitGroup
-		for i := range e.rules {
+		for _, i := range runnable {
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(i int) {
@@ -249,26 +417,31 @@ func (e *Engine) applyRules(delta *store.Store) *store.Store {
 		}
 		wg.Wait()
 	} else {
-		for i := range e.rules {
+		for _, i := range runnable {
 			run(i)
 		}
 	}
 
 	inferred := store.New(slots)
 	for _, out := range outs {
+		if out == nil {
+			continue
+		}
 		out.ForEachTable(func(pidx int, t *store.Table) bool {
 			inferred.Ensure(pidx).AppendPairs(t.RawPairs())
 			return true
 		})
 	}
-	return inferred
+	return inferred, len(runnable), skipped
 }
 
 // RestoreState replaces the engine's dictionary and store with a
 // previously snapshotted pair. The dictionary must contain the standard
 // vocabulary at its head (snapshots written by this package always do:
 // the vocabulary is registered at engine construction, before any data
-// term). The vocabulary indexes are re-resolved and verified.
+// term). The vocabulary indexes are re-resolved and verified. The engine
+// returns to the not-yet-materialized state: the next Materialize runs
+// the full Algorithm 1 over the restored store.
 func (e *Engine) RestoreState(d *dictionary.Dictionary, st *store.Store) error {
 	for i, term := range rdf.VocabularyProperties {
 		id, ok := d.Lookup(term)
@@ -281,10 +454,13 @@ func (e *Engine) RestoreState(d *dictionary.Dictionary, st *store.Store) error {
 	st.Grow(d.NumProperties())
 	e.Main = st
 	e.input = st.Size()
+	e.materialized = false
+	e.staged = nil
 	return nil
 }
 
-// Size returns the current number of stored triples.
+// Size returns the current number of stored triples (staged triples not
+// yet materialized are excluded).
 func (e *Engine) Size() int { return e.Main.Size() }
 
 // Triples streams every stored triple in decoded surface form; fn may

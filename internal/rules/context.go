@@ -46,11 +46,15 @@ func (c Class) String() string {
 }
 
 // Rule is one inference rule: a name for reporting, its class, and an
-// Apply function that derives triples into ctx.Out.
+// Apply function that derives triples into ctx.Out. The read/write
+// property footprints (see footprint.go) are attached by
+// AnnotateFootprints and drive the reasoner's dependency scheduler.
 type Rule struct {
 	Name  string
 	Class Class
 	Apply func(ctx *Context)
+
+	reads, writes Footprint
 }
 
 // Context carries one iteration's state into a rule application.

@@ -1,0 +1,199 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"inferray/internal/dictionary"
+)
+
+// This file derives, for every rule, a declared property footprint: the
+// property tables a rule may read its antecedents from (Reads) and the
+// tables its consequents may land in (Writes). Footprints drive the
+// reasoner's dependency scheduler: an iteration only fires the rules
+// whose read footprint intersects the set of tables the previous merge
+// round changed. Footprints are computed from the declarative Specs —
+// never hand-written per optimized implementation — so the patterns in
+// spec.go and the executable rules in table5.go cannot drift apart: a
+// rule whose name resolves to no spec fails AnnotateFootprints (and the
+// footprint tests) outright.
+
+// Footprint is the set of property tables a rule reads or writes.
+// Wildcard marks rules that can touch arbitrary data property tables
+// (a pattern with a variable in predicate position, e.g. PRP-DOM's
+// ⟨x p y⟩ antecedent or PRP-SPO1's ⟨x p2 y⟩ consequent).
+type Footprint struct {
+	Props    []int // sorted dense property-table indexes
+	Wildcard bool
+}
+
+// Has reports whether the footprint names the property index explicitly.
+func (fp Footprint) Has(pidx int) bool {
+	i := sort.SearchInts(fp.Props, pidx)
+	return i < len(fp.Props) && fp.Props[i] == pidx
+}
+
+// Empty reports whether the footprint covers no table at all.
+func (fp Footprint) Empty() bool { return !fp.Wildcard && len(fp.Props) == 0 }
+
+// Triggered reports whether any changed table (mask indexed by property
+// index, anyChanged = mask has at least one true entry) falls inside the
+// footprint. A wildcard footprint is triggered by any change.
+func (fp Footprint) Triggered(mask []bool, anyChanged bool) bool {
+	if !anyChanged {
+		return false
+	}
+	if fp.Wildcard {
+		return true
+	}
+	for _, p := range fp.Props {
+		if p < len(mask) && mask[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersects reports whether the two footprints can touch a common
+// table. A wildcard intersects anything non-empty.
+func (fp Footprint) Intersects(other Footprint) bool {
+	if fp.Empty() || other.Empty() {
+		return false
+	}
+	if fp.Wildcard || other.Wildcard {
+		return true
+	}
+	i, j := 0, 0
+	for i < len(fp.Props) && j < len(other.Props) {
+		switch {
+		case fp.Props[i] < other.Props[j]:
+			i++
+		case fp.Props[i] > other.Props[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the footprint for diagnostics.
+func (fp Footprint) String() string {
+	parts := make([]string, 0, len(fp.Props)+1)
+	for _, p := range fp.Props {
+		parts = append(parts, fmt.Sprintf("%d", p))
+	}
+	if fp.Wildcard {
+		parts = append(parts, "*")
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Reads returns the rule's antecedent footprint: the property tables a
+// delta must touch for the rule to possibly derive something new.
+// Populated by AnnotateFootprints.
+func (r *Rule) Reads() Footprint { return r.reads }
+
+// Writes returns the rule's consequent footprint: the property tables
+// the rule can emit into. Populated by AnnotateFootprints.
+func (r *Rule) Writes() Footprint { return r.writes }
+
+// specSources maps the optimized rule names of table5.go that fuse
+// several Table 5 rules into one implementation back to the spec names
+// they cover. Rules absent from this map carry their spec's own name.
+var specSources = map[string][]string{
+	// The single-loop same-as rule covers symmetry and the three
+	// replication rules (§4.4 "same-as rules").
+	"EQ-REP/SYM": {"EQ-SYM", "EQ-REP-S", "EQ-REP-O", "EQ-REP-P"},
+	// The θ rule re-closes every transitive table mid-fixpoint; which
+	// closures exist depends on the fragment (sameAs transitivity and
+	// owl:TransitiveProperty only in RDFS-Plus).
+	"THETA": {"SCM-SCO", "SCM-SPO", "EQ-TRANS", "PRP-TRP"},
+}
+
+// footprintBuilder accumulates pattern predicates into a Footprint.
+type footprintBuilder struct {
+	props    map[int]bool
+	wildcard bool
+}
+
+func (b *footprintBuilder) add(t Term) {
+	if t.IsVar {
+		b.wildcard = true
+		return
+	}
+	if dictionary.IsProperty(t.Const) {
+		if b.props == nil {
+			b.props = make(map[int]bool)
+		}
+		b.props[dictionary.PropIndex(t.Const)] = true
+	}
+}
+
+func (b *footprintBuilder) build() Footprint {
+	props := make([]int, 0, len(b.props))
+	for p := range b.props {
+		props = append(props, p)
+	}
+	sort.Ints(props)
+	return Footprint{Props: props, Wildcard: b.wildcard}
+}
+
+// AnnotateFootprints derives and attaches the read/write footprint of
+// every rule in rs from the fragment's declarative specs. It returns an
+// error when a rule's name resolves to no spec — the drift guard between
+// table5.go and spec.go.
+func AnnotateFootprints(rs []Rule, f Fragment, v *Vocab) error {
+	specs := Specs(f, v)
+	byName := make(map[string]*Spec, len(specs))
+	for i := range specs {
+		byName[specs[i].Name] = &specs[i]
+	}
+	for i := range rs {
+		names, ok := specSources[rs[i].Name]
+		if !ok {
+			names = []string{rs[i].Name}
+		}
+		var reads, writes footprintBuilder
+		found := false
+		for _, name := range names {
+			sp, ok := byName[name]
+			if !ok {
+				continue // e.g. EQ-TRANS under a non-Plus θ rule
+			}
+			found = true
+			for _, pat := range sp.Body {
+				reads.add(pat.P)
+			}
+			for _, pat := range sp.Head {
+				writes.add(pat.P)
+			}
+		}
+		if !found {
+			return fmt.Errorf("rules: rule %q has no declarative spec in fragment %s (footprint drift)",
+				rs[i].Name, f)
+		}
+		rs[i].reads = reads.build()
+		rs[i].writes = writes.build()
+	}
+	return nil
+}
+
+// DependencyGraph builds the static rule→rule dependency graph over an
+// annotated ruleset: deps[i] lists (sorted) every rule j whose read
+// footprint intersects rule i's write footprint — i.e. firing i can make
+// j derive something next iteration. The reasoner builds this once at
+// engine construction; per-iteration scheduling refines it with the
+// actual changed-table set.
+func DependencyGraph(rs []Rule) [][]int {
+	deps := make([][]int, len(rs))
+	for i := range rs {
+		for j := range rs {
+			if rs[i].writes.Intersects(rs[j].reads) {
+				deps[i] = append(deps[i], j)
+			}
+		}
+	}
+	return deps
+}

@@ -1,0 +1,193 @@
+package rules
+
+import (
+	"testing"
+
+	"inferray/internal/dictionary"
+	"inferray/internal/rdf"
+)
+
+func testVocab() *Vocab {
+	d := dictionary.NewWithVocabulary(rdf.VocabularyProperties, rdf.VocabularyResources)
+	return ResolveVocab(d)
+}
+
+func allFragments() []Fragment {
+	return []Fragment{RhoDF, RDFSDefault, RDFSFull, RDFSPlus, RDFSPlusFull}
+}
+
+// TestEveryRuleHasFootprint is the drift guard: every optimized rule of
+// every fragment must resolve to at least one declarative spec and get a
+// non-empty read and write footprint.
+func TestEveryRuleHasFootprint(t *testing.T) {
+	v := testVocab()
+	for _, f := range allFragments() {
+		rs := Rules(f)
+		if err := AnnotateFootprints(rs, f, v); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for i := range rs {
+			if rs[i].Reads().Empty() {
+				t.Errorf("%s: rule %s has an empty read footprint", f, rs[i].Name)
+			}
+			if rs[i].Writes().Empty() {
+				t.Errorf("%s: rule %s has an empty write footprint", f, rs[i].Name)
+			}
+		}
+	}
+}
+
+// TestFootprintContents spot-checks derived footprints against Table 5.
+func TestFootprintContents(t *testing.T) {
+	v := testVocab()
+	rs := Rules(RDFSPlus)
+	if err := AnnotateFootprints(rs, RDFSPlus, v); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Rule{}
+	for i := range rs {
+		byName[rs[i].Name] = &rs[i]
+	}
+
+	// CAX-SCO: subClassOf ∧ type ⇒ type. No wildcard anywhere.
+	cax := byName["CAX-SCO"]
+	if !cax.Reads().Has(v.SubClassOf) || !cax.Reads().Has(v.Type) || cax.Reads().Wildcard {
+		t.Errorf("CAX-SCO reads %v", cax.Reads())
+	}
+	if !cax.Writes().Has(v.Type) || cax.Writes().Wildcard {
+		t.Errorf("CAX-SCO writes %v", cax.Writes())
+	}
+
+	// PRP-DOM: scans arbitrary property tables (wildcard read), writes
+	// only type.
+	dom := byName["PRP-DOM"]
+	if !dom.Reads().Has(v.Domain) || !dom.Reads().Wildcard {
+		t.Errorf("PRP-DOM reads %v", dom.Reads())
+	}
+	if !dom.Writes().Has(v.Type) || dom.Writes().Wildcard {
+		t.Errorf("PRP-DOM writes %v", dom.Writes())
+	}
+
+	// PRP-SPO1: wildcard on both sides (any p1 table in, any p2 table out).
+	spo1 := byName["PRP-SPO1"]
+	if !spo1.Reads().Wildcard || !spo1.Writes().Wildcard {
+		t.Errorf("PRP-SPO1 reads %v writes %v", spo1.Reads(), spo1.Writes())
+	}
+
+	// The fused same-as rule covers EQ-SYM + EQ-REP-*: reads sameAs and
+	// wildcard, writes sameAs and wildcard.
+	sa := byName["EQ-REP/SYM"]
+	if !sa.Reads().Has(v.SameAs) || !sa.Reads().Wildcard {
+		t.Errorf("EQ-REP/SYM reads %v", sa.Reads())
+	}
+	if !sa.Writes().Has(v.SameAs) || !sa.Writes().Wildcard {
+		t.Errorf("EQ-REP/SYM writes %v", sa.Writes())
+	}
+
+	// THETA under RDFS-Plus covers SCM-SCO/SPO + EQ-TRANS + PRP-TRP:
+	// reads type (transitive markers) and wildcard.
+	th := byName["THETA"]
+	for _, p := range []int{v.SubClassOf, v.SubPropertyOf, v.SameAs, v.Type} {
+		if !th.Reads().Has(p) {
+			t.Errorf("THETA reads %v, missing pidx %d", th.Reads(), p)
+		}
+	}
+	if !th.Reads().Wildcard || !th.Writes().Wildcard {
+		t.Errorf("THETA reads %v writes %v", th.Reads(), th.Writes())
+	}
+}
+
+// TestThetaFootprintWithoutPlus: under plain RDFS the θ rule must not
+// inherit the Plus-only wildcard (no PRP-TRP/EQ-TRANS specs there).
+func TestThetaFootprintWithoutPlus(t *testing.T) {
+	v := testVocab()
+	rs := Rules(RDFSDefault)
+	if err := AnnotateFootprints(rs, RDFSDefault, v); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		if rs[i].Name != "THETA" {
+			continue
+		}
+		r := &rs[i]
+		if r.Reads().Wildcard {
+			t.Errorf("non-Plus THETA must not read wildcard: %v", r.Reads())
+		}
+		if !r.Reads().Has(v.SubClassOf) || !r.Reads().Has(v.SubPropertyOf) {
+			t.Errorf("non-Plus THETA reads %v", r.Reads())
+		}
+		return
+	}
+	t.Fatal("THETA rule not found")
+}
+
+// TestAnnotateFootprintsDriftGuard: an invented rule name must be
+// rejected.
+func TestAnnotateFootprintsDriftGuard(t *testing.T) {
+	v := testVocab()
+	rs := []Rule{{Name: "NOT-A-RULE", Apply: func(*Context) {}}}
+	if err := AnnotateFootprints(rs, RDFSPlus, v); err == nil {
+		t.Fatal("unknown rule name must fail footprint annotation")
+	}
+}
+
+// TestDependencyGraph checks a few structural edges: a rule that writes
+// a table must be a predecessor of every rule reading it.
+func TestDependencyGraph(t *testing.T) {
+	v := testVocab()
+	rs := Rules(RDFSDefault)
+	if err := AnnotateFootprints(rs, RDFSDefault, v); err != nil {
+		t.Fatal(err)
+	}
+	deps := DependencyGraph(rs)
+	idx := map[string]int{}
+	for i := range rs {
+		idx[rs[i].Name] = i
+	}
+	hasEdge := func(from, to string) bool {
+		for _, j := range deps[idx[from]] {
+			if rs[j].Name == to {
+				return true
+			}
+		}
+		return false
+	}
+	// SCM-DOM1 writes domain; PRP-DOM reads domain.
+	if !hasEdge("SCM-DOM1", "PRP-DOM") {
+		t.Error("missing edge SCM-DOM1 → PRP-DOM")
+	}
+	// THETA writes subClassOf (SCM-SCO); CAX-SCO reads it.
+	if !hasEdge("THETA", "CAX-SCO") {
+		t.Error("missing edge THETA → CAX-SCO")
+	}
+	// CAX-SCO writes only type; SCM-RNG2 reads range/subPropertyOf.
+	if hasEdge("CAX-SCO", "SCM-RNG2") {
+		t.Error("spurious edge CAX-SCO → SCM-RNG2")
+	}
+
+	// Footprint intersection sanity on the same ruleset.
+	a := Footprint{Props: []int{1, 3}}
+	b := Footprint{Props: []int{2, 3}}
+	c := Footprint{Props: []int{0}}
+	w := Footprint{Wildcard: true}
+	var empty Footprint
+	if !a.Intersects(b) || a.Intersects(c) || !a.Intersects(w) || w.Intersects(empty) {
+		t.Error("Footprint.Intersects wrong")
+	}
+}
+
+// TestFootprintTriggered exercises the scheduling predicate.
+func TestFootprintTriggered(t *testing.T) {
+	fp := Footprint{Props: []int{2, 5}}
+	mask := []bool{false, false, false, false, false, true}
+	if !fp.Triggered(mask, true) {
+		t.Error("footprint with changed table must trigger")
+	}
+	if fp.Triggered([]bool{true, true, false, true, true, false}, true) {
+		t.Error("footprint without changed table must not trigger")
+	}
+	wc := Footprint{Wildcard: true}
+	if !wc.Triggered(mask, true) || wc.Triggered(nil, false) {
+		t.Error("wildcard triggering wrong")
+	}
+}

@@ -56,10 +56,10 @@ func Write(w io.Writer, d *dictionary.Dictionary, st *store.Store) error {
 	}
 	lo, hi := d.ResourceIDRange()
 	for id := lo; id < hi; id++ {
-		term, ok := d.Decode(id)
-		if !ok {
-			return fmt.Errorf("snapshot: resource id %d missing from dictionary", id)
-		}
+		// A slot inside the range that no longer decodes was tombstoned
+		// by a resource→property promotion; terms are never empty, so an
+		// empty string encodes the tombstone positionally.
+		term, _ := d.Decode(id)
 		if err := writeString(bw, term); err != nil {
 			return err
 		}
@@ -119,6 +119,10 @@ func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, error) {
 		term, err := readString(br)
 		if err != nil {
 			return nil, nil, err
+		}
+		if term == "" {
+			d.ReserveTombstone()
+			continue
 		}
 		d.EncodeResource(term)
 	}

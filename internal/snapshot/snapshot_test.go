@@ -190,3 +190,41 @@ func itoa(i int) string {
 	}
 	return string(b[p:])
 }
+
+// TestRoundTripWithTombstone: a dictionary slot vacated by
+// PromoteToProperty must survive write/read with the numbering intact.
+func TestRoundTripWithTombstone(t *testing.T) {
+	d := dictionary.New()
+	d.EncodeProperty("<p>")
+	rBefore := d.EncodeResource("<moved>")
+	keep := d.EncodeResource("<kept>")
+	pid, _, moved := d.PromoteToProperty("<moved>")
+	if !moved {
+		t.Fatal("setup: promotion did not move the term")
+	}
+
+	st := store.New(d.NumProperties())
+	st.Add(dictionary.PropIndex(pid), keep, keep)
+	st.Normalize()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, d, st); err != nil {
+		t.Fatalf("Write with tombstone: %v", err)
+	}
+	d2, st2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read with tombstone: %v", err)
+	}
+	if id, ok := d2.Lookup("<kept>"); !ok || id != keep {
+		t.Fatalf("<kept> id changed across round trip: %d ok=%v", id, ok)
+	}
+	if id, ok := d2.Lookup("<moved>"); !ok || id != pid {
+		t.Fatalf("promoted term id changed: %d ok=%v (want %d)", id, ok, pid)
+	}
+	if _, ok := d2.Decode(rBefore); ok {
+		t.Fatal("tombstoned slot must stay non-decodable after restore")
+	}
+	if !st2.Contains(dictionary.PropIndex(pid), keep, keep) {
+		t.Fatal("store content lost")
+	}
+}

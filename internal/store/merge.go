@@ -14,9 +14,15 @@ import (
 // 1). Main's tables remain sorted and duplicate-free; their ⟨o,s⟩ caches
 // are invalidated when new triples arrive (§4.2).
 //
+// The second result is the changed-property set: the sorted property
+// indexes whose main table actually received fresh pairs this round. It
+// is the signal the reasoner's dependency scheduler keys on — a rule
+// need not fire next iteration unless its read footprint intersects this
+// set.
+//
 // Each property is independent, so tables are merged in parallel when
 // parallel is true (§4.3).
-func MergeRound(main, inferred *Store, parallel bool) *Store {
+func MergeRound(main, inferred *Store, parallel bool) (*Store, []int) {
 	main.Grow(len(inferred.tables))
 	delta := New(len(main.tables))
 
@@ -38,6 +44,7 @@ func MergeRound(main, inferred *Store, parallel bool) *Store {
 		mt.dirty = false
 		mt.osOK = false
 		mt.os = nil
+		mt.version++
 		dt := &Table{pairs: fresh}
 		delta.tables[pidx] = dt
 	}
@@ -60,7 +67,15 @@ func MergeRound(main, inferred *Store, parallel bool) *Store {
 			mergeOne(pidx)
 		}
 	}
-	return delta
+
+	// work is already sorted (index order), so changed is too.
+	changed := make([]int, 0, len(work))
+	for _, pidx := range work {
+		if delta.tables[pidx] != nil {
+			changed = append(changed, pidx)
+		}
+	}
+	return delta, changed
 }
 
 // mergeSorted merges two ⟨s,o⟩-sorted duplicate-free pair lists. It

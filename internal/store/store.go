@@ -17,19 +17,26 @@ import (
 // ⟨o,s⟩-sorted view, built on demand and invalidated by any mutation
 // (the paper's clearable cache).
 type Table struct {
-	pairs []uint64
-	os    []uint64 // cache: pairs re-ordered as (o,s), sorted
-	osOK  bool
-	dirty bool // true when unsorted appends are pending
+	pairs   []uint64
+	os      []uint64 // cache: pairs re-ordered as (o,s), sorted
+	osOK    bool
+	dirty   bool   // true when unsorted appends are pending
+	version uint64 // bumped on every content mutation
 
 	osMu sync.Mutex // guards lazy construction of os (rules run in parallel)
 }
+
+// Version returns the table's mutation counter: it increases every time
+// the table's contents change (appends, merges, rewrites), so readers
+// can detect staleness without diffing pairs.
+func (t *Table) Version() uint64 { return t.version }
 
 // Append adds one pair. The table becomes dirty until Normalize.
 func (t *Table) Append(s, o uint64) {
 	t.pairs = append(t.pairs, s, o)
 	t.dirty = true
 	t.osOK = false
+	t.version++
 }
 
 // AppendPairs bulk-adds a flat pair list.
@@ -40,6 +47,7 @@ func (t *Table) AppendPairs(pairs []uint64) {
 	t.pairs = append(t.pairs, pairs...)
 	t.dirty = true
 	t.osOK = false
+	t.version++
 }
 
 // SetPairs replaces the table contents with an owned, unsorted pair list.
@@ -47,6 +55,7 @@ func (t *Table) SetPairs(pairs []uint64) {
 	t.pairs = pairs
 	t.dirty = true
 	t.osOK = false
+	t.version++
 }
 
 // Normalize sorts the primary list on ⟨s,o⟩ and removes duplicates using
@@ -275,9 +284,40 @@ func (st *Store) Clone() *Store {
 		if t == nil {
 			continue
 		}
-		nt := &Table{dirty: t.dirty}
+		nt := &Table{dirty: t.dirty, version: t.version}
 		nt.pairs = append(make([]uint64, 0, len(t.pairs)), t.pairs...)
 		c.tables[i] = nt
 	}
 	return c
+}
+
+// RewriteTerms replaces every subject/object occurrence of each renames
+// key with its value and renormalizes the touched tables, in a single
+// pass over the store. The dictionary's resource→property promotions use
+// it so terms moved to the property side keep a single identity across
+// triples stored before the move; batching the renames keeps a load that
+// promotes many terms at one full-store scan instead of one per term.
+func (st *Store) RewriteTerms(renames map[uint64]uint64) {
+	if len(renames) == 0 {
+		return
+	}
+	for _, t := range st.tables {
+		if t == nil {
+			continue
+		}
+		touched := false
+		for i, v := range t.pairs {
+			if nv, ok := renames[v]; ok {
+				t.pairs[i] = nv
+				touched = true
+			}
+		}
+		if touched {
+			t.dirty = true
+			t.osOK = false
+			t.os = nil
+			t.version++
+			t.Normalize()
+		}
+	}
 }

@@ -137,7 +137,7 @@ func TestMergeRoundFigure5(t *testing.T) {
 	inferred := New(1)
 	inferred.Ensure(0).AppendPairs([]uint64{1, 2, 4, 3, 1, 6, 3, 7, 1, 2})
 
-	delta := MergeRound(main, inferred, false)
+	delta, changed := MergeRound(main, inferred, false)
 
 	wantMain := []uint64{1, 1, 1, 2, 1, 6, 1, 8, 3, 7, 4, 3, 9, 7}
 	if !reflect.DeepEqual(main.Table(0).Pairs(), wantMain) {
@@ -147,6 +147,9 @@ func TestMergeRoundFigure5(t *testing.T) {
 	if !reflect.DeepEqual(delta.Table(0).Pairs(), wantNew) {
 		t.Fatalf("new = %v, want %v", delta.Table(0).Pairs(), wantNew)
 	}
+	if !reflect.DeepEqual(changed, []int{0}) {
+		t.Fatalf("changed set = %v, want [0]", changed)
+	}
 }
 
 func TestMergeRoundEmptyDelta(t *testing.T) {
@@ -155,12 +158,15 @@ func TestMergeRoundEmptyDelta(t *testing.T) {
 	main.Normalize()
 	inferred := New(1)
 	inferred.Ensure(0).AppendPairs([]uint64{1, 2}) // pure duplicate
-	delta := MergeRound(main, inferred, false)
+	delta, changed := MergeRound(main, inferred, false)
 	if delta.Size() != 0 {
 		t.Fatalf("delta size %d, want 0", delta.Size())
 	}
 	if main.Size() != 1 {
 		t.Fatal("main must be unchanged")
+	}
+	if len(changed) != 0 {
+		t.Fatalf("pure-duplicate merge reported changed tables: %v", changed)
 	}
 }
 
@@ -188,7 +194,7 @@ func TestMergeRoundQuick(t *testing.T) {
 				oracleNew[k] = true
 			}
 		}
-		delta := MergeRound(main, inferred, parallel)
+		delta, changed := MergeRound(main, inferred, parallel)
 
 		gotNew := map[[3]uint64]bool{}
 		delta.ForEach(func(pidx int, s, o uint64) bool {
@@ -197,6 +203,22 @@ func TestMergeRoundQuick(t *testing.T) {
 		})
 		if !reflect.DeepEqual(gotNew, oracleNew) {
 			return false
+		}
+		// The changed set must be exactly the tables with fresh pairs.
+		wantChanged := map[int]bool{}
+		for k := range oracleNew {
+			wantChanged[int(k[0])] = true
+		}
+		if len(changed) != len(wantChanged) {
+			return false
+		}
+		for i, p := range changed {
+			if !wantChanged[p] {
+				return false
+			}
+			if i > 0 && changed[i-1] >= p {
+				return false // must be sorted and unique
+			}
 		}
 		// Main must now contain both sets, sorted and deduplicated.
 		want := len(oracleMain) + len(oracleNew)
@@ -228,6 +250,106 @@ func TestUnionHelper(t *testing.T) {
 	Union(a, b)
 	if a.Size() != 3 {
 		t.Fatalf("union size %d, want 3", a.Size())
+	}
+}
+
+// TestMergeRoundParallelMatchesSerial: for random inputs, the parallel
+// and serial merge paths must produce byte-identical main stores, delta
+// stores, and changed-property sets.
+func TestMergeRoundParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProps := 1 + rng.Intn(6)
+		mainSerial := New(nProps)
+		inferredA := New(nProps)
+		inferredB := New(nProps)
+		for i := 0; i < rng.Intn(80); i++ {
+			mainSerial.Add(rng.Intn(nProps), uint64(rng.Intn(12)), uint64(rng.Intn(12)))
+		}
+		mainSerial.Normalize()
+		for i := 0; i < rng.Intn(80); i++ {
+			p, s, o := rng.Intn(nProps), uint64(rng.Intn(12)), uint64(rng.Intn(12))
+			inferredA.Add(p, s, o)
+			inferredB.Add(p, s, o)
+		}
+		mainParallel := mainSerial.Clone()
+		mainParallel.Normalize()
+
+		deltaS, changedS := MergeRound(mainSerial, inferredA, false)
+		deltaP, changedP := MergeRound(mainParallel, inferredB, true)
+
+		if !reflect.DeepEqual(changedS, changedP) {
+			return false
+		}
+		sameTables := func(a, b *Store) bool {
+			if a.NumSlots() != b.NumSlots() || a.Size() != b.Size() {
+				return false
+			}
+			same := true
+			a.ForEachTable(func(pidx int, tab *Table) bool {
+				other := b.Table(pidx)
+				if other == nil || !reflect.DeepEqual(tab.RawPairs(), other.RawPairs()) {
+					same = false
+					return false
+				}
+				return true
+			})
+			return same
+		}
+		return sameTables(mainSerial, mainParallel) && sameTables(deltaS, deltaP)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeRoundVersions: a merge round bumps the version of exactly the
+// tables in the changed set.
+func TestMergeRoundVersions(t *testing.T) {
+	main := New(3)
+	main.Ensure(0).AppendPairs([]uint64{1, 2})
+	main.Ensure(1).AppendPairs([]uint64{3, 4})
+	main.Normalize()
+	v0, v1 := main.Table(0).Version(), main.Table(1).Version()
+
+	inferred := New(3)
+	inferred.Ensure(0).AppendPairs([]uint64{1, 2}) // duplicate: no change
+	inferred.Ensure(1).AppendPairs([]uint64{5, 6}) // fresh
+	inferred.Ensure(2).AppendPairs([]uint64{7, 8}) // fresh, new table
+
+	_, changed := MergeRound(main, inferred, false)
+	if !reflect.DeepEqual(changed, []int{1, 2}) {
+		t.Fatalf("changed = %v, want [1 2]", changed)
+	}
+	if main.Table(0).Version() != v0 {
+		t.Error("unchanged table's version bumped")
+	}
+	if main.Table(1).Version() <= v1 {
+		t.Error("changed table's version not bumped")
+	}
+	if main.Table(2).Version() == 0 {
+		t.Error("new table's version not bumped")
+	}
+}
+
+// TestRewriteTerms: every subject/object occurrence moves to the new ID
+// and the table stays normalized.
+func TestRewriteTerms(t *testing.T) {
+	st := New(2)
+	st.Ensure(0).AppendPairs([]uint64{5, 9, 9, 2, 1, 1})
+	st.Ensure(1).AppendPairs([]uint64{3, 4})
+	st.Normalize()
+	v1 := st.Table(1).Version()
+	st.RewriteTerms(map[uint64]uint64{9: 0})
+	want := []uint64{0, 2, 1, 1, 5, 0}
+	if !reflect.DeepEqual(st.Table(0).Pairs(), want) {
+		t.Fatalf("rewritten table = %v, want %v", st.Table(0).Pairs(), want)
+	}
+	if st.Table(1).Version() != v1 {
+		t.Error("untouched table's version bumped by RewriteTerms")
+	}
+	if !sorting.IsSortedPairs(st.Table(0).Pairs()) {
+		t.Error("rewritten table not re-normalized")
 	}
 }
 
