@@ -8,7 +8,10 @@ package inferray_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"inferray"
 	"inferray/internal/baseline"
@@ -361,6 +364,90 @@ func BenchmarkTable2WebPIE(b *testing.B) {
 					wp.Add(f)
 				}
 				wp.Materialize()
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------- Concurrent serving
+
+// BenchmarkConcurrentServing measures the online-serving path: every
+// parallel worker issues the LUBM SELECT below against one shared,
+// materialized reasoner. The queries-only variant is the read-scaling
+// baseline; in queries+deltas a background writer simultaneously streams
+// single-triple deltas, each staged and materialized incrementally, so
+// ns/op shows what snapshot-consistent reads cost while the closure is
+// being extended under load. Reported metrics: queries/s (and deltas/s
+// for the mixed variant).
+func BenchmarkConcurrentServing(b *testing.B) {
+	base := datagen.LUBM(20_000, 13)
+	query := `SELECT ?head ?parent WHERE {
+  ?head <http://example.org/lubm/headOf> ?org .
+  ?org <http://example.org/lubm/subOrganizationOf> ?parent
+}`
+	for _, withDeltas := range []bool{false, true} {
+		name := "queries-only"
+		if withDeltas {
+			name = "queries+deltas"
+		}
+		b.Run(name, func(b *testing.B) {
+			r := inferray.New(inferray.WithFragment(inferray.RDFSPlus))
+			r.AddTriples(base)
+			if _, err := r.Materialize(); err != nil {
+				b.Fatal(err)
+			}
+
+			stop := make(chan struct{})
+			var deltas atomic.Int64
+			var wg sync.WaitGroup
+			if withDeltas {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						s := fmt.Sprintf("<http://example.org/bench/joiner%d>", i)
+						if err := r.Add(s, "<http://example.org/lubm/memberOf>", "<http://example.org/lubm/univ0>"); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := r.Materialize(); err != nil {
+							b.Error(err)
+							return
+						}
+						deltas.Add(1)
+					}
+				}()
+			}
+
+			start := time.Now()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					rows, err := r.Select(query)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if len(rows) == 0 {
+						b.Error("no rows")
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			elapsed := time.Since(start)
+			close(stop)
+			wg.Wait()
+			if sec := elapsed.Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "queries/s")
+				if withDeltas {
+					b.ReportMetric(float64(deltas.Load())/sec, "deltas/s")
+				}
 			}
 		})
 	}

@@ -1,12 +1,15 @@
 // Command inferray is the stand-alone reasoner: it reads an RDF
 // document (N-Triples or Turtle), materializes its closure under a
-// chosen rule fragment, and writes the result as N-Triples.
+// chosen rule fragment, and writes the result as N-Triples — or, with
+// the serve subcommand, keeps the closure in memory and answers SPARQL
+// over HTTP while accepting incremental deltas.
 //
 // Usage:
 //
 //	inferray -rules rdfs-plus -in data.nt -out closure.nt
 //	cat data.ttl | inferray -format turtle -rules rhodf > closure.nt
 //	inferray -in base.nt -delta day1.nt -delta day2.nt -stats > closure.nt
+//	inferray serve -addr :7070 -rules rdfs-plus -in base.nt
 //
 // Each -delta file (repeatable, applied in order) is loaded after the
 // initial materialization and materialized incrementally: the fixpoint
@@ -17,23 +20,75 @@
 // With -stats, run statistics (input/inferred counts, iteration count,
 // rules fired/skipped by the dependency scheduler, stage timings) are
 // printed to stderr, one line per materialization.
+//
+// serve materializes the input (if any) and then listens on -addr:
+// GET /query answers SPARQL SELECT as application/sparql-results+json,
+// POST /triples stages an N-Triples delta and extends the closure
+// incrementally, GET /stats and GET /healthz report state. SIGINT or
+// SIGTERM shuts the server down gracefully.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"inferray"
+	"inferray/internal/server"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "inferray:", err)
 		os.Exit(1)
 	}
+}
+
+// isTurtleInput resolves the input syntax from the -format flag and the
+// file path's extension; the batch and serve paths share it so format
+// detection cannot diverge between the two modes.
+func isTurtleInput(format, path string) (bool, error) {
+	switch format {
+	case "turtle", "ttl":
+		return true, nil
+	case "nt", "ntriples":
+		return false, nil
+	case "":
+		return strings.HasSuffix(path, ".ttl") || strings.HasSuffix(path, ".turtle"), nil
+	}
+	return false, fmt.Errorf("unknown format %q", format)
+}
+
+// loadInput buffers one RDF document into the reasoner: path "-" reads
+// stdin, anything else opens the file; the syntax comes from
+// isTurtleInput. Batch mode (base and every -delta) and serve mode all
+// load through here so their input handling cannot drift.
+func loadInput(r *inferray.Reasoner, path, format string, stdin io.Reader) error {
+	in := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	turtle, err := isTurtleInput(format, path)
+	if err != nil {
+		return err
+	}
+	if turtle {
+		return r.LoadTurtle(in)
+	}
+	return r.LoadNTriples(in)
 }
 
 // multiFlag collects a repeatable string flag in order.
@@ -46,7 +101,10 @@ func (m *multiFlag) Set(v string) error {
 }
 
 // run executes the CLI with explicit streams so tests can drive it.
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(ctx, args[1:], stdin, stderr)
+	}
 	fs := flag.NewFlagSet("inferray", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var deltas multiFlag
@@ -70,28 +128,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	in := stdin
-	if *inFlag != "-" {
-		f, err := os.Open(*inFlag)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
-	}
-
-	isTurtle := func(path string) (bool, error) {
-		switch *format {
-		case "turtle", "ttl":
-			return true, nil
-		case "nt", "ntriples":
-			return false, nil
-		case "":
-			return strings.HasSuffix(path, ".ttl") || strings.HasSuffix(path, ".turtle"), nil
-		}
-		return false, fmt.Errorf("unknown format %q", *format)
-	}
-	if _, err := isTurtle(""); err != nil {
+	if _, err := isTurtleInput(*format, ""); err != nil {
 		return err
 	}
 
@@ -99,16 +136,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		inferray.WithFragment(fragment),
 		inferray.WithParallelism(!*seq),
 	)
-	load := func(src io.Reader, path string) error {
-		turtle, err := isTurtle(path)
-		if err != nil {
-			return err
-		}
-		if turtle {
-			return r.LoadTurtle(src)
-		}
-		return r.LoadNTriples(src)
-	}
 	printStats := func(st inferray.Stats, batch string) {
 		if !*stats {
 			return
@@ -120,7 +147,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			st.ClosureTime, st.LoopTime, st.TotalTime)
 	}
 
-	if err := load(in, *inFlag); err != nil {
+	if err := loadInput(r, *inFlag, *format, stdin); err != nil {
 		return err
 	}
 	st, err := r.Materialize()
@@ -131,13 +158,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 	// Each delta file extends the closure incrementally.
 	for _, path := range deltas {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		err = load(f, path)
-		f.Close()
-		if err != nil {
+		if err := loadInput(r, path, *format, stdin); err != nil {
 			return err
 		}
 		st, err := r.Materialize()
@@ -178,4 +199,48 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		out = f
 	}
 	return r.WriteNTriples(out)
+}
+
+// runServe implements the serve subcommand: materialize the input (if
+// any), then answer SPARQL over HTTP and accept incremental deltas
+// until ctx is canceled (SIGINT/SIGTERM in main).
+func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Writer) error {
+	fs := flag.NewFlagSet("inferray serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":7070", "listen address")
+		rulesFlag = fs.String("rules", "rdfs-default", "rule fragment: rhodf | rdfs-default | rdfs-full | rdfs-plus | rdfs-plus-full")
+		inFlag    = fs.String("in", "", "initial dataset to materialize before serving ('-' for stdin, empty to start with nothing)")
+		format    = fs.String("format", "", "input format: nt | turtle (default: by file extension, nt otherwise)")
+		seq       = fs.Bool("sequential", false, "disable parallel rule execution")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fragment, err := inferray.ParseFragment(*rulesFlag)
+	if err != nil {
+		return err
+	}
+	r := inferray.New(
+		inferray.WithFragment(fragment),
+		inferray.WithParallelism(!*seq),
+	)
+	if *inFlag != "" {
+		if err := loadInput(r, *inFlag, *format, stdin); err != nil {
+			return err
+		}
+	}
+	st, err := r.Materialize()
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "inferray: serving %s closure (%d triples, %d inferred) on %s\n",
+		fragment, st.TotalTriples, st.InferredTriples, ln.Addr())
+	return server.New(r).Serve(ctx, ln)
 }

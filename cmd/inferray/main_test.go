@@ -2,16 +2,22 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func runCLI(t *testing.T, args []string, stdin string) (stdout, stderr string, err error) {
 	t.Helper()
 	var out, errBuf bytes.Buffer
-	err = run(args, strings.NewReader(stdin), &out, &errBuf)
+	err = run(context.Background(), args, strings.NewReader(stdin), &out, &errBuf)
 	return out.String(), errBuf.String(), err
 }
 
@@ -162,5 +168,123 @@ func TestCLIDeltaFlag(t *testing.T) {
 	}
 	if strings.Count(errOut, "\n") != 3 {
 		t.Errorf("expected 3 stats lines, got: %s", errOut)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the serve goroutine
+// writes its startup line while the test polls for it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestCLIServe is the end-to-end check of the serve subcommand: boot on
+// a random port with a base dataset, answer a SPARQL SELECT over HTTP,
+// accept an N-Triples delta that extends the closure incrementally,
+// answer the extended query, and shut down gracefully on cancellation.
+func TestCLIServe(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.nt")
+	if err := os.WriteFile(base, []byte(sampleNT), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var errBuf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"serve", "-addr", "127.0.0.1:0", "-in", base},
+			strings.NewReader(""), &bytes.Buffer{}, &errBuf)
+	}()
+
+	// Wait for the startup line and extract the bound address.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not start: %q", errBuf.String())
+		}
+		if s := errBuf.String(); strings.Contains(s, " on 127.0.0.1:") {
+			line := s[strings.Index(s, " on 127.0.0.1:")+4:]
+			addr = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	baseURL := "http://" + addr
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(baseURL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+
+	q := url.QueryEscape("SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <c> }")
+	code, body := get("/query?query=" + q)
+	if code != http.StatusOK || !strings.Contains(body, `"value":"x"`) {
+		t.Fatalf("query response %d: %s", code, body)
+	}
+
+	// Delta: <y> is typed into the hierarchy; the incremental
+	// materialization must propagate it to <c>.
+	delta := "<y> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <a> .\n"
+	resp, err := http.Post(baseURL+"/triples", "application/n-triples", strings.NewReader(delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr struct {
+		Incremental bool `json:"incremental"`
+		Inferred    int  `json:"inferred"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !dr.Incremental {
+		t.Fatalf("delta response %d incremental=%t", resp.StatusCode, dr.Incremental)
+	}
+
+	code, body = get("/query?query=" + q)
+	if code != http.StatusOK || !strings.Contains(body, `"value":"y"`) {
+		t.Fatalf("post-delta query response %d: %s", code, body)
+	}
+
+	if code, body := get("/stats"); code != http.StatusOK || !strings.Contains(body, `"delta_batches":1`) {
+		t.Fatalf("stats response %d: %s", code, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not shut down")
 	}
 }

@@ -1,0 +1,181 @@
+package inferray_test
+
+// The race-hammer suite for the concurrent serving contract: many
+// reader goroutines drive the whole read path while a writer stages
+// deltas and re-materializes. Run under -race (CI does); before the
+// engine-level locking these tests fail with detector reports, after it
+// they must pass and observe only consistent closures.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"inferray"
+)
+
+func hammer(t *testing.T, opts ...inferray.Option) {
+	t.Helper()
+	r := inferray.New(append([]inferray.Option{inferray.WithFragment(inferray.RDFSPlus)}, opts...)...)
+	add := func(s, p, o string) {
+		t.Helper()
+		if err := r.Add(s, p, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("<subOrgOf>", inferray.Type, inferray.TransitiveProperty)
+	add("<worksFor>", inferray.SubPropertyOf, "<memberOf>")
+	add("<GroupA>", "<subOrgOf>", "<DeptCS>")
+	add("<DeptCS>", "<subOrgOf>", "<Univ0>")
+	add("<alice>", "<worksFor>", "<DeptCS>")
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	const deltas = 12
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch j % 5 {
+				case 0:
+					// SELECT with a join: subject and object runs.
+					rows, err := r.Select(`SELECT ?who ?org WHERE { ?who <memberOf> ?org . ?org <subOrgOf> <Univ0> }`)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					// alice's membership chain is in every snapshot.
+					if len(rows) < 1 {
+						t.Errorf("snapshot lost base inference: %v", rows)
+						return
+					}
+				case 1:
+					// Object-bound pattern: exercises the ⟨o,s⟩ cache.
+					if _, err := r.QueryCount([3]string{"?who", "<memberOf>", "<GroupA>"}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if !r.Holds("<alice>", "<memberOf>", "<DeptCS>") {
+						t.Error("snapshot lost base membership")
+						return
+					}
+				case 3:
+					if r.Size() == 0 {
+						t.Error("empty snapshot")
+						return
+					}
+				case 4:
+					if err := r.WriteNTriples(io.Discard); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+
+	// The writer streams deltas; each one re-materializes incrementally
+	// while the readers keep querying.
+	for j := 0; j < deltas; j++ {
+		add(fmt.Sprintf("<worker%d>", j), "<worksFor>", "<GroupA>")
+		st, err := r.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Incremental {
+			t.Fatal("delta ran a full materialization")
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Every worker must have propagated through worksFor ⊑ memberOf and
+	// the transitive subOrgOf chain.
+	n, err := r.QueryCount(
+		[3]string{"?who", "<memberOf>", "?org"},
+		[3]string{"?org", "<subOrgOf>", "<Univ0>"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice via DeptCS, workers via GroupA (plus GroupA⊑DeptCS hop):
+	// each worker is a member of GroupA only; GroupA subOrgOf Univ0.
+	if n != 1+deltas {
+		t.Fatalf("final closure has %d memberships under Univ0, want %d", n, 1+deltas)
+	}
+}
+
+// TestConcurrentReadersDuringMaterialize is the headline stress test of
+// the concurrency contract (readers see pre- or post-delta closures,
+// never a mid-merge state).
+func TestConcurrentReadersDuringMaterialize(t *testing.T) {
+	hammer(t)
+}
+
+// TestConcurrentReadersLowMemory repeats the hammer with the clearable
+// ⟨o,s⟩ caches being dropped every iteration — the configuration that
+// raced DropOSCache against cache readers before the osMu fix.
+func TestConcurrentReadersLowMemory(t *testing.T) {
+	hammer(t, inferray.WithLowMemory(true))
+}
+
+// TestConcurrentStagingNeverBlocks checks the staging half of the
+// contract: Add and Pending work from many goroutines concurrently with
+// reads and materializations.
+func TestConcurrentStaging(t *testing.T) {
+	r := inferray.New()
+	if err := r.Add("<C1>", inferray.SubClassOf, "<C2>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := r.Add(fmt.Sprintf("<x%d_%d>", i, j), inferray.Type, "<C1>"); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Pending()
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 10; j++ {
+			if _, err := r.Materialize(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	// 200 instances, each typed C1 and inferred C2.
+	n, err := r.QueryCount([3]string{"?x", inferray.Type, "<C2>"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("final closure has %d C2 instances, want 200", n)
+	}
+}

@@ -22,6 +22,7 @@ package inferray
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"inferray/internal/rdf"
 	"inferray/internal/reasoner"
@@ -101,9 +102,25 @@ func WithLowMemory(on bool) Option {
 // next Materialize extends the closure incrementally from only the new
 // triples — the result is always identical to rematerializing the union
 // from scratch.
+//
+// A Reasoner may be shared by any number of goroutines. The read path —
+// Holds, Query, QueryFunc, QueryCount, Select, Triples, AllTriples,
+// Size, WriteNTriples — runs under a shared lock: reads proceed
+// concurrently with each other and are linearized against Materialize,
+// so every read observes a consistent closure (the state before or
+// after a materialization, never a half-merged intermediate). Add,
+// AddTriples, LoadNTriples, and LoadTurtle only stage triples into a
+// side buffer guarded by its own mutex, so ingestion never blocks
+// behind a running materialization or a long read. Callbacks passed to
+// Triples, QueryFunc, or WriteNTriples's writer must not call back into
+// the same Reasoner. See DESIGN.md "Concurrency model" for the full
+// contract.
 type Reasoner struct {
-	engine  *reasoner.Engine
-	pending []rdf.Triple
+	mu     sync.RWMutex // engine state: closure store + dictionary
+	engine *reasoner.Engine
+
+	pendingMu sync.Mutex // staging buffer for the next Materialize
+	pending   []rdf.Triple
 }
 
 // New creates a reasoner.
@@ -124,31 +141,54 @@ func (r *Reasoner) Add(s, p, o string) error {
 	if rdf.IsLiteral(s) {
 		return fmt.Errorf("inferray: subject %q may not be a literal", s)
 	}
+	r.pendingMu.Lock()
 	r.pending = append(r.pending, rdf.Triple{S: s, P: p, O: o})
+	r.pendingMu.Unlock()
 	return nil
 }
 
 // AddTriples buffers a batch of triples.
 func (r *Reasoner) AddTriples(triples []Triple) {
+	r.pendingMu.Lock()
 	r.pending = append(r.pending, triples...)
+	r.pendingMu.Unlock()
 }
 
-// LoadNTriples buffers every triple of an N-Triples document.
+// LoadNTriples buffers every triple of an N-Triples document. The
+// document is parsed outside the staging lock; triples land in the
+// buffer in one batch only if the whole document parses.
 func (r *Reasoner) LoadNTriples(src io.Reader) error {
-	return rdf.ReadNTriples(src, func(t rdf.Triple) error {
-		r.pending = append(r.pending, t)
+	var batch []rdf.Triple
+	err := rdf.ReadNTriples(src, func(t rdf.Triple) error {
+		batch = append(batch, t)
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	r.pendingMu.Lock()
+	r.pending = append(r.pending, batch...)
+	r.pendingMu.Unlock()
+	return nil
 }
 
 // LoadTurtle buffers every triple of a Turtle document (the practical
 // subset documented at rdf.ReadTurtle: prefixes, base, 'a', predicate
-// and object lists; no collections or anonymous blank nodes).
+// and object lists; no collections or anonymous blank nodes). Like
+// LoadNTriples, nothing is staged unless the whole document parses.
 func (r *Reasoner) LoadTurtle(src io.Reader) error {
-	return rdf.ReadTurtle(src, func(t rdf.Triple) error {
-		r.pending = append(r.pending, t)
+	var batch []rdf.Triple
+	err := rdf.ReadTurtle(src, func(t rdf.Triple) error {
+		batch = append(batch, t)
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	r.pendingMu.Lock()
+	r.pending = append(r.pending, batch...)
+	r.pendingMu.Unlock()
+	return nil
 }
 
 // Materialize computes the closure of everything added so far under the
@@ -158,31 +198,58 @@ func (r *Reasoner) LoadTurtle(src io.Reader) error {
 // rematerialization over the union. Calling it with nothing new staged
 // is a cheap no-op.
 func (r *Reasoner) Materialize() (Stats, error) {
-	r.engine.LoadTriples(r.pending)
-	r.pending = r.pending[:0]
+	r.pendingMu.Lock()
+	batch := r.pending
+	r.pending = nil
+	r.pendingMu.Unlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.engine.LoadTriples(batch)
 	return r.engine.Materialize(), nil
 }
 
 // Pending returns how many added triples are staged for the next
 // Materialize call.
-func (r *Reasoner) Pending() int { return len(r.pending) }
+func (r *Reasoner) Pending() int {
+	r.pendingMu.Lock()
+	defer r.pendingMu.Unlock()
+	return len(r.pending)
+}
+
+// Fragment returns the rule fragment the reasoner materializes under.
+func (r *Reasoner) Fragment() Fragment { return r.engine.Fragment() }
 
 // Size returns the number of distinct triples currently stored
 // (including inferred ones after Materialize).
-func (r *Reasoner) Size() int { return r.engine.Size() }
+func (r *Reasoner) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.engine.Size()
+}
 
 // Holds reports whether the closure contains the triple. It is only
 // meaningful after Materialize.
 func (r *Reasoner) Holds(s, p, o string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.engine.Contains(rdf.Triple{S: s, P: p, O: o})
 }
 
-// Triples streams every stored triple; fn may return false to stop.
-func (r *Reasoner) Triples(fn func(t Triple) bool) { r.engine.Triples(fn) }
+// Triples streams every stored triple; fn may return false to stop. The
+// reasoner's read lock is held for the whole enumeration, so fn must
+// not call back into the Reasoner.
+func (r *Reasoner) Triples(fn func(t Triple) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.engine.Triples(fn)
+}
 
 // AllTriples returns every stored triple as a slice.
 func (r *Reasoner) AllTriples() []Triple {
-	out := make([]Triple, 0, r.Size())
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Triple, 0, r.engine.Size())
 	r.engine.Triples(func(t Triple) bool {
 		out = append(out, t)
 		return true
@@ -192,6 +259,8 @@ func (r *Reasoner) AllTriples() []Triple {
 
 // WriteNTriples serializes the store (closure, after Materialize) to w.
 func (r *Reasoner) WriteNTriples(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var err error
 	bw := newBatchingWriter(w, &err)
 	r.engine.Triples(func(t Triple) bool {

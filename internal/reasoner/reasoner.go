@@ -107,6 +107,9 @@ func New(opts Options) *Engine {
 	return e
 }
 
+// Fragment returns the ruleset the engine materializes under.
+func (e *Engine) Fragment() rules.Fragment { return e.opts.Fragment }
+
 // DependencyEdges returns the static rule→rule dependency graph by rule
 // name: for every rule, the (deduplicated) rules that may derive new
 // facts once it fires — i.e. whose read footprint intersects its write

@@ -1,0 +1,368 @@
+// Package server exposes a shared inferray.Reasoner over HTTP — the
+// online half of the paper's offline-materialize/online-serve split
+// (§1–2: Inferray is the storage-and-inference layer under a SPARQL
+// engine). Queries are answered from the materialized closure by plain
+// index scans; deltas posted while serving are staged and materialized
+// incrementally, and the reasoner's snapshot-consistent read path keeps
+// every in-flight query on a closure that is entirely pre- or
+// post-delta.
+//
+// Endpoints:
+//
+//	GET  /query?query=SELECT…   SPARQL SELECT (the subset of internal/sparql),
+//	                            application/sparql-results+json response
+//	POST /query                 same, query in the body (application/sparql-query)
+//	                            or form field "query"
+//	POST /triples               N-Triples document staged as a delta and
+//	                            materialized incrementally; JSON run stats
+//	GET  /stats                 store size, traffic counters, last materialization
+//	GET  /healthz               liveness probe
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inferray"
+	"inferray/internal/rdf"
+)
+
+// maxDeltaBytes bounds a POST /triples body; a delta is an online
+// update, not a bulk load.
+const maxDeltaBytes = 64 << 20
+
+// Server serves one Reasoner. All handlers are safe for concurrent use:
+// queries ride the reasoner's shared read lock while deltas serialize
+// through its materialization lock.
+type Server struct {
+	r     *inferray.Reasoner
+	start time.Time
+
+	queries      atomic.Int64
+	queryErrors  atomic.Int64
+	deltaBatches atomic.Int64
+	deltaTriples atomic.Int64
+
+	// deltaMu serializes stage+materialize per request, so a delta
+	// response reports the effect of that request's batch rather than
+	// whatever happened to be pending (two concurrent posts would
+	// otherwise race to drain the shared staging buffer, and one of
+	// them would report a no-op).
+	deltaMu sync.Mutex
+
+	lastMu sync.Mutex
+	last   inferray.Stats
+	lastAt time.Time
+	hasRun bool
+}
+
+// New wraps a reasoner (typically already loaded and materialized).
+func New(r *inferray.Reasoner) *Server {
+	return &Server{r: r, start: time.Now()}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/triples", s.handleTriples)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// Serve accepts connections on ln until ctx is canceled, then shuts
+// down gracefully: in-flight requests get up to ten seconds to finish.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// ---------------------------------------------------------------- /query
+
+// sparqlResults is the SPARQL 1.1 Query Results JSON document.
+type sparqlResults struct {
+	Head    resultsHead    `json:"head"`
+	Results resultsSection `json:"results"`
+}
+
+type resultsHead struct {
+	Vars []string `json:"vars"`
+}
+
+type resultsSection struct {
+	Bindings []map[string]binding `json:"bindings"`
+}
+
+// binding is one RDF term in results-JSON form.
+type binding struct {
+	Type     string `json:"type"` // "uri" | "literal" | "bnode"
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
+	var text string
+	switch req.Method {
+	case http.MethodGet:
+		text = req.URL.Query().Get("query")
+	case http.MethodPost:
+		ct := req.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			// MaxBytesReader (not LimitReader) so an oversized query is
+			// an error, never silently truncated into a different query.
+			body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "reading body: %v", err)
+				return
+			}
+			text = string(body)
+		} else {
+			text = req.FormValue("query")
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if strings.TrimSpace(text) == "" {
+		httpError(w, http.StatusBadRequest, "missing query parameter")
+		return
+	}
+
+	vars, rows, err := s.r.SelectWithVars(text)
+	if err != nil {
+		s.queryErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.queries.Add(1)
+	if vars == nil {
+		vars = []string{} // head.vars must be an array even for all-constant patterns
+	}
+
+	res := sparqlResults{
+		Head:    resultsHead{Vars: vars},
+		Results: resultsSection{Bindings: make([]map[string]binding, 0, len(rows))},
+	}
+	for _, row := range rows {
+		b := make(map[string]binding, len(row))
+		for name, term := range row {
+			b[name] = termBinding(term)
+		}
+		res.Results.Bindings = append(res.Results.Bindings, b)
+	}
+	writeJSON(w, "application/sparql-results+json", res)
+}
+
+// termBinding converts an N-Triples surface form into results-JSON.
+func termBinding(term string) binding {
+	switch {
+	case rdf.IsIRI(term):
+		return binding{Type: "uri", Value: term[1 : len(term)-1]}
+	case rdf.IsBlank(term):
+		return binding{Type: "bnode", Value: term[2:]}
+	case rdf.IsLiteral(term):
+		lex, ok := rdf.UnescapeLiteral(term)
+		if !ok {
+			return binding{Type: "literal", Value: term}
+		}
+		b := binding{Type: "literal", Value: lex}
+		switch suffix := term[literalEnd(term):]; {
+		case strings.HasPrefix(suffix, "@"):
+			b.Lang = suffix[1:]
+		case strings.HasPrefix(suffix, "^^<") && strings.HasSuffix(suffix, ">"):
+			b.Datatype = suffix[3 : len(suffix)-1]
+		}
+		return b
+	default:
+		return binding{Type: "literal", Value: term}
+	}
+}
+
+// literalEnd returns the index just past the closing quote of a literal
+// surface form (len(term) when unterminated).
+func literalEnd(term string) int {
+	for i := 1; i < len(term); i++ {
+		switch term[i] {
+		case '\\':
+			i++
+		case '"':
+			return i + 1
+		}
+	}
+	return len(term)
+}
+
+// -------------------------------------------------------------- /triples
+
+// deltaResponse reports what one posted delta did.
+type deltaResponse struct {
+	Staged      int    `json:"staged"`      // triples parsed from the body
+	NewInput    int    `json:"new_input"`   // distinct triples not already stored
+	Inferred    int    `json:"inferred"`    // further closure growth
+	Total       int    `json:"total"`       // store size after materialization
+	Iterations  int    `json:"iterations"`  // fixpoint rounds
+	Incremental bool   `json:"incremental"` // false only for the very first load
+	Duration    string `json:"duration"`    // wall time of the materialization
+	DurationMS  int64  `json:"duration_ms"`
+}
+
+func (s *Server) handleTriples(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var batch []inferray.Triple
+	err := rdf.ReadNTriples(http.MaxBytesReader(w, req.Body, maxDeltaBytes), func(t rdf.Triple) error {
+		batch = append(batch, t)
+		return nil
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	s.r.AddTriples(batch)
+	staged := len(batch)
+	st, err := s.r.Materialize()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.deltaBatches.Add(1)
+	s.deltaTriples.Add(int64(staged))
+	s.lastMu.Lock()
+	s.last, s.lastAt, s.hasRun = st, time.Now(), true
+	s.lastMu.Unlock()
+
+	writeJSON(w, "application/json", deltaResponse{
+		Staged:      staged,
+		NewInput:    st.InputTriples,
+		Inferred:    st.InferredTriples,
+		Total:       st.TotalTriples,
+		Iterations:  st.Iterations,
+		Incremental: st.Incremental,
+		Duration:    st.TotalTime.String(),
+		DurationMS:  st.TotalTime.Milliseconds(),
+	})
+}
+
+// ---------------------------------------------------------------- /stats
+
+// statsResponse is the /stats document.
+type statsResponse struct {
+	Triples         int              `json:"triples"`
+	Pending         int              `json:"pending"`
+	Fragment        string           `json:"fragment"`
+	UptimeSeconds   int64            `json:"uptime_seconds"`
+	Queries         int64            `json:"queries"`
+	QueryErrors     int64            `json:"query_errors"`
+	DeltaBatches    int64            `json:"delta_batches"`
+	DeltaTriples    int64            `json:"delta_triples"`
+	LastMaterialize *lastMaterialize `json:"last_materialize,omitempty"`
+}
+
+type lastMaterialize struct {
+	At          string `json:"at"`
+	NewInput    int    `json:"new_input"`
+	Inferred    int    `json:"inferred"`
+	Total       int    `json:"total"`
+	Iterations  int    `json:"iterations"`
+	Incremental bool   `json:"incremental"`
+	Duration    string `json:"duration"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	resp := statsResponse{
+		Triples:       s.r.Size(),
+		Pending:       s.r.Pending(),
+		Fragment:      s.r.Fragment().String(),
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Queries:       s.queries.Load(),
+		QueryErrors:   s.queryErrors.Load(),
+		DeltaBatches:  s.deltaBatches.Load(),
+		DeltaTriples:  s.deltaTriples.Load(),
+	}
+	s.lastMu.Lock()
+	if s.hasRun {
+		resp.LastMaterialize = &lastMaterialize{
+			At:          s.lastAt.UTC().Format(time.RFC3339),
+			NewInput:    s.last.InputTriples,
+			Inferred:    s.last.InferredTriples,
+			Total:       s.last.TotalTriples,
+			Iterations:  s.last.Iterations,
+			Incremental: s.last.Incremental,
+			Duration:    s.last.TotalTime.String(),
+		}
+	}
+	s.lastMu.Unlock()
+	writeJSON(w, "application/json", resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, "application/json", map[string]string{"status": "ok"})
+}
+
+// ---------------------------------------------------------------- shared
+
+func writeJSON(w http.ResponseWriter, contentType string, v interface{}) {
+	w.Header().Set("Content-Type", contentType)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf(format, args...),
+	})
+}

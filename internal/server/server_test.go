@@ -1,0 +1,290 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"inferray"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *inferray.Reasoner) {
+	t.Helper()
+	r := inferray.New(inferray.WithFragment(inferray.RDFSPlus))
+	base := `
+<subOrgOf> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://www.w3.org/2002/07/owl#TransitiveProperty> .
+<worksFor> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <memberOf> .
+<DeptCS> <subOrgOf> <Univ0> .
+<alice> <worksFor> <DeptCS> .
+<alice> <http://www.w3.org/2000/01/rdf-schema#label> "Alice"@en .
+`
+	if err := r.LoadNTriples(strings.NewReader(base)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(r).Handler())
+	t.Cleanup(ts.Close)
+	return ts, r
+}
+
+func getResults(t *testing.T, ts *httptest.Server, query string) sparqlResults {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/query?query=" + url.QueryEscape(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/sparql-results+json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var res sparqlResults
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	res := getResults(t, ts, `SELECT ?who WHERE { ?who <memberOf> <DeptCS> }`)
+	if len(res.Head.Vars) != 1 || res.Head.Vars[0] != "who" {
+		t.Fatalf("head vars = %v", res.Head.Vars)
+	}
+	if len(res.Results.Bindings) != 1 {
+		t.Fatalf("bindings = %v", res.Results.Bindings)
+	}
+	b := res.Results.Bindings[0]["who"]
+	if b.Type != "uri" || b.Value != "alice" {
+		t.Fatalf("binding = %+v", b)
+	}
+}
+
+func TestQueryEndpointLiteralBinding(t *testing.T) {
+	ts, _ := newTestServer(t)
+	res := getResults(t, ts,
+		`SELECT ?name WHERE { <alice> <http://www.w3.org/2000/01/rdf-schema#label> ?name }`)
+	if len(res.Results.Bindings) != 1 {
+		t.Fatalf("bindings = %v", res.Results.Bindings)
+	}
+	b := res.Results.Bindings[0]["name"]
+	if b.Type != "literal" || b.Value != "Alice" || b.Lang != "en" {
+		t.Fatalf("binding = %+v", b)
+	}
+}
+
+func TestQueryEndpointSelectStarVars(t *testing.T) {
+	ts, _ := newTestServer(t)
+	res := getResults(t, ts, `SELECT * WHERE { ?who <memberOf> ?org }`)
+	if len(res.Head.Vars) != 2 || res.Head.Vars[0] != "who" || res.Head.Vars[1] != "org" {
+		t.Fatalf("head vars = %v", res.Head.Vars)
+	}
+}
+
+func TestQueryEndpointPost(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/query", "application/sparql-query",
+		strings.NewReader(`SELECT ?who WHERE { ?who <memberOf> <DeptCS> }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for name, q := range map[string]string{
+		"missing":            "",
+		"syntax":             "SELECT WHERE",
+		"unsupported":        "SELECT ?x WHERE { ?x <p> ?y FILTER(?y > 3) }",
+		"unknown projection": "SELECT ?whoo WHERE { ?who <memberOf> ?org }",
+	} {
+		resp, err := http.Get(ts.URL + "/query?query=" + url.QueryEscape(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestTriplesDeltaExtendsClosureIncrementally(t *testing.T) {
+	ts, r := newTestServer(t)
+	before := r.Size()
+
+	// bob joins a group nested under DeptCS: the closure must extend to
+	// bob being a member of GroupB and (via rule chains) of nothing less.
+	delta := `
+<bob> <worksFor> <GroupB> .
+<GroupB> <subOrgOf> <DeptCS> .
+`
+	resp, err := http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader(delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var dr deltaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Staged != 2 || !dr.Incremental || dr.Total <= before {
+		t.Fatalf("delta response = %+v (before=%d)", dr, before)
+	}
+
+	// The new fact and its inferences are queryable.
+	if !r.Holds("<bob>", "<memberOf>", "<GroupB>") {
+		t.Fatal("delta inference missing")
+	}
+	if !r.Holds("<GroupB>", "<subOrgOf>", "<Univ0>") {
+		t.Fatal("transitive inference over delta missing")
+	}
+	res := getResults(t, ts, `SELECT ?org WHERE { <GroupB> <subOrgOf> ?org }`)
+	if len(res.Results.Bindings) != 2 { // DeptCS and Univ0
+		t.Fatalf("bindings = %v", res.Results.Bindings)
+	}
+}
+
+func TestTriplesRejectsBadInput(t *testing.T) {
+	ts, r := newTestServer(t)
+	before := r.Size()
+	resp, err := http.Post(ts.URL+"/triples", "application/n-triples",
+		strings.NewReader("this is not ntriples\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if r.Size() != before || r.Pending() != 0 {
+		t.Fatal("bad document partially staged")
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	getResults(t, ts, `SELECT ?who WHERE { ?who <memberOf> <DeptCS> }`)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Triples == 0 || st.Queries != 1 || st.Fragment != "rdfs-plus" {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hresp.StatusCode)
+	}
+}
+
+// TestConcurrentQueriesAndDeltas is the end-to-end race check at the
+// HTTP layer: SELECTs stream in while deltas re-materialize the store.
+func TestConcurrentQueriesAndDeltas(t *testing.T) {
+	ts, _ := newTestServer(t)
+	const readers = 4
+	const perReader = 25
+
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perReader; j++ {
+				res := getResults(t, ts, `SELECT ?who ?org WHERE { ?who <memberOf> ?org }`)
+				if len(res.Results.Bindings) == 0 {
+					t.Error("no bindings")
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 10; j++ {
+			delta := fmt.Sprintf("<worker%d> <worksFor> <DeptCS> .\n", j)
+			resp, err := http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader(delta))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("delta status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	res := getResults(t, ts, `SELECT ?who WHERE { ?who <memberOf> <DeptCS> }`)
+	if len(res.Results.Bindings) != 11 { // alice + 10 workers
+		t.Fatalf("final bindings = %d, want 11", len(res.Results.Bindings))
+	}
+}
+
+// TestGracefulShutdown drives Serve directly: cancellation must stop
+// the listener and return nil.
+func TestGracefulShutdown(t *testing.T) {
+	r := inferray.New()
+	if err := r.Add("<a>", inferray.Type, "<C>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- New(r).Serve(ctx, ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not shut down")
+	}
+}

@@ -40,11 +40,16 @@ func MergeRound(main, inferred *Store, parallel bool) (*Store, []int) {
 		if len(fresh) == 0 {
 			return
 		}
+		// Direct field writes are safe here: MergeRound runs only inside a
+		// materialization, which excludes engine readers entirely, and the
+		// parallel mergeOne goroutines each own a distinct table. Only the
+		// ⟨o,s⟩-cache fields also move under osMu, because table readers
+		// (which may resume the instant the materialization's write lock is
+		// released) synchronize on that lock alone inside OS().
 		mt.pairs = merged
 		mt.dirty = false
-		mt.osOK = false
-		mt.os = nil
 		mt.version++
+		mt.invalidateOS()
 		dt := &Table{pairs: fresh}
 		delta.tables[pidx] = dt
 	}
@@ -82,12 +87,20 @@ func MergeRound(main, inferred *Store, parallel bool) (*Store, []int) {
 // returns the union (sorted, duplicate-free) and the pairs of inf that
 // were not present in main ("keep new triples & skip duplicates",
 // Figure 5). When inf adds nothing, merged aliases main and fresh is nil.
+// merged and fresh never share a backing array: merged becomes the main
+// table's pairs — which later appends and in-place normalizations may
+// rewrite — while fresh becomes a delta table still scanned by the
+// scheduler after this round, so aliasing the two corrupts the delta.
 func mergeSorted(main, inf []uint64) (merged, fresh []uint64) {
 	if len(inf) == 0 {
 		return main, nil
 	}
 	if len(main) == 0 {
-		return inf, inf
+		// Everything is fresh. inf (often a trimmed subslice of a larger
+		// sort buffer, with spare capacity) goes to main; the delta copy
+		// must own separate storage.
+		fresh = append(make([]uint64, 0, len(inf)), inf...)
+		return inf, fresh
 	}
 	merged = make([]uint64, 0, len(main)+len(inf))
 	fresh = make([]uint64, 0, len(inf))

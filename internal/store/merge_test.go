@@ -1,0 +1,107 @@
+package store
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestMergeRoundDeltaNotAliased is the regression test for the
+// empty-main fast path of mergeSorted: the round's delta table must own
+// its storage, so that later in-place mutations of the main table
+// (appends into spare capacity, in-place normalization) cannot corrupt
+// delta pairs still being read by the scheduler.
+func TestMergeRoundDeltaNotAliased(t *testing.T) {
+	main := New(1)
+	inferred := New(1)
+	// The duplicate pair makes the merge-round sort trim its result,
+	// leaving spare capacity in the sorted slice — the precondition for
+	// the old aliasing: main's table and the delta shared that array.
+	inferred.Ensure(0).AppendPairs([]uint64{5, 50, 1, 10, 1, 10, 3, 30})
+
+	delta, changed := MergeRound(main, inferred, false)
+	if !reflect.DeepEqual(changed, []int{0}) {
+		t.Fatalf("changed = %v, want [0]", changed)
+	}
+	want := []uint64{1, 10, 3, 30, 5, 50}
+	dt := delta.Table(0)
+	if dt == nil || !reflect.DeepEqual(dt.RawPairs(), want) {
+		t.Fatalf("delta pairs = %v, want %v", dt.RawPairs(), want)
+	}
+
+	// Mutate main after the round the way a later iteration does: append
+	// (fills shared spare capacity) and normalize (sorts in place).
+	mt := main.Table(0)
+	mt.AppendPairs([]uint64{0, 7})
+	mt.Normalize()
+
+	if !reflect.DeepEqual(dt.RawPairs(), want) {
+		t.Fatalf("delta corrupted by main mutation: %v, want %v", dt.RawPairs(), want)
+	}
+}
+
+// TestMergeRoundMergedPathNotAliased covers the general merge path too:
+// a round over a non-empty main must also leave delta independent.
+func TestMergeRoundMergedPathNotAliased(t *testing.T) {
+	main := New(1)
+	main.Ensure(0).AppendPairs([]uint64{2, 20})
+	main.Normalize()
+	inferred := New(1)
+	inferred.Ensure(0).AppendPairs([]uint64{1, 10, 3, 30})
+
+	delta, _ := MergeRound(main, inferred, false)
+	want := []uint64{1, 10, 3, 30}
+	dt := delta.Table(0)
+	if dt == nil || !reflect.DeepEqual(dt.RawPairs(), want) {
+		t.Fatalf("delta pairs = %v, want %v", dt.RawPairs(), want)
+	}
+
+	mt := main.Table(0)
+	mt.AppendPairs([]uint64{0, 7})
+	mt.Normalize()
+
+	if !reflect.DeepEqual(dt.RawPairs(), want) {
+		t.Fatalf("delta corrupted by main mutation: %v, want %v", dt.RawPairs(), want)
+	}
+}
+
+// TestDropOSCacheConcurrentWithReaders hammers DropOSCache against
+// concurrent OS()/ObjectRun readers; it fails under -race when the drop
+// writes the cache fields without taking osMu (the WithLowMemory /
+// concurrent-server race).
+func TestDropOSCacheConcurrentWithReaders(t *testing.T) {
+	tab := &Table{}
+	for i := uint64(0); i < 256; i++ {
+		tab.Append(i, 1000-i)
+	}
+	tab.Normalize()
+
+	const iters = 500
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				os := tab.OS()
+				if len(os) != 512 {
+					t.Errorf("OS length %d, want 512", len(os))
+					return
+				}
+				lo, hi := tab.ObjectRun(1000)
+				if hi-lo != 1 {
+					t.Errorf("ObjectRun(1000) = [%d,%d), want one pair", lo, hi)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			tab.DropOSCache()
+		}
+	}()
+	wg.Wait()
+}

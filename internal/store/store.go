@@ -107,11 +107,23 @@ func (t *Table) OS() []uint64 {
 	return t.os
 }
 
-// DropOSCache releases the ⟨o,s⟩ cache (the paper clears it under memory
-// pressure; benchmarks use it for the cache ablation).
-func (t *Table) DropOSCache() {
-	t.os = nil
+// invalidateOS clears the ⟨o,s⟩ cache under osMu. Every writer that
+// drops the cache must go through here: cache readers synchronize only
+// on osMu inside OS(), so an unlocked clear races a concurrent lazy
+// build (LowMemory drops mid-run today; the server's concurrent readers
+// make the window permanent).
+func (t *Table) invalidateOS() {
+	t.osMu.Lock()
 	t.osOK = false
+	t.os = nil
+	t.osMu.Unlock()
+}
+
+// DropOSCache releases the ⟨o,s⟩ cache (the paper clears it under memory
+// pressure; benchmarks use it for the cache ablation). It is safe to
+// call concurrently with OS()/ObjectRun readers.
+func (t *Table) DropOSCache() {
+	t.invalidateOS()
 }
 
 // SubjectRun returns the half-open pair-index range [lo, hi) of pairs
@@ -314,9 +326,8 @@ func (st *Store) RewriteTerms(renames map[uint64]uint64) {
 		}
 		if touched {
 			t.dirty = true
-			t.osOK = false
-			t.os = nil
 			t.version++
+			t.invalidateOS()
 			t.Normalize()
 		}
 	}

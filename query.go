@@ -29,11 +29,25 @@ func (r *Reasoner) Query(patterns ...[3]string) ([]map[string]string, error) {
 	return rows, err
 }
 
-// QueryFunc is the streaming form of Query; fn may return false to stop.
+// anonPrefix marks the internal names synthesized for anonymous ("?")
+// pattern variables. It starts with a NUL byte, which no "?name" pattern
+// term can spell, so an anonymous slot can never collide with — or
+// shadow — a real user variable, and the prefix cheaply identifies the
+// slots to withhold from result rows.
+const anonPrefix = "\x00anon"
+
+// QueryFunc is the streaming form of Query; fn may return false to
+// stop. The reasoner's read lock is held for the whole enumeration, so
+// fn must not call back into the Reasoner. A bare "?" term is an
+// anonymous variable: it matches anything, joins with nothing, and does
+// not appear in the delivered rows.
 func (r *Reasoner) QueryFunc(fn func(row map[string]string) bool, patterns ...[3]string) error {
 	if len(patterns) == 0 {
 		return fmt.Errorf("inferray: empty pattern list")
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
 	varSlots := map[string]int{}
 	var varNames []string
 	unknownConst := false
@@ -42,7 +56,7 @@ func (r *Reasoner) QueryFunc(fn func(row map[string]string) bool, patterns ...[3
 		if strings.HasPrefix(raw, "?") {
 			name := raw[1:]
 			if name == "" {
-				name = fmt.Sprintf("_anon%d", len(varNames))
+				name = fmt.Sprintf("%s%d", anonPrefix, len(varNames))
 			}
 			slot, ok := varSlots[name]
 			if !ok {
@@ -70,10 +84,20 @@ func (r *Reasoner) QueryFunc(fn func(row map[string]string) bool, patterns ...[3
 		return nil // a constant not in the dictionary can match nothing
 	}
 
+	named := 0
+	for _, name := range varNames {
+		if !strings.HasPrefix(name, anonPrefix) {
+			named++
+		}
+	}
+
 	eng := &query.Engine{St: r.engine.Main}
 	return eng.Solve(qp, len(varNames), func(row []uint64) bool {
-		out := make(map[string]string, len(varNames))
+		out := make(map[string]string, named)
 		for i, name := range varNames {
+			if strings.HasPrefix(name, anonPrefix) {
+				continue
+			}
 			out[name] = r.engine.Dict.MustDecode(row[i])
 		}
 		return fn(out)
@@ -93,8 +117,11 @@ func (r *Reasoner) QueryCount(patterns ...[3]string) (int, error) {
 // SaveSnapshot writes the dictionary and store (closure, after
 // Materialize) as a compact binary image — the paper's off-line
 // materialization workflow: infer once, persist, serve without the
-// engine.
+// engine. It takes the exclusive lock (the store is normalized in
+// place), so it waits out concurrent reads and materializations.
 func (r *Reasoner) SaveSnapshot(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.engine.Main.Normalize()
 	return snapshot.Write(w, r.engine.Dict, r.engine.Main)
 }
@@ -119,11 +146,43 @@ func LoadSnapshot(src io.Reader, opts ...Option) (*Reasoner, error) {
 // graph pattern, LIMIT) against the store. Each solution maps the
 // projected variable names to surface forms.
 func (r *Reasoner) Select(queryText string) ([]map[string]string, error) {
+	_, rows, err := r.SelectWithVars(queryText)
+	return rows, err
+}
+
+// SelectWithVars evaluates a SPARQL SELECT like Select and also returns
+// the projection — the SELECT list, or for SELECT * every variable in
+// order of first appearance in the pattern. Result serializers (the
+// HTTP endpoint's results-JSON head, tabular output) need the ordered
+// variable list, which the unordered row maps cannot supply.
+func (r *Reasoner) SelectWithVars(queryText string) (vars []string, rows []map[string]string, err error) {
 	q, err := sparql.ParseSelect(queryText)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var rows []map[string]string
+	var patVars []string
+	seen := make(map[string]bool)
+	for _, p := range q.Patterns {
+		for _, t := range p {
+			if len(t) > 1 && strings.HasPrefix(t, "?") && !seen[t[1:]] {
+				seen[t[1:]] = true
+				patVars = append(patVars, t[1:])
+			}
+		}
+	}
+	if len(q.Vars) > 0 {
+		// A projected variable that never occurs in the WHERE pattern is
+		// almost always a typo; reject it instead of silently emitting
+		// rows with the key missing.
+		for _, v := range q.Vars {
+			if !seen[v] {
+				return nil, nil, fmt.Errorf("inferray: SELECT variable ?%s does not appear in the WHERE pattern", v)
+			}
+		}
+		vars = q.Vars
+	} else {
+		vars = patVars
+	}
 	patterns := make([][3]string, len(q.Patterns))
 	copy(patterns, q.Patterns)
 	err = r.QueryFunc(func(row map[string]string) bool {
@@ -141,7 +200,7 @@ func (r *Reasoner) Select(queryText string) ([]map[string]string, error) {
 		return q.Limit == 0 || len(rows) < q.Limit
 	}, patterns...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return rows, nil
+	return vars, rows, nil
 }

@@ -3,6 +3,7 @@ package inferray_test
 import (
 	"bytes"
 	"sort"
+	"strings"
 	"testing"
 
 	"inferray"
@@ -203,5 +204,56 @@ SELECT ?x WHERE { ?x a <Person> }`)
 	}
 	if len(rows) != 1 || rows[0]["x"] != "<alice>" {
 		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestQueryAnonymousVariables(t *testing.T) {
+	r := universityFixture(t)
+	// Two bare '?' slots: each matches independently (they are distinct
+	// variables, not a shared one) and neither leaks into the rows.
+	rows, err := r.Query([3]string{"?who", "<memberOf>", "?"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range rows {
+		if len(row) != 1 {
+			t.Fatalf("anonymous slot leaked into row: %v", row)
+		}
+		if _, ok := row["who"]; !ok {
+			t.Fatalf("named variable missing: %v", row)
+		}
+	}
+}
+
+func TestQueryAnonymousNoCollision(t *testing.T) {
+	r := universityFixture(t)
+	// A user variable literally named "_anon0" (the old synthesized
+	// name) must stay independent of a bare '?' in the same pattern
+	// list and survive into the rows.
+	rows, err := r.Query(
+		[3]string{"?_anon0", "<memberOf>", "?"},
+		[3]string{"?_anon0", inferray.Type, "<Professor>"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["_anon0"] != "<alice>" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSelectUnknownProjectionRejected(t *testing.T) {
+	r := universityFixture(t)
+	// ?orgg is a typo for ?org: it must be an error, not rows silently
+	// missing the key.
+	_, err := r.Select(`SELECT ?who ?orgg WHERE { ?who <memberOf> ?org }`)
+	if err == nil {
+		t.Fatal("projection of unused variable accepted")
+	}
+	if !strings.Contains(err.Error(), "orgg") {
+		t.Fatalf("error does not name the variable: %v", err)
 	}
 }
