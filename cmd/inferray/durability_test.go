@@ -1,0 +1,355 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCLIImageRoundTrip drives the satellite workflow through the
+// binary's entry point: materialize once with -save-image, then serve
+// queries from the image alone (-load-image, no input), and extend the
+// image with a delta — all three closures must agree.
+func TestCLIImageRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "closure.img")
+
+	out1, _, err := runCLI(t, []string{"-save-image", img}, sampleNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(img); err != nil || fi.Size() == 0 {
+		t.Fatalf("image not written: %v", err)
+	}
+
+	// Load the image with no input at all: the closure comes back whole.
+	out2, _, err := runCLI(t, []string{"-load-image", img}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortLines := func(s string) []string {
+		lines := strings.Split(strings.TrimSpace(s), "\n")
+		sort.Strings(lines)
+		return lines
+	}
+	got, want := sortLines(out2), sortLines(out1)
+	if len(got) != len(want) {
+		t.Fatalf("image round trip: %d triples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("image round trip line %d: %q != %q", i, got[i], want[i])
+		}
+	}
+
+	// SELECT over the restored image answers from the closure.
+	out3, _, err := runCLI(t, []string{"-load-image", img,
+		"-select", "SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <c> }"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out3, "x=<x>") {
+		t.Fatalf("select over image: %q", out3)
+	}
+
+	// An explicit -in on top of the image is a delta over the restored
+	// closure.
+	deltaFile := filepath.Join(dir, "delta.nt")
+	if err := os.WriteFile(deltaFile, []byte("<y> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <a> .\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out4, _, err := runCLI(t, []string{"-load-image", img, "-in", deltaFile}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out4, "<y> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <c> .") {
+		t.Fatalf("delta over image not materialized:\n%s", out4)
+	}
+
+	if _, _, err := runCLI(t, []string{"-load-image", filepath.Join(dir, "missing.img")}, ""); err == nil {
+		t.Fatal("missing image accepted")
+	}
+}
+
+// TestHelperServeProcess is not a test: it is the child process body
+// for the hard-kill tests. The parent re-execs the test binary with
+// INFERRAY_HELPER_SERVE=1 and the serve arguments in INFERRAY_ARGS.
+func TestHelperServeProcess(t *testing.T) {
+	if os.Getenv("INFERRAY_HELPER_SERVE") != "1" {
+		t.Skip("helper process body")
+	}
+	args := strings.Split(os.Getenv("INFERRAY_ARGS"), "\x1f")
+	err := run(context.Background(), args, strings.NewReader(""), os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// serveProc is a real `inferray serve` child process that can be
+// SIGKILLed.
+type serveProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func startServeProc(t *testing.T, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperServeProcess$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"INFERRAY_HELPER_SERVE=1",
+		"INFERRAY_ARGS="+strings.Join(append([]string{"serve", "-addr", "127.0.0.1:0"}, args...), "\x1f"),
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	// The startup line carries the bound address.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, " on 127.0.0.1:"); i >= 0 && strings.HasPrefix(line, "inferray: serving") {
+				addrCh <- strings.TrimSpace(line[i+4:])
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &serveProc{cmd: cmd, addr: addr}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve child did not start")
+		return nil
+	}
+}
+
+func (p *serveProc) url() string { return "http://" + p.addr }
+
+// kill9 hard-kills the child — SIGKILL, no graceful shutdown path runs.
+func (p *serveProc) kill9(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+}
+
+func postDelta(t *testing.T, baseURL, doc string) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/triples", "application/n-triples", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /triples: %s", resp.Status)
+	}
+}
+
+// closureSet fetches the full triple set over SPARQL.
+func closureSet(t *testing.T, baseURL string) map[string]bool {
+	t.Helper()
+	q := url.QueryEscape("SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+	resp, err := http.Get(baseURL + "/query?query=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res struct {
+		Results struct {
+			Bindings []map[string]struct {
+				Type  string `json:"type"`
+				Value string `json:"value"`
+			} `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]bool, len(res.Results.Bindings))
+	for _, b := range res.Results.Bindings {
+		set[fmt.Sprintf("%s|%s|%s", b["s"].Value, b["p"].Value, b["o"].Value)] = true
+	}
+	return set
+}
+
+// The acceptance test: serve -data-dir, POST several deltas, kill -9
+// the process, restart on the same dir — the recovered closure (size
+// and full triple set) must equal an uninterrupted run over the same
+// input. Then corrupt the WAL tail and restart again: the bad record is
+// truncated, not replayed.
+func TestServeCrashRecoveryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dataDir := t.TempDir()
+	deltas := []string{
+		"<a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <b> .\n<b> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <c> .\n",
+		"<x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <a> .\n",
+		"<y> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <b> .\n",
+	}
+
+	// Interrupted run: post, then kill -9 mid-stream (after the posts
+	// are acknowledged but with no graceful shutdown — the durability
+	// layer gets no chance to flush or close anything).
+	p1 := startServeProc(t, "-data-dir", dataDir, "-sync", "always")
+	for _, d := range deltas {
+		postDelta(t, p1.url(), d)
+	}
+	p1.kill9(t)
+
+	// Restart on the same dir.
+	p2 := startServeProc(t, "-data-dir", dataDir, "-sync", "always")
+	recovered := closureSet(t, p2.url())
+
+	// Uninterrupted run over the same input, no durability at all.
+	inFile := filepath.Join(t.TempDir(), "all.nt")
+	if err := os.WriteFile(inFile, []byte(strings.Join(deltas, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p3 := startServeProc(t, "-in", inFile)
+	uninterrupted := closureSet(t, p3.url())
+
+	if len(recovered) != len(uninterrupted) {
+		t.Fatalf("recovered closure has %d triples, uninterrupted %d", len(recovered), len(uninterrupted))
+	}
+	for tr := range uninterrupted {
+		if !recovered[tr] {
+			t.Fatalf("recovered closure missing %s", tr)
+		}
+	}
+
+	// Checkpoint via the admin endpoint, post one more delta, crash
+	// again: recovery must go image + tail.
+	resp, err := http.Post(p2.url()+"/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %s", resp.Status)
+	}
+	resp.Body.Close()
+	postDelta(t, p2.url(), "<z> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <c> .\n")
+	want := len(closureSet(t, p2.url()))
+	p2.kill9(t)
+
+	// Corrupt the WAL tail record before restarting: flip a bit in the
+	// last payload byte. The CRC must catch it; the record is truncated
+	// and not replayed — the closure reverts to the checkpoint image.
+	logs, err := filepath.Glob(filepath.Join(dataDir, "wal-*.log"))
+	if err != nil || len(logs) != 1 {
+		t.Fatalf("wal files after checkpoint: %v %v", logs, err)
+	}
+	data, err := os.ReadFile(logs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) <= 16 {
+		t.Fatalf("wal unexpectedly empty (%d bytes)", len(data))
+	}
+	pristine := append([]byte(nil), data...)
+	data[len(data)-2] ^= 0x10
+	if err := os.WriteFile(logs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p4 := startServeProc(t, "-data-dir", dataDir, "-sync", "always")
+	afterCorrupt := closureSet(t, p4.url())
+	if got := len(afterCorrupt); got != want-1 {
+		t.Fatalf("corrupt tail: closure has %d triples, want %d (checkpoint only)", got, want-1)
+	}
+	if afterCorrupt["z|http://www.w3.org/1999/02/22-rdf-syntax-ns#type|c"] {
+		t.Fatal("corrupted WAL record was replayed")
+	}
+	var st struct {
+		Durability *struct {
+			TruncatedTail bool `json:"truncated_tail"`
+		} `json:"durability"`
+	}
+	sresp, err := http.Get(p4.url() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Durability == nil || !st.Durability.TruncatedTail {
+		t.Fatal("/stats does not report the truncated tail")
+	}
+	p4.kill9(t)
+
+	// Sanity: the pristine log (no corruption) does replay the record.
+	if err := os.WriteFile(logs[0], pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p5 := startServeProc(t, "-data-dir", dataDir, "-sync", "always")
+	if got := len(closureSet(t, p5.url())); got != want {
+		t.Fatalf("pristine log: closure has %d triples, want %d", got, want)
+	}
+}
+
+// The checkpoint subcommand is an HTTP client for the admin endpoint.
+func TestCLICheckpointSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dataDir := t.TempDir()
+	p := startServeProc(t, "-data-dir", dataDir, "-sync", "always")
+	postDelta(t, p.url(), "<a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <b> .\n")
+
+	out, _, err := runCLI(t, []string{"checkpoint", "-addr", p.addr}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal([]byte(out), &cp); err != nil {
+		t.Fatalf("checkpoint output %q: %v", out, err)
+	}
+	if cp.Generation != 1 {
+		t.Fatalf("checkpoint generation %d, want 1", cp.Generation)
+	}
+	imgs, _ := filepath.Glob(filepath.Join(dataDir, "snap-*.img"))
+	if len(imgs) != 1 {
+		t.Fatalf("snapshot images after checkpoint: %v", imgs)
+	}
+
+	// Against a dead server the subcommand reports the failure.
+	p.kill9(t)
+	if _, _, err := runCLI(t, []string{"checkpoint", "-addr", p.addr}, ""); err == nil {
+		t.Fatal("checkpoint against dead server succeeded")
+	}
+}
+
+// serve -data-dir with -sequential etc. still validates flags.
+func TestCLIServeFlagValidation(t *testing.T) {
+	err := run(context.Background(), []string{"serve", "-data-dir", t.TempDir(), "-sync", "sometimes"},
+		strings.NewReader(""), os.Stdout, os.Stderr)
+	if err == nil || !strings.Contains(err.Error(), "sync policy") {
+		t.Fatalf("bad sync policy: %v", err)
+	}
+	err = run(context.Background(), []string{"serve", "-data-dir", t.TempDir(), "-load-image", "x.img"},
+		strings.NewReader(""), os.Stdout, os.Stderr)
+	if err == nil || !strings.Contains(err.Error(), "exclusive") {
+		t.Fatalf("load-image + data-dir: %v", err)
+	}
+}

@@ -9,7 +9,11 @@
 //	inferray -rules rdfs-plus -in data.nt -out closure.nt
 //	cat data.ttl | inferray -format turtle -rules rhodf > closure.nt
 //	inferray -in base.nt -delta day1.nt -delta day2.nt -stats > closure.nt
+//	inferray -in big.nt -save-image closure.img -quiet
+//	inferray -load-image closure.img -select 'SELECT ?s WHERE { ?s ?p ?o }'
 //	inferray serve -addr :7070 -rules rdfs-plus -in base.nt
+//	inferray serve -addr :7070 -data-dir /var/lib/inferray -sync always
+//	inferray checkpoint -addr localhost:7070
 //
 // Each -delta file (repeatable, applied in order) is loaded after the
 // initial materialization and materialized incrementally: the fixpoint
@@ -21,11 +25,20 @@
 // rules fired/skipped by the dependency scheduler, stage timings) are
 // printed to stderr, one line per materialization.
 //
+// -save-image persists the materialized closure as a compact binary
+// snapshot; -load-image restores one instead of re-running inference —
+// the paper's offline-materialize/online-serve split as two commands.
+//
 // serve materializes the input (if any) and then listens on -addr:
 // GET /query answers SPARQL SELECT as application/sparql-results+json,
 // POST /triples stages an N-Triples delta and extends the closure
 // incrementally, GET /stats and GET /healthz report state. SIGINT or
-// SIGTERM shuts the server down gracefully.
+// SIGTERM shuts the server down gracefully. With -data-dir the server
+// is durable: every accepted delta is written to a write-ahead log
+// before it is applied (-sync picks the fsync policy), checkpoints
+// rotate the log into snapshot images, and a restart — even after
+// kill -9 — recovers the exact closure. POST /checkpoint (or the
+// checkpoint subcommand, an HTTP client for it) forces a checkpoint.
 package main
 
 import (
@@ -34,6 +47,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -102,8 +116,13 @@ func (m *multiFlag) Set(v string) error {
 
 // run executes the CLI with explicit streams so tests can drive it.
 func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
-	if len(args) > 0 && args[0] == "serve" {
-		return runServe(ctx, args[1:], stdin, stderr)
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			return runServe(ctx, args[1:], stdin, stderr)
+		case "checkpoint":
+			return runCheckpoint(ctx, args[1:], stdout, stderr)
+		}
 	}
 	fs := flag.NewFlagSet("inferray", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -117,6 +136,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		seq       = fs.Bool("sequential", false, "disable parallel rule execution")
 		quiet     = fs.Bool("quiet", false, "suppress triple output (measure only)")
 		selectQ   = fs.String("select", "", "run a SPARQL SELECT query over the closure instead of dumping triples")
+		saveImage = fs.String("save-image", "", "write the materialized closure as a binary snapshot image")
+		loadImage = fs.String("load-image", "", "restore a snapshot image instead of inferring from scratch (-in is then only read if given explicitly)")
 	)
 	fs.Var(&deltas, "delta", "delta file to load and materialize incrementally after the initial run (repeatable, applied in order)")
 	if err := fs.Parse(args); err != nil {
@@ -132,10 +153,28 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return err
 	}
 
-	r := inferray.New(
+	// With -load-image the default stdin input is skipped: the image is
+	// the base. An explicit -in is still loaded on top as a delta.
+	inExplicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "in" {
+			inExplicit = true
+		}
+	})
+
+	var r *inferray.Reasoner
+	opts := []inferray.Option{
 		inferray.WithFragment(fragment),
 		inferray.WithParallelism(!*seq),
-	)
+	}
+	if *loadImage != "" {
+		r, err = inferray.LoadImage(*loadImage, opts...)
+		if err != nil {
+			return err
+		}
+	} else {
+		r = inferray.New(opts...)
+	}
 	printStats := func(st inferray.Stats, batch string) {
 		if !*stats {
 			return
@@ -147,8 +186,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			st.ClosureTime, st.LoopTime, st.TotalTime)
 	}
 
-	if err := loadInput(r, *inFlag, *format, stdin); err != nil {
-		return err
+	if *loadImage == "" || inExplicit {
+		if err := loadInput(r, *inFlag, *format, stdin); err != nil {
+			return err
+		}
 	}
 	st, err := r.Materialize()
 	if err != nil {
@@ -166,6 +207,18 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			return err
 		}
 		printStats(st, path)
+	}
+	if *saveImage != "" {
+		// SaveImage is atomic (temp + fsync + rename): a failed save
+		// never tears an existing image at the path.
+		if err := r.SaveImage(*saveImage); err != nil {
+			return err
+		}
+		if *stats {
+			if fi, err := os.Stat(*saveImage); err == nil {
+				fmt.Fprintf(stderr, "image=%s bytes=%d triples=%d\n", *saveImage, fi.Size(), r.Size())
+			}
+		}
 	}
 	if *selectQ != "" {
 		rows, err := r.Select(*selectQ)
@@ -201,9 +254,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	return r.WriteNTriples(out)
 }
 
-// runServe implements the serve subcommand: materialize the input (if
-// any), then answer SPARQL over HTTP and accept incremental deltas
-// until ctx is canceled (SIGINT/SIGTERM in main).
+// runServe implements the serve subcommand: recover or materialize the
+// base closure, then answer SPARQL over HTTP and accept incremental
+// deltas until ctx is canceled (SIGINT/SIGTERM in main). With
+// -data-dir every accepted delta is WAL-logged before it is applied and
+// the closure survives any crash.
 func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Writer) error {
 	fs := flag.NewFlagSet("inferray serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -213,6 +268,12 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 		inFlag    = fs.String("in", "", "initial dataset to materialize before serving ('-' for stdin, empty to start with nothing)")
 		format    = fs.String("format", "", "input format: nt | turtle (default: by file extension, nt otherwise)")
 		seq       = fs.Bool("sequential", false, "disable parallel rule execution")
+		loadImage = fs.String("load-image", "", "restore a snapshot image as the base closure (offline materialize, online serve)")
+
+		dataDir   = fs.String("data-dir", "", "enable durability: WAL + snapshot rotation + crash recovery under this directory")
+		syncFlag  = fs.String("sync", "interval", "WAL fsync policy: always | interval | none (with -data-dir)")
+		ckptBytes = fs.Int64("checkpoint-bytes", 0, "auto-checkpoint once the WAL exceeds this many bytes (0 = 64MiB default, negative disables)")
+		ckptRecs  = fs.Int("checkpoint-records", 0, "auto-checkpoint once the WAL holds this many batches (0 = 4096 default, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -222,12 +283,52 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 	if err != nil {
 		return err
 	}
-	r := inferray.New(
+	opts := []inferray.Option{
 		inferray.WithFragment(fragment),
 		inferray.WithParallelism(!*seq),
-	)
+	}
+	if *dataDir != "" {
+		opts = append(opts, inferray.WithDurability(*dataDir, inferray.DurabilityOptions{
+			Sync:              *syncFlag,
+			CheckpointBytes:   *ckptBytes,
+			CheckpointRecords: *ckptRecs,
+		}))
+	}
+
+	var r *inferray.Reasoner
+	if *loadImage != "" {
+		if *dataDir != "" {
+			return fmt.Errorf("serve: -load-image and -data-dir are exclusive (the data dir has its own images)")
+		}
+		r, err = inferray.LoadImage(*loadImage, opts...)
+		if err != nil {
+			return err
+		}
+	} else {
+		r, err = inferray.Open(opts...)
+		if err != nil {
+			return err
+		}
+	}
+	defer r.Close()
+	recovered := false
+	if ds, ok := r.DurabilityStats(); ok && (ds.RecoveredFromSnapshot || ds.ReplayedRecords > 0 || ds.TruncatedTail) {
+		// A truncated tail alone (no image, no replayed records — e.g. a
+		// first boot that crashed before its only batch was flushed)
+		// recovered nothing, so it must not suppress -in seeding below.
+		recovered = ds.RecoveredFromSnapshot || ds.ReplayedRecords > 0
+		fmt.Fprintf(stderr,
+			"inferray: recovered data dir %s: snapshot=%t gen=%d replayed=%d records (%d triples) truncated_tail=%t\n",
+			ds.Dir, ds.RecoveredFromSnapshot, ds.RecoveredGeneration,
+			ds.ReplayedRecords, ds.ReplayedTriples, ds.TruncatedTail)
+	}
 	if *inFlag != "" {
-		if err := loadInput(r, *inFlag, *format, stdin); err != nil {
+		// -in seeds a durable dir only on first boot: a recovered dir
+		// already absorbed it (re-loading would be harmless for the
+		// closure but would append a duplicate WAL record per restart).
+		if recovered {
+			fmt.Fprintf(stderr, "inferray: data dir already holds state; skipping -in %s (POST /triples to extend)\n", *inFlag)
+		} else if err := loadInput(r, *inFlag, *format, stdin); err != nil {
 			return err
 		}
 	}
@@ -241,6 +342,42 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 		return err
 	}
 	fmt.Fprintf(stderr, "inferray: serving %s closure (%d triples, %d inferred) on %s\n",
-		fragment, st.TotalTriples, st.InferredTriples, ln.Addr())
+		fragment, r.Size(), st.InferredTriples, ln.Addr())
 	return server.New(r).Serve(ctx, ln)
+}
+
+// runCheckpoint implements the checkpoint subcommand: an HTTP client
+// for a running server's admin POST /checkpoint.
+func runCheckpoint(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("inferray checkpoint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:7070", "address of the running inferray serve instance")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u := *addr
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u+"/checkpoint", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("checkpoint: server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		body = append(body, '\n')
+	}
+	_, err = stdout.Write(body)
+	return err
 }

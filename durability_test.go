@@ -1,0 +1,449 @@
+package inferray_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inferray"
+	"inferray/internal/datagen"
+)
+
+// durOpts: fsync every batch so a simulated crash (dropping the
+// reasoner without Close) loses nothing acknowledged.
+var durOpts = inferray.DurabilityOptions{Sync: "always"}
+
+func openDurable(t *testing.T, dir string, opts ...inferray.Option) *inferray.Reasoner {
+	t.Helper()
+	r, err := inferray.Open(append(opts, inferray.WithDurability(dir, durOpts))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// sameClosure fails unless both reasoners hold exactly the same triple
+// set.
+func sameClosure(t *testing.T, got, want *inferray.Reasoner) {
+	t.Helper()
+	if got.Size() != want.Size() {
+		t.Fatalf("closure size %d, want %d", got.Size(), want.Size())
+	}
+	for _, tr := range want.AllTriples() {
+		if !got.Holds(tr.S, tr.P, tr.O) {
+			t.Fatalf("closure missing ⟨%s %s %s⟩", tr.S, tr.P, tr.O)
+		}
+	}
+}
+
+// Crash-recovery equivalence at the library level: batches materialized
+// into a durable reasoner that is never closed (a crash) must all be
+// recovered on reopen, and the recovered closure must equal an
+// uninterrupted in-memory run over the same input.
+func TestDurableCrashRecoveryEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	batches := [][][3]string{
+		{{"<human>", inferray.SubClassOf, "<mammal>"}, {"<mammal>", inferray.SubClassOf, "<animal>"}},
+		{{"<Bart>", inferray.Type, "<human>"}},
+		{{"<hasPet>", inferray.Domain, "<human>"}, {"<Lisa>", "<hasPet>", "<cat>"}},
+	}
+
+	r := openDurable(t, dir)
+	for _, b := range batches {
+		for _, tr := range b {
+			mustAdd(t, r, tr[0], tr[1], tr[2])
+		}
+		if _, err := r.Materialize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashed := r.Size()
+	// Hard stop: no Close, no checkpoint. The WAL alone must carry it.
+
+	recovered := openDurable(t, dir)
+	defer recovered.Close()
+	ds, ok := recovered.DurabilityStats()
+	if !ok {
+		t.Fatal("durable reasoner reports no durability stats")
+	}
+	if ds.RecoveredFromSnapshot || ds.ReplayedRecords != len(batches) {
+		t.Fatalf("recovery stats: %+v", ds)
+	}
+	if recovered.Size() != crashed {
+		t.Fatalf("recovered %d triples, crashed with %d", recovered.Size(), crashed)
+	}
+
+	uninterrupted := inferray.New()
+	for _, b := range batches {
+		for _, tr := range b {
+			mustAdd(t, uninterrupted, tr[0], tr[1], tr[2])
+		}
+	}
+	if _, err := uninterrupted.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	sameClosure(t, recovered, uninterrupted)
+
+	// And the recovered reasoner keeps absorbing durable deltas.
+	mustAdd(t, recovered, "<Maggie>", inferray.Type, "<human>")
+	if _, err := recovered.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if !recovered.Holds("<Maggie>", inferray.Type, "<animal>") {
+		t.Fatal("post-recovery delta not materialized")
+	}
+}
+
+// Checkpoint writes an image, truncates the log, and recovery then
+// loads the image and replays only post-checkpoint batches.
+func TestDurableCheckpointAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	r := openDurable(t, dir)
+	mustAdd(t, r, "<a>", inferray.SubClassOf, "<b>")
+	mustAdd(t, r, "<b>", inferray.SubClassOf, "<c>")
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := r.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 1 || info.Triples != r.Size() || info.SnapshotBytes == 0 {
+		t.Fatalf("checkpoint info: %+v", info)
+	}
+	if ds, _ := r.DurabilityStats(); ds.WALRecords != 0 || ds.Generation != 1 {
+		t.Fatalf("post-checkpoint stats: %+v", ds)
+	}
+	mustAdd(t, r, "<x>", inferray.Type, "<a>")
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	want := r.Size()
+	// Crash.
+
+	r2 := openDurable(t, dir)
+	defer r2.Close()
+	ds, _ := r2.DurabilityStats()
+	if !ds.RecoveredFromSnapshot || ds.RecoveredGeneration != 1 || ds.ReplayedRecords != 1 {
+		t.Fatalf("recovery stats: %+v", ds)
+	}
+	if r2.Size() != want {
+		t.Fatalf("recovered %d triples, want %d", r2.Size(), want)
+	}
+	if !r2.Holds("<x>", inferray.Type, "<c>") {
+		t.Fatal("recovered closure lost an inference")
+	}
+}
+
+// Automatic rotation: crossing the record threshold checkpoints without
+// an explicit call.
+func TestDurableAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	r, err := inferray.Open(inferray.WithDurability(dir, inferray.DurabilityOptions{
+		Sync:              "always",
+		CheckpointRecords: 2,
+		CheckpointBytes:   -1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 3; i++ {
+		mustAdd(t, r, fmt.Sprintf("<s%d>", i), inferray.Type, "<c>")
+		if _, err := r.Materialize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, _ := r.DurabilityStats()
+	if ds.Generation == 0 {
+		t.Fatalf("no automatic checkpoint ran: %+v", ds)
+	}
+	if ds.CheckpointError != "" {
+		t.Fatalf("auto checkpoint failed: %s", ds.CheckpointError)
+	}
+}
+
+// A corrupted WAL tail record fails its CRC on recovery and is
+// truncated: the survivors are replayed, the garbage never applied.
+func TestDurableCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	r := openDurable(t, dir)
+	mustAdd(t, r, "<a>", inferray.SubClassOf, "<b>")
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, r, "<evil>", inferray.Type, "<b>")
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	logs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(logs) != 1 {
+		t.Fatalf("wal files: %v, %v", logs, err)
+	}
+	data, err := os.ReadFile(logs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x20
+	if err := os.WriteFile(logs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openDurable(t, dir)
+	defer r2.Close()
+	ds, _ := r2.DurabilityStats()
+	if !ds.TruncatedTail || ds.ReplayedRecords != 1 {
+		t.Fatalf("corrupt-tail recovery stats: %+v", ds)
+	}
+	if r2.Holds("<evil>", inferray.Type, "<b>") {
+		t.Fatal("corrupted record was replayed")
+	}
+	if !r2.Holds("<a>", inferray.SubClassOf, "<b>") {
+		t.Fatal("surviving record lost")
+	}
+}
+
+// In-memory reasoners reject Checkpoint and report no durability.
+func TestNotDurable(t *testing.T) {
+	r := inferray.New()
+	if _, err := r.Checkpoint(); err != inferray.ErrNotDurable {
+		t.Fatalf("Checkpoint on in-memory reasoner: %v", err)
+	}
+	if _, ok := r.DurabilityStats(); ok || r.Durable() {
+		t.Fatal("in-memory reasoner claims durability")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with WithDurability did not panic")
+		}
+	}()
+	inferray.New(inferray.WithDurability(t.TempDir(), inferray.DurabilityOptions{}))
+}
+
+// Satellite: snapshot round-trip over a dictionary with tombstoned
+// slots from PromoteToProperty — write, read, materialize a delta that
+// itself promotes another term, and compare the closure against a
+// never-snapshotted reasoner fed the identical sequence.
+func TestSnapshotTombstoneDeltaEquivalence(t *testing.T) {
+	load := func(r *inferray.Reasoner, phase int) {
+		t.Helper()
+		switch phase {
+		case 0: // <p> and <q> first seen as plain resources
+			mustAdd(t, r, "<x>", "<rel>", "<p>")
+			mustAdd(t, r, "<y>", "<rel>", "<q>")
+		case 1: // schema triple promotes <p>: its resource slot tombstones
+			mustAdd(t, r, "<p>", inferray.Domain, "<C>")
+			mustAdd(t, r, "<u>", "<p>", "<v>")
+		case 2: // delta after restore: promotes <q> against the restored dict
+			mustAdd(t, r, "<q>", inferray.SubPropertyOf, "<p>")
+			mustAdd(t, r, "<w>", "<q>", "<z>")
+		}
+		if _, err := r.Materialize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snapshotted := inferray.New()
+	load(snapshotted, 0)
+	load(snapshotted, 1)
+
+	var buf bytes.Buffer
+	if err := snapshotted.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := inferray.LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load(restored, 2)
+
+	straight := inferray.New()
+	load(straight, 0)
+	load(straight, 1)
+	load(straight, 2)
+
+	sameClosure(t, restored, straight)
+	// The delta's promotion must also answer through the restored dict.
+	if !restored.Holds("<w>", "<p>", "<z>") {
+		t.Fatal("restored reasoner missed subPropertyOf inference over promoted terms")
+	}
+}
+
+// ------------------------------------------------------------ benchmarks
+//
+// The EXPERIMENTS.md §durability timings come from these three:
+// snapshot write, WAL replay, and full cold recovery (image + tail).
+
+// benchDataset materializes a LUBM-like load into a durable reasoner
+// rooted at dir, split into nBatches WAL records.
+func benchDataset(b *testing.B, dir string, triples int, nBatches int) *inferray.Reasoner {
+	b.Helper()
+	r, err := inferray.Open(inferray.WithDurability(dir, inferray.DurabilityOptions{
+		Sync:              "none", // measure the engine, not the disk cache
+		CheckpointRecords: -1,
+		CheckpointBytes:   -1,
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := datagen.LUBM(triples, 7)
+	per := (len(data) + nBatches - 1) / nBatches
+	for i := 0; i < len(data); i += per {
+		end := i + per
+		if end > len(data) {
+			end = len(data)
+		}
+		r.AddTriples(data[i:end])
+		if _, err := r.Materialize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+// BenchmarkSnapshotWrite measures Checkpoint: image write (under the
+// read lock) + WAL rotation, on a ~100k-triple closure.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	dir := b.TempDir()
+	r := benchDataset(b, dir, 100_000, 4)
+	defer r.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		info, err := r.Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(info.SnapshotBytes)
+	}
+	b.ReportMetric(float64(r.Size()), "triples")
+}
+
+// BenchmarkWALReplay measures recovery when everything is in the log:
+// no snapshot, replay b.N× the full WAL through the incremental path.
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	r := benchDataset(b, dir, 100_000, 8)
+	size := r.Size()
+	if err := r.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r2, err := inferray.Open(inferray.WithDurability(dir, inferray.DurabilityOptions{Sync: "none"}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r2.Size() != size {
+			b.Fatalf("replayed %d triples, want %d", r2.Size(), size)
+		}
+		r2.Close()
+	}
+	b.ReportMetric(float64(size), "triples")
+}
+
+// BenchmarkColdRecovery measures the common restart: a checkpoint image
+// plus a short WAL tail.
+func BenchmarkColdRecovery(b *testing.B) {
+	dir := b.TempDir()
+	r := benchDataset(b, dir, 100_000, 4)
+	if _, err := r.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	// A small tail on top of the image.
+	r.AddTriples(datagen.LUBM(5_000, 11))
+	if _, err := r.Materialize(); err != nil {
+		b.Fatal(err)
+	}
+	size := r.Size()
+	if err := r.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r2, err := inferray.Open(inferray.WithDurability(dir, inferray.DurabilityOptions{Sync: "none"}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r2.Size() != size {
+			b.Fatalf("recovered %d triples, want %d", r2.Size(), size)
+		}
+		r2.Close()
+	}
+	b.ReportMetric(float64(size), "triples")
+}
+
+// An image is a closure only under its own ruleset: loading it under a
+// different fragment must be refused, both for image files and for
+// durable data dirs.
+func TestImageFragmentMismatch(t *testing.T) {
+	img := filepath.Join(t.TempDir(), "c.img")
+	r := inferray.New(inferray.WithFragment(inferray.RDFSPlus))
+	mustAdd(t, r, "<a>", inferray.SameAs, "<b>")
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveImage(img); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := inferray.LoadImage(img); err == nil || !strings.Contains(err.Error(), "fragment") {
+		t.Fatalf("cross-fragment image load: %v", err)
+	}
+	r2, err := inferray.LoadImage(img, inferray.WithFragment(inferray.RDFSPlus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Size() != r.Size() || !r2.Holds("<b>", inferray.SameAs, "<a>") {
+		t.Fatal("matching-fragment image load lost the closure")
+	}
+}
+
+func TestDurableFragmentMismatch(t *testing.T) {
+	dir := t.TempDir()
+	r, err := inferray.Open(
+		inferray.WithFragment(inferray.RDFSPlus),
+		inferray.WithDurability(dir, durOpts),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, r, "<a>", inferray.SubClassOf, "<b>")
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := inferray.Open(inferray.WithDurability(dir, durOpts)); err == nil ||
+		!strings.Contains(err.Error(), "fragment") {
+		t.Fatalf("cross-fragment durable recovery: %v", err)
+	}
+	r2, err := inferray.Open(
+		inferray.WithFragment(inferray.RDFSPlus),
+		inferray.WithDurability(dir, durOpts),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if !r2.Holds("<a>", inferray.SubClassOf, "<b>") {
+		t.Fatal("matching-fragment recovery lost the closure")
+	}
+}

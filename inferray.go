@@ -23,10 +23,15 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
+	"inferray/internal/dictionary"
 	"inferray/internal/rdf"
 	"inferray/internal/reasoner"
 	"inferray/internal/rules"
+	"inferray/internal/snapshot"
+	"inferray/internal/store"
+	"inferray/internal/wal"
 )
 
 // Fragment selects a supported ruleset.
@@ -68,23 +73,32 @@ type Triple = rdf.Triple
 // Stats reports what a materialization did.
 type Stats = reasoner.Stats
 
+// config is everything the option list can set: the engine options plus
+// the durability layer's.
+type config struct {
+	engine  reasoner.Options
+	durable bool
+	durDir  string
+	durOpts DurabilityOptions
+}
+
 // Option configures a Reasoner.
-type Option func(*reasoner.Options)
+type Option func(*config)
 
 // WithFragment selects the ruleset (default RDFSDefault).
 func WithFragment(f Fragment) Option {
-	return func(o *reasoner.Options) { o.Fragment = f }
+	return func(c *config) { c.engine.Fragment = f }
 }
 
 // WithParallelism enables or disables parallel rule execution and
 // merging (default enabled).
 func WithParallelism(on bool) Option {
-	return func(o *reasoner.Options) { o.Parallel = on }
+	return func(c *config) { c.engine.Parallel = on }
 }
 
 // WithMaxIterations bounds the fixpoint loop (0 = unbounded).
 func WithMaxIterations(n int) Option {
-	return func(o *reasoner.Options) { o.MaxIterations = n }
+	return func(c *config) { c.engine.MaxIterations = n }
 }
 
 // WithLowMemory drops the ⟨o,s⟩-sorted join caches after every
@@ -92,7 +106,44 @@ func WithMaxIterations(n int) Option {
 // the paper: "this cache may be cleared at runtime if memory is
 // exhausted"). Results are unchanged.
 func WithLowMemory(on bool) Option {
-	return func(o *reasoner.Options) { o.LowMemory = on }
+	return func(c *config) { c.engine.LowMemory = on }
+}
+
+// DurabilityOptions tunes the durability layer enabled by
+// WithDurability. The zero value is a sensible default: group-commit
+// fsync every 50ms, automatic checkpoint at 64 MiB or 4096 logged
+// batches.
+type DurabilityOptions struct {
+	// Sync is the WAL fsync policy: "always" (every acknowledged batch
+	// survives any crash), "interval" (group commit — at most one
+	// SyncInterval of acknowledged batches is lost on power failure;
+	// the default), or "none" (the OS decides; survives process
+	// crashes, not power loss).
+	Sync string
+	// SyncInterval is the group-commit period for Sync "interval"
+	// (default 50ms).
+	SyncInterval time.Duration
+	// CheckpointBytes triggers an automatic checkpoint once the WAL
+	// exceeds this size (default 64 MiB; negative disables).
+	CheckpointBytes int64
+	// CheckpointRecords triggers an automatic checkpoint once the WAL
+	// holds this many batches (default 4096; negative disables).
+	CheckpointRecords int
+}
+
+// WithDurability persists the reasoner under dir: every batch a
+// Materialize call absorbs is appended to a write-ahead log before it
+// is applied, checkpoints write a snapshot image of the closure and
+// truncate the log, and Open recovers the newest image plus the log
+// tail — a crashed process restarted on the same dir converges to
+// exactly the closure an uninterrupted run would hold. Use Open (not
+// New) with this option: recovery does I/O and can fail.
+func WithDurability(dir string, opts DurabilityOptions) Option {
+	return func(c *config) {
+		c.durable = true
+		c.durDir = dir
+		c.durOpts = opts
+	}
 }
 
 // Reasoner is a long-lived materialization engine: load triples with
@@ -121,16 +172,105 @@ type Reasoner struct {
 
 	pendingMu sync.Mutex // staging buffer for the next Materialize
 	pending   []rdf.Triple
+
+	// dur is the durability manager (nil for in-memory reasoners). WAL
+	// appends happen under mu's write lock and checkpoints under its
+	// read lock — that ordering is what lets a checkpoint prune the log
+	// (every logged record is already inside the new image).
+	dur *wal.Manager
 }
 
-// New creates a reasoner.
+// New creates an in-memory reasoner. It panics if the options include
+// WithDurability — recovery does I/O and can fail, so durable
+// reasoners are built with Open.
 func New(opts ...Option) *Reasoner {
-	o := reasoner.Options{Fragment: rules.RDFSDefault, Parallel: true}
-	for _, opt := range opts {
-		opt(&o)
+	c := newConfig(opts)
+	if c.durable {
+		panic("inferray: WithDurability requires inferray.Open")
 	}
-	return &Reasoner{engine: reasoner.New(o)}
+	return &Reasoner{engine: reasoner.New(c.engine)}
 }
+
+func newConfig(opts []Option) *config {
+	c := &config{engine: reasoner.Options{Fragment: rules.RDFSDefault, Parallel: true}}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Open creates a reasoner like New and, when WithDurability is among
+// the options, recovers the data directory first: the newest valid
+// snapshot image is loaded, the write-ahead log tail is replayed
+// through the incremental materialization path (a corrupt tail record
+// is detected by CRC and truncated, never applied), and the log is left
+// open for appending. The recovered reasoner is materialized and ready
+// to query. Call Close for a tidy shutdown; crash-stopping instead only
+// costs the recovery replay on the next Open.
+func Open(opts ...Option) (*Reasoner, error) {
+	c := newConfig(opts)
+	r := &Reasoner{engine: reasoner.New(c.engine)}
+	if !c.durable {
+		return r, nil
+	}
+	policy, err := wal.ParseSyncPolicy(c.durOpts.Sync)
+	if err != nil {
+		return nil, err
+	}
+	walOpts := wal.Options{
+		Sync:          policy,
+		SyncInterval:  c.durOpts.SyncInterval,
+		RotateBytes:   c.durOpts.CheckpointBytes,
+		RotateRecords: c.durOpts.CheckpointRecords,
+		Fragment:      c.engine.Fragment.String(),
+	}
+	// Recovery runs single-threaded before the reasoner is shared, so
+	// the hooks drive the engine directly: restore the image, mark it
+	// materialized (images are always written from a closure), then
+	// absorb each surviving WAL batch exactly the way the live server
+	// absorbed it — LoadTriples + incremental Materialize.
+	hooks := wal.Hooks{
+		Restore: func(d *dictionary.Dictionary, st *store.Store, meta snapshot.Meta) error {
+			// A closure is only a closure under its own ruleset:
+			// extending an image built with different rules would
+			// produce a store that is the closure of neither.
+			if meta.Fragment != "" && meta.Fragment != r.engine.Fragment().String() {
+				return fmt.Errorf("data dir was materialized under fragment %s, but the reasoner is configured for %s",
+					meta.Fragment, r.engine.Fragment())
+			}
+			if err := r.engine.RestoreState(d, st); err != nil {
+				return err
+			}
+			r.engine.MarkMaterialized()
+			return nil
+		},
+		Replay: func(batch []rdf.Triple) error {
+			r.engine.LoadTriples(batch)
+			r.engine.Materialize()
+			return nil
+		},
+	}
+	m, err := wal.OpenManager(c.durDir, walOpts, hooks)
+	if err != nil {
+		return nil, err
+	}
+	r.dur = m
+	return r, nil
+}
+
+// Close flushes and closes the durability layer. It is a no-op for
+// in-memory reasoners. The data directory is fully recoverable whether
+// or not Close ran; Close only spares the next Open a tail replay of
+// unsynced acknowledged batches under the "interval" policy.
+func (r *Reasoner) Close() error {
+	if r.dur == nil {
+		return nil
+	}
+	return r.dur.Close()
+}
+
+// Durable reports whether the reasoner persists to a data directory.
+func (r *Reasoner) Durable() bool { return r.dur != nil }
 
 // Add buffers one triple. Terms are N-Triples surface forms: "<iri>",
 // "\"literal\"", or "_:blank".
@@ -197,16 +337,142 @@ func (r *Reasoner) LoadTurtle(src io.Reader) error {
 // since (Stats.Incremental is set), guaranteed equivalent to a full
 // rematerialization over the union. Calling it with nothing new staged
 // is a cheap no-op.
+//
+// On a durable reasoner the drained batch is appended to the write-
+// ahead log before it is applied (honoring the configured sync policy),
+// and a WAL write failure re-stages the batch and returns the error
+// without touching the closure. Crossing a checkpoint threshold runs an
+// automatic checkpoint after the merge; its failure does not fail the
+// materialization (the WAL still holds everything) and is surfaced via
+// DurabilityStats.
 func (r *Reasoner) Materialize() (Stats, error) {
+	return r.materialize(true)
+}
+
+// materialize is Materialize with the automatic threshold checkpoint
+// optional: Checkpoint() drains pending through here with it off, since
+// it is about to write an image anyway and auto-rotating first would
+// write two back-to-back.
+func (r *Reasoner) materialize(autoCheckpoint bool) (Stats, error) {
 	r.pendingMu.Lock()
 	batch := r.pending
 	r.pending = nil
 	r.pendingMu.Unlock()
 
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	if r.dur != nil && len(batch) > 0 {
+		if err := r.dur.Append(batch); err != nil {
+			r.mu.Unlock()
+			r.pendingMu.Lock()
+			r.pending = append(batch, r.pending...)
+			r.pendingMu.Unlock()
+			return Stats{}, fmt.Errorf("inferray: write-ahead log: %w", err)
+		}
+	}
 	r.engine.LoadTriples(batch)
-	return r.engine.Materialize(), nil
+	st := r.engine.Materialize()
+	r.mu.Unlock()
+
+	if autoCheckpoint && r.dur != nil && r.dur.ShouldRotate() {
+		if _, err := r.doCheckpoint(); err != nil {
+			r.dur.SetCheckpointErr(err)
+		}
+	}
+	return st, nil
+}
+
+// CheckpointInfo reports one completed checkpoint.
+type CheckpointInfo struct {
+	Generation    uint64        // the new snapshot/WAL generation
+	Triples       int           // closure size captured in the image
+	SnapshotBytes int64         // on-disk image size
+	Duration      time.Duration // wall time of image write + rotation
+}
+
+// ErrNotDurable is returned by Checkpoint on an in-memory reasoner.
+var ErrNotDurable = fmt.Errorf("inferray: reasoner has no durability layer (use Open with WithDurability)")
+
+// Checkpoint forces a durability checkpoint: pending triples are
+// materialized (durably), then a fresh snapshot image of the closure is
+// written under the read lock — concurrent queries keep running — and
+// the write-ahead log is rotated and truncated. Recovery after a
+// checkpoint loads the image and replays only batches ingested since.
+func (r *Reasoner) Checkpoint() (CheckpointInfo, error) {
+	if r.dur == nil {
+		return CheckpointInfo{}, ErrNotDurable
+	}
+	if _, err := r.materialize(false); err != nil {
+		return CheckpointInfo{}, err
+	}
+	return r.doCheckpoint()
+}
+
+// doCheckpoint writes the image under the read lock: Materialize (the
+// only store mutator) is excluded, readers are not. Every WAL append
+// happens under the write lock, so at this point every logged batch is
+// inside the store — deleting the old log after the rename loses
+// nothing.
+func (r *Reasoner) doCheckpoint() (CheckpointInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cs, err := r.dur.Checkpoint(r.engine.Dict, r.engine.Main, r.engine.Size())
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return CheckpointInfo{
+		Generation:    cs.Generation,
+		Triples:       cs.Triples,
+		SnapshotBytes: cs.SnapshotBytes,
+		Duration:      cs.Duration,
+	}, nil
+}
+
+// DurabilityStats describes the persistence layer's state; ok is false
+// for in-memory reasoners.
+type DurabilityStats struct {
+	Dir        string
+	SyncPolicy string
+	Generation uint64 // current snapshot/WAL generation
+	WALRecords int    // batches logged since the last checkpoint
+	WALBytes   int64
+
+	LastCheckpointAt       time.Time // zero until a checkpoint ran this process
+	LastCheckpointDuration time.Duration
+	SnapshotBytes          int64  // size of the newest image
+	CheckpointError        string // last failed automatic checkpoint, "" when healthy
+
+	// Recovery of this process's Open.
+	RecoveredFromSnapshot bool
+	RecoveredGeneration   uint64
+	ReplayedRecords       int
+	ReplayedTriples       int
+	TruncatedTail         bool // a corrupt WAL tail was detected and cut
+	CorruptSnapshots      int
+}
+
+// DurabilityStats reports the durability layer's state.
+func (r *Reasoner) DurabilityStats() (DurabilityStats, bool) {
+	if r.dur == nil {
+		return DurabilityStats{}, false
+	}
+	ms := r.dur.Stats()
+	return DurabilityStats{
+		Dir:                    ms.Dir,
+		SyncPolicy:             ms.SyncPolicy,
+		Generation:             ms.Generation,
+		WALRecords:             ms.WALRecords,
+		WALBytes:               ms.WALBytes,
+		LastCheckpointAt:       ms.LastCheckpointAt,
+		LastCheckpointDuration: ms.LastCheckpoint.Duration,
+		SnapshotBytes:          ms.LastCheckpoint.SnapshotBytes,
+		CheckpointError:        ms.CheckpointError,
+		RecoveredFromSnapshot:  ms.Recovery.SnapshotLoaded,
+		RecoveredGeneration:    ms.Recovery.SnapshotMeta.Generation,
+		ReplayedRecords:        ms.Recovery.ReplayedRecords,
+		ReplayedTriples:        ms.Recovery.ReplayedTriples,
+		TruncatedTail:          ms.Recovery.TruncatedTail,
+		CorruptSnapshots:       ms.Recovery.CorruptSnapshots,
+	}, true
 }
 
 // Pending returns how many added triples are staged for the next

@@ -1,0 +1,70 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadNTriples: arbitrary text fed to the N-Triples parser must
+// either stream well-formed triples or return a positioned parse error
+// — never panic, never loop, never hand a malformed term downstream.
+func FuzzReadNTriples(f *testing.F) {
+	seeds := []string{
+		"<a> <p> <b> .\n",
+		"# comment\n\n<a> <p> \"lit\"@en .\n",
+		`<a> <p> "esc\"aped\n" .` + "\n",
+		`<a> <p> "typed"^^<http://www.w3.org/2001/XMLSchema#int> .` + "\n",
+		"_:b0 <p> _:b1 .\n",
+		"<a> <p> <b>", // no trailing dot
+		"<a <p> <b> .\n",
+		"\"literal-subject\" <p> <b> .\n",
+		"<a> _:not-an-iri <b> .\n",
+		"<a> <p> \"unterminated .\n",
+		"<a> <p> \"x\"^^<unterminated .\n",
+		"<a> <p> <b> . trailing\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		if len(doc) > 1<<20 {
+			return
+		}
+		err := ReadNTriples(strings.NewReader(doc), func(tr Triple) error {
+			// Delivered triples must satisfy the parser's own contract.
+			if !IsIRI(tr.P) {
+				t.Fatalf("non-IRI predicate delivered: %q", tr.P)
+			}
+			if IsLiteral(tr.S) {
+				t.Fatalf("literal subject delivered: %q", tr.S)
+			}
+			if tr.S == "" || tr.O == "" {
+				t.Fatal("empty term delivered")
+			}
+			return nil
+		})
+		_ = err
+	})
+}
+
+// FuzzUnescapeLiteral: the literal unescaper must round trip what
+// EscapeLiteral produces and reject everything else without panicking.
+func FuzzUnescapeLiteral(f *testing.F) {
+	f.Add(`"plain"`)
+	f.Add(`"tab\there"`)
+	f.Add(`"trailing backslash\"`)
+	f.Add(`unquoted`)
+	f.Add(`"`)
+	f.Fuzz(func(t *testing.T, term string) {
+		if len(term) > 1<<16 {
+			return
+		}
+		if lex, ok := UnescapeLiteral(term); ok && term == EscapeLiteral(lex) {
+			// Round-trippable literals must be stable.
+			lex2, ok2 := UnescapeLiteral(EscapeLiteral(lex))
+			if !ok2 || lex2 != lex {
+				t.Fatalf("unstable literal round trip: %q", term)
+			}
+		}
+	})
+}

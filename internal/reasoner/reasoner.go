@@ -462,6 +462,13 @@ func (e *Engine) RestoreState(d *dictionary.Dictionary, st *store.Store) error {
 	return nil
 }
 
+// MarkMaterialized declares the current store a closure, so the next
+// Materialize runs incrementally from staged deltas instead of the full
+// Algorithm 1. Durability recovery uses it after RestoreState: a
+// checkpoint image is always written from a materialized store, so
+// re-deriving the (empty) fixpoint would only waste the cold start.
+func (e *Engine) MarkMaterialized() { e.materialized = true }
+
 // Size returns the current number of stored triples (staged triples not
 // yet materialized are excluded).
 func (e *Engine) Size() int { return e.Main.Size() }

@@ -14,8 +14,13 @@
 //	POST /query                 same, query in the body (application/sparql-query)
 //	                            or form field "query"
 //	POST /triples               N-Triples document staged as a delta and
-//	                            materialized incrementally; JSON run stats
-//	GET  /stats                 store size, traffic counters, last materialization
+//	                            materialized incrementally (durably, when the
+//	                            reasoner has a data dir); JSON run stats
+//	POST /checkpoint            admin: force a durability checkpoint (snapshot
+//	                            image + WAL rotation); 409 on an in-memory
+//	                            reasoner
+//	GET  /stats                 store size, traffic counters, last
+//	                            materialization, persistence state
 //	GET  /healthz               liveness probe
 package server
 
@@ -51,6 +56,7 @@ type Server struct {
 	queryErrors  atomic.Int64
 	deltaBatches atomic.Int64
 	deltaTriples atomic.Int64
+	checkpoints  atomic.Int64
 
 	// deltaMu serializes stage+materialize per request, so a delta
 	// response reports the effect of that request's batch rather than
@@ -75,6 +81,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/triples", s.handleTriples)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -287,6 +294,47 @@ func (s *Server) handleTriples(w http.ResponseWriter, req *http.Request) {
 	})
 }
 
+// ------------------------------------------------------------ /checkpoint
+
+// checkpointResponse reports a forced checkpoint.
+type checkpointResponse struct {
+	Generation    uint64 `json:"generation"`
+	Triples       int    `json:"triples"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	Duration      string `json:"duration"`
+	DurationMS    int64  `json:"duration_ms"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	// Serialize against /triples: Checkpoint drains pending triples
+	// through a materialization, and two drains racing would misreport
+	// each other's batches.
+	s.deltaMu.Lock()
+	info, err := s.r.Checkpoint()
+	s.deltaMu.Unlock()
+	if err == inferray.ErrNotDurable {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.checkpoints.Add(1)
+	writeJSON(w, "application/json", checkpointResponse{
+		Generation:    info.Generation,
+		Triples:       info.Triples,
+		SnapshotBytes: info.SnapshotBytes,
+		Duration:      info.Duration.String(),
+		DurationMS:    info.Duration.Milliseconds(),
+	})
+}
+
 // ---------------------------------------------------------------- /stats
 
 // statsResponse is the /stats document.
@@ -300,6 +348,26 @@ type statsResponse struct {
 	DeltaBatches    int64            `json:"delta_batches"`
 	DeltaTriples    int64            `json:"delta_triples"`
 	LastMaterialize *lastMaterialize `json:"last_materialize,omitempty"`
+	Durability      *durabilityInfo  `json:"durability,omitempty"`
+}
+
+// durabilityInfo is the persistence section of /stats, present only
+// when the reasoner has a data dir.
+type durabilityInfo struct {
+	Dir              string `json:"dir"`
+	SyncPolicy       string `json:"sync_policy"`
+	Generation       uint64 `json:"generation"`
+	WALRecords       int    `json:"wal_records"`
+	WALBytes         int64  `json:"wal_bytes"`
+	Checkpoints      int64  `json:"checkpoints"` // forced via this server
+	LastCheckpointAt string `json:"last_checkpoint_at,omitempty"`
+	SnapshotBytes    int64  `json:"snapshot_bytes,omitempty"`
+	CheckpointError  string `json:"checkpoint_error,omitempty"`
+
+	RecoveredFromSnapshot bool `json:"recovered_from_snapshot"`
+	ReplayedRecords       int  `json:"replayed_records"`
+	ReplayedTriples       int  `json:"replayed_triples"`
+	TruncatedTail         bool `json:"truncated_tail"`
 }
 
 type lastMaterialize struct {
@@ -327,6 +395,26 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 		QueryErrors:   s.queryErrors.Load(),
 		DeltaBatches:  s.deltaBatches.Load(),
 		DeltaTriples:  s.deltaTriples.Load(),
+	}
+	if ds, ok := s.r.DurabilityStats(); ok {
+		info := &durabilityInfo{
+			Dir:                   ds.Dir,
+			SyncPolicy:            ds.SyncPolicy,
+			Generation:            ds.Generation,
+			WALRecords:            ds.WALRecords,
+			WALBytes:              ds.WALBytes,
+			Checkpoints:           s.checkpoints.Load(),
+			SnapshotBytes:         ds.SnapshotBytes,
+			CheckpointError:       ds.CheckpointError,
+			RecoveredFromSnapshot: ds.RecoveredFromSnapshot,
+			ReplayedRecords:       ds.ReplayedRecords,
+			ReplayedTriples:       ds.ReplayedTriples,
+			TruncatedTail:         ds.TruncatedTail,
+		}
+		if !ds.LastCheckpointAt.IsZero() {
+			info.LastCheckpointAt = ds.LastCheckpointAt.UTC().Format(time.RFC3339)
+		}
+		resp.Durability = info
 	}
 	s.lastMu.Lock()
 	if s.hasRun {

@@ -288,3 +288,133 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatal("Serve did not shut down")
 	}
 }
+
+// newDurableTestServer serves a durable reasoner from dir. The reasoner
+// is returned so tests can crash it (abandon without Close) or close it.
+func newDurableTestServer(t *testing.T, dir string) (*httptest.Server, *inferray.Reasoner) {
+	t.Helper()
+	r, err := inferray.Open(
+		inferray.WithFragment(inferray.RDFSDefault),
+		inferray.WithDurability(dir, inferray.DurabilityOptions{Sync: "always"}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(r).Handler())
+	t.Cleanup(ts.Close)
+	return ts, r
+}
+
+func postTriples(t *testing.T, ts *httptest.Server, doc string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /triples status %d", resp.StatusCode)
+	}
+}
+
+// POST /checkpoint on a durable server writes an image, truncates the
+// WAL, and /stats reflects all of it; a server restart over the same
+// dir (after a simulated crash) serves the identical closure.
+func TestCheckpointEndpointAndDurableStats(t *testing.T) {
+	dir := t.TempDir()
+	ts, r := newDurableTestServer(t, dir)
+	postTriples(t, ts, "<a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <b> .\n<b> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <c> .\n")
+
+	resp, err := http.Post(ts.URL+"/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp checkpointResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || cp.Generation != 1 || cp.SnapshotBytes == 0 {
+		t.Fatalf("checkpoint response %d: %+v", resp.StatusCode, cp)
+	}
+
+	postTriples(t, ts, "<x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <a> .\n")
+
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if st.Durability == nil {
+		t.Fatal("/stats lacks durability section on a durable reasoner")
+	}
+	if st.Durability.Generation != 1 || st.Durability.WALRecords != 1 || st.Durability.Checkpoints != 1 {
+		t.Fatalf("durability stats: %+v", st.Durability)
+	}
+	if st.Durability.SyncPolicy != "always" || st.Durability.Dir != dir {
+		t.Fatalf("durability identity: %+v", st.Durability)
+	}
+
+	want := r.Size()
+	ts.Close() // stop HTTP; the reasoner "crashes" (no Close)
+
+	ts2, r2 := newDurableTestServer(t, dir)
+	if r2.Size() != want {
+		t.Fatalf("restarted server holds %d triples, want %d", r2.Size(), want)
+	}
+	res := getResults(t, ts2, `SELECT ?t WHERE { <x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> ?t }`)
+	if len(res.Results.Bindings) != 3 { // a, b, c
+		t.Fatalf("recovered closure answers %d types, want 3", len(res.Results.Bindings))
+	}
+	var st2 statsResponse
+	sr, err := http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sr.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if st2.Durability == nil || !st2.Durability.RecoveredFromSnapshot || st2.Durability.ReplayedRecords != 1 {
+		t.Fatalf("recovery stats after restart: %+v", st2.Durability)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// /checkpoint on an in-memory reasoner is a 409, and /stats omits the
+// durability section.
+func TestCheckpointEndpointNotDurable(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint on in-memory reasoner: status %d", resp.StatusCode)
+	}
+	sr, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Durability != nil {
+		t.Fatal("/stats grew a durability section on an in-memory reasoner")
+	}
+	if g, err := http.Get(ts.URL + "/checkpoint"); err == nil {
+		if g.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /checkpoint status %d", g.StatusCode)
+		}
+		g.Body.Close()
+	}
+}

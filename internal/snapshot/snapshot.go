@@ -12,19 +12,34 @@
 //	property terms: numProps × (len u32, bytes)
 //	resource terms: numResources × (len u32, bytes)
 //	numTables u32
-//	tables: numTables × (propIndex u32, numPairs u32, pairs as delta-
-//	        encoded uvarint stream)
+//	tables: numTables × (propIndex u32, version u64, numPairs u32,
+//	        pairs as delta-encoded uvarint stream)
 //
 // Pair streams are delta-encoded: subjects ascend in a sorted table, so
 // consecutive differences are tiny and uvarint encoding shrinks the
-// image well below the raw 16 bytes/triple.
+// image well below the raw 16 bytes/triple. Version 2 added the
+// per-table version counter (the store's mutation counters survive a
+// round trip, so WAL/image pairing can rely on them); version-1 images
+// are still read.
+//
+// WriteFile/ReadFile wrap the stream in a durable on-disk image: a meta
+// header (generation, creation time, triple count) for pairing the
+// image with a write-ahead log, a CRC-32C of the whole file so a torn
+// or bit-rotted image is detected instead of loaded, and
+// write-to-temp + fsync + rename so the image appears atomically.
 package snapshot
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
 
 	"inferray/internal/dictionary"
 	"inferray/internal/store"
@@ -32,8 +47,14 @@ import (
 
 const (
 	magic   = "IFRY"
-	version = 1
+	version = 2
+
+	fileMagic   = "IFRI"
+	fileVersion = 1
 )
+
+// castagnoli is the CRC-32C table shared with internal/wal.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Write serializes the dictionary and store to w. Tables must be
 // normalized (sorted, duplicate-free).
@@ -70,6 +91,7 @@ func Write(w io.Writer, d *dictionary.Dictionary, st *store.Store) error {
 	writeU32(bw, uint32(nTables))
 	st.ForEachTable(func(pidx int, t *store.Table) bool {
 		writeU32(bw, uint32(pidx))
+		writeU64(bw, t.Version())
 		pairs := t.Pairs()
 		writeU32(bw, uint32(len(pairs)/2))
 		err = writePairs(bw, pairs)
@@ -95,7 +117,7 @@ func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if v != version {
+	if v != 1 && v != version {
 		return nil, nil, fmt.Errorf("snapshot: unsupported version %d", v)
 	}
 	nProps, err := readU32(br)
@@ -135,6 +157,9 @@ func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if nTables > nProps {
+		return nil, nil, fmt.Errorf("snapshot: %d tables for %d properties", nTables, nProps)
+	}
 	for i := uint32(0); i < nTables; i++ {
 		pidx, err := readU32(br)
 		if err != nil {
@@ -142,6 +167,12 @@ func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, error) {
 		}
 		if pidx >= nProps {
 			return nil, nil, fmt.Errorf("snapshot: table index %d out of range", pidx)
+		}
+		var tver uint64
+		if v >= 2 {
+			if tver, err = readU64(br); err != nil {
+				return nil, nil, err
+			}
 		}
 		nPairs, err := readU32(br)
 		if err != nil {
@@ -151,10 +182,203 @@ func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		st.Ensure(int(pidx)).SetPairs(pairs)
+		// Every stored ID must decode, or later enumeration of the
+		// restored store would panic in MustDecode on a crafted or
+		// corrupted image.
+		for _, id := range pairs {
+			if _, ok := d.Decode(id); !ok {
+				return nil, nil, fmt.Errorf("snapshot: table %d references unknown id %d", pidx, id)
+			}
+		}
+		t := st.Ensure(int(pidx))
+		t.SetPairs(pairs)
+		t.SetVersion(tver)
 	}
+	// One pass normalizes every table; Normalize never touches the
+	// version counters, so the SetVersion values above survive it.
 	st.Normalize()
 	return d, st, nil
+}
+
+// Meta is the image-file header that pairs a snapshot with the
+// write-ahead log covering the changes made after it was taken.
+type Meta struct {
+	// Generation is the checkpoint generation: the image holds every
+	// triple logged in wal files of earlier generations, so recovery
+	// loads the image and replays only wal-<Generation>.log.
+	Generation uint64
+	// CreatedUnix is the wall-clock write time (Unix seconds).
+	CreatedUnix int64
+	// Triples is the store size at write time, for sanity checks and
+	// operator-facing stats without parsing the body.
+	Triples uint64
+	// Fragment names the rule fragment the closure was materialized
+	// under. Loaders refuse (or at least can refuse) to install an
+	// image as a ready-made closure under a different ruleset —
+	// extending an rdfs-plus closure with rdfs-default rules would
+	// yield a store that is the closure of neither.
+	Fragment string
+}
+
+// metaSize is the fixed byte length of the file header — magic, file
+// version, and the fixed Meta fields — before the variable-length
+// fragment name.
+const metaSize = 4 + 4 + 8 + 8 + 8
+
+// maxFragmentLen bounds the fragment-name field on read.
+const maxFragmentLen = 256
+
+// WriteFile atomically writes a durable snapshot image: meta header,
+// the Write stream, and a trailing CRC-32C over everything before it.
+// The image is written to a temp file in the target directory, fsynced,
+// renamed into place, and the directory fsynced, so path either holds
+// the complete new image or whatever was there before — never a torn
+// mix.
+func WriteFile(path string, d *dictionary.Dictionary, st *store.Store, meta Meta) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	h := crc32.New(castagnoli)
+	w := io.MultiWriter(tmp, h)
+	var head [metaSize]byte
+	copy(head[:4], fileMagic)
+	binary.LittleEndian.PutUint32(head[4:], fileVersion)
+	binary.LittleEndian.PutUint64(head[8:], meta.Generation)
+	binary.LittleEndian.PutUint64(head[16:], uint64(meta.CreatedUnix))
+	binary.LittleEndian.PutUint64(head[24:], meta.Triples)
+	if _, err = w.Write(head[:]); err != nil {
+		return err
+	}
+	if len(meta.Fragment) > maxFragmentLen {
+		return fmt.Errorf("snapshot: fragment name %q too long", meta.Fragment)
+	}
+	var fragLen [4]byte
+	binary.LittleEndian.PutUint32(fragLen[:], uint32(len(meta.Fragment)))
+	if _, err = w.Write(fragLen[:]); err != nil {
+		return err
+	}
+	if _, err = io.WriteString(w, meta.Fragment); err != nil {
+		return err
+	}
+	if err = Write(w, d, st); err != nil {
+		return err
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], h.Sum32())
+	if _, err = tmp.Write(foot[:]); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// ReadFile loads a snapshot image written by WriteFile, verifying the
+// whole-file CRC before trusting any of it. Any torn, truncated, or
+// corrupted image returns an error; the caller falls back to an older
+// generation.
+func ReadFile(path string) (*dictionary.Dictionary, *store.Store, Meta, error) {
+	var meta Meta
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, meta, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, meta, err
+	}
+	if fi.Size() < metaSize+4 {
+		return nil, nil, meta, fmt.Errorf("snapshot: image %s truncated (%d bytes)", path, fi.Size())
+	}
+	h := crc32.New(castagnoli)
+	body := io.TeeReader(io.LimitReader(f, fi.Size()-4), h)
+
+	var head [metaSize]byte
+	if _, err := io.ReadFull(body, head[:]); err != nil {
+		return nil, nil, meta, err
+	}
+	if string(head[:4]) != fileMagic {
+		return nil, nil, meta, fmt.Errorf("snapshot: bad image magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != fileVersion {
+		return nil, nil, meta, fmt.Errorf("snapshot: unsupported image version %d", v)
+	}
+	meta.Generation = binary.LittleEndian.Uint64(head[8:])
+	meta.CreatedUnix = int64(binary.LittleEndian.Uint64(head[16:]))
+	meta.Triples = binary.LittleEndian.Uint64(head[24:])
+	var fragLen [4]byte
+	if _, err := io.ReadFull(body, fragLen[:]); err != nil {
+		return nil, nil, meta, err
+	}
+	n := binary.LittleEndian.Uint32(fragLen[:])
+	if n > maxFragmentLen {
+		return nil, nil, meta, fmt.Errorf("snapshot: implausible fragment-name length %d", n)
+	}
+	frag := make([]byte, n)
+	if _, err := io.ReadFull(body, frag); err != nil {
+		return nil, nil, meta, err
+	}
+	meta.Fragment = string(frag)
+
+	d, st, err := Read(body)
+	if err != nil {
+		return nil, nil, meta, err
+	}
+	// Drain whatever the stream parser's buffering left unread so the
+	// hash covers the full body, then check the footer.
+	if _, err := io.Copy(io.Discard, body); err != nil {
+		return nil, nil, meta, err
+	}
+	var foot [4]byte
+	if _, err := io.ReadFull(f, foot[:]); err != nil {
+		return nil, nil, meta, err
+	}
+	if got := binary.LittleEndian.Uint32(foot[:]); got != h.Sum32() {
+		return nil, nil, meta, fmt.Errorf("snapshot: image %s CRC mismatch", path)
+	}
+	if n := uint64(st.Size()); n != meta.Triples {
+		return nil, nil, meta, fmt.Errorf("snapshot: image %s holds %d triples, header says %d", path, n, meta.Triples)
+	}
+	return d, st, meta, nil
+}
+
+// SyncDir fsyncs a directory so a rename or unlink inside it is
+// durable. Filesystems that do not support directory fsync (network
+// and FUSE mounts typically return EINVAL or ENOTSUP) are tolerated —
+// there is nothing more the writer can do there, and failing the
+// checkpoint would make durability unusable on those mounts.
+func SyncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	err = df.Sync()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, syscall.EINVAL), errors.Is(err, syscall.ENOTSUP),
+		errors.Is(err, errors.ErrUnsupported), os.IsPermission(err):
+		return nil
+	}
+	return err
 }
 
 // writePairs delta-encodes a sorted pair list: subjects as differences
@@ -184,7 +408,14 @@ func writePairs(w *bufio.Writer, pairs []uint64) error {
 }
 
 func readPairs(r *bufio.Reader, nPairs int) ([]uint64, error) {
-	pairs := make([]uint64, 0, 2*nPairs)
+	// Cap the up-front allocation: a corrupt header can claim 2³² pairs,
+	// and trusting it would allocate gigabytes before the stream runs
+	// dry. Growth beyond the cap is paid only by actual data.
+	capPairs := nPairs
+	if capPairs > 1<<20 {
+		capPairs = 1 << 20
+	}
+	pairs := make([]uint64, 0, 2*capPairs)
 	var prevS, prevO uint64
 	for i := 0; i < nPairs; i++ {
 		ds, err := binary.ReadUvarint(r)
@@ -212,6 +443,20 @@ func writeU32(w *bufio.Writer, v uint32) {
 	w.Write(buf[:])
 }
 
+func writeU64(w *bufio.Writer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.Write(buf[:])
+}
+
+func readU64(r *bufio.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
 func readU32(r *bufio.Reader) (uint32, error) {
 	var buf [4]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -233,6 +478,16 @@ func readString(r *bufio.Reader) (string, error) {
 	}
 	if n > 1<<24 {
 		return "", fmt.Errorf("snapshot: implausible term length %d", n)
+	}
+	// Allocate up front only for plausible term sizes; a corrupt length
+	// below the hard cap still must not buy megabytes before the stream
+	// proves it has the bytes.
+	if n > 1<<16 {
+		var b strings.Builder
+		if _, err := io.CopyN(&b, r, int64(n)); err != nil {
+			return "", err
+		}
+		return b.String(), nil
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {

@@ -31,6 +31,12 @@ type Table struct {
 // can detect staleness without diffing pairs.
 func (t *Table) Version() uint64 { return t.version }
 
+// SetVersion overwrites the mutation counter. Snapshot restore uses it
+// so a table resumes the counter it was persisted with, keeping
+// version-based pairing (snapshot image ↔ WAL tail) stable across a
+// save/load cycle.
+func (t *Table) SetVersion(v uint64) { t.version = v }
+
 // Append adds one pair. The table becomes dirty until Normalize.
 func (t *Table) Append(s, o uint64) {
 	t.pairs = append(t.pairs, s, o)

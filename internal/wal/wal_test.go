@@ -1,0 +1,240 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func collect(payloads *[][]byte) func([]byte) error {
+	return func(p []byte) error {
+		*payloads = append(*payloads, append([]byte(nil), p...))
+		return nil
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-0.log")
+	l, err := Create(path, 7, SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("<a> <p> <b> .\n"), []byte("<c> <p> <d> .\n<e> <p> <f> .\n"), bytes.Repeat([]byte{0xAB}, 100_000)}
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Records() != len(want) {
+		t.Fatalf("records %d, want %d", l.Records(), len(want))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	l2, st, err := Open(path, SyncAlways, 0, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st.Truncated {
+		t.Fatal("clean log reported truncated")
+	}
+	if st.Records != len(want) || l2.Records() != len(want) {
+		t.Fatalf("replayed %d records, want %d", st.Records, len(want))
+	}
+	if l2.Generation() != 7 {
+		t.Fatalf("generation %d, want 7", l2.Generation())
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	// The reopened log must accept appends after the existing tail.
+	if err := l2.Append([]byte("more")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	l3, st, err := Open(path, SyncNone, 0, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if st.Records != len(want)+1 || string(got[len(got)-1]) != "more" {
+		t.Fatalf("append-after-reopen lost: %d records", st.Records)
+	}
+}
+
+// Corruption anywhere in the tail record — flipped payload byte, torn
+// payload, torn record header — must truncate at the last valid record,
+// and a second open must see a clean shorter log.
+func TestLogCorruptTailTruncated(t *testing.T) {
+	build := func(t *testing.T) (string, [][]byte) {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		l, err := Create(path, 1, SyncAlways, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want [][]byte
+		for i := 0; i < 5; i++ {
+			p := []byte(fmt.Sprintf("<s%d> <p> <o%d> .\n", i, i))
+			want = append(want, p)
+			if err := l.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path, want
+	}
+
+	cases := map[string]func(data []byte) []byte{
+		"bitflip-last-payload": func(data []byte) []byte {
+			c := append([]byte(nil), data...)
+			c[len(c)-2] ^= 0x40
+			return c
+		},
+		"torn-payload": func(data []byte) []byte { return data[:len(data)-3] },
+		"torn-header":  func(data []byte) []byte { return data[:len(data)-20] },
+		"garbage-appended": func(data []byte) []byte {
+			return append(append([]byte(nil), data...), 0xFF, 0xFE, 0xFD)
+		},
+		"implausible-length": func(data []byte) []byte {
+			return append(append([]byte(nil), data...), 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 'x')
+		},
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			path, want := build(t)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			wantRecords := len(want)
+			switch name {
+			case "bitflip-last-payload", "torn-payload", "torn-header":
+				wantRecords-- // the damaged record itself is dropped
+			}
+			var got [][]byte
+			l, st, err := Open(path, SyncAlways, 0, collect(&got))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Truncated {
+				t.Fatal("corruption not reported")
+			}
+			if st.Records != wantRecords {
+				t.Fatalf("replayed %d records, want %d", st.Records, wantRecords)
+			}
+			for i := 0; i < wantRecords; i++ {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("surviving record %d mismatch", i)
+				}
+			}
+			// Appending over the truncation point and reopening must be clean.
+			if err := l.Append([]byte("fresh")); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got = nil
+			l2, st2, err := Open(path, SyncAlways, 0, collect(&got))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if st2.Truncated {
+				t.Fatal("second open still sees corruption")
+			}
+			if st2.Records != wantRecords+1 || string(got[len(got)-1]) != "fresh" {
+				t.Fatalf("post-truncation append lost: %d records", st2.Records)
+			}
+		})
+	}
+}
+
+func TestLogDamagedHeaderRewritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("not a wal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, st, err := Open(path, SyncAlways, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if !st.Truncated || st.Records != 0 {
+		t.Fatalf("damaged header: truncated=%v records=%d", st.Truncated, st.Records)
+	}
+	if err := l.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncIntervalFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, 0, SyncInterval, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l.mu.Lock()
+		dirty := l.dirty
+		l.mu.Unlock()
+		if !dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for name, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "interval": SyncInterval, "none": SyncNone, "": SyncInterval,
+	} {
+		got, err := ParseSyncPolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", name, got, err)
+		}
+		if name != "" && got.String() != name {
+			t.Errorf("String() = %q, want %q", got.String(), name)
+		}
+	}
+	if _, err := ParseSyncPolicy("fsync-maybe"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestAppendRejectsOversizeAndEmpty(t *testing.T) {
+	l, err := Create(filepath.Join(t.TempDir(), "wal.log"), 0, SyncNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(nil); err == nil {
+		t.Error("empty record accepted")
+	}
+}

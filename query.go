@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"inferray/internal/query"
 	"inferray/internal/snapshot"
@@ -127,8 +128,15 @@ func (r *Reasoner) SaveSnapshot(w io.Writer) error {
 }
 
 // LoadSnapshot restores a reasoner from a snapshot image. The restored
-// reasoner can be queried immediately, extended with Add, and
-// re-materialized.
+// store is treated as an already-materialized closure (SaveSnapshot is
+// documented to persist the closure, and durability images are always
+// written post-materialization): it can be queried immediately with no
+// inference run, and triples added afterwards extend it incrementally
+// on the next Materialize — restoring and extending never re-derives
+// the image's own closure. Consequently an image saved before any
+// Materialize ran (unusual; SaveSnapshot is meant for closures) stays
+// un-inferred: later deltas extend it incrementally without deriving
+// the facts the skipped initial run would have produced.
 func LoadSnapshot(src io.Reader, opts ...Option) (*Reasoner, error) {
 	d, st, err := snapshot.Read(src)
 	if err != nil {
@@ -138,6 +146,47 @@ func LoadSnapshot(src io.Reader, opts ...Option) (*Reasoner, error) {
 	if err := r.engine.RestoreState(d, st); err != nil {
 		return nil, err
 	}
+	r.engine.MarkMaterialized()
+	return r, nil
+}
+
+// SaveImage writes the closure as a durable image file: the
+// SaveSnapshot stream wrapped with metadata (rule fragment, triple
+// count, creation time) and a whole-file CRC-32C, written atomically
+// (temp file + fsync + rename) — a failed or interrupted save never
+// destroys an existing image at path. This is the persistence step of
+// the offline-materialize/online-serve workflow; LoadImage restores it.
+func (r *Reasoner) SaveImage(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.engine.Main.Normalize()
+	return snapshot.WriteFile(path, r.engine.Dict, r.engine.Main, snapshot.Meta{
+		CreatedUnix: time.Now().Unix(),
+		Triples:     uint64(r.engine.Size()),
+		Fragment:    r.engine.Fragment().String(),
+	})
+}
+
+// LoadImage restores a reasoner from an image file written by SaveImage
+// (or by a durability checkpoint). The whole-file CRC is verified
+// before anything is trusted, and the image's rule fragment must match
+// the configured one — a closure is only a closure under its own
+// ruleset. Like LoadSnapshot, the restored store is installed as an
+// already-materialized closure.
+func LoadImage(path string, opts ...Option) (*Reasoner, error) {
+	d, st, meta, err := snapshot.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := New(opts...)
+	if meta.Fragment != "" && meta.Fragment != r.engine.Fragment().String() {
+		return nil, fmt.Errorf("inferray: image %s was materialized under fragment %s, but the reasoner is configured for %s (pass the matching fragment)",
+			path, meta.Fragment, r.engine.Fragment())
+	}
+	if err := r.engine.RestoreState(d, st); err != nil {
+		return nil, err
+	}
+	r.engine.MarkMaterialized()
 	return r, nil
 }
 
