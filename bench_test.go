@@ -19,6 +19,7 @@ import (
 	"inferray/internal/datagen"
 	"inferray/internal/dictionary"
 	"inferray/internal/mapreduce"
+	"inferray/internal/query"
 	"inferray/internal/rdf"
 	"inferray/internal/reasoner"
 	"inferray/internal/rules"
@@ -367,6 +368,141 @@ func BenchmarkTable2WebPIE(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ------------------------------------------------------------ Query engine
+
+// selectBenchStore builds the three-table join workload behind
+// BenchmarkSelect: property p with np pairs whose objects fan into
+// [1, m], property q mapping [1, m] onto [1, m], and property r holding
+// only nr subjects out of that range — nr controls the join's
+// selectivity skew.
+func selectBenchStore(np, m, nr int) *store.Store {
+	st := store.New(3)
+	p := st.Ensure(0)
+	for i := 1; i <= np; i++ {
+		p.Append(uint64(1_000_000+i), uint64(i%m+1))
+	}
+	q := st.Ensure(1)
+	for i := 1; i <= m; i++ {
+		q.Append(uint64(i), uint64((i*7)%m+1))
+	}
+	r := st.Ensure(2)
+	for i := 1; i <= nr; i++ {
+		r.Append(uint64(i), uint64(2_000_000+i))
+	}
+	st.Normalize()
+	return st
+}
+
+// BenchmarkSelect compares the planned sort-merge engine (Solve)
+// against the greedy access-class engine (SolveGreedy) on multi-pattern
+// joins, plus the full parse→plan→pipeline path through
+// Reasoner.Select. The skewed case lists the 200k-pair table first in
+// the query text with the 20-pair table last — exactly the ordering the
+// greedy ranking cannot fix, because all three patterns share one
+// access class. Results are recorded in EXPERIMENTS.md.
+func BenchmarkSelect(b *testing.B) {
+	cases := []struct {
+		name      string
+		np, m, nr int
+		star      bool
+	}{
+		{name: "chain3-uniform", np: 10_000, m: 10_000, nr: 10_000},
+		{name: "chain3-skewed", np: 200_000, m: 20_000, nr: 20},
+		{name: "star3-skewed", np: 50_000, m: 5_000, nr: 50, star: true},
+	}
+	for _, c := range cases {
+		st := selectBenchStore(c.np, c.m, c.nr)
+		e := &query.Engine{St: st}
+		pid := func(i int) uint64 { return dictionary.PropID(i) }
+		// chain: ?x p ?y . ?y q ?z . ?z r ?w — biggest table first.
+		patterns := []query.Pattern{
+			{S: query.Var(0), P: query.Const(pid(0)), O: query.Var(1)},
+			{S: query.Var(1), P: query.Const(pid(1)), O: query.Var(2)},
+			{S: query.Var(2), P: query.Const(pid(2)), O: query.Var(3)},
+		}
+		if c.star {
+			// star: ?x p ?a . ?x q ?b . ?x r ?c over the shared subject
+			// range [1, m].
+			patterns = []query.Pattern{
+				{S: query.Var(0), P: query.Const(pid(1)), O: query.Var(1)},
+				{S: query.Var(0), P: query.Const(pid(1)), O: query.Var(2)},
+				{S: query.Var(0), P: query.Const(pid(2)), O: query.Var(3)},
+			}
+		}
+
+		// Sanity: both engines agree before anything is timed.
+		count := func(solve func([]query.Pattern, int, func([]uint64) bool) error) int {
+			n := 0
+			if err := solve(patterns, 4, func([]uint64) bool { n++; return true }); err != nil {
+				b.Fatal(err)
+			}
+			return n
+		}
+		planned, greedy := count(e.Solve), count(e.SolveGreedy)
+		if planned != greedy {
+			b.Fatalf("%s: planned %d rows, greedy %d", c.name, planned, greedy)
+		}
+
+		for _, eng := range []struct {
+			name  string
+			solve func([]query.Pattern, int, func([]uint64) bool) error
+		}{{"planned", e.Solve}, {"greedy", e.SolveGreedy}} {
+			b.Run(c.name+"/"+eng.name, func(b *testing.B) {
+				b.ReportAllocs()
+				rows := 0
+				for i := 0; i < b.N; i++ {
+					rows = 0
+					if err := eng.solve(patterns, 4, func([]uint64) bool {
+						rows++
+						return true
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(rows), "rows")
+			})
+		}
+	}
+
+	// End-to-end: text in, modifier pipeline out, on the skewed shape.
+	b.Run("endtoend-sparql", func(b *testing.B) {
+		r := inferray.New(inferray.WithFragment(inferray.RhoDF))
+		var triples []inferray.Triple
+		add := func(s, p, o string) { triples = append(triples, inferray.Triple{S: s, P: p, O: o}) }
+		np, m, nr := 50_000, 5_000, 20
+		for i := 1; i <= np; i++ {
+			add(fmt.Sprintf("<s%d>", i), "<p>", fmt.Sprintf("<m%d>", i%m+1))
+		}
+		for i := 1; i <= m; i++ {
+			add(fmt.Sprintf("<m%d>", i), "<q>", fmt.Sprintf("<k%d>", (i*7)%m+1))
+		}
+		for i := 1; i <= nr; i++ {
+			add(fmt.Sprintf("<k%d>", i), "<r>", fmt.Sprintf("<w%d>", i))
+		}
+		r.AddTriples(triples)
+		if _, err := r.Materialize(); err != nil {
+			b.Fatal(err)
+		}
+		queryText := `SELECT DISTINCT ?x ?w WHERE {
+  ?x <p> ?y .
+  ?y <q> ?z .
+  ?z <r> ?w .
+  FILTER(?x != <s1>)
+} ORDER BY ?x LIMIT 50`
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := r.Select(queryText)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------- Concurrent serving

@@ -1,0 +1,156 @@
+// Command doclint enforces the godoc contract on the public API: every
+// exported symbol — package, functions, types, methods on exported
+// receivers, and the first name of each exported const/var group —
+// must carry a doc comment. CI runs it over the root package
+// (`go run ./cmd/doclint .`) next to go vet, so an undocumented export
+// fails the build rather than shipping.
+//
+// Usage:
+//
+//	doclint [package-dir ...]
+//
+// Each argument is a directory containing one Go package (tests and
+// the package's _test package are skipped). Exit status 1 lists every
+// violation as file:line: message.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	bad := 0
+	for _, dir := range dirs {
+		problems, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported symbol(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses every non-test Go file of the package in dir and
+// returns one "file:line: message" per undocumented exported symbol.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		for name, file := range pkg.Files {
+			out = append(out, lintFile(fset, filepath.Base(name), file)...)
+		}
+	}
+	return out, nil
+}
+
+// lintFile checks one parsed file's exported declarations.
+func lintFile(fset *token.FileSet, name string, file *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		out = append(out, fmt.Sprintf("%s:%d: %s", name, fset.Position(pos).Line, fmt.Sprintf(format, args...)))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc.Text() == "" {
+				report(d.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+			}
+		case *ast.GenDecl:
+			lintGenDecl(d, report)
+		}
+	}
+	return out
+}
+
+// lintGenDecl checks type/const/var declarations. For grouped
+// const/var blocks a doc comment on the block or on the first spec
+// satisfies the whole group (the godoc convention).
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...interface{})) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if !ts.Name.IsExported() {
+				continue
+			}
+			if d.Doc.Text() == "" && ts.Doc.Text() == "" && ts.Comment.Text() == "" {
+				report(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+			}
+		}
+	case token.CONST, token.VAR:
+		if d.Doc.Text() != "" {
+			return
+		}
+		for _, spec := range d.Specs {
+			vs := spec.(*ast.ValueSpec)
+			var exported *ast.Ident
+			for _, n := range vs.Names {
+				if n.IsExported() {
+					exported = n
+					break
+				}
+			}
+			if exported == nil {
+				continue
+			}
+			if vs.Doc.Text() == "" && vs.Comment.Text() == "" {
+				report(vs.Pos(), "exported %s %s has no doc comment", d.Tok, exported.Name)
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type (if any)
+// is itself exported; methods on unexported types are not public API.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcKind names the declaration for the report line.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

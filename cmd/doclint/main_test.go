@@ -1,0 +1,80 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintFile(fset, "x.go", file)
+}
+
+func TestLintFlagsUndocumentedExports(t *testing.T) {
+	src := `package p
+
+func Exported() {}
+
+type T struct{}
+
+func (T) Method() {}
+
+func (T) documented() {}
+
+const C = 1
+
+var V = 2
+`
+	got := lintSource(t, src)
+	want := []string{"Exported", "T", "Method", "C", "V"}
+	if len(got) != len(want) {
+		t.Fatalf("problems = %v, want %d entries", got, len(want))
+	}
+	for i, name := range want {
+		if !strings.Contains(got[i], name) {
+			t.Errorf("problem %d = %q, want it to name %s", i, got[i], name)
+		}
+	}
+}
+
+func TestLintAcceptsDocumentedAndUnexported(t *testing.T) {
+	src := `package p
+
+// Exported is documented.
+func Exported() {}
+
+func unexported() {}
+
+// T is documented.
+type T struct{}
+
+// Method is documented.
+func (t *T) Method() {}
+
+type hidden struct{}
+
+// Methods on unexported receivers are not public API.
+func (hidden) Exported2() {}
+
+// Grouped constants need one block comment.
+const (
+	A = 1
+	B = 2
+)
+
+var v = 3 // unexported
+
+// V has a doc comment.
+var V = 4
+`
+	if got := lintSource(t, src); len(got) != 0 {
+		t.Fatalf("false positives: %v", got)
+	}
+}

@@ -30,7 +30,9 @@
 // the paper's offline-materialize/online-serve split as two commands.
 //
 // serve materializes the input (if any) and then listens on -addr:
-// GET /query answers SPARQL SELECT as application/sparql-results+json,
+// GET /query answers SPARQL SELECT and ASK (the dialect of
+// docs/SPARQL.md — FILTER, DISTINCT, ORDER BY, LIMIT/OFFSET, UNION) as
+// streamed application/sparql-results+json,
 // POST /triples stages an N-Triples delta and extends the closure
 // incrementally, GET /stats and GET /healthz report state. SIGINT or
 // SIGTERM shuts the server down gracefully. With -data-dir the server
@@ -135,7 +137,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		stats     = fs.Bool("stats", false, "print run statistics to stderr")
 		seq       = fs.Bool("sequential", false, "disable parallel rule execution")
 		quiet     = fs.Bool("quiet", false, "suppress triple output (measure only)")
-		selectQ   = fs.String("select", "", "run a SPARQL SELECT query over the closure instead of dumping triples")
+		selectQ   = fs.String("select", "", "run a SPARQL SELECT or ASK query over the closure instead of dumping triples (dialect: docs/SPARQL.md)")
 		saveImage = fs.String("save-image", "", "write the materialized closure as a binary snapshot image")
 		loadImage = fs.String("load-image", "", "restore a snapshot image instead of inferring from scratch (-in is then only read if given explicitly)")
 	)
@@ -221,20 +223,32 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 	}
 	if *selectQ != "" {
-		rows, err := r.Select(*selectQ)
+		// SELECT prints one row per line, columns in projection order;
+		// ASK prints true or false.
+		var vars []string
+		res, err := r.ExecFunc(*selectQ, 0,
+			func(v []string) { vars = v },
+			func(row map[string]string) bool {
+				first := true
+				for _, v := range vars {
+					val, ok := row[v]
+					if !ok {
+						continue // unbound in this UNION branch
+					}
+					if !first {
+						fmt.Fprint(stdout, "\t")
+					}
+					fmt.Fprintf(stdout, "%s=%s", v, val)
+					first = false
+				}
+				fmt.Fprintln(stdout)
+				return true
+			})
 		if err != nil {
 			return err
 		}
-		for _, row := range rows {
-			first := true
-			for k, v := range row {
-				if !first {
-					fmt.Fprint(stdout, "\t")
-				}
-				fmt.Fprintf(stdout, "%s=%s", k, v)
-				first = false
-			}
-			fmt.Fprintln(stdout)
+		if res.Ask {
+			fmt.Fprintln(stdout, res.Truth)
 		}
 		return nil
 	}

@@ -120,6 +120,36 @@ func TestCLISelectQuery(t *testing.T) {
 	}
 }
 
+// -select prints columns in projection order, supports the extended
+// dialect, and answers ASK with true/false.
+func TestCLISelectDialect(t *testing.T) {
+	out, _, err := runCLI(t, []string{
+		"-select", `SELECT ?t ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> ?t . FILTER(?t != <a>) } ORDER BY ?t`,
+	}, sampleNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "t=<b>\tx=<x>\nt=<c>\tx=<x>\n"
+	if out != want {
+		t.Fatalf("select output:\n%q\nwant:\n%q", out, want)
+	}
+
+	out, _, err = runCLI(t, []string{"-select", `ASK { <x> a <c> }`}, sampleNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "true" {
+		t.Fatalf("ask output: %q", out)
+	}
+	out, _, err = runCLI(t, []string{"-select", `ASK { <x> a <nope> }`}, sampleNT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "false" {
+		t.Fatalf("ask output: %q", out)
+	}
+}
+
 // TestCLIDeltaFlag: a base file plus two -delta files must produce the
 // same closure as concatenating everything into one input, and the
 // delta batches must report incremental materializations.

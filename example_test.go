@@ -1,0 +1,60 @@
+package inferray_test
+
+import (
+	"fmt"
+	"sort"
+
+	"inferray"
+)
+
+// ExampleReasoner_Select materializes a small RDFS closure and runs a
+// SPARQL SELECT with a FILTER and ORDER BY over it.
+func ExampleReasoner_Select() {
+	r := inferray.New(inferray.WithFragment(inferray.RDFSDefault))
+	r.Add("<prof>", inferray.SubClassOf, "<staff>")
+	r.Add("<alice>", inferray.Type, "<prof>")
+	r.Add("<bob>", inferray.Type, "<staff>")
+	if _, err := r.Materialize(); err != nil {
+		panic(err)
+	}
+
+	rows, err := r.Select(`
+SELECT ?who WHERE {
+  ?who a <staff> .
+  FILTER(?who != <nobody>)
+}
+ORDER BY ?who`)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range rows {
+		fmt.Println(row["who"])
+	}
+	// Output:
+	// <alice>
+	// <bob>
+}
+
+// ExampleReasoner_QueryFunc streams the solutions of a basic graph
+// pattern without materializing a result slice.
+func ExampleReasoner_QueryFunc() {
+	r := inferray.New(inferray.WithFragment(inferray.RDFSDefault))
+	r.Add("<alice>", "<worksFor>", "<acme>")
+	r.Add("<bob>", "<worksFor>", "<acme>")
+	if _, err := r.Materialize(); err != nil {
+		panic(err)
+	}
+
+	var who []string
+	err := r.QueryFunc(func(row map[string]string) bool {
+		who = append(who, row["w"])
+		return true // false would stop the enumeration early
+	}, [3]string{"?w", "<worksFor>", "<acme>"})
+	if err != nil {
+		panic(err)
+	}
+	sort.Strings(who)
+	fmt.Println(who)
+	// Output:
+	// [<alice> <bob>]
+}

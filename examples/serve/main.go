@@ -86,6 +86,15 @@ func main() {
 	n := countBindings(baseURL, `SELECT ?who WHERE { ?who <memberOf> ?org . ?org <subOrgOf> <Univ0> }`)
 	fmt.Printf("\nmembers under Univ0: %d (alice + %d workers)\n", n, deltas)
 
+	// The full dialect works over the wire: FILTER + DISTINCT + ORDER BY,
+	// and ASK answers with a boolean document.
+	n = countBindings(baseURL, `SELECT DISTINCT ?who WHERE {
+	  ?who <memberOf> ?org . FILTER regex(?who, "^worker")
+	} ORDER BY ?who`)
+	fmt.Printf("workers (FILTER regex + DISTINCT + ORDER BY): %d\n", n)
+	fmt.Printf("ASK alice under Univ0: %t\n",
+		ask(baseURL, `ASK { <alice> <memberOf> ?org . ?org <subOrgOf> <Univ0> }`))
+
 	cancel()
 	must(<-done)
 	fmt.Println("shut down cleanly")
@@ -104,6 +113,18 @@ func countBindings(baseURL, query string) int {
 	}
 	must(json.NewDecoder(resp.Body).Decode(&res))
 	return len(res.Results.Bindings)
+}
+
+// ask runs an ASK query against the server.
+func ask(baseURL, query string) bool {
+	resp, err := http.Get(baseURL + "/query?query=" + url.QueryEscape(query))
+	must(err)
+	defer resp.Body.Close()
+	var res struct {
+		Boolean bool `json:"boolean"`
+	}
+	must(json.NewDecoder(resp.Body).Decode(&res))
+	return res.Boolean
 }
 
 func must(err error) {

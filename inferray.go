@@ -6,7 +6,9 @@
 // rule fragments — ρdf, RDFS (default or full), and RDFS-Plus — using a
 // vertically partitioned store of sorted 64-bit pair arrays, sort-merge
 // join inference, dedicated Nuutila transitive closure, and low-entropy
-// counting/radix sorts. See DESIGN.md for the architecture and
+// counting/radix sorts. The materialized closure is queryable through a
+// planned, streaming SPARQL engine (Select, Ask; dialect reference in
+// docs/SPARQL.md). See DESIGN.md for the architecture and
 // EXPERIMENTS.md for the reproduced evaluation.
 //
 // Quickstart:
@@ -155,8 +157,9 @@ func WithDurability(dir string, opts DurabilityOptions) Option {
 // from scratch.
 //
 // A Reasoner may be shared by any number of goroutines. The read path —
-// Holds, Query, QueryFunc, QueryCount, Select, Triples, AllTriples,
-// Size, WriteNTriples — runs under a shared lock: reads proceed
+// Holds, Query, QueryFunc, QueryCount, Select, SelectWithVars, Ask,
+// ExecFunc, Triples, AllTriples, Size, WriteNTriples — runs under a
+// shared lock: reads proceed
 // concurrently with each other and are linearized against Materialize,
 // so every read observes a consistent closure (the state before or
 // after a materialization, never a half-merged intermediate). Add,

@@ -1,0 +1,394 @@
+package query
+
+// Selectivity-based planning and sort-merge execution. The paper's
+// sorted property tables (§5.1, §5.4) make two things cheap that a
+// generic triple store has to work for: per-table statistics (run
+// counting over the sorted ⟨s,o⟩ / ⟨o,s⟩ layouts) and ordered access to
+// the pairs of one property. The planner uses the first to order a
+// basic graph pattern most-selective-first *before* execution starts —
+// unlike the greedy engine (query.go), which only ranks coarse access
+// classes and so cannot tell a 10-pair table from a 10-million-pair
+// one. The executor uses the second to run shared-variable joins as
+// sort-merge joins: every probe into a table remembers its position,
+// and while the probe keys arrive in nondecreasing order (the common
+// case, because the driving scan is itself sorted) the next run is
+// found by galloping forward from the previous one instead of a fresh
+// binary search. A key that moves backward falls back to the full
+// binary search, so the cursor is a pure optimization — correctness
+// never depends on sortedness. Fully bound patterns keep the existing
+// bound-probe (Contains) path.
+
+import (
+	"math"
+
+	"inferray/internal/dictionary"
+	"inferray/internal/store"
+)
+
+// planStep is one pattern with its planned access decisions.
+type planStep struct {
+	pat Pattern
+	// scanOS scans the table in ⟨o,s⟩ order when the step is a full
+	// table scan, so the object variable streams out sorted for the
+	// next step's merge cursor.
+	scanOS bool
+	// Merge cursors, one per view; reset at the start of every Solve.
+	soCur, osCur cursorPos
+}
+
+// cursorPos remembers the last probed run of one table view.
+type cursorPos struct {
+	key   uint64
+	pos   int
+	valid bool
+}
+
+// Plan orders the patterns of a basic graph pattern most-selective-
+// first using table statistics, and picks each full scan's orientation
+// so that join variables stream out sorted where possible. It is
+// exported for tests and EXPLAIN-style tooling; Solve plans internally.
+func (e *Engine) Plan(patterns []Pattern) []int {
+	type agg struct {
+		pairs, subjects, objects float64
+		tables                   float64
+	}
+	var a agg
+	var haveAgg bool
+	aggregate := func() agg {
+		if haveAgg {
+			return a
+		}
+		e.St.ForEachTable(func(_ int, t *store.Table) bool {
+			st := t.Stats()
+			a.pairs += float64(st.Pairs)
+			a.subjects += float64(st.Subjects)
+			a.objects += float64(st.Objects)
+			a.tables++
+			return true
+		})
+		haveAgg = true
+		return a
+	}
+
+	// estimate approximates the number of rows the pattern yields under
+	// the bound-variable set (lower = run earlier).
+	estimate := func(p Pattern, bound uint64) float64 {
+		s := termBound(p.S, bound)
+		pr := termBound(p.P, bound)
+		o := termBound(p.O, bound)
+		if !p.P.IsVar {
+			if !dictionary.IsProperty(p.P.ID) {
+				return 0 // not a property: matches nothing
+			}
+			t := e.St.Table(dictionary.PropIndex(p.P.ID))
+			if t == nil || t.Empty() {
+				return 0 // empty table: proves emptiness immediately
+			}
+			st := t.Stats()
+			switch {
+			case s && o:
+				return 0.5 // existence probe: filters, never expands
+			case s:
+				return float64(st.Pairs) / float64(st.Subjects)
+			case o:
+				return float64(st.Pairs) / float64(st.Objects)
+			default:
+				return float64(st.Pairs)
+			}
+		}
+		ag := aggregate()
+		switch {
+		case pr && s && o:
+			return 0.5
+		case pr && (s || o):
+			// Predicate bound by a previous pattern: one table's average
+			// run, but which table is unknown until execution.
+			if ag.tables == 0 {
+				return 0
+			}
+			return ag.pairs / math.Max(ag.subjects, 1)
+		case pr:
+			return ag.pairs / math.Max(ag.tables, 1)
+		case s && o:
+			return ag.tables // one existence probe per table
+		case s || o:
+			return ag.pairs / math.Max(ag.subjects, 1) * math.Max(ag.tables, 1)
+		default:
+			return ag.pairs
+		}
+	}
+
+	order := make([]int, 0, len(patterns))
+	used := make([]bool, len(patterns))
+	var bound uint64
+	for len(order) < len(patterns) {
+		// Prefer patterns anchored to a constant or joined to an
+		// already-bound variable: an unanchored pattern is a cartesian
+		// product regardless of its size. Among candidates of the same
+		// class the smallest estimate wins, ties broken by query order.
+		best, bestCost := -1, math.Inf(1)
+		bestFloat, bestFloatCost := -1, math.Inf(1)
+		for i, p := range patterns {
+			if used[i] {
+				continue
+			}
+			c := estimate(p, bound)
+			if len(order) == 0 || connected(p, bound) {
+				if c < bestCost {
+					best, bestCost = i, c
+				}
+			} else if c < bestFloatCost {
+				bestFloat, bestFloatCost = i, c
+			}
+		}
+		if best == -1 {
+			best = bestFloat
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, t := range []Term{patterns[best].S, patterns[best].P, patterns[best].O} {
+			if t.IsVar {
+				bound |= 1 << uint(t.Var)
+			}
+		}
+	}
+	return order
+}
+
+// connected reports whether the pattern shares a variable with the
+// bound set or has any constant (a constant anchors the scan).
+func connected(p Pattern, bound uint64) bool {
+	for _, t := range []Term{p.S, p.P, p.O} {
+		if t.IsVar && bound&(1<<uint(t.Var)) != 0 {
+			return true
+		}
+		if !t.IsVar {
+			return true
+		}
+	}
+	return false
+}
+
+// buildPlan materializes the ordered steps and chooses scan
+// orientations: a full table scan whose object variable is the next
+// step's probe key runs over the ⟨o,s⟩ view so the probe keys arrive
+// sorted.
+func (e *Engine) buildPlan(patterns []Pattern) []planStep {
+	order := e.Plan(patterns)
+	steps := make([]planStep, len(order))
+	var bound uint64
+	for i, idx := range order {
+		steps[i] = planStep{pat: patterns[idx]}
+		p := patterns[idx]
+		sFree := p.S.IsVar && bound&(1<<uint(p.S.Var)) == 0
+		oFree := p.O.IsVar && bound&(1<<uint(p.O.Var)) == 0
+		if sFree && oFree && !p.P.IsVar && i+1 < len(order) {
+			next := patterns[order[i+1]]
+			if joinsOn(next, p.O.Var, bound) && !joinsOn(next, p.S.Var, bound) {
+				steps[i].scanOS = true
+			}
+		}
+		for _, t := range []Term{p.S, p.P, p.O} {
+			if t.IsVar {
+				bound |= 1 << uint(t.Var)
+			}
+		}
+	}
+	return steps
+}
+
+// joinsOn reports whether the pattern's subject or object is exactly
+// the given (currently unbound) variable slot.
+func joinsOn(p Pattern, slot int, bound uint64) bool {
+	if bound&(1<<uint(slot)) != 0 {
+		return false
+	}
+	return p.S.IsVar && p.S.Var == slot || p.O.IsVar && p.O.Var == slot
+}
+
+// ------------------------------------------------------------- execution
+
+// exec carries one Solve invocation's state.
+type exec struct {
+	e     *Engine
+	steps []planStep
+	row   []uint64
+	fn    func([]uint64) bool
+}
+
+func (x *exec) run(i int, bound uint64) bool {
+	if i == len(x.steps) {
+		return x.fn(x.row)
+	}
+	cont := true
+	x.enumStep(&x.steps[i], bound, func(nb uint64) bool {
+		cont = x.run(i+1, nb)
+		return cont
+	})
+	return cont
+}
+
+// enumStep walks every match of one planned step under the current
+// bindings, binding its free variables and invoking fn with the updated
+// bound mask. fn returning false stops the walk.
+func (x *exec) enumStep(step *planStep, bound uint64, fn func(uint64) bool) {
+	p := step.pat
+	row := x.row
+	sB := termBound(p.S, bound)
+	pB := termBound(p.P, bound)
+	oB := termBound(p.O, bound)
+
+	tryTriple := func(pidx int, s, o uint64) bool {
+		newBound := bound
+		bind := func(t Term, v uint64) bool {
+			if !t.IsVar {
+				return t.ID == v
+			}
+			if newBound&(1<<uint(t.Var)) != 0 {
+				return row[t.Var] == v
+			}
+			row[t.Var] = v
+			newBound |= 1 << uint(t.Var)
+			return true
+		}
+		if !bind(p.S, s) || !bind(p.P, dictionary.PropID(pidx)) || !bind(p.O, o) {
+			return true // mismatch: keep walking
+		}
+		return fn(newBound)
+	}
+
+	// scanTable enumerates one property table; merge cursors are only
+	// used on the planned table (cursored == true), since a cursor is
+	// per-table state and the variable-predicate path touches them all.
+	scanTable := func(pidx int, t *store.Table, cursored bool) bool {
+		sv, ov := uint64(0), uint64(0)
+		if sB {
+			sv = termValue(p.S, row)
+		}
+		if oB {
+			ov = termValue(p.O, row)
+		}
+		switch {
+		case sB && oB:
+			if t.Contains(sv, ov) {
+				return tryTriple(pidx, sv, ov)
+			}
+			return true
+		case sB:
+			pairs := t.Pairs()
+			var lo, hi int
+			if cursored {
+				lo, hi = runFrom(pairs, sv, &step.soCur)
+			} else {
+				lo, hi = t.SubjectRun(sv)
+			}
+			for i := lo; i < hi; i++ {
+				if !tryTriple(pidx, sv, pairs[2*i+1]) {
+					return false
+				}
+			}
+			return true
+		case oB:
+			os := t.OS()
+			var lo, hi int
+			if cursored {
+				lo, hi = runFrom(os, ov, &step.osCur)
+			} else {
+				lo, hi = t.ObjectRun(ov)
+			}
+			for i := lo; i < hi; i++ {
+				if !tryTriple(pidx, os[2*i+1], ov) {
+					return false
+				}
+			}
+			return true
+		default:
+			pairs := t.Pairs()
+			if cursored && step.scanOS {
+				pairs = t.OS()
+				for i := 0; i < len(pairs); i += 2 {
+					if !tryTriple(pidx, pairs[i+1], pairs[i]) {
+						return false
+					}
+				}
+				return true
+			}
+			for i := 0; i < len(pairs); i += 2 {
+				if !tryTriple(pidx, pairs[i], pairs[i+1]) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	if pB {
+		pid := termValue(p.P, row)
+		if !dictionary.IsProperty(pid) {
+			return
+		}
+		pidx := dictionary.PropIndex(pid)
+		t := x.e.St.Table(pidx)
+		if t == nil || t.Empty() {
+			return
+		}
+		scanTable(pidx, t, !p.P.IsVar)
+		return
+	}
+	x.e.St.ForEachTable(func(pidx int, t *store.Table) bool {
+		return scanTable(pidx, t, false)
+	})
+}
+
+// runFrom locates the run [lo, hi) of key k in a key-sorted flat pair
+// list, resuming from the cursor when k is not less than the previous
+// probe key — the sort-merge case, where the run is found by galloping
+// forward — and falling back to a full binary search when the key moves
+// backward. The cursor is updated to the located run.
+func runFrom(pairs []uint64, k uint64, cur *cursorPos) (lo, hi int) {
+	n := len(pairs) / 2
+	from := 0
+	if cur.valid && k >= cur.key {
+		from = cur.pos
+	}
+	lo = gallopLowerBound(pairs, n, from, k)
+	hi = lo
+	for hi < n && pairs[2*hi] == k {
+		hi++
+	}
+	cur.key, cur.pos, cur.valid = k, lo, true
+	return lo, hi
+}
+
+// gallopLowerBound returns the first pair index in [from, n) whose key
+// is >= k, doubling the step from 'from' before binary-searching the
+// bracketed range — O(log distance) instead of O(log n) when the
+// target is near the cursor.
+func gallopLowerBound(pairs []uint64, n, from int, k uint64) int {
+	if from >= n {
+		return n
+	}
+	if pairs[2*from] >= k {
+		return from
+	}
+	// Invariant: pairs[2*lo] < k; the answer lies in (lo, hi].
+	lo := from
+	step := 1
+	for lo+step < n && pairs[2*(lo+step)] < k {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > n {
+		hi = n
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pairs[2*mid] < k {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

@@ -3,8 +3,13 @@
 // storage-and-inference layer under a SPARQL engine (§1, §2): after
 // forward chaining, queries reduce to index scans over the sorted
 // property tables — subject runs on the ⟨s,o⟩ order, object runs on the
-// cached ⟨o,s⟩ order, full table scans otherwise, with a greedy
-// most-selective-first join order.
+// cached ⟨o,s⟩ order, full table scans otherwise. Solve orders the
+// patterns up front with a selectivity-estimating planner fed by
+// per-table statistics and executes shared-variable joins as sort-merge
+// joins over the sorted layouts (plan.go); SolveGreedy retains the
+// original access-class-greedy nested-loop engine as a baseline.
+// DESIGN.md §9 documents the cost model and the per-access-class
+// complexity table.
 package query
 
 import (
@@ -22,8 +27,10 @@ type Term struct {
 	ID    uint64
 }
 
-// Var and Const construct pattern terms.
-func Var(slot int) Term    { return Term{IsVar: true, Var: slot} }
+// Var constructs a variable pattern term bound to a solution slot.
+func Var(slot int) Term { return Term{IsVar: true, Var: slot} }
+
+// Const constructs a constant pattern term from a dictionary ID.
 func Const(id uint64) Term { return Term{ID: id} }
 
 // Pattern is one triple pattern.
@@ -38,7 +45,39 @@ type Engine struct {
 // solution is delivered as a row of variable bindings (indexed by
 // variable slot); fn may return false to stop enumeration early.
 // nVars is the number of variable slots used by the patterns.
+//
+// Solve plans the pattern order up front from per-table statistics
+// (Plan) and executes shared-variable joins as sort-merge joins over
+// the sorted table layouts (see plan.go); SolveGreedy is the earlier
+// access-class-greedy engine, kept as the planner's benchmark baseline
+// and equivalence reference.
 func (e *Engine) Solve(patterns []Pattern, nVars int, fn func(row []uint64) bool) error {
+	if err := e.validate(patterns, nVars); err != nil {
+		return err
+	}
+	x := &exec{e: e, steps: e.buildPlan(patterns), row: make([]uint64, nVars), fn: fn}
+	x.run(0, 0)
+	return nil
+}
+
+// SolveGreedy enumerates the same solutions as Solve with the original
+// nested-loop engine: at every recursion step the most selective
+// remaining pattern by coarse access class is chosen, and every probe
+// is an independent binary search. It exists for benchmarks and
+// equivalence tests; use Solve.
+func (e *Engine) SolveGreedy(patterns []Pattern, nVars int, fn func(row []uint64) bool) error {
+	if err := e.validate(patterns, nVars); err != nil {
+		return err
+	}
+	row := make([]uint64, nVars)
+	var bound uint64 // bitmask of bound slots
+	remaining := append([]Pattern(nil), patterns...)
+	e.solve(remaining, row, bound, fn)
+	return nil
+}
+
+// validate bounds-checks the variable slots against nVars.
+func (e *Engine) validate(patterns []Pattern, nVars int) error {
 	if nVars < 0 || nVars > 64 {
 		return fmt.Errorf("query: variable count %d out of range", nVars)
 	}
@@ -49,10 +88,6 @@ func (e *Engine) Solve(patterns []Pattern, nVars int, fn func(row []uint64) bool
 			}
 		}
 	}
-	row := make([]uint64, nVars)
-	var bound uint64 // bitmask of bound slots
-	remaining := append([]Pattern(nil), patterns...)
-	e.solve(remaining, row, bound, fn)
 	return nil
 }
 

@@ -136,8 +136,11 @@ func TestCount(t *testing.T) {
 	}
 }
 
-// TestSolveQuick compares the engine against a brute-force evaluator on
-// random stores and random 1–3 pattern queries.
+// TestSolveQuick compares both engines — the planner (Solve) and the
+// greedy baseline (SolveGreedy) — against a brute-force evaluator on
+// random stores and random 1–4 pattern queries. This is the planner's
+// equivalence guarantee: whatever order and access paths it picks, the
+// solution set must match the reference.
 func TestSolveQuick(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -164,7 +167,7 @@ func TestSolveQuick(t *testing.T) {
 		e := &Engine{St: st}
 
 		nVars := 1 + rng.Intn(4)
-		nPats := 1 + rng.Intn(3)
+		nPats := 1 + rng.Intn(4)
 		patterns := make([]Pattern, nPats)
 		term := func() Term {
 			if rng.Intn(2) == 0 {
@@ -182,26 +185,146 @@ func TestSolveQuick(t *testing.T) {
 			patterns[i] = Pattern{S: term(), P: pterm(), O: term()}
 		}
 
-		got := map[string]bool{}
-		if err := e.Solve(patterns, nVars, func(row []uint64) bool {
-			got[rowKey(row)] = true
-			return true
-		}); err != nil {
-			return false
-		}
 		want := bruteForce(facts, patterns, nVars)
-		if len(got) != len(want) {
-			return false
-		}
-		for k := range want {
-			if !got[k] {
+		for _, solve := range []func([]Pattern, int, func([]uint64) bool) error{
+			e.Solve, e.SolveGreedy,
+		} {
+			got := map[string]bool{}
+			if err := solve(patterns, nVars, func(row []uint64) bool {
+				got[rowKey(row)] = true
+				return true
+			}); err != nil {
 				return false
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for k := range want {
+				if !got[k] {
+					return false
+				}
 			}
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// The planner must start a skewed chain join at the small table even
+// when the query text lists the big one first — the case the greedy
+// access-class ranking cannot see (all three patterns share the same
+// class).
+func TestPlanOrdersBySelectivity(t *testing.T) {
+	st := store.New(3)
+	big := st.Ensure(0)
+	for i := uint64(0); i < 1000; i++ {
+		big.Append(i, i+1)
+	}
+	med := st.Ensure(1)
+	for i := uint64(0); i < 100; i++ {
+		med.Append(i, i+1)
+	}
+	st.Ensure(2).AppendPairs([]uint64{1, 2, 3, 4})
+	st.Normalize()
+	e := &Engine{St: st}
+
+	patterns := []Pattern{
+		{Var(0), Const(pid(0)), Var(1)}, // 1000 pairs
+		{Var(1), Const(pid(1)), Var(2)}, // 100 pairs
+		{Var(2), Const(pid(2)), Var(3)}, // 2 pairs
+	}
+	order := e.Plan(patterns)
+	if order[0] != 2 {
+		t.Fatalf("plan starts at pattern %d, want the tiny table (2); order=%v", order[0], order)
+	}
+	// And the planned execution matches the greedy result.
+	planned := collect(t, e, patterns, 4)
+	var greedy [][]uint64
+	if err := e.SolveGreedy(patterns, 4, func(row []uint64) bool {
+		greedy = append(greedy, append([]uint64(nil), row...))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(greedy, func(i, j int) bool {
+		for k := range greedy[i] {
+			if greedy[i][k] != greedy[j][k] {
+				return greedy[i][k] < greedy[j][k]
+			}
+		}
+		return false
+	})
+	if !reflect.DeepEqual(planned, greedy) {
+		t.Fatalf("planned %v != greedy %v", planned, greedy)
+	}
+}
+
+// An empty or absent property table must be planned first: it proves
+// the result empty without touching the other patterns.
+func TestPlanPutsEmptyTableFirst(t *testing.T) {
+	st := store.New(2)
+	tab := st.Ensure(0)
+	for i := uint64(0); i < 50; i++ {
+		tab.Append(i, i+1)
+	}
+	st.Normalize()
+	e := &Engine{St: st}
+	patterns := []Pattern{
+		{Var(0), Const(pid(0)), Var(1)},
+		{Var(1), Const(pid(1)), Var(2)}, // table 1 holds nothing
+	}
+	if order := e.Plan(patterns); order[0] != 1 {
+		t.Fatalf("plan order = %v, want empty table first", order)
+	}
+	n, err := e.Count(patterns, 3)
+	if err != nil || n != 0 {
+		t.Fatalf("count over empty table = %d (err %v)", n, err)
+	}
+}
+
+// gallopLowerBound must agree with the plain lower bound from every
+// starting position.
+func TestGallopLowerBound(t *testing.T) {
+	pairs := []uint64{}
+	for _, k := range []uint64{2, 2, 5, 7, 7, 7, 11, 20} {
+		pairs = append(pairs, k, k)
+	}
+	n := len(pairs) / 2
+	for from := 0; from <= n; from++ {
+		for k := uint64(0); k <= 22; k++ {
+			got := gallopLowerBound(pairs, n, from, k)
+			// Reference: first index >= from with key >= k.
+			want := n
+			for i := from; i < n; i++ {
+				if pairs[2*i] >= k {
+					want = i
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("gallop(from=%d, k=%d) = %d, want %d", from, k, got, want)
+			}
+		}
+	}
+}
+
+// runFrom is a pure optimization: probing keys in any order — repeats,
+// forward jumps, backward jumps — must return exactly the same runs as
+// binary search.
+func TestRunFromCursorAnyOrder(t *testing.T) {
+	var tab store.Table
+	tab.AppendPairs([]uint64{1, 10, 1, 11, 3, 30, 7, 70, 7, 71, 7, 72, 9, 90})
+	tab.Normalize()
+	pairs := tab.Pairs()
+	var cur cursorPos
+	for _, k := range []uint64{1, 1, 3, 9, 2, 7, 7, 0, 9, 4, 1} {
+		gotLo, gotHi := runFrom(pairs, k, &cur)
+		wantLo, wantHi := tab.SubjectRun(k)
+		if gotLo != wantLo || gotHi != wantHi {
+			t.Fatalf("runFrom(%d) = [%d,%d), want [%d,%d)", k, gotLo, gotHi, wantLo, wantHi)
+		}
 	}
 }
 

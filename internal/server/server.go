@@ -9,8 +9,12 @@
 //
 // Endpoints:
 //
-//	GET  /query?query=SELECT…   SPARQL SELECT (the subset of internal/sparql),
-//	                            application/sparql-results+json response
+//	GET  /query?query=SELECT…   SPARQL SELECT or ASK (the dialect of
+//	                            docs/SPARQL.md: FILTER, DISTINCT, ORDER BY,
+//	                            LIMIT/OFFSET, UNION), incrementally encoded
+//	                            application/sparql-results+json response;
+//	                            optional &limit=N row cap on top of the
+//	                            query's own LIMIT
 //	POST /query                 same, query in the body (application/sparql-query)
 //	                            or form field "query"
 //	POST /triples               N-Triples document staged as a delta and
@@ -25,6 +29,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -32,6 +37,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +45,7 @@ import (
 
 	"inferray"
 	"inferray/internal/rdf"
+	"inferray/internal/sparql"
 )
 
 // maxDeltaBytes bounds a POST /triples body; a delta is an online
@@ -123,10 +130,18 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 
 // ---------------------------------------------------------------- /query
 
-// sparqlResults is the SPARQL 1.1 Query Results JSON document.
+// sparqlResults is the SPARQL 1.1 Query Results JSON document (the
+// server streams it by hand in resultStream; this struct shape is kept
+// for tests and clients that decode whole documents).
 type sparqlResults struct {
 	Head    resultsHead    `json:"head"`
 	Results resultsSection `json:"results"`
+}
+
+// askResults is the SPARQL 1.1 boolean results document for ASK.
+type askResults struct {
+	Head    struct{} `json:"head"`
+	Boolean bool     `json:"boolean"`
 }
 
 type resultsHead struct {
@@ -145,11 +160,23 @@ type binding struct {
 	Datatype string `json:"datatype,omitempty"`
 }
 
+// queryError is the structured 400 body for a failed /query: the
+// message, and for parse failures the exact position internal/sparql
+// reported (1-based line and column plus the offending token).
+type queryError struct {
+	Error  string `json:"error"`
+	Line   int    `json:"line,omitempty"`
+	Column int    `json:"column,omitempty"`
+	Token  string `json:"token,omitempty"`
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	var text string
+	var limitParam string
 	switch req.Method {
 	case http.MethodGet:
 		text = req.URL.Query().Get("query")
+		limitParam = req.URL.Query().Get("limit")
 	case http.MethodPost:
 		ct := req.Header.Get("Content-Type")
 		if strings.HasPrefix(ct, "application/sparql-query") {
@@ -161,8 +188,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 				return
 			}
 			text = string(body)
+			limitParam = req.URL.Query().Get("limit")
 		} else {
 			text = req.FormValue("query")
+			limitParam = req.FormValue("limit")
 		}
 	default:
 		w.Header().Set("Allow", "GET, POST")
@@ -173,30 +202,97 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing query parameter")
 		return
 	}
+	maxRows := 0
+	if limitParam != "" {
+		n, err := strconv.Atoi(limitParam)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "limit must be a non-negative integer, got %q", limitParam)
+			return
+		}
+		maxRows = n
+	}
 
-	vars, rows, err := s.r.SelectWithVars(text)
+	// The results document is encoded by a streaming writer: the head
+	// as soon as the query is planned, one binding at a time as rows
+	// are produced — never a whole-document marshal. It is encoded
+	// into a buffer and put on the wire only after ExecFunc returns,
+	// because ExecFunc runs under the reasoner's read lock: writing to
+	// a stalled client from inside the callbacks would let one slow
+	// reader hold the lock, block the next Materialize, and behind it
+	// every new query. Every error ExecFunc can return surfaces before
+	// the head callback runs, so a 400 is always still possible when
+	// it matters; the limit parameter is the caller's tool for
+	// bounding the buffered size.
+	st := &resultStream{}
+	res, err := s.r.ExecFunc(text, maxRows, st.head, st.row)
 	if err != nil {
 		s.queryErrors.Add(1)
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeQueryError(w, err)
 		return
 	}
 	s.queries.Add(1)
-	if vars == nil {
-		vars = []string{} // head.vars must be an array even for all-constant patterns
+	if res.Ask {
+		writeJSON(w, "application/sparql-results+json", askResults{Boolean: res.Truth})
+		return
 	}
+	st.close()
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	_, _ = w.Write(st.buf.Bytes())
+}
 
-	res := sparqlResults{
-		Head:    resultsHead{Vars: vars},
-		Results: resultsSection{Bindings: make([]map[string]binding, 0, len(rows))},
+// writeQueryError sends the structured 400, lifting position info out
+// of parse errors.
+func writeQueryError(w http.ResponseWriter, err error) {
+	qe := queryError{Error: err.Error()}
+	var pe *sparql.ParseError
+	if errors.As(err, &pe) {
+		qe.Line, qe.Column, qe.Token = pe.Line, pe.Col, pe.Token
 	}
-	for _, row := range rows {
-		b := make(map[string]binding, len(row))
-		for name, term := range row {
-			b[name] = termBinding(term)
-		}
-		res.Results.Bindings = append(res.Results.Bindings, b)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(qe)
+}
+
+// resultStream encodes a sparql-results+json document incrementally
+// into a buffer: the envelope and head on the first callback, one
+// encoded binding per row, and the closing brackets in close — bounded
+// per-row work, no whole-document marshal.
+type resultStream struct {
+	buf     bytes.Buffer
+	started bool
+	rows    int
+}
+
+func (st *resultStream) head(vars []string) {
+	names, _ := json.Marshal(vars)
+	fmt.Fprintf(&st.buf, `{"head":{"vars":%s},"results":{"bindings":[`, names)
+	st.started = true
+}
+
+func (st *resultStream) row(row map[string]string) bool {
+	b := make(map[string]binding, len(row))
+	for name, term := range row {
+		b[name] = termBinding(term)
 	}
-	writeJSON(w, "application/sparql-results+json", res)
+	enc, err := json.Marshal(b)
+	if err != nil {
+		return false
+	}
+	if st.rows > 0 {
+		st.buf.WriteByte(',')
+	}
+	st.buf.Write(enc)
+	st.rows++
+	return true
+}
+
+func (st *resultStream) close() {
+	if !st.started {
+		// A query with no head callback (defensive; ExecFunc always
+		// calls it for SELECT) still gets a valid empty document.
+		st.head([]string{})
+	}
+	st.buf.WriteString("]}}\n")
 }
 
 // termBinding converts an N-Triples surface form into results-JSON.

@@ -111,7 +111,7 @@ func TestQueryEndpointErrors(t *testing.T) {
 	for name, q := range map[string]string{
 		"missing":            "",
 		"syntax":             "SELECT WHERE",
-		"unsupported":        "SELECT ?x WHERE { ?x <p> ?y FILTER(?y > 3) }",
+		"unsupported":        "SELECT ?x WHERE { ?x <p> ?y OPTIONAL { ?x <q> ?z } }",
 		"unknown projection": "SELECT ?whoo WHERE { ?who <memberOf> ?org }",
 	} {
 		resp, err := http.Get(ts.URL + "/query?query=" + url.QueryEscape(q))
@@ -122,6 +122,125 @@ func TestQueryEndpointErrors(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
 		}
+	}
+}
+
+// Regression: /query used to swallow the parser's detail. A syntax
+// error must come back as structured JSON carrying the parser's exact
+// line/column/token, and an unsupported construct must name itself.
+func TestQueryEndpointStructuredErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	q := "SELECT ?x WHERE {\n  ?x <p> ?y .\n  OPTIONAL { ?x <q> ?z }\n}"
+	resp, err := http.Get(ts.URL + "/query?query=" + url.QueryEscape(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var qe queryError
+	if err := json.NewDecoder(resp.Body).Decode(&qe); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qe.Error, "OPTIONAL is not supported") {
+		t.Fatalf("error message lost the construct: %+v", qe)
+	}
+	if qe.Line != 3 || qe.Column != 3 || qe.Token != "OPTIONAL" {
+		t.Fatalf("position info = %+v, want line 3 col 3 token OPTIONAL", qe)
+	}
+
+	// Non-parse errors (unknown projection) stay structured but carry
+	// no position.
+	resp2, err := http.Get(ts.URL + "/query?query=" + url.QueryEscape("SELECT ?whoo WHERE { ?who <memberOf> ?org }"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var qe2 queryError
+	if err := json.NewDecoder(resp2.Body).Decode(&qe2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qe2.Error, "whoo") || qe2.Line != 0 {
+		t.Fatalf("projection error = %+v", qe2)
+	}
+}
+
+func TestQueryEndpointFilterOrderByDistinct(t *testing.T) {
+	ts, _ := newTestServer(t)
+	res := getResults(t, ts,
+		`SELECT DISTINCT ?org WHERE { ?x <subOrgOf> ?org . FILTER(?org != <nowhere>) } ORDER BY ?org`)
+	if len(res.Results.Bindings) != 1 || res.Results.Bindings[0]["org"].Value != "Univ0" {
+		t.Fatalf("bindings = %v", res.Results.Bindings)
+	}
+}
+
+func TestQueryEndpointAsk(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for q, want := range map[string]bool{
+		`ASK { <alice> <memberOf> <DeptCS> }`: true,
+		`ASK { <alice> <memberOf> <Univ0> }`:  false,
+	} {
+		resp, err := http.Get(ts.URL + "/query?query=" + url.QueryEscape(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", q, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/sparql-results+json" {
+			t.Fatalf("ask content type %q", ct)
+		}
+		var doc struct {
+			Boolean *bool `json:"boolean"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if doc.Boolean == nil || *doc.Boolean != want {
+			t.Fatalf("%s: boolean = %v, want %t", q, doc.Boolean, want)
+		}
+	}
+}
+
+// The limit query parameter caps rows on top of the query's own LIMIT,
+// and a bad value is a 400.
+func TestQueryEndpointLimitParam(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/query?limit=2&query=" + url.QueryEscape(`SELECT * WHERE { ?s ?p ?o }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res sparqlResults
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(res.Results.Bindings) != 2 {
+		t.Fatalf("limit=2 delivered %d bindings", len(res.Results.Bindings))
+	}
+
+	bad, err := http.Get(ts.URL + "/query?limit=-1&query=" + url.QueryEscape(`SELECT * WHERE { ?s ?p ?o }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("limit=-1 status %d, want 400", bad.StatusCode)
+	}
+}
+
+// A query with zero solutions still streams a complete, decodable
+// document with the head present.
+func TestQueryEndpointEmptyResultDocument(t *testing.T) {
+	ts, _ := newTestServer(t)
+	res := getResults(t, ts, `SELECT ?who WHERE { ?who <memberOf> <NoSuchOrg> }`)
+	if len(res.Head.Vars) != 1 || res.Head.Vars[0] != "who" {
+		t.Fatalf("head vars = %v", res.Head.Vars)
+	}
+	if len(res.Results.Bindings) != 0 {
+		t.Fatalf("bindings = %v", res.Results.Bindings)
 	}
 }
 

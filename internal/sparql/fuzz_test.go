@@ -1,0 +1,82 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSelect throws arbitrary byte streams at the query parser
+// (ParseSelect for the SELECT invariants, ParseQuery so ASK is covered
+// by the same corpus). The contract under fuzzing: never panic, never
+// hang, and on success uphold the structural invariants the evaluator
+// relies on — non-empty groups of 3-term patterns, positioned errors
+// on failure. The checked-in corpus seeds valid queries, every
+// documented rejected construct, and pathological token streams.
+func FuzzParseSelect(f *testing.F) {
+	seeds := []string{
+		// Valid queries across the dialect.
+		`SELECT * WHERE { ?s ?p ?o }`,
+		`PREFIX ex: <http://e/> SELECT ?x WHERE { ?x a ex:T . ?x ex:p "v"@en } LIMIT 5`,
+		`SELECT DISTINCT ?x ?y WHERE { ?x <p> ?y . FILTER(?y > 3 && regex(?x, "^a", "i")) } ORDER BY DESC(?y) LIMIT 10 OFFSET 2`,
+		`SELECT ?x WHERE { { ?x <p> <A> } UNION { ?x <q> <B> . FILTER bound(?x) } }`,
+		`ASK { ?s <p> "42"^^<http://www.w3.org/2001/XMLSchema#int> . FILTER(!(?s = <x>)) }`,
+		`SELECT ?x WHERE { ?x <p> ?y . FILTER(?y != "a||b" || ?y <= 3.5) }`,
+		// Every documented rejected construct.
+		`SELECT * WHERE { ?s ?p ?o OPTIONAL { ?s <q> ?r } }`,
+		`SELECT * WHERE { ?s <a>/<b> ?o }`,
+		`SELECT * WHERE { { SELECT ?s WHERE { ?s ?p ?o } } }`,
+		`SELECT * WHERE { ?s ?p ?o } GROUP BY ?s`,
+		`CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }`,
+		`SELECT * WHERE { ?s <p> <a> ; <q> <b> }`,
+		`SELECT * WHERE { ?s ?p ?o . FILTER(isBlank(?s)) }`,
+		`SELECT * WHERE { GRAPH <g> { ?s ?p ?o } }`,
+		// Pathological token streams.
+		``,
+		`SELECT`,
+		`SELECT ?x WHERE {`,
+		`SELECT ?x WHERE { ?x <p `,
+		`SELECT ?x WHERE { ?x <p> "unterminated`,
+		`SELECT ?x WHERE { ?x <p> "esc\` + `" }`,
+		`{{{{{{{{`,
+		`FILTER(((((`,
+		`SELECT * WHERE { ?s ?p ?o } LIMIT 99999999999999999999`,
+		`PREFIX : <` + strings.Repeat("x", 300) + `> SELECT * WHERE { :a :b :c }`,
+		`SELECT * WHERE { ?s ?p ?o . FILTER regex(?s, "(((") }`,
+		"SELECT ?x\nWHERE # comment\n{ ?x ?y ?z . }",
+		`select ?x where { ?x <p> ?y } order by`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, parse := range []func(string) (*Query, error){ParseSelect, ParseQuery} {
+			q, err := parse(text)
+			if err != nil {
+				if pe, ok := err.(*ParseError); ok {
+					if pe.Line < 1 || pe.Col < 1 {
+						t.Fatalf("non-positive error position %d:%d for %q", pe.Line, pe.Col, text)
+					}
+				}
+				continue
+			}
+			if len(q.Groups) == 0 {
+				t.Fatalf("accepted query with no groups: %q", text)
+			}
+			for _, g := range q.Groups {
+				if len(g.Patterns) == 0 {
+					t.Fatalf("accepted empty basic graph pattern: %q", text)
+				}
+				for _, pat := range g.Patterns {
+					for _, term := range pat {
+						if term == "" {
+							t.Fatalf("empty term in %q", text)
+						}
+					}
+				}
+			}
+			if q.Limit < 0 || q.Offset < 0 {
+				t.Fatalf("negative limit/offset parsed from %q", text)
+			}
+		}
+	})
+}

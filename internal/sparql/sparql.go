@@ -1,39 +1,101 @@
-// Package sparql parses a practical subset of SPARQL SELECT queries
-// into the triple-pattern form the query engine evaluates. The paper
-// positions Inferray as the storage-and-inference layer *under* a
-// SPARQL engine (§1: triple stores "support SPARQL, a mature,
-// feature-rich query language"); after materialization every SPARQL
-// basic graph pattern is answerable by plain index scans, which this
-// front-end exposes.
+// Package sparql parses a practical subset of SPARQL into the form the
+// query engine evaluates. The paper positions Inferray as the
+// storage-and-inference layer *under* a SPARQL engine (§1: triple
+// stores "support SPARQL, a mature, feature-rich query language");
+// after materialization every SPARQL basic graph pattern is answerable
+// by plain index scans, which this front-end exposes.
 //
-// Supported: PREFIX declarations, SELECT with a projection list or *,
-// WHERE with a basic graph pattern (triple patterns separated by '.'),
-// the 'a' keyword, IRIs, prefixed names, literals (with language tags
-// and datatypes), variables, and LIMIT. Not supported (rejected):
-// FILTER, OPTIONAL, UNION, GROUP BY, property paths, subqueries.
+// Supported: PREFIX declarations, SELECT (with DISTINCT, a projection
+// list or *) and ASK query forms, WHERE with a basic graph pattern or a
+// UNION of braced groups, FILTER (comparisons, logical connectives,
+// regex, bound), ORDER BY (ASC/DESC), LIMIT, and OFFSET. The exact
+// grammar, the term syntax, and the error message for every rejected
+// construct (OPTIONAL, property paths, subqueries, …) are documented in
+// docs/SPARQL.md.
+//
+// Every parse failure is a *ParseError carrying the 1-based line and
+// column of the offending token, so callers (the HTTP endpoint, the
+// CLI) can point at the exact spot.
 package sparql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
 
-// Query is a parsed SELECT query.
+// Form distinguishes the supported query forms.
+type Form int
+
+// The query forms ParseQuery accepts.
+const (
+	FormSelect Form = iota
+	FormAsk
+)
+
+// Query is a parsed SELECT or ASK query.
 type Query struct {
+	// Form is the query form: FormSelect or FormAsk.
+	Form Form
+	// Distinct is set by SELECT DISTINCT (and REDUCED, which this
+	// dialect treats as DISTINCT — the spec permits any amount of
+	// duplicate elimination under REDUCED).
+	Distinct bool
 	// Vars is the projection in declaration order; empty means SELECT *
 	// (project every variable in order of first appearance).
 	Vars []string
+	// Groups holds the UNION branches of the WHERE clause; a query
+	// without UNION has exactly one group.
+	Groups []Group
+	// OrderBy lists the ORDER BY keys in priority order.
+	OrderBy []OrderKey
+	// Limit bounds the number of solutions when HasLimit is set.
+	Limit    int
+	HasLimit bool
+	// Offset skips the first Offset solutions.
+	Offset int
+}
+
+// Group is one UNION branch: a basic graph pattern plus the FILTER
+// constraints written inside its braces.
+type Group struct {
 	// Patterns is the basic graph pattern; terms are N-Triples surface
 	// forms, with variables as "?name".
 	Patterns [][3]string
-	// Limit bounds the number of solutions; 0 means unlimited.
-	Limit int
+	// Filters are the group's FILTER constraints; a solution must pass
+	// all of them.
+	Filters []Expr
 }
 
-// ParseSelect parses a SELECT query.
-func ParseSelect(text string) (*Query, error) {
-	p := &parser{toks: tokenize(text)}
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Var  string // variable name without '?'
+	Desc bool   // DESC(...) inverts the order
+}
+
+// ParseError reports a parse failure with its position. Line and Col
+// are 1-based; Token is the offending token's text, empty when the
+// query ended too early.
+type ParseError struct {
+	Msg   string
+	Line  int
+	Col   int
+	Token string
+}
+
+// Error formats the failure with its position, e.g.
+// `sparql: OPTIONAL is not supported at line 3:5 (near "OPTIONAL")`.
+func (e *ParseError) Error() string {
+	if e.Token == "" {
+		return fmt.Sprintf("sparql: %s at end of query", e.Msg)
+	}
+	return fmt.Sprintf("sparql: %s at line %d:%d (near %q)", e.Msg, e.Line, e.Col, e.Token)
+}
+
+// ParseQuery parses a SELECT or ASK query.
+func ParseQuery(text string) (*Query, error) {
+	p := &parser{src: text, toks: tokenize(text)}
 	q := &Query{}
 	prefixes := map[string]string{}
 
@@ -41,74 +103,333 @@ func ParseSelect(text string) (*Query, error) {
 		p.next()
 		label, ok := p.nextPrefixLabel()
 		if !ok {
-			return nil, p.errf("expected prefix label after PREFIX")
+			return nil, p.errHere("expected prefix label after PREFIX")
 		}
 		iri, ok := p.nextIRI()
 		if !ok {
-			return nil, p.errf("expected IRI after prefix label")
+			return nil, p.errHere("expected IRI after prefix label")
 		}
 		prefixes[label] = iri
 	}
 
-	if !p.peekKeyword("SELECT") {
-		return nil, p.errf("expected SELECT")
+	switch {
+	case p.peekKeyword("SELECT"):
+		q.Form = FormSelect
+		p.next()
+		if err := p.parseProjection(q); err != nil {
+			return nil, err
+		}
+	case p.peekKeyword("ASK"):
+		q.Form = FormAsk
+		p.next()
+	case p.peekKeyword("CONSTRUCT"), p.peekKeyword("DESCRIBE"),
+		p.peekKeyword("INSERT"), p.peekKeyword("DELETE"):
+		return nil, p.errHere("only SELECT and ASK query forms are supported")
+	default:
+		return nil, p.errHere("expected SELECT or ASK")
 	}
-	p.next()
+
+	if p.peekKeyword("WHERE") {
+		p.next()
+	}
+	groups, err := p.parseWhere(prefixes)
+	if err != nil {
+		return nil, err
+	}
+	q.Groups = groups
+
+	if err := p.parseModifiers(q); err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok != "" {
+		for _, kw := range []string{"GROUP", "HAVING", "OPTIONAL", "UNION", "MINUS", "VALUES", "BIND"} {
+			if strings.EqualFold(tok, kw) {
+				if kw == "GROUP" {
+					return nil, p.errHere("GROUP BY is not supported")
+				}
+				return nil, p.errHere("%s is not supported", kw)
+			}
+		}
+		return nil, p.errHere("unsupported or trailing syntax")
+	}
+	for _, g := range q.Groups {
+		if len(g.Patterns) == 0 {
+			return nil, p.errHere("empty basic graph pattern")
+		}
+	}
+	return q, nil
+}
+
+// ParseSelect parses a SELECT query; an ASK query is an error (use
+// ParseQuery when both forms are acceptable).
+func ParseSelect(text string) (*Query, error) {
+	q, err := ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	if q.Form != FormSelect {
+		return nil, &ParseError{Msg: "expected a SELECT query (got ASK)", Line: 1, Col: 1, Token: "ASK"}
+	}
+	return q, nil
+}
+
+// parseProjection reads DISTINCT/REDUCED and the projection list or *.
+func (p *parser) parseProjection(q *Query) error {
+	if p.peekKeyword("DISTINCT") || p.peekKeyword("REDUCED") {
+		q.Distinct = true
+		p.next()
+	}
 	if p.peekTok("*") {
 		p.next()
-	} else {
-		for strings.HasPrefix(p.peek(), "?") {
-			q.Vars = append(q.Vars, strings.TrimPrefix(p.next(), "?"))
-		}
-		if len(q.Vars) == 0 {
-			return nil, p.errf("SELECT needs a projection list or *")
-		}
+		return nil
 	}
+	for strings.HasPrefix(p.peek(), "?") {
+		tok := p.next()
+		if len(tok) == 1 {
+			return p.errPrev("bare '?' is not a variable")
+		}
+		q.Vars = append(q.Vars, tok[1:])
+	}
+	if len(q.Vars) == 0 {
+		return p.errHere("SELECT needs a projection list or *")
+	}
+	return nil
+}
 
-	if !p.peekKeyword("WHERE") {
-		return nil, p.errf("expected WHERE")
-	}
-	p.next()
+// parseWhere reads the braced WHERE clause: either one basic graph
+// pattern or a chain of braced groups joined by UNION.
+func (p *parser) parseWhere(prefixes map[string]string) ([]Group, error) {
 	if !p.peekTok("{") {
-		return nil, p.errf("expected '{' after WHERE")
+		return nil, p.errHere("expected '{' to open the WHERE clause")
 	}
 	p.next()
 
-	for !p.peekTok("}") {
-		var pat [3]string
-		for i := 0; i < 3; i++ {
-			tok := p.next()
-			if tok == "" {
-				return nil, p.errf("unexpected end of query in triple pattern")
-			}
-			term, err := resolveTerm(tok, i == 1, prefixes)
+	if p.peekTok("{") {
+		// UNION form: every branch is a braced group, and the branches
+		// are the entire clause.
+		var groups []Group
+		for {
+			g, err := p.parseBracedGroup(prefixes)
 			if err != nil {
 				return nil, err
 			}
-			pat[i] = term
+			groups = append(groups, g)
+			if p.peekKeyword("UNION") {
+				p.next()
+				if !p.peekTok("{") {
+					return nil, p.errHere("expected '{' after UNION")
+				}
+				continue
+			}
+			break
 		}
-		q.Patterns = append(q.Patterns, pat)
-		if p.peekTok(".") {
-			p.next()
+		if !p.peekTok("}") {
+			return nil, p.errHere("UNION branches must make up the whole WHERE clause")
 		}
+		p.next()
+		return groups, nil
+	}
+
+	g, err := p.parseGroupBody(prefixes)
+	if err != nil {
+		return nil, err
 	}
 	p.next() // consume '}'
+	return []Group{g}, nil
+}
 
-	if p.peekKeyword("LIMIT") {
-		p.next()
-		n := 0
-		if _, err := fmt.Sscanf(p.next(), "%d", &n); err != nil || n < 0 {
-			return nil, p.errf("LIMIT needs a non-negative integer")
+// parseBracedGroup parses '{' body '}' (one UNION branch).
+func (p *parser) parseBracedGroup(prefixes map[string]string) (Group, error) {
+	p.next() // consume '{'
+	if p.peekKeyword("SELECT") {
+		return Group{}, p.errHere("subqueries are not supported")
+	}
+	g, err := p.parseGroupBody(prefixes)
+	if err != nil {
+		return Group{}, err
+	}
+	p.next() // consume '}'
+	return g, nil
+}
+
+// parseGroupBody parses triple patterns and FILTERs up to (not
+// consuming) the closing '}'.
+func (p *parser) parseGroupBody(prefixes map[string]string) (Group, error) {
+	var g Group
+	for !p.peekTok("}") {
+		tok := p.peek()
+		switch {
+		case tok == "":
+			return g, p.errHere("unexpected end of query inside group (missing '}')")
+		case p.peekKeyword("FILTER"):
+			p.next()
+			e, err := p.parseConstraint(prefixes)
+			if err != nil {
+				return g, err
+			}
+			g.Filters = append(g.Filters, e)
+			if p.peekTok(".") {
+				p.next()
+			}
+			continue
+		case p.peekKeyword("OPTIONAL"):
+			return g, p.errHere("OPTIONAL is not supported")
+		case p.peekKeyword("MINUS"):
+			return g, p.errHere("MINUS is not supported")
+		case p.peekKeyword("GRAPH"):
+			return g, p.errHere("GRAPH is not supported")
+		case p.peekKeyword("SERVICE"):
+			return g, p.errHere("SERVICE is not supported")
+		case p.peekKeyword("BIND"):
+			return g, p.errHere("BIND is not supported")
+		case p.peekKeyword("VALUES"):
+			return g, p.errHere("VALUES is not supported")
+		case p.peekKeyword("UNION"):
+			return g, p.errHere("UNION must combine braced groups ({ … } UNION { … })")
+		case tok == "{":
+			if p.peekAheadKeyword(1, "SELECT") {
+				p.next()
+				return g, p.errHere("subqueries are not supported")
+			}
+			return g, p.errHere("nested group patterns are not supported (UNION branches must be the entire WHERE clause)")
 		}
-		q.Limit = n
+
+		var pat [3]string
+		for i := 0; i < 3; i++ {
+			tok := p.peek()
+			if tok == "" {
+				return g, p.errHere("unexpected end of query in triple pattern")
+			}
+			if isPathToken(tok) {
+				return g, p.errHere("property paths are not supported")
+			}
+			if tok == ";" {
+				return g, p.errHere("predicate-object lists (';') are not supported")
+			}
+			if tok == "," {
+				return g, p.errHere("object lists (',') are not supported")
+			}
+			p.next()
+			term, err := resolveTerm(tok, i == 1, prefixes)
+			if err != nil {
+				return g, p.errPrev("%s", err)
+			}
+			pat[i] = term
+			if i == 1 && isPathToken(p.peek()) {
+				return g, p.errHere("property paths are not supported")
+			}
+		}
+		g.Patterns = append(g.Patterns, pat)
+		switch {
+		case p.peekTok("."):
+			p.next()
+		case p.peekTok(";"):
+			return g, p.errHere("predicate-object lists (';') are not supported")
+		case p.peekTok(","):
+			return g, p.errHere("object lists (',') are not supported")
+		}
 	}
-	if tok := p.peek(); tok != "" {
-		return nil, p.errf("unsupported or trailing syntax at %q (FILTER/OPTIONAL/UNION are not supported)", tok)
+	return g, nil
+}
+
+// expandLiteralDatatype rewrites a prefixed datatype ("5"^^xsd:int)
+// into the full-IRI surface form the store uses ("5"^^<...#int>); a
+// literal with a full-IRI datatype, a language tag, or no suffix passes
+// through unchanged. Without the expansion the prefixed form would
+// silently match nothing (the dictionary only knows full IRIs).
+func expandLiteralDatatype(tok string, prefixes map[string]string) (string, error) {
+	end := literalLexEnd(tok)
+	suffix := tok[end:]
+	if !strings.HasPrefix(suffix, "^^") || strings.HasPrefix(suffix, "^^<") {
+		return tok, nil
 	}
-	if len(q.Patterns) == 0 {
-		return nil, p.errf("empty basic graph pattern")
+	dt := suffix[2:]
+	colon := strings.IndexByte(dt, ':')
+	if colon < 0 {
+		return "", fmt.Errorf("cannot parse literal datatype %q", dt)
 	}
-	return q, nil
+	ns, ok := prefixes[dt[:colon]]
+	if !ok {
+		return "", fmt.Errorf("undefined prefix %q in literal datatype", dt[:colon])
+	}
+	return tok[:end] + "^^<" + ns + dt[colon+1:] + ">", nil
+}
+
+// isPathToken reports whether tok is a SPARQL property-path operator.
+func isPathToken(tok string) bool {
+	switch tok {
+	case "/", "|", "^", "*", "+":
+		return true
+	}
+	return false
+}
+
+// parseModifiers reads ORDER BY, LIMIT, and OFFSET (LIMIT and OFFSET in
+// either order, each at most once).
+func (p *parser) parseModifiers(q *Query) error {
+	if p.peekKeyword("ORDER") {
+		p.next()
+		if !p.peekKeyword("BY") {
+			return p.errHere("expected BY after ORDER")
+		}
+		p.next()
+	orderKeys:
+		for {
+			switch {
+			case p.peekKeyword("ASC"), p.peekKeyword("DESC"):
+				desc := p.peekKeyword("DESC")
+				p.next()
+				if !p.peekTok("(") {
+					return p.errHere("expected '(' after ASC/DESC")
+				}
+				p.next()
+				v, err := p.nextVar()
+				if err != nil {
+					return err
+				}
+				if !p.peekTok(")") {
+					return p.errHere("expected ')' to close ASC/DESC")
+				}
+				p.next()
+				q.OrderBy = append(q.OrderBy, OrderKey{Var: v, Desc: desc})
+			case strings.HasPrefix(p.peek(), "?"):
+				v, err := p.nextVar()
+				if err != nil {
+					return err
+				}
+				q.OrderBy = append(q.OrderBy, OrderKey{Var: v})
+			default:
+				if len(q.OrderBy) == 0 {
+					return p.errHere("ORDER BY needs at least one ?var, ASC(?var), or DESC(?var) key")
+				}
+				break orderKeys
+			}
+		}
+	}
+	seenOffset := false
+	for p.peekKeyword("LIMIT") || p.peekKeyword("OFFSET") {
+		isLimit := p.peekKeyword("LIMIT")
+		p.next()
+		n, err := p.nextNonNegativeInt()
+		if err != nil {
+			if isLimit {
+				return p.errHere("LIMIT needs a non-negative integer")
+			}
+			return p.errHere("OFFSET needs a non-negative integer")
+		}
+		if isLimit {
+			if q.HasLimit {
+				return p.errPrev("duplicate LIMIT")
+			}
+			q.Limit, q.HasLimit = n, true
+		} else {
+			if seenOffset {
+				return p.errPrev("duplicate OFFSET")
+			}
+			q.Offset, seenOffset = n, true
+		}
+	}
+	return nil
 }
 
 // resolveTerm converts one token into an N-Triples surface form.
@@ -118,34 +439,43 @@ func resolveTerm(tok string, predicatePos bool, prefixes map[string]string) (str
 		return "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>", nil
 	case strings.HasPrefix(tok, "?"):
 		if len(tok) == 1 {
-			return "", fmt.Errorf("sparql: bare '?' is not a variable")
+			return "", fmt.Errorf("bare '?' is not a variable")
 		}
 		return tok, nil
 	case strings.HasPrefix(tok, "<"):
 		if !strings.HasSuffix(tok, ">") {
-			return "", fmt.Errorf("sparql: unterminated IRI %q", tok)
+			return "", fmt.Errorf("unterminated IRI %q", tok)
 		}
 		return tok, nil
 	case strings.HasPrefix(tok, `"`):
-		return tok, nil
+		return expandLiteralDatatype(tok, prefixes)
 	case strings.HasPrefix(tok, "_:"):
 		return tok, nil
 	default:
 		colon := strings.IndexByte(tok, ':')
 		if colon < 0 {
-			return "", fmt.Errorf("sparql: cannot parse term %q", tok)
+			return "", fmt.Errorf("cannot parse term %q", tok)
 		}
 		ns, ok := prefixes[tok[:colon]]
 		if !ok {
-			return "", fmt.Errorf("sparql: undefined prefix %q", tok[:colon])
+			return "", fmt.Errorf("undefined prefix %q", tok[:colon])
 		}
 		return "<" + ns + tok[colon+1:] + ">", nil
 	}
 }
 
-// parser is a simple token cursor.
+// ---------------------------------------------------------------- parser
+
+// token is one lexed token with its byte offset in the source.
+type token struct {
+	text string
+	off  int
+}
+
+// parser is a token cursor over the positioned token stream.
 type parser struct {
-	toks []string
+	src  string
+	toks []token
 	pos  int
 }
 
@@ -153,7 +483,7 @@ func (p *parser) peek() string {
 	if p.pos >= len(p.toks) {
 		return ""
 	}
-	return p.toks[p.pos]
+	return p.toks[p.pos].text
 }
 
 func (p *parser) next() string {
@@ -168,6 +498,14 @@ func (p *parser) peekTok(s string) bool { return p.peek() == s }
 
 func (p *parser) peekKeyword(kw string) bool {
 	return strings.EqualFold(p.peek(), kw)
+}
+
+// peekAheadKeyword looks n tokens past the cursor.
+func (p *parser) peekAheadKeyword(n int, kw string) bool {
+	if p.pos+n >= len(p.toks) {
+		return false
+	}
+	return strings.EqualFold(p.toks[p.pos+n].text, kw)
 }
 
 func (p *parser) nextPrefixLabel() (string, bool) {
@@ -186,15 +524,76 @@ func (p *parser) nextIRI() (string, bool) {
 	return "", false
 }
 
-func (p *parser) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("sparql: %s (near token %d)", fmt.Sprintf(format, args...), p.pos)
+func (p *parser) nextVar() (string, error) {
+	t := p.peek()
+	if !strings.HasPrefix(t, "?") || len(t) == 1 {
+		return "", p.errHere("expected a ?variable")
+	}
+	p.next()
+	return t[1:], nil
 }
 
-// tokenize splits query text into tokens: punctuation ({ } .), IRIs,
-// literals (kept intact with tags/datatypes), and whitespace-separated
-// words. Comments (#) run to end of line.
-func tokenize(text string) []string {
-	var toks []string
+func (p *parser) nextNonNegativeInt() (int, error) {
+	n, err := strconv.Atoi(p.peek())
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("not a non-negative integer")
+	}
+	p.next()
+	return n, nil
+}
+
+// errHere builds a ParseError at the current token (or end of input).
+func (p *parser) errHere(format string, args ...interface{}) error {
+	return p.errAtIndex(p.pos, format, args...)
+}
+
+// errPrev builds a ParseError at the token just consumed.
+func (p *parser) errPrev(format string, args ...interface{}) error {
+	i := p.pos - 1
+	if i < 0 {
+		i = 0
+	}
+	return p.errAtIndex(i, format, args...)
+}
+
+func (p *parser) errAtIndex(i int, format string, args ...interface{}) error {
+	e := &ParseError{Msg: fmt.Sprintf(format, args...)}
+	var off int
+	if i < len(p.toks) {
+		e.Token = p.toks[i].text
+		off = p.toks[i].off
+	} else {
+		off = len(p.src)
+	}
+	e.Line, e.Col = lineCol(p.src, off)
+	return e
+}
+
+// lineCol converts a byte offset into a 1-based line and column.
+func lineCol(src string, off int) (line, col int) {
+	if off > len(src) {
+		off = len(src)
+	}
+	line = 1 + strings.Count(src[:off], "\n")
+	if i := strings.LastIndexByte(src[:off], '\n'); i >= 0 {
+		col = off - i
+	} else {
+		col = off + 1
+	}
+	return line, col
+}
+
+// -------------------------------------------------------------- tokenizer
+
+// tokenize splits query text into positioned tokens: punctuation and
+// operators ({ } ( ) , ; . = != < <= > >= && || ! / | ^ * +), IRIs,
+// literals (kept intact with tags/datatypes), and words. Comments (#)
+// run to end of line. A '<' opens an IRI only when a '>' closes it
+// before any whitespace; otherwise it lexes as a comparison operator,
+// which is what FILTER expressions need.
+func tokenize(text string) []token {
+	var toks []token
+	emit := func(s string, off int) { toks = append(toks, token{text: s, off: off}) }
 	i := 0
 	n := len(text)
 	for i < n {
@@ -206,20 +605,57 @@ func tokenize(text string) []string {
 			}
 		case unicode.IsSpace(rune(c)):
 			i++
-		case c == '{' || c == '}':
-			toks = append(toks, string(c))
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == ',' || c == ';' ||
+			c == '/' || c == '*' || c == '+' || c == '^' || c == '=':
+			emit(string(c), i)
 			i++
 		case c == '.':
-			toks = append(toks, ".")
+			emit(".", i)
 			i++
-		case c == '<':
-			j := strings.IndexByte(text[i:], '>')
-			if j < 0 {
-				toks = append(toks, text[i:])
-				return toks
+		case c == '!':
+			if i+1 < n && text[i+1] == '=' {
+				emit("!=", i)
+				i += 2
+			} else {
+				emit("!", i)
+				i++
 			}
-			toks = append(toks, text[i:i+j+1])
-			i += j + 1
+		case c == '&':
+			if i+1 < n && text[i+1] == '&' {
+				emit("&&", i)
+				i += 2
+			} else {
+				emit("&", i)
+				i++
+			}
+		case c == '|':
+			if i+1 < n && text[i+1] == '|' {
+				emit("||", i)
+				i += 2
+			} else {
+				emit("|", i)
+				i++
+			}
+		case c == '>':
+			if i+1 < n && text[i+1] == '=' {
+				emit(">=", i)
+				i += 2
+			} else {
+				emit(">", i)
+				i++
+			}
+		case c == '<':
+			// IRI iff a '>' appears before any whitespace; else operator.
+			if j := iriEnd(text, i); j > 0 {
+				emit(text[i:j], i)
+				i = j
+			} else if i+1 < n && text[i+1] == '=' {
+				emit("<=", i)
+				i += 2
+			} else {
+				emit("<", i)
+				i++
+			}
 		case c == '"':
 			j := i + 1
 			for j < n {
@@ -233,13 +669,14 @@ func tokenize(text string) []string {
 				j++
 			}
 			if j >= n {
-				toks = append(toks, text[i:])
+				emit(text[i:], i)
 				return toks
 			}
 			j++ // past closing quote
 			// Attach language tag or datatype.
 			if j < n && text[j] == '@' {
-				for j < n && !unicode.IsSpace(rune(text[j])) && text[j] != '.' && text[j] != '}' {
+				for j < n && !unicode.IsSpace(rune(text[j])) &&
+					text[j] != '.' && text[j] != '}' && text[j] != ')' && text[j] != ',' {
 					j++
 				}
 			} else if j+1 < n && text[j] == '^' && text[j+1] == '^' {
@@ -248,26 +685,61 @@ func tokenize(text string) []string {
 					if k := strings.IndexByte(text[j:], '>'); k >= 0 {
 						j += k + 1
 					}
+				} else {
+					// prefixed datatype: runs to the next breaker
+					for j < n && !unicode.IsSpace(rune(text[j])) && !isBreaker(text[j]) {
+						j++
+					}
 				}
 			}
-			toks = append(toks, text[i:j])
+			emit(text[i:j], i)
 			i = j
 		default:
 			j := i
-			for j < n && !unicode.IsSpace(rune(text[j])) &&
-				text[j] != '{' && text[j] != '}' && text[j] != '#' {
+			for j < n && !unicode.IsSpace(rune(text[j])) && !isBreaker(text[j]) {
 				// A '.' ends a token unless it is inside a prefixed
-				// local name followed by more name characters.
+				// local name or decimal followed by more name characters.
 				if text[j] == '.' {
-					if j+1 >= n || unicode.IsSpace(rune(text[j+1])) || text[j+1] == '}' {
+					if j+1 >= n || unicode.IsSpace(rune(text[j+1])) ||
+						text[j+1] == '}' || text[j+1] == ')' {
 						break
 					}
 				}
 				j++
 			}
-			toks = append(toks, text[i:j])
+			if j == i { // defensive: always make progress
+				emit(string(text[i]), i)
+				i++
+				continue
+			}
+			emit(text[i:j], i)
 			i = j
 		}
 	}
 	return toks
+}
+
+// isBreaker reports whether c always terminates a word token.
+func isBreaker(c byte) bool {
+	switch c {
+	case '{', '}', '(', ')', ',', ';', '#', '=', '!', '<', '>', '&', '|', '^', '/', '*', '+', '"':
+		return true
+	}
+	return false
+}
+
+// iriEnd returns the index just past the closing '>' of an IRI starting
+// at text[i] == '<', or 0 when no '>' occurs before whitespace (then
+// '<' is an operator).
+func iriEnd(text string, i int) int {
+	for j := i + 1; j < len(text); j++ {
+		c := text[j]
+		if c == '>' {
+			return j + 1
+		}
+		if unicode.IsSpace(rune(c)) {
+			return 0
+		}
+	}
+	return 0
 }

@@ -23,6 +23,11 @@ type Table struct {
 	dirty   bool   // true when unsorted appends are pending
 	version uint64 // bumped on every content mutation
 
+	// Planner statistics, cached per version (guarded by osMu).
+	stats        TableStats
+	statsOK      bool
+	statsVersion uint64
+
 	osMu sync.Mutex // guards lazy construction of os (rules run in parallel)
 }
 
@@ -111,6 +116,58 @@ func (t *Table) OS() []uint64 {
 		t.osOK = true
 	}
 	return t.os
+}
+
+// TableStats summarizes a table for the query planner's selectivity
+// estimates (§5.1 of the paper: dense numbering keeps these cheap).
+// Pairs is the triple count; Subjects is the exact number of distinct
+// subjects (= the number of subject runs in the ⟨s,o⟩ order); Objects
+// is the number of distinct objects — exact when the ⟨o,s⟩ cache was
+// materialized at collection time (ObjectsExact), otherwise estimated
+// as Subjects so that stats collection never forces an OS build.
+type TableStats struct {
+	Pairs        int
+	Subjects     int
+	Objects      int
+	ObjectsExact bool
+}
+
+// Stats returns the table's planner statistics, computed lazily and
+// cached until the table's version changes. The table must be
+// normalized. Safe for concurrent use (shares osMu with the OS cache).
+func (t *Table) Stats() TableStats {
+	if t.dirty {
+		panic("store: Stats on dirty table; call Normalize first")
+	}
+	t.osMu.Lock()
+	defer t.osMu.Unlock()
+	// Recompute when stale, and also when the OS cache has appeared
+	// since the last computation (upgrading Objects to exact).
+	if t.statsOK && t.statsVersion == t.version && (t.stats.ObjectsExact || !t.osOK) {
+		return t.stats
+	}
+	st := TableStats{Pairs: len(t.pairs) / 2}
+	st.Subjects = countRuns(t.pairs)
+	if t.osOK {
+		st.Objects = countRuns(t.os)
+		st.ObjectsExact = true
+	} else {
+		st.Objects = st.Subjects
+	}
+	t.stats, t.statsOK, t.statsVersion = st, true, t.version
+	return st
+}
+
+// countRuns counts distinct keys (even positions) of a key-sorted flat
+// pair list.
+func countRuns(pairs []uint64) int {
+	n := 0
+	for i := 0; i < len(pairs); i += 2 {
+		if i == 0 || pairs[i] != pairs[i-2] {
+			n++
+		}
+	}
+	return n
 }
 
 // invalidateOS clears the ⟨o,s⟩ cache under osMu. Every writer that

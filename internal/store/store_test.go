@@ -364,3 +364,33 @@ func TestDropOSCache(t *testing.T) {
 		t.Fatal("OS rebuild after drop failed")
 	}
 }
+
+// Stats are exact on subjects, upgrade objects to exact once the OS
+// cache exists, and invalidate when the table changes.
+func TestTableStats(t *testing.T) {
+	var tab Table
+	// subjects {1,2}: runs (1,2)(1,3)(2,3); objects {2,3}
+	tab.AppendPairs([]uint64{1, 2, 1, 3, 2, 3})
+	tab.Normalize()
+
+	st := tab.Stats()
+	if st.Pairs != 3 || st.Subjects != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ObjectsExact {
+		t.Fatal("objects exact without an OS cache")
+	}
+
+	_ = tab.OS()
+	st = tab.Stats()
+	if !st.ObjectsExact || st.Objects != 2 {
+		t.Fatalf("post-OS stats = %+v", st)
+	}
+
+	tab.Append(9, 9)
+	tab.Normalize()
+	st = tab.Stats()
+	if st.Pairs != 4 || st.Subjects != 3 {
+		t.Fatalf("stats after mutation = %+v (stale cache?)", st)
+	}
+}

@@ -3,6 +3,7 @@ package inferray
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
@@ -190,10 +191,14 @@ func LoadImage(path string, opts ...Option) (*Reasoner, error) {
 	return r, nil
 }
 
-// Select parses and evaluates a SPARQL SELECT query (the subset
-// documented at internal/sparql: PREFIX, SELECT list or *, a basic
-// graph pattern, LIMIT) against the store. Each solution maps the
-// projected variable names to surface forms.
+// Select parses and evaluates a SPARQL SELECT query — the dialect
+// documented in docs/SPARQL.md: PREFIX, SELECT (DISTINCT) with a
+// projection list or *, a basic graph pattern or a UNION of groups,
+// FILTER (comparisons, regex, bound), ORDER BY, LIMIT, and OFFSET —
+// against the store (run Materialize first to query the closure). Each
+// solution maps the projected variable names to term surface forms;
+// variables left unbound by a UNION branch are absent from that row.
+// ASK queries are rejected here; evaluate them with Ask.
 func (r *Reasoner) Select(queryText string) ([]map[string]string, error) {
 	_, rows, err := r.SelectWithVars(queryText)
 	return rows, err
@@ -205,51 +210,304 @@ func (r *Reasoner) Select(queryText string) ([]map[string]string, error) {
 // HTTP endpoint's results-JSON head, tabular output) need the ordered
 // variable list, which the unordered row maps cannot supply.
 func (r *Reasoner) SelectWithVars(queryText string) (vars []string, rows []map[string]string, err error) {
-	q, err := sparql.ParseSelect(queryText)
+	res, err := r.ExecFunc(queryText, 0, nil, func(row map[string]string) bool {
+		rows = append(rows, row)
+		return true
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	var patVars []string
-	seen := make(map[string]bool)
-	for _, p := range q.Patterns {
-		for _, t := range p {
-			if len(t) > 1 && strings.HasPrefix(t, "?") && !seen[t[1:]] {
-				seen[t[1:]] = true
-				patVars = append(patVars, t[1:])
-			}
-		}
+	if res.Ask {
+		return nil, nil, fmt.Errorf("inferray: query is an ASK query (use Ask)")
 	}
-	if len(q.Vars) > 0 {
-		// A projected variable that never occurs in the WHERE pattern is
-		// almost always a typo; reject it instead of silently emitting
-		// rows with the key missing.
-		for _, v := range q.Vars {
-			if !seen[v] {
-				return nil, nil, fmt.Errorf("inferray: SELECT variable ?%s does not appear in the WHERE pattern", v)
-			}
-		}
-		vars = q.Vars
-	} else {
-		vars = patVars
+	return res.Vars, rows, nil
+}
+
+// Ask parses and evaluates a SPARQL ASK query: whether the WHERE
+// clause (with its FILTERs) has at least one solution. Enumeration
+// stops at the first match. SELECT queries are rejected here; evaluate
+// them with Select.
+func (r *Reasoner) Ask(queryText string) (bool, error) {
+	res, err := r.ExecFunc(queryText, 0, nil, nil)
+	if err != nil {
+		return false, err
 	}
-	patterns := make([][3]string, len(q.Patterns))
-	copy(patterns, q.Patterns)
-	err = r.QueryFunc(func(row map[string]string) bool {
-		if len(q.Vars) > 0 {
-			projected := make(map[string]string, len(q.Vars))
-			for _, v := range q.Vars {
-				if val, ok := row[v]; ok {
-					projected[v] = val
+	if !res.Ask {
+		return false, fmt.Errorf("inferray: query is a SELECT query (use Select)")
+	}
+	return res.Truth, nil
+}
+
+// QueryResult is the head of an executed SPARQL query (see ExecFunc):
+// which form it was, the ASK answer, and the SELECT projection.
+type QueryResult struct {
+	// Ask reports that the query was an ASK; Truth is then its answer
+	// and Vars is nil.
+	Ask   bool
+	Truth bool
+	// Vars is the SELECT projection in order — the SELECT list, or for
+	// SELECT * every variable in order of first appearance.
+	Vars []string
+}
+
+// ExecFunc is the streaming core under Select, SelectWithVars, and Ask:
+// it parses queryText (SELECT or ASK), plans and evaluates it, and
+// streams SELECT solutions through the solution-modifier pipeline
+// (FILTER → projection → DISTINCT → ORDER BY → OFFSET → LIMIT).
+//
+// For a SELECT query, onHead (when non-nil) is invoked exactly once
+// with the ordered projection before any row, and onRow once per
+// delivered solution; onRow may return false to stop early. A query
+// with ORDER BY buffers and sorts internally before delivery — every
+// other query streams. maxRows > 0 caps delivered rows on top of the
+// query's own LIMIT (the HTTP endpoint's limit parameter). For an ASK
+// query neither callback runs; the answer is in QueryResult.Truth.
+//
+// The reasoner's read lock is held for the whole evaluation, so the
+// callbacks must not call back into the Reasoner. Parse failures are
+// returned as *sparql.ParseError values carrying the line and column of
+// the offending token.
+func (r *Reasoner) ExecFunc(queryText string, maxRows int, onHead func(vars []string), onRow func(row map[string]string) bool) (QueryResult, error) {
+	q, err := sparql.ParseQuery(queryText)
+	if err != nil {
+		return QueryResult{}, err
+	}
+
+	// Global variable namespace across UNION branches, in order of
+	// first appearance.
+	varSlots := map[string]int{}
+	var varNames []string
+	slotOf := func(name string) int {
+		slot, ok := varSlots[name]
+		if !ok {
+			slot = len(varNames)
+			varSlots[name] = slot
+			varNames = append(varNames, name)
+		}
+		return slot
+	}
+	for _, g := range q.Groups {
+		for _, pat := range g.Patterns {
+			for _, t := range pat {
+				if strings.HasPrefix(t, "?") {
+					slotOf(t[1:])
 				}
 			}
-			rows = append(rows, projected)
-		} else {
-			rows = append(rows, row)
 		}
-		return q.Limit == 0 || len(rows) < q.Limit
-	}, patterns...)
-	if err != nil {
-		return nil, nil, err
 	}
-	return vars, rows, nil
+	if len(varNames) > 64 {
+		return QueryResult{}, fmt.Errorf("inferray: more than 64 distinct variables")
+	}
+
+	res := QueryResult{}
+	if q.Form == sparql.FormAsk {
+		res.Ask = true
+	} else {
+		if len(q.Vars) > 0 {
+			// A projected variable that never occurs in the WHERE clause
+			// is almost always a typo; reject it instead of silently
+			// emitting rows with the key missing.
+			for _, v := range q.Vars {
+				if _, ok := varSlots[v]; !ok {
+					return QueryResult{}, fmt.Errorf("inferray: SELECT variable ?%s does not appear in the WHERE pattern", v)
+				}
+			}
+			res.Vars = q.Vars
+		} else {
+			res.Vars = varNames
+		}
+		for _, k := range q.OrderBy {
+			if _, ok := varSlots[k.Var]; !ok {
+				return QueryResult{}, fmt.Errorf("inferray: ORDER BY variable ?%s does not appear in the WHERE pattern", k.Var)
+			}
+		}
+	}
+
+	// Effective row cap: the query's LIMIT tightened by the caller's.
+	limit := -1
+	if q.HasLimit {
+		limit = q.Limit
+	}
+	if maxRows > 0 && (limit < 0 || maxRows < limit) {
+		limit = maxRows
+	}
+
+	pl := &rowPipeline{
+		project:  len(q.Vars) > 0,
+		vars:     res.Vars,
+		distinct: q.Distinct,
+		offset:   q.Offset,
+		limit:    limit,
+		out:      onRow,
+	}
+	if pl.distinct {
+		pl.seen = make(map[string]bool)
+	}
+	var buffered []map[string]string
+	sink := func(row map[string]string) bool {
+		if res.Ask {
+			res.Truth = true
+			return false // one witness is enough
+		}
+		if len(q.OrderBy) > 0 {
+			buffered = append(buffered, row)
+			return true
+		}
+		return pl.push(row)
+	}
+
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	if onHead != nil && !res.Ask {
+		head := res.Vars
+		if head == nil {
+			head = []string{}
+		}
+		onHead(head)
+	}
+
+	for _, g := range q.Groups {
+		if !r.evalGroup(g, varSlots, len(varNames), varNames, sink) {
+			break
+		}
+	}
+
+	if len(q.OrderBy) > 0 && !res.Ask {
+		sort.SliceStable(buffered, func(i, j int) bool {
+			for _, k := range q.OrderBy {
+				c := sparql.CompareTerms(buffered[i][k.Var], buffered[j][k.Var])
+				if k.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		for _, row := range buffered {
+			if !pl.push(row) {
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// evalGroup evaluates one UNION branch: encode its patterns, solve the
+// BGP, decode each engine row to surface forms, apply the branch's
+// FILTERs, and hand surviving solutions to sink. Returns false when
+// sink stopped the enumeration (later branches must not run).
+func (r *Reasoner) evalGroup(g sparql.Group, varSlots map[string]int, nVars int, varNames []string, sink func(map[string]string) bool) bool {
+	var branchMask uint64 // slots this branch binds
+	patterns := make([]query.Pattern, len(g.Patterns))
+	for i, pat := range g.Patterns {
+		var qp query.Pattern
+		for pos, raw := range pat {
+			var term query.Term
+			if strings.HasPrefix(raw, "?") {
+				slot := varSlots[raw[1:]]
+				branchMask |= 1 << uint(slot)
+				term = query.Var(slot)
+			} else {
+				id, ok := r.engine.Dict.Lookup(raw)
+				if !ok {
+					return true // unknown constant: this branch matches nothing
+				}
+				term = query.Const(id)
+			}
+			switch pos {
+			case 0:
+				qp.S = term
+			case 1:
+				qp.P = term
+			case 2:
+				qp.O = term
+			}
+		}
+		patterns[i] = qp
+	}
+
+	eng := &query.Engine{St: r.engine.Main}
+	cont := true
+	_ = eng.Solve(patterns, nVars, func(row []uint64) bool {
+		out := make(map[string]string, len(varNames))
+		for slot, name := range varNames {
+			if branchMask&(1<<uint(slot)) != 0 {
+				out[name] = r.engine.Dict.MustDecode(row[slot])
+			}
+		}
+		lookup := func(name string) (string, bool) {
+			v, ok := out[name]
+			return v, ok
+		}
+		for _, f := range g.Filters {
+			if !sparql.Eval(f, lookup) {
+				return true // constraint failed: keep walking
+			}
+		}
+		cont = sink(out)
+		return cont
+	})
+	return cont
+}
+
+// rowPipeline applies the solution modifiers after FILTER: projection,
+// DISTINCT (on the projected row), OFFSET, and LIMIT, in SPARQL's
+// order. push returns false once delivery must stop (limit reached or
+// the consumer aborted).
+type rowPipeline struct {
+	project  bool
+	vars     []string
+	distinct bool
+	offset   int
+	limit    int // -1 = unlimited
+	seen     map[string]bool
+	sent     int
+	skipped  int
+	out      func(map[string]string) bool
+}
+
+func (pl *rowPipeline) push(row map[string]string) bool {
+	if pl.limit == 0 {
+		return false
+	}
+	if pl.project {
+		projected := make(map[string]string, len(pl.vars))
+		for _, v := range pl.vars {
+			if val, ok := row[v]; ok {
+				projected[v] = val
+			}
+		}
+		row = projected
+	}
+	if pl.distinct {
+		key := distinctKey(pl.vars, row)
+		if pl.seen[key] {
+			return true
+		}
+		pl.seen[key] = true
+	}
+	if pl.skipped < pl.offset {
+		pl.skipped++
+		return true
+	}
+	if pl.out != nil && !pl.out(row) {
+		return false
+	}
+	pl.sent++
+	return pl.limit < 0 || pl.sent < pl.limit
+}
+
+// distinctKey serializes the projected values for DISTINCT
+// deduplication. Terms are never empty, so an unbound variable ("")
+// cannot collide with any bound one.
+func distinctKey(vars []string, row map[string]string) string {
+	var b strings.Builder
+	for _, v := range vars {
+		b.WriteString(row[v])
+		b.WriteByte(0)
+	}
+	return b.String()
 }

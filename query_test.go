@@ -245,6 +245,260 @@ func TestQueryAnonymousNoCollision(t *testing.T) {
 	}
 }
 
+func TestSelectFilterComparison(t *testing.T) {
+	r := universityFixture(t)
+	if err := r.Add("<alice>", "<age>", `"42"^^<http://www.w3.org/2001/XMLSchema#int>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("<bob>", "<age>", `"7"`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.Select(`SELECT ?x WHERE { ?x <age> ?a . FILTER(?a > 10) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["x"] != "<alice>" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Numeric comparison, not lexical: "7" < "42" numerically.
+	rows, err = r.Select(`SELECT ?x WHERE { ?x <age> ?a . FILTER(?a < 10) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["x"] != "<bob>" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+// A typed literal written with a prefixed datatype must match the
+// stored full-IRI form end-to-end.
+func TestSelectPrefixedDatatypeLiteral(t *testing.T) {
+	r := universityFixture(t)
+	if err := r.Add("<alice>", "<age>", `"42"^^<http://www.w3.org/2001/XMLSchema#int>`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.Select(`PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT ?x WHERE { ?x <age> "42"^^xsd:int }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["x"] != "<alice>" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSelectFilterRegexAndBound(t *testing.T) {
+	r := universityFixture(t)
+	rows, err := r.Select(`SELECT ?who WHERE { ?who <memberOf> ?org . FILTER regex(?who, "^ali", "i") }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["who"] != "<alice>" {
+		t.Fatalf("regex rows = %v", rows)
+	}
+	rows, err = r.Select(`SELECT ?who WHERE { ?who <memberOf> ?org . FILTER(bound(?org) && ?who != <bob>) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["who"] != "<alice>" {
+		t.Fatalf("bound rows = %v", rows)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	r := universityFixture(t)
+	// Projecting only ?org over subOrgOf repeats Univ0 (both GroupA and
+	// DeptCS are transitively under it).
+	plain, err := r.Select(`SELECT ?org WHERE { ?x <subOrgOf> ?org }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct, err := r.Select(`SELECT DISTINCT ?org WHERE { ?x <subOrgOf> ?org }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 3 {
+		t.Fatalf("plain rows = %v", plain)
+	}
+	if len(distinct) != 2 { // DeptCS, Univ0
+		t.Fatalf("distinct rows = %v", distinct)
+	}
+}
+
+func TestSelectOrderByAndOffset(t *testing.T) {
+	r := universityFixture(t)
+	rows, err := r.Select(`SELECT DISTINCT ?who WHERE { ?who <memberOf> ?org } ORDER BY ?who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0]["who"] != "<alice>" || rows[1]["who"] != "<bob>" {
+		t.Fatalf("ascending rows = %v", rows)
+	}
+	rows, err = r.Select(`SELECT DISTINCT ?who WHERE { ?who <memberOf> ?org } ORDER BY DESC(?who)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0]["who"] != "<bob>" {
+		t.Fatalf("descending rows = %v", rows)
+	}
+	rows, err = r.Select(`SELECT DISTINCT ?who WHERE { ?who <memberOf> ?org } ORDER BY ?who OFFSET 1 LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["who"] != "<bob>" {
+		t.Fatalf("offset rows = %v", rows)
+	}
+}
+
+func TestSelectOrderByNumeric(t *testing.T) {
+	r := universityFixture(t)
+	for _, e := range [][2]string{{"<bob>", `"7"`}, {"<alice>", `"42"`}, {"<carol>", `"100"`}} {
+		if err := r.Add(e[0], "<age>", e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.Select(`SELECT ?x ?a WHERE { ?x <age> ?a } ORDER BY ?a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{rows[0]["x"], rows[1]["x"], rows[2]["x"]}
+	want := []string{"<bob>", "<alice>", "<carol>"} // 7 < 42 < 100 numerically
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("numeric order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectUnion(t *testing.T) {
+	r := universityFixture(t)
+	rows, err := r.Select(`SELECT ?x WHERE {
+  { ?x <worksFor> <DeptCS> } UNION { ?x <worksFor> <GroupA> }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var who []string
+	for _, row := range rows {
+		who = append(who, row["x"])
+	}
+	sort.Strings(who)
+	if len(who) != 2 || who[0] != "<alice>" || who[1] != "<bob>" {
+		t.Fatalf("union rows = %v", who)
+	}
+}
+
+func TestSelectUnionDisjointVars(t *testing.T) {
+	r := universityFixture(t)
+	// ?org is bound only by the first branch: second-branch rows must
+	// simply lack the key (SPARQL's unbound), not carry garbage.
+	vars, rows, err := r.SelectWithVars(`SELECT * WHERE {
+  { ?who <memberOf> ?org } UNION { ?who a <Professor> }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 2 || vars[0] != "who" || vars[1] != "org" {
+		t.Fatalf("vars = %v", vars)
+	}
+	sawUnbound := false
+	for _, row := range rows {
+		if _, ok := row["who"]; !ok {
+			t.Fatalf("row lacks ?who: %v", row)
+		}
+		if _, ok := row["org"]; !ok {
+			sawUnbound = true
+		}
+	}
+	if !sawUnbound {
+		t.Fatal("no row from the ?org-free branch")
+	}
+}
+
+func TestAsk(t *testing.T) {
+	r := universityFixture(t)
+	cases := []struct {
+		query string
+		want  bool
+	}{
+		{`ASK { <alice> a <Person> }`, true},
+		{`ASK WHERE { <bob> a <Person> }`, false},
+		{`ASK { ?x <memberOf> <GroupA> . FILTER(?x != <alice>) }`, true},
+		{`ASK { ?x <memberOf> <GroupA> . FILTER(?x = <alice>) }`, false},
+		{`ASK { { <nobody> ?p ?o } UNION { <alice> a <Professor> } }`, true},
+	}
+	for _, c := range cases {
+		got, err := r.Ask(c.query)
+		if err != nil {
+			t.Fatalf("%s: %v", c.query, err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %t, want %t", c.query, got, c.want)
+		}
+	}
+	if _, err := r.Ask(`SELECT * WHERE { ?s ?p ?o }`); err == nil {
+		t.Fatal("Ask accepted a SELECT query")
+	}
+	if _, err := r.Select(`ASK { ?s ?p ?o }`); err == nil {
+		t.Fatal("Select accepted an ASK query")
+	}
+}
+
+func TestSelectLimitZero(t *testing.T) {
+	r := universityFixture(t)
+	rows, err := r.Select(`SELECT * WHERE { ?s ?p ?o } LIMIT 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("LIMIT 0 returned %d rows", len(rows))
+	}
+}
+
+func TestExecFuncStreamingAndCap(t *testing.T) {
+	r := universityFixture(t)
+	var headVars []string
+	var rows []map[string]string
+	res, err := r.ExecFunc(`SELECT ?s WHERE { ?s ?p ?o }`, 3, func(vars []string) {
+		if rows != nil {
+			t.Fatal("head delivered after rows")
+		}
+		headVars = vars
+	}, func(row map[string]string) bool {
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ask || len(res.Vars) != 1 || res.Vars[0] != "s" {
+		t.Fatalf("result head = %+v", res)
+	}
+	if len(headVars) != 1 || headVars[0] != "s" {
+		t.Fatalf("onHead vars = %v", headVars)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("maxRows cap delivered %d rows, want 3", len(rows))
+	}
+}
+
+func TestSelectOrderByUnknownVarRejected(t *testing.T) {
+	r := universityFixture(t)
+	_, err := r.Select(`SELECT ?who WHERE { ?who <memberOf> ?org } ORDER BY ?nope`)
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
 func TestSelectUnknownProjectionRejected(t *testing.T) {
 	r := universityFixture(t)
 	// ?orgg is a typo for ?org: it must be an error, not rows silently
