@@ -1,0 +1,110 @@
+package inferray
+
+// The GROUP BY aggregation stage of the SPARQL pipeline: a buffered
+// stage between the per-group WHERE evaluation and the solution
+// modifiers. Solutions are bucketed by their GROUP BY key (one
+// implicit group when the clause is absent but the projection
+// aggregates), each bucket drives one sparql.AggState per aggregate
+// item, and flush emits one row per group — the GROUP BY bindings plus
+// the aggregate outputs — into the rest of the pipeline (ORDER BY,
+// DISTINCT, OFFSET/LIMIT).
+
+import (
+	"inferray/internal/sparql"
+)
+
+// aggregator buckets solutions and accumulates the projected
+// aggregates per bucket.
+type aggregator struct {
+	groupBy  []string
+	items    []sparql.SelectItem
+	implicit bool // no GROUP BY: one group even over zero solutions
+	groups   map[string]*aggGroup
+	order    []string // first-seen key order, for deterministic output
+}
+
+// aggGroup is one GROUP BY bucket.
+type aggGroup struct {
+	repr   map[string]string // the group's GROUP BY bindings (bound cells only)
+	states []*sparql.AggState
+}
+
+func newAggregator(q *sparql.Query) *aggregator {
+	return &aggregator{
+		groupBy:  q.GroupBy,
+		items:    q.Items,
+		implicit: len(q.GroupBy) == 0,
+		groups:   map[string]*aggGroup{},
+	}
+}
+
+// add feeds one WHERE solution into its group.
+func (a *aggregator) add(row map[string]string) {
+	key := solutionKey(a.groupBy, row)
+	grp, ok := a.groups[key]
+	if !ok {
+		grp = a.newGroup(row)
+		a.groups[key] = grp
+		a.order = append(a.order, key)
+	}
+	for i, it := range a.items {
+		if it.Agg == nil {
+			continue
+		}
+		if it.Agg.Star {
+			grp.states[i].Observe("", true)
+			continue
+		}
+		v, bound := row[it.Agg.Var]
+		grp.states[i].Observe(v, bound)
+	}
+}
+
+func (a *aggregator) newGroup(row map[string]string) *aggGroup {
+	grp := &aggGroup{
+		repr:   make(map[string]string, len(a.groupBy)),
+		states: make([]*sparql.AggState, len(a.items)),
+	}
+	for _, v := range a.groupBy {
+		if val, ok := row[v]; ok {
+			grp.repr[v] = val
+		}
+	}
+	for i, it := range a.items {
+		if it.Agg != nil {
+			grp.states[i] = sparql.NewAggState(it.Agg)
+		}
+	}
+	return grp
+}
+
+// flush emits one row per group in first-seen order: the group's
+// GROUP BY bindings plus every aggregate's output (unbound aggregate
+// cells — MIN/MAX over nothing, SUM/AVG over a non-numeric — are
+// omitted). With no GROUP BY and zero solutions the single implicit
+// group still emits (COUNT is then 0), per SPARQL. emit may return
+// false to stop.
+func (a *aggregator) flush(emit func(map[string]string) bool) {
+	if len(a.groups) == 0 && a.implicit {
+		a.groups[""] = a.newGroup(nil)
+		a.order = append(a.order, "")
+	}
+	for _, key := range a.order {
+		grp := a.groups[key]
+		row := make(map[string]string, len(grp.repr)+len(a.items))
+		for k, v := range grp.repr {
+			row[k] = v
+		}
+		for i, it := range a.items {
+			if it.Agg == nil {
+				continue
+			}
+			if term, ok := grp.states[i].Result(); ok {
+				row[it.Name] = term
+			}
+		}
+		if !emit(row) {
+			return
+		}
+	}
+}

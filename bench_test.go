@@ -588,3 +588,51 @@ func BenchmarkConcurrentServing(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkOrderByTopK measures the ORDER BY buffering strategies over
+// a 50k-row result: with LIMIT (and the server's limit= cap, which
+// feeds the same bound) the pipeline keeps a top-(OFFSET+LIMIT) heap
+// instead of buffering and sorting every solution, so allocated bytes
+// stay flat as the result grows. The nolimit variant is the full-sort
+// baseline. Results are recorded in EXPERIMENTS.md.
+func BenchmarkOrderByTopK(b *testing.B) {
+	r := inferray.New(inferray.WithFragment(inferray.RhoDF))
+	var triples []inferray.Triple
+	for i := 0; i < 50_000; i++ {
+		triples = append(triples, inferray.Triple{
+			S: fmt.Sprintf("<s%05d>", i),
+			P: "<p>",
+			O: fmt.Sprintf("<o%05d>", (i*7919)%50_000),
+		})
+	}
+	r.AddTriples(triples)
+	if _, err := r.Materialize(); err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		query string
+		rows  int
+	}{
+		{"limit10", `SELECT ?s ?o WHERE { ?s <p> ?o } ORDER BY ?o LIMIT 10`, 10},
+		{"limit10-offset1000", `SELECT ?s ?o WHERE { ?s <p> ?o } ORDER BY ?o LIMIT 10 OFFSET 1000`, 10},
+		{"nolimit-fullsort", `SELECT ?s ?o WHERE { ?s <p> ?o } ORDER BY ?o`, 50_000},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if _, err := r.ExecFunc(c.query, 0, nil, func(map[string]string) bool {
+					n++
+					return true
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if n != c.rows {
+					b.Fatalf("%d rows, want %d", n, c.rows)
+				}
+			}
+		})
+	}
+}

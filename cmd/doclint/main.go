@@ -1,17 +1,20 @@
 // Command doclint enforces the godoc contract on the public API: every
 // exported symbol — package, functions, types, methods on exported
 // receivers, and the first name of each exported const/var group —
-// must carry a doc comment. CI runs it over the root package
-// (`go run ./cmd/doclint .`) next to go vet, so an undocumented export
-// fails the build rather than shipping.
+// must carry a doc comment. CI runs it recursively
+// (`go run ./cmd/doclint ./...`) next to go vet, so an undocumented
+// export — including one in a package a PR just added — fails the
+// build rather than shipping.
 //
 // Usage:
 //
-//	doclint [package-dir ...]
+//	doclint [package-dir | pattern/... ...]
 //
-// Each argument is a directory containing one Go package (tests and
-// the package's _test package are skipped). Exit status 1 lists every
-// violation as file:line: message.
+// Each argument is a directory containing one Go package, or a
+// `dir/...` pattern that walks every package under dir (testdata,
+// vendor, and hidden directories are skipped, as are test files and
+// _test packages). Exit status 1 lists every violation as
+// file:line: message.
 package main
 
 import (
@@ -19,15 +22,21 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
 )
 
 func main() {
-	dirs := os.Args[1:]
-	if len(dirs) == 0 {
-		dirs = []string{"."}
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	dirs, err := expandPatterns(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
 	}
 	bad := 0
 	for _, dir := range dirs {
@@ -45,6 +54,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported symbol(s)\n", bad)
 		os.Exit(1)
 	}
+}
+
+// expandPatterns resolves the argument list: plain directories pass
+// through, `dir/...` patterns expand to every package directory under
+// dir — any directory holding at least one non-test .go file, skipping
+// testdata, vendor, and hidden directories.
+func expandPatterns(args []string) ([]string, error) {
+	var dirs []string
+	for _, arg := range args {
+		if !strings.HasSuffix(arg, "/...") && arg != "..." {
+			dirs = append(dirs, arg)
+			continue
+		}
+		root := strings.TrimSuffix(arg, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			ok, err := hasGoFiles(path)
+			if err != nil {
+				return err
+			}
+			if ok {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // lintDir parses every non-test Go file of the package in dir and

@@ -3,6 +3,8 @@ package main
 import (
 	"go/parser"
 	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -76,5 +78,48 @@ var V = 4
 `
 	if got := lintSource(t, src); len(got) != 0 {
 		t.Fatalf("false positives: %v", got)
+	}
+}
+
+// The ./... pattern must walk into new package directories (so a PR
+// adding a package is linted without touching CI) while skipping
+// testdata, vendor, and hidden directories.
+func TestExpandPatterns(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package a\n")
+	write("sub/pkg/b.go", "package pkg\n")
+	write("onlytests/x_test.go", "package onlytests\n")
+	write("testdata/skip/c.go", "package skip\n")
+	write("vendor/dep/d.go", "package dep\n")
+	write(".hidden/e.go", "package e\n")
+
+	dirs, err := expandPatterns([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{root: true, filepath.Join(root, "sub", "pkg"): true}
+	if len(dirs) != len(want) {
+		t.Fatalf("dirs = %v, want exactly %v", dirs, want)
+	}
+	for _, d := range dirs {
+		if !want[d] {
+			t.Fatalf("unexpected dir %q in %v", d, dirs)
+		}
+	}
+
+	// Plain directories pass through untouched.
+	dirs, err = expandPatterns([]string{"some/dir"})
+	if err != nil || len(dirs) != 1 || dirs[0] != "some/dir" {
+		t.Fatalf("plain dir = %v (err %v)", dirs, err)
 	}
 }

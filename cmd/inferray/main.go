@@ -11,6 +11,7 @@
 //	inferray -in base.nt -delta day1.nt -delta day2.nt -stats > closure.nt
 //	inferray -in big.nt -save-image closure.img -quiet
 //	inferray -load-image closure.img -select 'SELECT ?s WHERE { ?s ?p ?o }'
+//	inferray -in data.nt -select 'SELECT ?d (COUNT(*) AS ?n) WHERE { ?x <worksFor> ?d } GROUP BY ?d'
 //	inferray serve -addr :7070 -rules rdfs-plus -in base.nt
 //	inferray serve -addr :7070 -data-dir /var/lib/inferray -sync always
 //	inferray checkpoint -addr localhost:7070

@@ -318,3 +318,35 @@ func TestCLIServe(t *testing.T) {
 		t.Fatal("serve did not shut down")
 	}
 }
+
+// -select over the SPARQL 1.1 expansion: OPTIONAL rows print with the
+// unbound cell omitted (never as an empty "var=" column), and
+// aggregate queries print their typed results.
+func TestCLISelectUnboundAndAggregates(t *testing.T) {
+	data := sampleNT + "<x> <score> \"5\" .\n<y> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <a> .\n"
+
+	out, _, err := runCLI(t, []string{
+		"-select", `SELECT ?s ?v WHERE { ?s a <a> OPTIONAL { ?s <score> ?v } } ORDER BY ?s`,
+	}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "s=<x>\tv=\"5\"\ns=<y>\n"
+	if out != want {
+		t.Fatalf("optional output:\n%q\nwant:\n%q", out, want)
+	}
+	if strings.Contains(out, "v=\n") || strings.Contains(out, "v=\t") {
+		t.Fatalf("unbound cell printed as empty value:\n%q", out)
+	}
+
+	out, _, err = runCLI(t, []string{
+		"-select", `SELECT ?t (COUNT(*) AS ?n) WHERE { ?s a ?t } GROUP BY ?t ORDER BY DESC(?n) ?t LIMIT 1`,
+	}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = "t=<a>\tn=\"2\"^^<http://www.w3.org/2001/XMLSchema#integer>\n"
+	if out != want {
+		t.Fatalf("aggregate output:\n%q\nwant:\n%q", out, want)
+	}
+}

@@ -48,6 +48,13 @@ type cursorPos struct {
 // so that join variables stream out sorted where possible. It is
 // exported for tests and EXPLAIN-style tooling; Solve plans internally.
 func (e *Engine) Plan(patterns []Pattern) []int {
+	return e.planFrom(patterns, 0)
+}
+
+// planFrom is Plan with an initial bound-variable mask — the planning
+// entry point for OPTIONAL groups, whose patterns start with the outer
+// solution's variables already bound.
+func (e *Engine) planFrom(patterns []Pattern, initBound uint64) []int {
 	type agg struct {
 		pairs, subjects, objects float64
 		tables                   float64
@@ -120,7 +127,7 @@ func (e *Engine) Plan(patterns []Pattern) []int {
 
 	order := make([]int, 0, len(patterns))
 	used := make([]bool, len(patterns))
-	var bound uint64
+	bound := initBound
 	for len(order) < len(patterns) {
 		// Prefer patterns anchored to a constant or joined to an
 		// already-bound variable: an unanchored pattern is a cartesian
@@ -133,7 +140,7 @@ func (e *Engine) Plan(patterns []Pattern) []int {
 				continue
 			}
 			c := estimate(p, bound)
-			if len(order) == 0 || connected(p, bound) {
+			if (initBound == 0 && len(order) == 0) || connected(p, bound) {
 				if c < bestCost {
 					best, bestCost = i, c
 				}
@@ -172,11 +179,12 @@ func connected(p Pattern, bound uint64) bool {
 // buildPlan materializes the ordered steps and chooses scan
 // orientations: a full table scan whose object variable is the next
 // step's probe key runs over the ⟨o,s⟩ view so the probe keys arrive
-// sorted.
-func (e *Engine) buildPlan(patterns []Pattern) []planStep {
-	order := e.Plan(patterns)
+// sorted. initBound carries the variables an enclosing solution has
+// already bound (0 for a top-level basic graph pattern).
+func (e *Engine) buildPlan(patterns []Pattern, initBound uint64) []planStep {
+	order := e.planFrom(patterns, initBound)
 	steps := make([]planStep, len(order))
-	var bound uint64
+	bound := initBound
 	for i, idx := range order {
 		steps[i] = planStep{pat: patterns[idx]}
 		p := patterns[idx]
@@ -208,24 +216,76 @@ func joinsOn(p Pattern, slot int, bound uint64) bool {
 
 // ------------------------------------------------------------- execution
 
-// exec carries one Solve invocation's state.
+// exec carries one Solve/SolveLeftJoin invocation's state: the planned
+// required steps, the planned optional layers (left-joined in order),
+// and the shared solution row. The bound mask, not the row contents,
+// says which slots are live — optional layers that did not match leave
+// stale values behind, masked off. Exactly one of fnRow (Solve's
+// mask-free fast path) and fn is set.
 type exec struct {
 	e     *Engine
 	steps []planStep
+	opts  []optLayer
 	row   []uint64
-	fn    func([]uint64) bool
+	fnRow func(row []uint64) bool
+	fn    func(row []uint64, bound uint64) bool
 }
 
-func (x *exec) run(i int, bound uint64) bool {
-	if i == len(x.steps) {
-		return x.fn(x.row)
+// optLayer is one planned OPTIONAL group.
+type optLayer struct {
+	steps  []planStep
+	accept func(row []uint64, bound uint64) bool // nil = accept all
+}
+
+// run enumerates the steps from index i under the bound mask, calling
+// done with the final mask for every complete assignment — or, when
+// done is nil (the top-level walk of a query without optional layers),
+// delivering straight to the solution callback, with no per-row
+// closure hop on the hot path. Returns false when the consumer aborted
+// the walk.
+func (x *exec) run(steps []planStep, i int, bound uint64, done func(uint64) bool) bool {
+	if i == len(steps) {
+		switch {
+		case done != nil:
+			return done(bound)
+		case x.fnRow != nil:
+			return x.fnRow(x.row)
+		default:
+			return x.fn(x.row, bound)
+		}
 	}
 	cont := true
-	x.enumStep(&x.steps[i], bound, func(nb uint64) bool {
-		cont = x.run(i+1, nb)
+	x.enumStep(&steps[i], bound, func(nb uint64) bool {
+		cont = x.run(steps, i+1, nb, done)
 		return cont
 	})
 	return cont
+}
+
+// runOptional left-joins the optional layers from index layer on:
+// every accepted extension of the current solution is delivered, and a
+// layer with no accepted extension passes the solution through with
+// its variables unbound (the SPARQL left-join's null row).
+func (x *exec) runOptional(layer int, bound uint64) bool {
+	if layer == len(x.opts) {
+		return x.fn(x.row, bound)
+	}
+	o := &x.opts[layer]
+	matched := false
+	cont := x.run(o.steps, 0, bound, func(nb uint64) bool {
+		if o.accept != nil && !o.accept(x.row, nb) {
+			return true // rejected extension: keep walking
+		}
+		matched = true
+		return x.runOptional(layer+1, nb)
+	})
+	if !cont {
+		return false
+	}
+	if !matched {
+		return x.runOptional(layer+1, bound)
+	}
+	return true
 }
 
 // enumStep walks every match of one planned step under the current

@@ -55,9 +55,89 @@ func (e *Engine) Solve(patterns []Pattern, nVars int, fn func(row []uint64) bool
 	if err := e.validate(patterns, nVars); err != nil {
 		return err
 	}
-	x := &exec{e: e, steps: e.buildPlan(patterns), row: make([]uint64, nVars), fn: fn}
-	x.run(0, 0)
+	x := &exec{e: e, steps: e.buildPlan(patterns, 0), row: make([]uint64, nVars), fnRow: fn}
+	x.run(x.steps, 0, 0, nil)
 	return nil
+}
+
+// OptionalGroup is one OPTIONAL block for SolveLeftJoin: a basic graph
+// pattern left-joined against the required solution, plus an optional
+// acceptance callback (the caller's hook for the block's FILTERs).
+type OptionalGroup struct {
+	// Patterns is the block's basic graph pattern.
+	Patterns []Pattern
+	// Accept, when non-nil, is invoked with every candidate extension
+	// (the shared row plus the extension's bound mask) before it counts
+	// as a match; returning false rejects the extension. A block whose
+	// extensions are all rejected contributes the null row — its
+	// variables stay unbound — exactly like a block that never matched.
+	Accept func(row []uint64, bound uint64) bool
+}
+
+// Binding pre-binds one variable slot before evaluation — the seed
+// SolveLeftJoin takes for inline VALUES data, which SPARQL joins with
+// the group's graph pattern *before* the OPTIONAL left joins.
+type Binding struct {
+	// Slot is the variable slot to bind.
+	Slot int
+	// ID is the dictionary ID the slot is pinned to.
+	ID uint64
+}
+
+// SolveLeftJoin enumerates the solutions of the required pattern list
+// under the seed bindings (nil for none), left-joined with each
+// optional group in order (SPARQL's OPTIONAL). fn receives the shared
+// solution row and the mask of bound variable slots — seeded slots are
+// always in the mask; slots outside it hold stale values and must be
+// ignored. An empty required list stands for the unit solution, so a
+// query of only OPTIONAL blocks (or only seeded VALUES data) still
+// evaluates. fn may return false to stop enumeration early.
+func (e *Engine) SolveLeftJoin(patterns []Pattern, optionals []OptionalGroup, nVars int, seed []Binding, fn func(row []uint64, bound uint64) bool) error {
+	if err := e.validate(patterns, nVars); err != nil {
+		return err
+	}
+	x := &exec{e: e, row: make([]uint64, nVars), fn: fn}
+	var initMask uint64
+	for _, s := range seed {
+		if s.Slot < 0 || s.Slot >= nVars {
+			return fmt.Errorf("query: seed slot %d out of range [0,%d)", s.Slot, nVars)
+		}
+		x.row[s.Slot] = s.ID
+		initMask |= 1 << uint(s.Slot)
+	}
+	x.steps = e.buildPlan(patterns, initMask)
+	mask := initMask | varMask(patterns)
+	for _, og := range optionals {
+		if err := e.validate(og.Patterns, nVars); err != nil {
+			return err
+		}
+		// Each optional is planned as if the required patterns and every
+		// earlier optional matched — optimistic, but the plan is only an
+		// ordering heuristic; the runtime bound mask keeps it correct.
+		x.opts = append(x.opts, optLayer{steps: e.buildPlan(og.Patterns, mask), accept: og.Accept})
+		mask |= varMask(og.Patterns)
+	}
+	var done func(uint64) bool
+	if len(x.opts) > 0 {
+		done = func(bound uint64) bool { return x.runOptional(0, bound) }
+	}
+	// With no optional layers done stays nil and the walk delivers
+	// straight to fn — every plain BGP query's path.
+	x.run(x.steps, 0, initMask, done)
+	return nil
+}
+
+// varMask returns the bitmask of variable slots the patterns mention.
+func varMask(patterns []Pattern) uint64 {
+	var m uint64
+	for _, p := range patterns {
+		for _, t := range []Term{p.S, p.P, p.O} {
+			if t.IsVar {
+				m |= 1 << uint(t.Var)
+			}
+		}
+	}
+	return m
 }
 
 // SolveGreedy enumerates the same solutions as Solve with the original

@@ -399,3 +399,336 @@ func bruteForce(facts [][3]uint64, patterns []Pattern, nVars int) map[string]boo
 	rec(0, 0)
 	return out
 }
+
+// ------------------------------------------------------- left join (OPTIONAL)
+
+// leftJoinRows collects SolveLeftJoin solutions as (row, mask) pairs
+// with unbound slots normalized to a sentinel, sorted for comparison.
+func leftJoinRows(t *testing.T, e *Engine, req []Pattern, opts []OptionalGroup, nVars int) [][]uint64 {
+	t.Helper()
+	const unbound = ^uint64(0)
+	var rows [][]uint64
+	err := e.SolveLeftJoin(req, opts, nVars, nil, func(row []uint64, bound uint64) bool {
+		out := make([]uint64, nVars)
+		for i := 0; i < nVars; i++ {
+			if bound&(1<<uint(i)) != 0 {
+				out[i] = row[i]
+			} else {
+				out[i] = unbound
+			}
+		}
+		rows = append(rows, out)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+func TestSolveLeftJoinBasic(t *testing.T) {
+	const U = ^uint64(0)
+	e := fixture() // p: (1,2) (1,3) (2,3); q: (2,4) (3,4)
+	// ?x p ?y OPTIONAL { ?y q ?z }: every p pair, extended by q when ?y
+	// has a q edge. All three p-objects (2 and 3) have q edges, so all
+	// rows extend; subject 1's object 2 and 3 both match.
+	rows := leftJoinRows(t, e,
+		[]Pattern{{Var(0), Const(pid(0)), Var(1)}},
+		[]OptionalGroup{{Patterns: []Pattern{{Var(1), Const(pid(1)), Var(2)}}}},
+		3)
+	want := [][]uint64{{1, 2, 4}, {1, 3, 4}, {2, 3, 4}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("got %v want %v", rows, want)
+	}
+
+	// ?x q ?y OPTIONAL { ?y p ?z }: 4 has no outgoing p edge, so both
+	// rows keep ?z unbound — the null row, not a dropped solution.
+	rows = leftJoinRows(t, e,
+		[]Pattern{{Var(0), Const(pid(1)), Var(1)}},
+		[]OptionalGroup{{Patterns: []Pattern{{Var(1), Const(pid(0)), Var(2)}}}},
+		3)
+	want = [][]uint64{{2, 4, U}, {3, 4, U}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("got %v want %v", rows, want)
+	}
+}
+
+func TestSolveLeftJoinAcceptReject(t *testing.T) {
+	const U = ^uint64(0)
+	e := fixture()
+	// The accept hook rejects every extension with z != 4... then with
+	// any z: rejected extensions degrade to the null row.
+	rows := leftJoinRows(t, e,
+		[]Pattern{{Var(0), Const(pid(0)), Var(1)}},
+		[]OptionalGroup{{
+			Patterns: []Pattern{{Var(1), Const(pid(1)), Var(2)}},
+			Accept:   func([]uint64, uint64) bool { return false },
+		}},
+		3)
+	want := [][]uint64{{1, 2, U}, {1, 3, U}, {2, 3, U}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("all-rejected: got %v want %v", rows, want)
+	}
+}
+
+func TestSolveLeftJoinSequentialOptionals(t *testing.T) {
+	const U = ^uint64(0)
+	e := fixture()
+	// Two optionals; the second probes a variable the first binds. For
+	// (2,3): first optional binds z=4 (3 q 4), second asks 4 p ?w —
+	// nothing, so w stays unbound.
+	rows := leftJoinRows(t, e,
+		[]Pattern{{Const(2), Const(pid(0)), Var(0)}},
+		[]OptionalGroup{
+			{Patterns: []Pattern{{Var(0), Const(pid(1)), Var(1)}}},
+			{Patterns: []Pattern{{Var(1), Const(pid(0)), Var(2)}}},
+		},
+		3)
+	want := [][]uint64{{3, 4, U}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("got %v want %v", rows, want)
+	}
+}
+
+func TestSolveLeftJoinEmptyRequired(t *testing.T) {
+	// An empty required list is the unit solution: the optional's own
+	// matches, or one all-unbound row when it never matches.
+	const U = ^uint64(0)
+	e := fixture()
+	rows := leftJoinRows(t, e, nil,
+		[]OptionalGroup{{Patterns: []Pattern{{Var(0), Const(pid(1)), Var(1)}}}}, 2)
+	want := [][]uint64{{2, 4}, {3, 4}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("got %v want %v", rows, want)
+	}
+	rows = leftJoinRows(t, e, nil,
+		[]OptionalGroup{{Patterns: []Pattern{{Const(99), Const(pid(1)), Var(0)}}}}, 1)
+	want = [][]uint64{{U}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("unit null row: got %v want %v", rows, want)
+	}
+}
+
+func TestSolveLeftJoinEarlyStop(t *testing.T) {
+	e := fixture()
+	n := 0
+	err := e.SolveLeftJoin(
+		[]Pattern{{Var(0), Const(pid(0)), Var(1)}},
+		[]OptionalGroup{{Patterns: []Pattern{{Var(1), Const(pid(1)), Var(2)}}}},
+		3, nil,
+		func([]uint64, uint64) bool { n++; return false })
+	if err != nil || n != 1 {
+		t.Fatalf("early stop delivered %d rows (err %v)", n, err)
+	}
+}
+
+// TestSolveLeftJoinQuick compares SolveLeftJoin against a brute-force
+// left-join over random stores: random required patterns and one or
+// two random optional groups.
+func TestSolveLeftJoinQuick(t *testing.T) {
+	const U = ^uint64(0)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProps := 1 + rng.Intn(3)
+		st := store.New(nProps)
+		seen := map[[3]uint64]bool{}
+		var facts [][3]uint64
+		for i := 0; i < rng.Intn(30); i++ {
+			p := rng.Intn(nProps)
+			s := uint64(1 + rng.Intn(5))
+			o := uint64(1 + rng.Intn(5))
+			st.Add(p, s, o)
+			f := [3]uint64{s, pid(p), o}
+			if !seen[f] {
+				seen[f] = true
+				facts = append(facts, f)
+			}
+		}
+		st.Normalize()
+		e := &Engine{St: st}
+
+		nVars := 2 + rng.Intn(3)
+		term := func() Term {
+			if rng.Intn(2) == 0 {
+				return Var(rng.Intn(nVars))
+			}
+			return Const(uint64(1 + rng.Intn(5)))
+		}
+		pat := func() Pattern {
+			return Pattern{S: term(), P: Const(pid(rng.Intn(nProps))), O: term()}
+		}
+		required := []Pattern{pat()}
+		if rng.Intn(2) == 0 {
+			required = append(required, pat())
+		}
+		nOpts := 1 + rng.Intn(2)
+		var opts []OptionalGroup
+		for i := 0; i < nOpts; i++ {
+			opts = append(opts, OptionalGroup{Patterns: []Pattern{pat()}})
+		}
+
+		want := bruteForceLeftJoin(facts, required, opts, nVars)
+		got := map[string]int{}
+		err := e.SolveLeftJoin(required, opts, nVars, nil, func(row []uint64, bound uint64) bool {
+			out := make([]uint64, nVars)
+			for i := range out {
+				if bound&(1<<uint(i)) != 0 {
+					out[i] = row[i]
+				} else {
+					out[i] = U
+				}
+			}
+			got[rowKey(out)]++
+			return true
+		})
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteForceLeftJoin computes the reference multiset of left-join
+// solutions (rows with unbound slots replaced by ^uint64(0)).
+func bruteForceLeftJoin(facts [][3]uint64, required []Pattern, opts []OptionalGroup, nVars int) map[string]int {
+	const U = ^uint64(0)
+	type sol struct {
+		row   []uint64
+		bound uint64
+	}
+	// matches enumerates all extensions of one solution by a BGP.
+	var matches func(pats []Pattern, s sol) []sol
+	matches = func(pats []Pattern, s sol) []sol {
+		if len(pats) == 0 {
+			return []sol{s}
+		}
+		var out []sol
+		p := pats[0]
+		for _, f := range facts {
+			row := append([]uint64(nil), s.row...)
+			nb := s.bound
+			ok := true
+			try := func(t Term, v uint64) {
+				if !ok {
+					return
+				}
+				if !t.IsVar {
+					ok = t.ID == v
+					return
+				}
+				if nb&(1<<uint(t.Var)) != 0 {
+					ok = row[t.Var] == v
+					return
+				}
+				row[t.Var] = v
+				nb |= 1 << uint(t.Var)
+			}
+			try(p.S, f[0])
+			try(p.P, f[1])
+			try(p.O, f[2])
+			if ok {
+				out = append(out, matches(pats[1:], sol{row, nb})...)
+			}
+		}
+		return out
+	}
+
+	sols := matches(required, sol{make([]uint64, nVars), 0})
+	for _, og := range opts {
+		var next []sol
+		for _, s := range sols {
+			ext := matches(og.Patterns, s)
+			if len(ext) == 0 {
+				next = append(next, s)
+				continue
+			}
+			next = append(next, ext...)
+		}
+		sols = next
+	}
+	out := map[string]int{}
+	for _, s := range sols {
+		row := make([]uint64, nVars)
+		for i := range row {
+			if s.bound&(1<<uint(i)) != 0 {
+				row[i] = s.row[i]
+			} else {
+				row[i] = U
+			}
+		}
+		out[rowKey(row)]++
+	}
+	return out
+}
+
+// Seed bindings join before the left join: a seeded slot with no
+// matching optional extension must survive as the null row, and seeded
+// slots always appear in the delivered bound mask.
+func TestSolveLeftJoinSeeded(t *testing.T) {
+	const U = ^uint64(0)
+	e := fixture() // p: (1,2) (1,3) (2,3); q: (2,4) (3,4)
+
+	// Seed ?x=1 over "?x p ?y": only subject 1's pairs.
+	var rows [][]uint64
+	err := e.SolveLeftJoin(
+		[]Pattern{{Var(0), Const(pid(0)), Var(1)}}, nil, 2,
+		[]Binding{{Slot: 0, ID: 1}},
+		func(row []uint64, bound uint64) bool {
+			out := []uint64{U, U}
+			for i := 0; i < 2; i++ {
+				if bound&(1<<uint(i)) != 0 {
+					out[i] = row[i]
+				}
+			}
+			rows = append(rows, out)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][1] < rows[j][1] })
+	want := [][]uint64{{1, 2}, {1, 3}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("seeded required: got %v want %v", rows, want)
+	}
+
+	// Seed ?x=5 with an empty required list and an optional that cannot
+	// match 5: the unit solution passes through with the seed bound and
+	// the optional's variable unbound — the VALUES-before-OPTIONAL case.
+	rows = nil
+	err = e.SolveLeftJoin(nil,
+		[]OptionalGroup{{Patterns: []Pattern{{Var(0), Const(pid(0)), Var(1)}}}}, 2,
+		[]Binding{{Slot: 0, ID: 5}},
+		func(row []uint64, bound uint64) bool {
+			out := []uint64{U, U}
+			for i := 0; i < 2; i++ {
+				if bound&(1<<uint(i)) != 0 {
+					out[i] = row[i]
+				}
+			}
+			rows = append(rows, out)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = [][]uint64{{5, U}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("seeded null row: got %v want %v", rows, want)
+	}
+
+	if err := e.SolveLeftJoin(nil, nil, 1, []Binding{{Slot: 3, ID: 1}}, func([]uint64, uint64) bool { return true }); err == nil {
+		t.Fatal("out-of-range seed slot accepted")
+	}
+}

@@ -13,6 +13,7 @@ type ParseError struct {
 	Msg  string
 }
 
+// Error renders the failure with its 1-based line number.
 func (e *ParseError) Error() string {
 	return fmt.Sprintf("ntriples: line %d: %s", e.Line, e.Msg)
 }

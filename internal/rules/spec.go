@@ -16,8 +16,10 @@ type Term struct {
 	Const uint64
 }
 
-// V makes a variable term; C makes a constant term.
-func V(slot int) Term  { return Term{IsVar: true, Var: slot} }
+// V makes a variable term.
+func V(slot int) Term { return Term{IsVar: true, Var: slot} }
+
+// C makes a constant term.
 func C(id uint64) Term { return Term{Const: id} }
 
 // Pattern is one triple pattern ⟨S, P, O⟩.

@@ -10,9 +10,12 @@
 // Endpoints:
 //
 //	GET  /query?query=SELECT…   SPARQL SELECT or ASK (the dialect of
-//	                            docs/SPARQL.md: FILTER, DISTINCT, ORDER BY,
-//	                            LIMIT/OFFSET, UNION), incrementally encoded
-//	                            application/sparql-results+json response;
+//	                            docs/SPARQL.md: UNION, OPTIONAL, BIND,
+//	                            VALUES, FILTER, GROUP BY aggregates,
+//	                            DISTINCT, ORDER BY, LIMIT/OFFSET),
+//	                            incrementally encoded
+//	                            application/sparql-results+json response
+//	                            with unbound cells omitted per the spec;
 //	                            optional &limit=N row cap on top of the
 //	                            query's own LIMIT
 //	POST /query                 same, query in the body (application/sparql-query)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -111,7 +112,7 @@ func TestQueryEndpointErrors(t *testing.T) {
 	for name, q := range map[string]string{
 		"missing":            "",
 		"syntax":             "SELECT WHERE",
-		"unsupported":        "SELECT ?x WHERE { ?x <p> ?y OPTIONAL { ?x <q> ?z } }",
+		"unsupported":        "SELECT ?x WHERE { ?x <p> ?y MINUS { ?x <q> ?z } }",
 		"unknown projection": "SELECT ?whoo WHERE { ?who <memberOf> ?org }",
 	} {
 		resp, err := http.Get(ts.URL + "/query?query=" + url.QueryEscape(q))
@@ -130,7 +131,7 @@ func TestQueryEndpointErrors(t *testing.T) {
 // line/column/token, and an unsupported construct must name itself.
 func TestQueryEndpointStructuredErrors(t *testing.T) {
 	ts, _ := newTestServer(t)
-	q := "SELECT ?x WHERE {\n  ?x <p> ?y .\n  OPTIONAL { ?x <q> ?z }\n}"
+	q := "SELECT ?x WHERE {\n  ?x <p> ?y .\n  MINUS { ?x <q> ?z }\n}"
 	resp, err := http.Get(ts.URL + "/query?query=" + url.QueryEscape(q))
 	if err != nil {
 		t.Fatal(err)
@@ -143,11 +144,11 @@ func TestQueryEndpointStructuredErrors(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&qe); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(qe.Error, "OPTIONAL is not supported") {
+	if !strings.Contains(qe.Error, "MINUS is not supported") {
 		t.Fatalf("error message lost the construct: %+v", qe)
 	}
-	if qe.Line != 3 || qe.Column != 3 || qe.Token != "OPTIONAL" {
-		t.Fatalf("position info = %+v, want line 3 col 3 token OPTIONAL", qe)
+	if qe.Line != 3 || qe.Column != 3 || qe.Token != "MINUS" {
+		t.Fatalf("position info = %+v, want line 3 col 3 token MINUS", qe)
 	}
 
 	// Non-parse errors (unknown projection) stay structured but carry
@@ -535,5 +536,89 @@ func TestCheckpointEndpointNotDurable(t *testing.T) {
 			t.Fatalf("GET /checkpoint status %d", g.StatusCode)
 		}
 		g.Body.Close()
+	}
+}
+
+// Unbound cells — UNION branches with disjoint variables, unmatched
+// OPTIONAL blocks — must be *omitted* from the results-JSON binding
+// objects, never serialized as empty strings (the results-JSON spec's
+// representation of SPARQL's unbound).
+func TestQueryEndpointOmitsUnboundCells(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// The raw body, not the decoded struct: an empty-string cell and an
+	// omitted cell decode identically into Go maps.
+	get := func(q string) string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/query?query=" + url.QueryEscape(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf strings.Builder
+		if _, err := io.Copy(&buf, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, buf.String())
+		}
+		return buf.String()
+	}
+
+	// UNION with disjoint variables: the label-branch row has no ?org.
+	body := get(`SELECT ?who ?org ?name WHERE {
+  { ?who <memberOf> ?org } UNION { ?who <http://www.w3.org/2000/01/rdf-schema#label> ?name }
+} ORDER BY ?who`)
+	if strings.Contains(body, `"org":{"type":"literal","value":""}`) ||
+		strings.Contains(body, `"value":""`) {
+		t.Fatalf("unbound cell serialized as empty string: %s", body)
+	}
+	var res sparqlResults
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	sawWithout, sawWith := false, false
+	for _, b := range res.Results.Bindings {
+		if _, ok := b["org"]; ok {
+			sawWith = true
+		} else {
+			sawWithout = true
+		}
+	}
+	if !sawWith || !sawWithout {
+		t.Fatalf("expected a mix of bound and omitted ?org cells: %s", body)
+	}
+
+	// Unmatched OPTIONAL: same contract.
+	body = get(`SELECT ?who ?org ?name WHERE {
+  ?who <memberOf> ?org OPTIONAL { ?who <nickname> ?name }
+}`)
+	var res2 sparqlResults
+	if err := json.Unmarshal([]byte(body), &res2); err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Results.Bindings) == 0 {
+		t.Fatalf("no bindings: %s", body)
+	}
+	for _, b := range res2.Results.Bindings {
+		if _, ok := b["name"]; ok {
+			t.Fatalf("unmatched OPTIONAL cell must be omitted: %s", body)
+		}
+	}
+}
+
+// An aggregate query through the endpoint: typed integer literals in
+// the bindings, and the server's limit= cap still applies.
+func TestQueryEndpointAggregates(t *testing.T) {
+	ts, _ := newTestServer(t)
+	res := getResults(t, ts,
+		`SELECT ?org (COUNT(*) AS ?n) WHERE { ?who <memberOf> ?org } GROUP BY ?org ORDER BY ?org`)
+	if len(res.Results.Bindings) != 1 {
+		t.Fatalf("bindings = %v", res.Results.Bindings)
+	}
+	n := res.Results.Bindings[0]["n"]
+	if n.Type != "literal" || n.Value != "1" ||
+		n.Datatype != "http://www.w3.org/2001/XMLSchema#integer" {
+		t.Fatalf("count binding = %+v", n)
 	}
 }

@@ -1,0 +1,157 @@
+package sparql
+
+// GROUP BY aggregation: the aggregate AST the projection parser emits
+// and the accumulator the query pipeline drives. The semantics of each
+// function over a group's solutions (docs/SPARQL.md §Aggregates):
+//
+//   - COUNT(*) counts solutions; COUNT(?v) counts solutions where ?v
+//     is bound; DISTINCT deduplicates the counted values.
+//   - SUM and AVG fold the numeric interpretations of the bound
+//     values; a bound non-numeric value makes the whole aggregate an
+//     error, so its output cell is unbound. Over zero values both are
+//     0, per the SPARQL 1.1 definitions.
+//   - MIN and MAX pick extremes under the CompareTerms total order;
+//     over zero values they are unbound.
+
+import (
+	"math"
+	"strconv"
+)
+
+// AggFunc identifies an aggregate function.
+type AggFunc int
+
+// The aggregate functions the projection accepts.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String names the aggregate the way the grammar spells it.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	}
+	return "AGG?"
+}
+
+// Aggregate is one aggregate call in the projection.
+type Aggregate struct {
+	// Func is the aggregate function.
+	Func AggFunc
+	// Var is the argument variable name without '?' ("" when Star).
+	Var string
+	// Star marks COUNT(*).
+	Star bool
+	// Distinct deduplicates the aggregated values.
+	Distinct bool
+}
+
+// AggState accumulates one aggregate over the solutions of one group.
+type AggState struct {
+	agg    *Aggregate
+	count  int64
+	sum    float64
+	numErr bool
+	has    bool // a value was observed (MIN/MAX defined)
+	min    string
+	max    string
+	seen   map[string]bool // DISTINCT dedup
+}
+
+// NewAggState returns an empty accumulator for one aggregate call.
+func NewAggState(a *Aggregate) *AggState {
+	st := &AggState{agg: a}
+	if a.Distinct {
+		st.seen = map[string]bool{}
+	}
+	return st
+}
+
+// Observe feeds one solution's value of the aggregate argument; bound
+// reports whether the argument variable was bound in that solution
+// (ignored for COUNT(*), which counts every solution).
+func (st *AggState) Observe(term string, bound bool) {
+	if st.agg.Star {
+		st.count++
+		return
+	}
+	if !bound {
+		return // unbound cells contribute nothing
+	}
+	if st.seen != nil {
+		if st.seen[term] {
+			return
+		}
+		st.seen[term] = true
+	}
+	st.count++
+	switch st.agg.Func {
+	case AggSum, AggAvg:
+		if f, ok := NumericTerm(term); ok {
+			st.sum += f
+		} else {
+			st.numErr = true
+		}
+	case AggMin, AggMax:
+		if !st.has {
+			st.min, st.max, st.has = term, term, true
+			return
+		}
+		if CompareTerms(term, st.min) < 0 {
+			st.min = term
+		}
+		if CompareTerms(term, st.max) > 0 {
+			st.max = term
+		}
+	}
+}
+
+// Result renders the aggregate as a term surface form; ok is false
+// when the cell is unbound (MIN/MAX over zero values, SUM/AVG over a
+// non-numeric value).
+func (st *AggState) Result() (term string, ok bool) {
+	switch st.agg.Func {
+	case AggCount:
+		return NumericLiteral(float64(st.count)), true
+	case AggSum:
+		if st.numErr {
+			return "", false
+		}
+		return NumericLiteral(st.sum), true
+	case AggAvg:
+		if st.numErr {
+			return "", false
+		}
+		if st.count == 0 {
+			return NumericLiteral(0), true
+		}
+		return NumericLiteral(st.sum / float64(st.count)), true
+	case AggMin:
+		return st.min, st.has
+	case AggMax:
+		return st.max, st.has
+	}
+	return "", false
+}
+
+// NumericLiteral renders a computed number as a typed literal surface
+// form: integral values as xsd:integer, everything else as xsd:double.
+func NumericLiteral(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return `"` + strconv.FormatInt(int64(f), 10) + `"^^<http://www.w3.org/2001/XMLSchema#integer>`
+	}
+	return `"` + strconv.FormatFloat(f, 'g', -1, 64) + `"^^<http://www.w3.org/2001/XMLSchema#double>`
+}

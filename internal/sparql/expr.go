@@ -148,6 +148,40 @@ func literalLexEnd(term string) int {
 	return len(term)
 }
 
+// EvalTerm evaluates a BIND expression to a term surface form under
+// the binding lookup. ok is false when evaluation errs (an unbound
+// variable, a type mismatch) — per SPARQL, the BIND target is then
+// left unbound rather than failing the solution.
+func EvalTerm(e Expr, lookup func(name string) (string, bool)) (term string, ok bool) {
+	v, err := e.eval(lookup)
+	if err != nil {
+		return "", false
+	}
+	return v.surfaceTerm()
+}
+
+// surfaceTerm renders an evaluated value as an N-Triples surface form.
+// Values that came from a term keep it verbatim; parser-built constants
+// are rendered as literals (booleans as xsd:boolean, numbers via
+// NumericLiteral, strings as plain literals).
+func (v value) surfaceTerm() (string, bool) {
+	if v.term != "" {
+		return v.term, true
+	}
+	switch v.kind {
+	case kindBool:
+		if v.b {
+			return `"true"^^<` + xsdBoolean + `>`, true
+		}
+		return `"false"^^<` + xsdBoolean + `>`, true
+	case kindNumeric:
+		return NumericLiteral(v.num), true
+	case kindString:
+		return rdf.EscapeLiteral(v.lex), true
+	}
+	return "", false
+}
+
 // NumericTerm reports the numeric interpretation of a term surface
 // form, when it has one (plain or numerically-typed literal whose
 // lexical form parses as a number).
@@ -596,9 +630,14 @@ func (p *parser) parsePrimary(prefixes map[string]string) (Expr, error) {
 		p.next()
 		return &constExpr{v: termValue(tok)}, nil
 	default:
-		if f, err := strconv.ParseFloat(tok, 64); err == nil {
-			p.next()
-			return &constExpr{v: value{kind: kindNumeric, lex: tok, num: f}}, nil
+		// Same strict numeric shape as triple-pattern terms: NaN, Inf,
+		// hex floats, and underscore digits are operand errors, not
+		// numeric constants.
+		if numericLexical(tok) {
+			if f, err := strconv.ParseFloat(tok, 64); err == nil {
+				p.next()
+				return &constExpr{v: value{kind: kindNumeric, lex: tok, num: f}}, nil
+			}
 		}
 		if colon := strings.IndexByte(tok, ':'); colon >= 0 {
 			if ns, ok := prefixes[tok[:colon]]; ok {

@@ -21,15 +21,32 @@ func FuzzParseSelect(f *testing.F) {
 		`SELECT ?x WHERE { { ?x <p> <A> } UNION { ?x <q> <B> . FILTER bound(?x) } }`,
 		`ASK { ?s <p> "42"^^<http://www.w3.org/2001/XMLSchema#int> . FILTER(!(?s = <x>)) }`,
 		`SELECT ?x WHERE { ?x <p> ?y . FILTER(?y != "a||b" || ?y <= 3.5) }`,
+		// The SPARQL 1.1 expansion: OPTIONAL, BIND, VALUES, list sugar,
+		// and GROUP BY aggregates.
+		`SELECT ?x ?a WHERE { ?x <worksFor> ?d OPTIONAL { ?x <age> ?a . FILTER(?a > 10) } }`,
+		`SELECT * WHERE { ?x <p> ?y OPTIONAL { ?y <q> ?z } OPTIONAL { ?y <r> ?w } FILTER(!bound(?z)) }`,
+		`SELECT ?x ?y WHERE { ?x <p> ?o . BIND(?o AS ?y) . BIND(42 AS ?tag) }`,
+		`SELECT ?y WHERE { BIND("lonely" AS ?y) }`,
+		`SELECT * WHERE { VALUES ?x { <a> ex:b "lit"@fr 3.5 } ?x <p> ?y }`,
+		`SELECT * WHERE { ?x <p> ?y . VALUES (?x ?y) { (<a> UNDEF) (UNDEF "b") } }`,
+		`PREFIX ex: <http://e/> SELECT * WHERE { ex:s ex:p ex:a , ex:b ; ex:q "v" ; a ex:T . }`,
+		`SELECT * WHERE { <s> <p> <a> ; . <s2> <q> 7 ; }`,
+		`SELECT ?d (COUNT(*) AS ?n) (AVG(?a) AS ?m) WHERE { ?x <in> ?d ; <age> ?a } GROUP BY ?d ORDER BY DESC(?n) LIMIT 3`,
+		`SELECT (COUNT(DISTINCT ?x) AS ?n) (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) (SUM(?a) AS ?s) WHERE { ?x <age> ?a }`,
+		`SELECT * WHERE { { ?x <p> ?y OPTIONAL { ?x <q> ?z } } UNION { VALUES ?x { <a> } } }`,
 		// Every documented rejected construct.
-		`SELECT * WHERE { ?s ?p ?o OPTIONAL { ?s <q> ?r } }`,
+		`SELECT * WHERE { ?s ?p ?o MINUS { ?s <q> ?r } }`,
 		`SELECT * WHERE { ?s <a>/<b> ?o }`,
 		`SELECT * WHERE { { SELECT ?s WHERE { ?s ?p ?o } } }`,
 		`SELECT * WHERE { ?s ?p ?o } GROUP BY ?s`,
+		`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s HAVING(?n > 1)`,
+		`SELECT * WHERE { ?s ?p ?o OPTIONAL { ?a <p> ?b OPTIONAL { ?b <q> ?c } } }`,
+		`SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?s ?p ?o }`,
 		`CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }`,
-		`SELECT * WHERE { ?s <p> <a> ; <q> <b> }`,
+		`SELECT * WHERE { ?s <p> <a> ;; }`,
 		`SELECT * WHERE { ?s ?p ?o . FILTER(isBlank(?s)) }`,
 		`SELECT * WHERE { GRAPH <g> { ?s ?p ?o } }`,
+		`SELECT * WHERE { VALUES (?x ?y) { (<a>) } }`,
 		// Pathological token streams.
 		``,
 		`SELECT`,
@@ -62,16 +79,49 @@ func FuzzParseSelect(f *testing.F) {
 			if len(q.Groups) == 0 {
 				t.Fatalf("accepted query with no groups: %q", text)
 			}
-			for _, g := range q.Groups {
-				if len(g.Patterns) == 0 {
-					t.Fatalf("accepted empty basic graph pattern: %q", text)
-				}
-				for _, pat := range g.Patterns {
+			checkPatterns := func(pats [][3]string) {
+				for _, pat := range pats {
 					for _, term := range pat {
 						if term == "" {
 							t.Fatalf("empty term in %q", text)
 						}
 					}
+				}
+			}
+			for _, g := range q.Groups {
+				if len(g.Patterns) == 0 && len(g.Optionals) == 0 &&
+					len(g.Binds) == 0 && len(g.Values) == 0 {
+					t.Fatalf("accepted empty basic graph pattern: %q", text)
+				}
+				checkPatterns(g.Patterns)
+				for _, o := range g.Optionals {
+					if len(o.Patterns) == 0 {
+						t.Fatalf("accepted empty OPTIONAL: %q", text)
+					}
+					checkPatterns(o.Patterns)
+				}
+				for _, b := range g.Binds {
+					if b.Var == "" || b.Expr == nil {
+						t.Fatalf("malformed BIND in %q", text)
+					}
+				}
+				for _, v := range g.Values {
+					if len(v.Vars) == 0 {
+						t.Fatalf("VALUES with no variables in %q", text)
+					}
+					for _, row := range v.Rows {
+						if len(row) != len(v.Vars) {
+							t.Fatalf("ragged VALUES row in %q", text)
+						}
+					}
+				}
+			}
+			for _, it := range q.Items {
+				if it.Name == "" {
+					t.Fatalf("projection item with no name in %q", text)
+				}
+				if it.Agg != nil && it.Agg.Star && it.Agg.Func != AggCount {
+					t.Fatalf("star aggregate other than COUNT in %q", text)
 				}
 			}
 			if q.Limit < 0 || q.Offset < 0 {

@@ -1,0 +1,97 @@
+package sparql_test
+
+// Golden-file conformance suite for the expanded dialect: every
+// testdata/conformance/*.rq query runs end-to-end through
+// Reasoner.Select against dataset.nt, and its formatted solution table
+// must match the checked-in .golden file byte for byte. Queries pin
+// their row order with ORDER BY (or produce a single aggregate row),
+// so the goldens are deterministic. Regenerate with
+//
+//	go test ./internal/sparql -run TestGoldenConformance -update
+//
+// and review the diff like any other contract change.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inferray"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the conformance .golden files")
+
+func TestGoldenConformance(t *testing.T) {
+	dir := filepath.Join("testdata", "conformance")
+	data, err := os.Open(filepath.Join(dir, "dataset.nt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer data.Close()
+	r := inferray.New(inferray.WithFragment(inferray.RhoDF))
+	if err := r.LoadNTriples(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+
+	queries, err := filepath.Glob(filepath.Join(dir, "*.rq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) == 0 {
+		t.Fatal("no conformance queries found")
+	}
+	for _, path := range queries {
+		name := strings.TrimSuffix(filepath.Base(path), ".rq")
+		t.Run(name, func(t *testing.T) {
+			text, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := formatSolutions(t, r, string(text))
+			goldenPath := strings.TrimSuffix(path, ".rq") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if got != string(want) {
+				t.Errorf("result drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// formatSolutions renders a SELECT result as the golden table: a
+// header with the projection, then one line per row with every
+// projected cell ("-" marks an unbound cell).
+func formatSolutions(t *testing.T, r *inferray.Reasoner, queryText string) string {
+	t.Helper()
+	vars, rows, err := r.SelectWithVars(queryText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("vars: " + strings.Join(vars, " ") + "\n")
+	for _, row := range rows {
+		cells := make([]string, len(vars))
+		for i, v := range vars {
+			if val, ok := row[v]; ok {
+				cells[i] = v + "=" + val
+			} else {
+				cells[i] = v + "=-"
+			}
+		}
+		b.WriteString(strings.Join(cells, "\t") + "\n")
+	}
+	return b.String()
+}

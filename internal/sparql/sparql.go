@@ -6,11 +6,14 @@
 // by plain index scans, which this front-end exposes.
 //
 // Supported: PREFIX declarations, SELECT (with DISTINCT, a projection
-// list or *) and ASK query forms, WHERE with a basic graph pattern or a
-// UNION of braced groups, FILTER (comparisons, logical connectives,
-// regex, bound), ORDER BY (ASC/DESC), LIMIT, and OFFSET. The exact
-// grammar, the term syntax, and the error message for every rejected
-// construct (OPTIONAL, property paths, subqueries, …) are documented in
+// list of variables and aggregates, or *) and ASK query forms, WHERE
+// with a basic graph pattern (predicate-object lists with ';' and
+// object lists with ',' included) or a UNION of braced groups, OPTIONAL
+// blocks, BIND(expr AS ?var), inline VALUES data, FILTER (comparisons,
+// logical connectives, regex, bound), GROUP BY with COUNT/SUM/MIN/MAX/
+// AVG, ORDER BY (ASC/DESC), LIMIT, and OFFSET. The exact grammar, the
+// term syntax, and the error message for every rejected construct
+// (MINUS, property paths, subqueries, …) are documented in
 // docs/SPARQL.md.
 //
 // Every parse failure is a *ParseError carrying the 1-based line and
@@ -42,9 +45,16 @@ type Query struct {
 	// dialect treats as DISTINCT — the spec permits any amount of
 	// duplicate elimination under REDUCED).
 	Distinct bool
-	// Vars is the projection in declaration order; empty means SELECT *
-	// (project every variable in order of first appearance).
+	// Vars is the projection's output column names in declaration
+	// order; empty means SELECT * (project every variable in order of
+	// first appearance).
 	Vars []string
+	// Items is the structured projection, parallel to Vars: one entry
+	// per projected column, plain variable or aggregate. Empty for
+	// SELECT *.
+	Items []SelectItem
+	// GroupBy lists the GROUP BY keys (variable names without '?').
+	GroupBy []string
 	// Groups holds the UNION branches of the WHERE clause; a query
 	// without UNION has exactly one group.
 	Groups []Group
@@ -57,15 +67,76 @@ type Query struct {
 	Offset int
 }
 
-// Group is one UNION branch: a basic graph pattern plus the FILTER
-// constraints written inside its braces.
+// HasAggregates reports whether any projection item is an aggregate
+// (the query then runs through the grouping stage even without an
+// explicit GROUP BY clause).
+func (q *Query) HasAggregates() bool {
+	for _, it := range q.Items {
+		if it.Agg != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectItem is one projected column: a plain variable, or an
+// aggregate written as (AGG(...) AS ?name).
+type SelectItem struct {
+	// Name is the output column (variable name without '?').
+	Name string
+	// Agg is the aggregate call; nil for a plain variable.
+	Agg *Aggregate
+}
+
+// Group is one UNION branch: a basic graph pattern plus the OPTIONAL
+// blocks, BINDs, VALUES data, and FILTER constraints written inside its
+// braces.
 type Group struct {
 	// Patterns is the basic graph pattern; terms are N-Triples surface
 	// forms, with variables as "?name".
 	Patterns [][3]string
+	// Optionals are the group's OPTIONAL blocks, left-joined in order
+	// after Patterns.
+	Optionals []Optional
+	// Binds are the group's BIND(expr AS ?var) assignments, evaluated
+	// in order after the graph patterns.
+	Binds []Bind
+	// Values are the group's inline VALUES blocks, each joined with the
+	// group's solutions.
+	Values []Values
 	// Filters are the group's FILTER constraints; a solution must pass
 	// all of them.
 	Filters []Expr
+}
+
+// Optional is one OPTIONAL block: a basic graph pattern plus FILTERs
+// that are part of the left-join condition (SPARQL's three-valued
+// semantics: a filter that errors on unbound rejects only the
+// extension, never the base solution).
+type Optional struct {
+	// Patterns is the OPTIONAL block's basic graph pattern.
+	Patterns [][3]string
+	// Filters constrain the block's extensions.
+	Filters []Expr
+}
+
+// Bind is one BIND(expr AS ?var) assignment. When the expression
+// errors for a solution (unbound variable, type mismatch), the target
+// is left unbound, per SPARQL.
+type Bind struct {
+	// Var is the target variable name without '?'.
+	Var string
+	// Expr is the bound expression.
+	Expr Expr
+}
+
+// Values is one inline VALUES data block.
+type Values struct {
+	// Vars are the block's variable names without '?'.
+	Vars []string
+	// Rows holds one term surface form per variable per row; "" is
+	// UNDEF (compatible with anything).
+	Rows [][]string
 }
 
 // OrderKey is one ORDER BY sort key.
@@ -85,7 +156,7 @@ type ParseError struct {
 }
 
 // Error formats the failure with its position, e.g.
-// `sparql: OPTIONAL is not supported at line 3:5 (near "OPTIONAL")`.
+// `sparql: MINUS is not supported at line 3:5 (near "MINUS")`.
 func (e *ParseError) Error() string {
 	if e.Token == "" {
 		return fmt.Sprintf("sparql: %s at end of query", e.Msg)
@@ -142,22 +213,107 @@ func ParseQuery(text string) (*Query, error) {
 		return nil, err
 	}
 	if tok := p.peek(); tok != "" {
-		for _, kw := range []string{"GROUP", "HAVING", "OPTIONAL", "UNION", "MINUS", "VALUES", "BIND"} {
+		for _, kw := range []string{"OPTIONAL", "UNION", "VALUES", "BIND", "FILTER"} {
 			if strings.EqualFold(tok, kw) {
-				if kw == "GROUP" {
-					return nil, p.errHere("GROUP BY is not supported")
-				}
-				return nil, p.errHere("%s is not supported", kw)
+				return nil, p.errHere("%s must appear inside the WHERE clause", kw)
 			}
+		}
+		switch {
+		case strings.EqualFold(tok, "GROUP"):
+			return nil, p.errHere("GROUP BY must appear before ORDER BY")
+		case strings.EqualFold(tok, "HAVING"):
+			return nil, p.errHere("HAVING is not supported")
+		case strings.EqualFold(tok, "MINUS"):
+			return nil, p.errHere("MINUS is not supported")
 		}
 		return nil, p.errHere("unsupported or trailing syntax")
 	}
 	for _, g := range q.Groups {
-		if len(g.Patterns) == 0 {
+		if len(g.Patterns) == 0 && len(g.Optionals) == 0 &&
+			len(g.Binds) == 0 && len(g.Values) == 0 {
 			return nil, p.errHere("empty basic graph pattern")
 		}
 	}
+	if err := p.validateGrouping(q); err != nil {
+		return nil, err
+	}
 	return q, nil
+}
+
+// validateGrouping enforces the SPARQL grouping rules that need the
+// whole query: aggregates and GROUP BY only in SELECT, no SELECT *
+// under GROUP BY, plain projected variables covered by GROUP BY, and
+// aggregate aliases distinct from every WHERE-clause variable.
+func (p *parser) validateGrouping(q *Query) error {
+	if q.Form == FormAsk {
+		if len(q.GroupBy) > 0 {
+			return p.errHere("GROUP BY is only valid in a SELECT query")
+		}
+		return nil
+	}
+	hasAgg := q.HasAggregates()
+	if !hasAgg && len(q.GroupBy) == 0 {
+		return nil
+	}
+	if len(q.Vars) == 0 {
+		return p.errHere("SELECT * cannot be combined with GROUP BY")
+	}
+	grouped := map[string]bool{}
+	for _, v := range q.GroupBy {
+		grouped[v] = true
+	}
+	whereVars := map[string]bool{}
+	for _, g := range q.Groups {
+		for v := range groupVars(g) {
+			whereVars[v] = true
+		}
+	}
+	seen := map[string]bool{}
+	for _, it := range q.Items {
+		if seen[it.Name] && it.Agg != nil {
+			return p.errHere("duplicate projection name ?%s", it.Name)
+		}
+		seen[it.Name] = true
+		if it.Agg == nil {
+			if !grouped[it.Name] {
+				return p.errHere("variable ?%s must appear in GROUP BY or inside an aggregate", it.Name)
+			}
+			continue
+		}
+		if whereVars[it.Name] {
+			return p.errHere("AS ?%s would rebind a WHERE-clause variable", it.Name)
+		}
+	}
+	return nil
+}
+
+// groupVars collects every variable a group can bind: triple-pattern
+// variables (required and OPTIONAL), BIND targets, and VALUES
+// variables.
+func groupVars(g Group) map[string]bool {
+	vars := map[string]bool{}
+	addPatterns := func(pats [][3]string) {
+		for _, pat := range pats {
+			for _, t := range pat {
+				if strings.HasPrefix(t, "?") {
+					vars[t[1:]] = true
+				}
+			}
+		}
+	}
+	addPatterns(g.Patterns)
+	for _, o := range g.Optionals {
+		addPatterns(o.Patterns)
+	}
+	for _, b := range g.Binds {
+		vars[b.Var] = true
+	}
+	for _, v := range g.Values {
+		for _, name := range v.Vars {
+			vars[name] = true
+		}
+	}
+	return vars
 }
 
 // ParseSelect parses a SELECT query; an ASK query is an error (use
@@ -173,7 +329,17 @@ func ParseSelect(text string) (*Query, error) {
 	return q, nil
 }
 
-// parseProjection reads DISTINCT/REDUCED and the projection list or *.
+// aggNames maps the projection's aggregate keywords to their functions.
+var aggNames = map[string]AggFunc{
+	"COUNT": AggCount,
+	"SUM":   AggSum,
+	"MIN":   AggMin,
+	"MAX":   AggMax,
+	"AVG":   AggAvg,
+}
+
+// parseProjection reads DISTINCT/REDUCED and the projection list — a
+// mix of plain ?variables and (AGG(...) AS ?name) items — or *.
 func (p *parser) parseProjection(q *Query) error {
 	if p.peekKeyword("DISTINCT") || p.peekKeyword("REDUCED") {
 		q.Distinct = true
@@ -183,12 +349,26 @@ func (p *parser) parseProjection(q *Query) error {
 		p.next()
 		return nil
 	}
-	for strings.HasPrefix(p.peek(), "?") {
-		tok := p.next()
-		if len(tok) == 1 {
-			return p.errPrev("bare '?' is not a variable")
+	for {
+		switch {
+		case strings.HasPrefix(p.peek(), "?"):
+			tok := p.next()
+			if len(tok) == 1 {
+				return p.errPrev("bare '?' is not a variable")
+			}
+			q.Vars = append(q.Vars, tok[1:])
+			q.Items = append(q.Items, SelectItem{Name: tok[1:]})
+			continue
+		case p.peekTok("("):
+			item, err := p.parseAggregateItem()
+			if err != nil {
+				return err
+			}
+			q.Vars = append(q.Vars, item.Name)
+			q.Items = append(q.Items, item)
+			continue
 		}
-		q.Vars = append(q.Vars, tok[1:])
+		break
 	}
 	if len(q.Vars) == 0 {
 		return p.errHere("SELECT needs a projection list or *")
@@ -196,8 +376,65 @@ func (p *parser) parseProjection(q *Query) error {
 	return nil
 }
 
-// parseWhere reads the braced WHERE clause: either one basic graph
-// pattern or a chain of braced groups joined by UNION.
+// parseAggregateItem reads one (AGG([DISTINCT] ?var|*) AS ?name)
+// projection item; the cursor sits on the opening '('.
+func (p *parser) parseAggregateItem() (SelectItem, error) {
+	var item SelectItem
+	p.next() // consume '('
+	fn, ok := aggNames[strings.ToUpper(p.peek())]
+	if !ok {
+		return item, p.errHere("expected an aggregate (COUNT, SUM, MIN, MAX, AVG) after '(' in the projection")
+	}
+	p.next()
+	agg := &Aggregate{Func: fn}
+	if !p.peekTok("(") {
+		return item, p.errHere("expected '(' after the aggregate name")
+	}
+	p.next()
+	if p.peekKeyword("DISTINCT") {
+		agg.Distinct = true
+		p.next()
+	}
+	switch {
+	case p.peekTok("*"):
+		if fn != AggCount {
+			return item, p.errHere("only COUNT accepts *")
+		}
+		if agg.Distinct {
+			return item, p.errHere("COUNT(DISTINCT *) is not supported")
+		}
+		agg.Star = true
+		p.next()
+	default:
+		v, err := p.nextVar()
+		if err != nil {
+			return item, err
+		}
+		agg.Var = v
+	}
+	if !p.peekTok(")") {
+		return item, p.errHere("expected ')' to close the aggregate argument")
+	}
+	p.next()
+	if !p.peekKeyword("AS") {
+		return item, p.errHere("expected AS in (aggregate AS ?name)")
+	}
+	p.next()
+	name, err := p.nextVar()
+	if err != nil {
+		return item, err
+	}
+	if !p.peekTok(")") {
+		return item, p.errHere("expected ')' to close the projection item")
+	}
+	p.next()
+	item.Name = name
+	item.Agg = agg
+	return item, nil
+}
+
+// parseWhere reads the braced WHERE clause: either one group body or a
+// chain of braced groups joined by UNION.
 func (p *parser) parseWhere(prefixes map[string]string) ([]Group, error) {
 	if !p.peekTok("{") {
 		return nil, p.errHere("expected '{' to open the WHERE clause")
@@ -230,7 +467,7 @@ func (p *parser) parseWhere(prefixes map[string]string) ([]Group, error) {
 		return groups, nil
 	}
 
-	g, err := p.parseGroupBody(prefixes)
+	g, err := p.parseGroupBody(prefixes, false)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +481,7 @@ func (p *parser) parseBracedGroup(prefixes map[string]string) (Group, error) {
 	if p.peekKeyword("SELECT") {
 		return Group{}, p.errHere("subqueries are not supported")
 	}
-	g, err := p.parseGroupBody(prefixes)
+	g, err := p.parseGroupBody(prefixes, false)
 	if err != nil {
 		return Group{}, err
 	}
@@ -252,10 +489,13 @@ func (p *parser) parseBracedGroup(prefixes map[string]string) (Group, error) {
 	return g, nil
 }
 
-// parseGroupBody parses triple patterns and FILTERs up to (not
-// consuming) the closing '}'.
-func (p *parser) parseGroupBody(prefixes map[string]string) (Group, error) {
+// parseGroupBody parses triple patterns (with ';' predicate-object
+// lists and ',' object lists), OPTIONAL blocks, BINDs, VALUES data,
+// and FILTERs up to (not consuming) the closing '}'. inOptional
+// restricts the body to patterns and FILTERs (no nesting).
+func (p *parser) parseGroupBody(prefixes map[string]string, inOptional bool) (Group, error) {
 	var g Group
+	var bindPos []int // token index of each BIND, for rebind errors
 	for !p.peekTok("}") {
 		tok := p.peek()
 		switch {
@@ -273,17 +513,62 @@ func (p *parser) parseGroupBody(prefixes map[string]string) (Group, error) {
 			}
 			continue
 		case p.peekKeyword("OPTIONAL"):
-			return g, p.errHere("OPTIONAL is not supported")
+			if inOptional {
+				return g, p.errHere("nested OPTIONAL is not supported")
+			}
+			p.next()
+			if !p.peekTok("{") {
+				return g, p.errHere("expected '{' after OPTIONAL")
+			}
+			p.next()
+			og, err := p.parseGroupBody(prefixes, true)
+			if err != nil {
+				return g, err
+			}
+			if len(og.Patterns) == 0 {
+				return g, p.errHere("OPTIONAL needs at least one triple pattern")
+			}
+			p.next() // consume '}'
+			g.Optionals = append(g.Optionals, Optional{Patterns: og.Patterns, Filters: og.Filters})
+			if p.peekTok(".") {
+				p.next()
+			}
+			continue
+		case p.peekKeyword("BIND"):
+			if inOptional {
+				return g, p.errHere("BIND inside OPTIONAL is not supported")
+			}
+			bindPos = append(bindPos, p.pos)
+			p.next()
+			b, err := p.parseBind(prefixes)
+			if err != nil {
+				return g, err
+			}
+			g.Binds = append(g.Binds, b)
+			if p.peekTok(".") {
+				p.next()
+			}
+			continue
+		case p.peekKeyword("VALUES"):
+			if inOptional {
+				return g, p.errHere("VALUES inside OPTIONAL is not supported")
+			}
+			p.next()
+			v, err := p.parseValues(prefixes)
+			if err != nil {
+				return g, err
+			}
+			g.Values = append(g.Values, v)
+			if p.peekTok(".") {
+				p.next()
+			}
+			continue
 		case p.peekKeyword("MINUS"):
 			return g, p.errHere("MINUS is not supported")
 		case p.peekKeyword("GRAPH"):
 			return g, p.errHere("GRAPH is not supported")
 		case p.peekKeyword("SERVICE"):
 			return g, p.errHere("SERVICE is not supported")
-		case p.peekKeyword("BIND"):
-			return g, p.errHere("BIND is not supported")
-		case p.peekKeyword("VALUES"):
-			return g, p.errHere("VALUES is not supported")
 		case p.peekKeyword("UNION"):
 			return g, p.errHere("UNION must combine braced groups ({ … } UNION { … })")
 		case tok == "{":
@@ -294,42 +579,211 @@ func (p *parser) parseGroupBody(prefixes map[string]string) (Group, error) {
 			return g, p.errHere("nested group patterns are not supported (UNION branches must be the entire WHERE clause)")
 		}
 
-		var pat [3]string
-		for i := 0; i < 3; i++ {
-			tok := p.peek()
-			if tok == "" {
-				return g, p.errHere("unexpected end of query in triple pattern")
-			}
-			if isPathToken(tok) {
-				return g, p.errHere("property paths are not supported")
-			}
-			if tok == ";" {
-				return g, p.errHere("predicate-object lists (';') are not supported")
-			}
-			if tok == "," {
-				return g, p.errHere("object lists (',') are not supported")
-			}
-			p.next()
-			term, err := resolveTerm(tok, i == 1, prefixes)
-			if err != nil {
-				return g, p.errPrev("%s", err)
-			}
-			pat[i] = term
-			if i == 1 && isPathToken(p.peek()) {
-				return g, p.errHere("property paths are not supported")
-			}
+		if err := p.parseTriplesBlock(&g, prefixes); err != nil {
+			return g, err
 		}
-		g.Patterns = append(g.Patterns, pat)
-		switch {
-		case p.peekTok("."):
+		if p.peekTok(".") {
 			p.next()
-		case p.peekTok(";"):
-			return g, p.errHere("predicate-object lists (';') are not supported")
-		case p.peekTok(","):
-			return g, p.errHere("object lists (',') are not supported")
 		}
 	}
+	// SPARQL scoping: BIND may not rebind a variable the group already
+	// binds. This dialect evaluates BINDs after the graph patterns, so
+	// the target must be fresh with respect to the whole group —
+	// pattern variables (required and OPTIONAL) and VALUES variables
+	// alike, plus every earlier BIND (checked sequentially, hence the
+	// bind-free Group handed to groupVars).
+	bound := groupVars(Group{Patterns: g.Patterns, Optionals: g.Optionals, Values: g.Values})
+	for i, b := range g.Binds {
+		if bound[b.Var] {
+			return g, p.errAtIndex(bindPos[i], "BIND target ?%s is already bound in the group", b.Var)
+		}
+		bound[b.Var] = true
+	}
 	return g, nil
+}
+
+// parseTriplesBlock parses one subject with its predicate-object list:
+// `s p o`, extended by `, o2` (same subject and predicate) and
+// `; p2 o3` (same subject). A trailing ';' before '.' or '}' is
+// accepted, as in SPARQL.
+func (p *parser) parseTriplesBlock(g *Group, prefixes map[string]string) error {
+	subj, err := p.patternTerm(0, prefixes)
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.patternTerm(1, prefixes)
+		if err != nil {
+			return err
+		}
+		if isPathToken(p.peek()) {
+			return p.errHere("property paths are not supported")
+		}
+		for {
+			obj, err := p.patternTerm(2, prefixes)
+			if err != nil {
+				return err
+			}
+			g.Patterns = append(g.Patterns, [3]string{subj, pred, obj})
+			if p.peekTok(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if p.peekTok(";") {
+			p.next()
+			for p.peekTok(";") { // empty list entries are legal
+				p.next()
+			}
+			if p.peekTok(".") || p.peekTok("}") {
+				break // trailing ';'
+			}
+			continue
+		}
+		break
+	}
+	return nil
+}
+
+// patternTerm reads one triple-pattern term at position pos
+// (0=subject, 1=predicate, 2=object) and resolves it to an N-Triples
+// surface form.
+func (p *parser) patternTerm(pos int, prefixes map[string]string) (string, error) {
+	tok := p.peek()
+	switch {
+	case tok == "":
+		return "", p.errHere("unexpected end of query in triple pattern")
+	case isPathToken(tok):
+		return "", p.errHere("property paths are not supported")
+	case tok == ";" || tok == "," || tok == ".":
+		return "", p.errHere("unexpected %q in triple pattern", tok)
+	}
+	p.next()
+	term, err := resolveTerm(tok, pos == 1, prefixes)
+	if err != nil {
+		return "", p.errPrev("%s", err)
+	}
+	return term, nil
+}
+
+// parseBind reads `( expr AS ?var )`; the BIND keyword is consumed.
+func (p *parser) parseBind(prefixes map[string]string) (Bind, error) {
+	var b Bind
+	if !p.peekTok("(") {
+		return b, p.errHere("expected '(' after BIND")
+	}
+	p.next()
+	e, err := p.parseExpr(prefixes)
+	if err != nil {
+		return b, err
+	}
+	if !p.peekKeyword("AS") {
+		return b, p.errHere("expected AS in BIND(expr AS ?var)")
+	}
+	p.next()
+	v, err := p.nextVar()
+	if err != nil {
+		return b, err
+	}
+	if !p.peekTok(")") {
+		return b, p.errHere("expected ')' to close BIND")
+	}
+	p.next()
+	b.Var = v
+	b.Expr = e
+	return b, nil
+}
+
+// parseValues reads an inline data block; the VALUES keyword is
+// consumed. Single-variable form `?v { t … }` and full form
+// `( ?v … ) { ( t … ) … }` are both accepted; UNDEF leaves a cell
+// unbound.
+func (p *parser) parseValues(prefixes map[string]string) (Values, error) {
+	var v Values
+	switch {
+	case strings.HasPrefix(p.peek(), "?"):
+		name, err := p.nextVar()
+		if err != nil {
+			return v, err
+		}
+		v.Vars = []string{name}
+		if !p.peekTok("{") {
+			return v, p.errHere("expected '{' to open the VALUES data block")
+		}
+		p.next()
+		for !p.peekTok("}") {
+			term, err := p.valuesTerm(prefixes)
+			if err != nil {
+				return v, err
+			}
+			v.Rows = append(v.Rows, []string{term})
+		}
+		p.next()
+	case p.peekTok("("):
+		p.next()
+		for strings.HasPrefix(p.peek(), "?") {
+			name, err := p.nextVar()
+			if err != nil {
+				return v, err
+			}
+			v.Vars = append(v.Vars, name)
+		}
+		if len(v.Vars) == 0 {
+			return v, p.errHere("VALUES needs at least one variable")
+		}
+		if !p.peekTok(")") {
+			return v, p.errHere("expected ')' to close the VALUES variable list")
+		}
+		p.next()
+		if !p.peekTok("{") {
+			return v, p.errHere("expected '{' to open the VALUES data block")
+		}
+		p.next()
+		for !p.peekTok("}") {
+			if !p.peekTok("(") {
+				return v, p.errHere("expected '(' to open a VALUES row")
+			}
+			p.next()
+			var row []string
+			for !p.peekTok(")") {
+				term, err := p.valuesTerm(prefixes)
+				if err != nil {
+					return v, err
+				}
+				row = append(row, term)
+			}
+			p.next()
+			if len(row) != len(v.Vars) {
+				return v, p.errPrev("VALUES row has %d terms, want %d", len(row), len(v.Vars))
+			}
+			v.Rows = append(v.Rows, row)
+		}
+		p.next()
+	default:
+		return v, p.errHere("VALUES needs a ?variable or a parenthesized variable list")
+	}
+	return v, nil
+}
+
+// valuesTerm reads one VALUES cell: a constant term or UNDEF ("").
+func (p *parser) valuesTerm(prefixes map[string]string) (string, error) {
+	tok := p.peek()
+	switch {
+	case tok == "":
+		return "", p.errHere("unexpected end of query in VALUES data block")
+	case strings.EqualFold(tok, "UNDEF"):
+		p.next()
+		return "", nil
+	case strings.HasPrefix(tok, "?"):
+		return "", p.errHere("variables cannot appear in VALUES data")
+	}
+	p.next()
+	term, err := resolveTerm(tok, false, prefixes)
+	if err != nil {
+		return "", p.errPrev("%s", err)
+	}
+	return term, nil
 }
 
 // expandLiteralDatatype rewrites a prefixed datatype ("5"^^xsd:int)
@@ -364,9 +818,29 @@ func isPathToken(tok string) bool {
 	return false
 }
 
-// parseModifiers reads ORDER BY, LIMIT, and OFFSET (LIMIT and OFFSET in
-// either order, each at most once).
+// parseModifiers reads GROUP BY, ORDER BY, LIMIT, and OFFSET (LIMIT
+// and OFFSET in either order, each at most once).
 func (p *parser) parseModifiers(q *Query) error {
+	if p.peekKeyword("GROUP") {
+		p.next()
+		if !p.peekKeyword("BY") {
+			return p.errHere("expected BY after GROUP")
+		}
+		p.next()
+		for strings.HasPrefix(p.peek(), "?") {
+			v, err := p.nextVar()
+			if err != nil {
+				return err
+			}
+			q.GroupBy = append(q.GroupBy, v)
+		}
+		if len(q.GroupBy) == 0 {
+			return p.errHere("GROUP BY needs at least one ?var key")
+		}
+	}
+	if p.peekKeyword("HAVING") {
+		return p.errHere("HAVING is not supported")
+	}
 	if p.peekKeyword("ORDER") {
 		p.next()
 		if !p.peekKeyword("BY") {
@@ -432,7 +906,10 @@ func (p *parser) parseModifiers(q *Query) error {
 	return nil
 }
 
-// resolveTerm converts one token into an N-Triples surface form.
+// resolveTerm converts one token into an N-Triples surface form. A
+// bare number outside predicate position denotes the plain literal
+// with that lexical form (the dialect's numeric widening makes it
+// compare numerically in FILTERs).
 func resolveTerm(tok string, predicatePos bool, prefixes map[string]string) (string, error) {
 	switch {
 	case tok == "a" && predicatePos:
@@ -452,6 +929,14 @@ func resolveTerm(tok string, predicatePos bool, prefixes map[string]string) (str
 	case strings.HasPrefix(tok, "_:"):
 		return tok, nil
 	default:
+		// The ParseFloat check after the lexical gate rejects
+		// range-overflowing tokens (1e999) here exactly as the FILTER
+		// operand parser does.
+		if !predicatePos && numericLexical(tok) {
+			if _, err := strconv.ParseFloat(tok, 64); err == nil {
+				return `"` + tok + `"`, nil
+			}
+		}
 		colon := strings.IndexByte(tok, ':')
 		if colon < 0 {
 			return "", fmt.Errorf("cannot parse term %q", tok)
@@ -462,6 +947,54 @@ func resolveTerm(tok string, predicatePos bool, prefixes map[string]string) (str
 		}
 		return "<" + ns + tok[colon+1:] + ">", nil
 	}
+}
+
+// numericLexical reports whether tok spells a SPARQL numeric literal:
+// an optional sign, digits with at most one decimal point (at least
+// one digit total), and an optional exponent. Deliberately stricter
+// than strconv.ParseFloat, which also accepts NaN, Inf, hex floats,
+// and underscore-grouped digits — none of which should silently
+// become an unmatchable literal instead of a parse error.
+func numericLexical(tok string) bool {
+	i := 0
+	if i < len(tok) && (tok[i] == '+' || tok[i] == '-') {
+		i++
+	}
+	digits, dot := 0, false
+	for i < len(tok) {
+		switch c := tok[i]; {
+		case c >= '0' && c <= '9':
+			digits++
+		case c == '.' && !dot:
+			dot = true
+		default:
+			goto exponent
+		}
+		i++
+	}
+exponent:
+	if digits == 0 {
+		return false
+	}
+	if i == len(tok) {
+		return true
+	}
+	if tok[i] != 'e' && tok[i] != 'E' {
+		return false
+	}
+	i++
+	if i < len(tok) && (tok[i] == '+' || tok[i] == '-') {
+		i++
+	}
+	if i == len(tok) {
+		return false
+	}
+	for ; i < len(tok); i++ {
+		if tok[i] < '0' || tok[i] > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // ---------------------------------------------------------------- parser

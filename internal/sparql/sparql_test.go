@@ -239,25 +239,35 @@ func TestParseErrors(t *testing.T) {
 // docs/SPARQL.md table is the contract).
 func TestRejectedConstructMessages(t *testing.T) {
 	cases := map[string]string{
-		`SELECT * WHERE { ?s ?p ?o OPTIONAL { ?s <q> ?r } }`:  "OPTIONAL is not supported",
-		`SELECT * WHERE { ?s ?p ?o MINUS { ?s <q> ?r } }`:     "MINUS is not supported",
-		`SELECT * WHERE { GRAPH <g> { ?s ?p ?o } }`:           "GRAPH is not supported",
-		`SELECT * WHERE { SERVICE <e> { ?s ?p ?o } }`:         "SERVICE is not supported",
-		`SELECT * WHERE { ?s ?p ?o BIND(1 AS ?x) }`:           "BIND is not supported",
-		`SELECT * WHERE { ?s ?p ?o VALUES ?x { 1 } }`:         "VALUES is not supported",
-		`SELECT * WHERE { ?s <a>/<b> ?o }`:                    "property paths are not supported",
-		`SELECT * WHERE { ?s <a>|<b> ?o }`:                    "property paths are not supported",
-		`SELECT * WHERE { ?s ^<a> ?o }`:                       "property paths are not supported",
-		`SELECT * WHERE { { SELECT ?s WHERE { ?s ?p ?o } } }`: "subqueries are not supported",
-		`SELECT * WHERE { ?s ?p ?o } GROUP BY ?s`:             "GROUP BY is not supported",
-		`CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }`:           "only SELECT and ASK query forms are supported",
+		`SELECT * WHERE { ?s ?p ?o MINUS { ?s <q> ?r } }`:                       "MINUS is not supported",
+		`SELECT * WHERE { GRAPH <g> { ?s ?p ?o } }`:                             "GRAPH is not supported",
+		`SELECT * WHERE { SERVICE <e> { ?s ?p ?o } }`:                           "SERVICE is not supported",
+		`SELECT * WHERE { ?s <a>/<b> ?o }`:                                      "property paths are not supported",
+		`SELECT * WHERE { ?s <a>|<b> ?o }`:                                      "property paths are not supported",
+		`SELECT * WHERE { ?s ^<a> ?o }`:                                         "property paths are not supported",
+		`SELECT * WHERE { { SELECT ?s WHERE { ?s ?p ?o } } }`:                   "subqueries are not supported",
+		`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s HAVING(?n > 1)`: "HAVING is not supported",
+		`CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }`:                             "only SELECT and ASK query forms are supported",
 		`DESCRIBE <x>`: "only SELECT and ASK query forms are supported",
-		`SELECT * WHERE { ?s <p> <a> ; <q> <b> }`:                   "predicate-object lists (';') are not supported",
-		`SELECT * WHERE { ?s <p> <a> , <b> }`:                       "object lists (',') are not supported",
-		`SELECT * WHERE { ?s ?p ?o . FILTER(isBlank(?s)) }`:         "FILTER function isblank is not supported",
-		`SELECT * WHERE { ?s ?p ?o . FILTER EXISTS { ?s <q> ?r } }`: "FILTER needs a parenthesized expression",
-		`SELECT * WHERE { ?s ?p ?o . { ?s <q> ?r } }`:               "nested group patterns are not supported",
-		`SELECT * WHERE { ?s ?p ?o UNION { ?s <q> ?r } }`:           "UNION must combine braced groups",
+		`SELECT * WHERE { ?s ?p ?o . FILTER(isBlank(?s)) }`:                         "FILTER function isblank is not supported",
+		`SELECT * WHERE { ?s ?p ?o . FILTER EXISTS { ?s <q> ?r } }`:                 "FILTER needs a parenthesized expression",
+		`SELECT * WHERE { ?s ?p ?o . { ?s <q> ?r } }`:                               "nested group patterns are not supported",
+		`SELECT * WHERE { ?s ?p ?o UNION { ?s <q> ?r } }`:                           "UNION must combine braced groups",
+		`SELECT * WHERE { ?s ?p ?o OPTIONAL { ?a <p> ?b OPTIONAL { ?b <q> ?c } } }`: "nested OPTIONAL is not supported",
+		`SELECT * WHERE { ?s ?p ?o OPTIONAL { ?s <q> ?r BIND(1 AS ?x) } }`:          "BIND inside OPTIONAL is not supported",
+		`SELECT * WHERE { ?s ?p ?o OPTIONAL { ?s <q> ?r VALUES ?x { 1 } } }`:        "VALUES inside OPTIONAL is not supported",
+		`SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?s ?p ?o }`:                       "COUNT(DISTINCT *) is not supported",
+		`SELECT (SUM(*) AS ?n) WHERE { ?s ?p ?o }`:                                  "only COUNT accepts *",
+		`SELECT * WHERE { ?s ?p ?o } GROUP BY ?s`:                                   "SELECT * cannot be combined with GROUP BY",
+		`SELECT ?p WHERE { ?s ?p ?o } GROUP BY ?s`:                                  "variable ?p must appear in GROUP BY or inside an aggregate",
+		`SELECT ?s (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`:                             "variable ?s must appear in GROUP BY or inside an aggregate",
+		`SELECT (COUNT(*) AS ?s) WHERE { ?s ?p ?o }`:                                "AS ?s would rebind a WHERE-clause variable",
+		`SELECT * WHERE { ?s <p> ?o . BIND(?o AS ?o) }`:                             "BIND target ?o is already bound in the group",
+		`SELECT * WHERE { ?s ?p ?o } VALUES ?x { <a> }`:                             "VALUES must appear inside the WHERE clause",
+		`SELECT * WHERE { ?s ?p ?o } ORDER BY ?s GROUP BY ?s`:                       "GROUP BY must appear before ORDER BY",
+		`ASK { ?s ?p ?o } GROUP BY ?s`:                                              "GROUP BY is only valid in a SELECT query",
+		`SELECT * WHERE { ?s <p> ?o . VALUES ?x { ?y } }`:                           "variables cannot appear in VALUES data",
+		`SELECT * WHERE { VALUES (?x ?y) { (<a>) } ?x <p> ?y }`:                     "VALUES row has 1 terms, want 2",
 	}
 	for text, wantMsg := range cases {
 		_, err := ParseQuery(text)
@@ -273,12 +283,12 @@ func TestRejectedConstructMessages(t *testing.T) {
 
 // Parse errors carry the 1-based line and column of the offending token.
 func TestParseErrorPositions(t *testing.T) {
-	_, err := ParseQuery("SELECT ?x WHERE {\n  ?x <p> ?y .\n  OPTIONAL { ?x <q> ?z }\n}")
+	_, err := ParseQuery("SELECT ?x WHERE {\n  ?x <p> ?y .\n  MINUS { ?x <q> ?z }\n}")
 	var pe *ParseError
 	if !errors.As(err, &pe) {
 		t.Fatalf("error is %T, want *ParseError", err)
 	}
-	if pe.Line != 3 || pe.Col != 3 || pe.Token != "OPTIONAL" {
+	if pe.Line != 3 || pe.Col != 3 || pe.Token != "MINUS" {
 		t.Fatalf("position = line %d col %d token %q", pe.Line, pe.Col, pe.Token)
 	}
 	if !strings.Contains(pe.Error(), "line 3:3") {
@@ -291,6 +301,248 @@ func TestParseErrorPositions(t *testing.T) {
 	}
 	if !strings.Contains(pe.Error(), "end of query") {
 		t.Fatalf("EOF rendering: %v", pe)
+	}
+}
+
+// ------------------------------------------------- SPARQL 1.1 expansion
+
+func TestParseOptional(t *testing.T) {
+	q := mustParse(t, `SELECT ?x ?n WHERE {
+  ?x a <Person> .
+  OPTIONAL { ?x <name> ?n . FILTER(?n != "x") }
+  OPTIONAL { ?x <age> ?a }
+}`)
+	g := q.Groups[0]
+	if len(g.Patterns) != 1 || len(g.Optionals) != 2 {
+		t.Fatalf("group = %+v", g)
+	}
+	if len(g.Optionals[0].Patterns) != 1 || len(g.Optionals[0].Filters) != 1 {
+		t.Fatalf("optional 0 = %+v", g.Optionals[0])
+	}
+	if g.Optionals[1].Patterns[0] != [3]string{"?x", "<age>", "?a"} {
+		t.Fatalf("optional 1 = %+v", g.Optionals[1])
+	}
+}
+
+func TestParseOptionalInUnionBranch(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE {
+  { ?x <p> ?y OPTIONAL { ?y <q> ?z } }
+  UNION { ?x <r> ?y }
+}`)
+	if len(q.Groups) != 2 || len(q.Groups[0].Optionals) != 1 {
+		t.Fatalf("groups = %+v", q.Groups)
+	}
+}
+
+func TestParseBind(t *testing.T) {
+	q := mustParse(t, `SELECT ?x ?y WHERE { ?x <p> ?o . BIND(?o AS ?y) . BIND(42 AS ?mean) }`)
+	g := q.Groups[0]
+	if len(g.Binds) != 2 || g.Binds[0].Var != "y" || g.Binds[1].Var != "mean" {
+		t.Fatalf("binds = %+v", g.Binds)
+	}
+	if g.Binds[0].Expr.String() != "?o" {
+		t.Fatalf("bind expr = %s", g.Binds[0].Expr)
+	}
+	// A BIND-only group is a valid unit-solution group.
+	q = mustParse(t, `SELECT ?y WHERE { BIND(1 AS ?y) }`)
+	if len(q.Groups[0].Binds) != 1 || len(q.Groups[0].Patterns) != 0 {
+		t.Fatalf("bind-only group = %+v", q.Groups[0])
+	}
+}
+
+func TestParseValuesForms(t *testing.T) {
+	q := mustParse(t, `PREFIX ex: <http://e/>
+SELECT * WHERE { ?x <p> ?y . VALUES ?x { ex:a <b> "lit" 42 } }`)
+	v := q.Groups[0].Values[0]
+	if len(v.Vars) != 1 || v.Vars[0] != "x" || len(v.Rows) != 4 {
+		t.Fatalf("values = %+v", v)
+	}
+	want := []string{"<http://e/a>", "<b>", `"lit"`, `"42"`}
+	for i, w := range want {
+		if v.Rows[i][0] != w {
+			t.Errorf("row %d = %q, want %q", i, v.Rows[i][0], w)
+		}
+	}
+
+	q = mustParse(t, `SELECT * WHERE { ?x <p> ?y VALUES (?x ?y) { (<a> <b>) (UNDEF <c>) } }`)
+	v = q.Groups[0].Values[0]
+	if len(v.Vars) != 2 || len(v.Rows) != 2 {
+		t.Fatalf("values = %+v", v)
+	}
+	if v.Rows[1][0] != "" || v.Rows[1][1] != "<c>" {
+		t.Fatalf("UNDEF row = %+v", v.Rows[1])
+	}
+
+	// VALUES-only group: the data block is the whole pattern.
+	q = mustParse(t, `SELECT ?x WHERE { VALUES ?x { <a> <b> } }`)
+	if len(q.Groups[0].Values) != 1 || len(q.Groups[0].Patterns) != 0 {
+		t.Fatalf("values-only group = %+v", q.Groups[0])
+	}
+}
+
+func TestParsePredicateObjectLists(t *testing.T) {
+	q := mustParse(t, `PREFIX ex: <http://e/>
+SELECT * WHERE { ex:s ex:p ex:a , ex:b ; ex:q ex:c ; a ex:T . ?x ex:r ?y }`)
+	want := [][3]string{
+		{"<http://e/s>", "<http://e/p>", "<http://e/a>"},
+		{"<http://e/s>", "<http://e/p>", "<http://e/b>"},
+		{"<http://e/s>", "<http://e/q>", "<http://e/c>"},
+		{"<http://e/s>", "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>", "<http://e/T>"},
+		{"?x", "<http://e/r>", "?y"},
+	}
+	if !reflect.DeepEqual(q.Groups[0].Patterns, want) {
+		t.Fatalf("patterns = %v", q.Groups[0].Patterns)
+	}
+	// Trailing ';' before '.' or '}' is legal, as in SPARQL.
+	q = mustParse(t, `SELECT * WHERE { <s> <p> <a> ; . <s2> <q> <b> ; }`)
+	if len(q.Groups[0].Patterns) != 2 {
+		t.Fatalf("trailing-semicolon patterns = %v", q.Groups[0].Patterns)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q := mustParse(t, `SELECT ?d (COUNT(*) AS ?n) (SUM(?a) AS ?sum) (COUNT(DISTINCT ?x) AS ?dx)
+WHERE { ?x <in> ?d ; <age> ?a } GROUP BY ?d`)
+	if !reflect.DeepEqual(q.Vars, []string{"d", "n", "sum", "dx"}) {
+		t.Fatalf("vars = %v", q.Vars)
+	}
+	if !reflect.DeepEqual(q.GroupBy, []string{"d"}) {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+	if !q.HasAggregates() {
+		t.Fatal("HasAggregates = false")
+	}
+	items := q.Items
+	if items[0].Agg != nil || items[1].Agg == nil || items[2].Agg == nil || items[3].Agg == nil {
+		t.Fatalf("items = %+v", items)
+	}
+	if !items[1].Agg.Star || items[1].Agg.Func != AggCount {
+		t.Fatalf("COUNT(*) = %+v", items[1].Agg)
+	}
+	if items[2].Agg.Func != AggSum || items[2].Agg.Var != "a" {
+		t.Fatalf("SUM = %+v", items[2].Agg)
+	}
+	if !items[3].Agg.Distinct || items[3].Agg.Var != "x" {
+		t.Fatalf("COUNT DISTINCT = %+v", items[3].Agg)
+	}
+	// Aggregates without GROUP BY: one implicit group.
+	q = mustParse(t, `SELECT (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) WHERE { ?x <age> ?a }`)
+	if len(q.GroupBy) != 0 || !q.HasAggregates() {
+		t.Fatalf("implicit group query = %+v", q)
+	}
+}
+
+func TestParseNumberTerm(t *testing.T) {
+	for _, tok := range []string{"42", "3.5", "-7", "1e3", "2.5E-2"} {
+		q := mustParse(t, `SELECT ?x WHERE { ?x <age> `+tok+` }`)
+		if got := q.Groups[0].Patterns[0][2]; got != `"`+tok+`"` {
+			t.Errorf("bare number %s = %q", tok, got)
+		}
+	}
+	// Predicate position stays an error.
+	if _, err := ParseQuery(`SELECT ?x WHERE { ?x 42 ?o }`); err == nil ||
+		!strings.Contains(err.Error(), "cannot parse term") {
+		t.Fatalf("numeric predicate: %v", err)
+	}
+	// Only the documented numeric shapes: everything ParseFloat would
+	// additionally swallow must stay a deterministic parse error, not a
+	// silently-unmatchable literal.
+	for _, tok := range []string{"NaN", "Inf", "Infinity", "0x1p2", "1_000", "e3", "-", "1e", "1e+", "1e999"} {
+		if _, err := ParseQuery(`SELECT ?x WHERE { ?x <age> ` + tok + ` }`); err == nil {
+			t.Errorf("accepted non-numeric bare term %q", tok)
+		}
+	}
+	// Same strictness for FILTER constants.
+	if _, err := ParseQuery(`SELECT ?x WHERE { ?x <age> ?a . FILTER(?a = NaN) }`); err == nil ||
+		!strings.Contains(err.Error(), "cannot parse FILTER operand") {
+		t.Fatalf("NaN FILTER constant: %v", err)
+	}
+}
+
+// BIND may not target a variable the group binds anywhere — patterns,
+// OPTIONAL blocks, or VALUES — else the query would silently join
+// instead of erroring like the pattern-variable case does.
+func TestParseBindValuesCollisionRejected(t *testing.T) {
+	_, err := ParseQuery(`SELECT * WHERE { ?s <p> ?o . VALUES ?x { <a> } BIND(<b> AS ?x) }`)
+	if err == nil || !strings.Contains(err.Error(), "BIND target ?x is already bound in the group") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAggStateSemantics(t *testing.T) {
+	obs := func(a *Aggregate, terms ...string) (string, bool) {
+		st := NewAggState(a)
+		for _, term := range terms {
+			st.Observe(term, term != "")
+		}
+		return st.Result()
+	}
+	intLit := func(n string) string { return `"` + n + `"^^<http://www.w3.org/2001/XMLSchema#integer>` }
+
+	if got, ok := obs(&Aggregate{Func: AggCount, Star: true}, "", "", ""); !ok || got != intLit("3") {
+		t.Errorf("COUNT(*) = %q %t", got, ok)
+	}
+	if got, ok := obs(&Aggregate{Func: AggCount, Var: "v"}, `"a"`, "", `"a"`); !ok || got != intLit("2") {
+		t.Errorf("COUNT(?v) skips unbound: %q %t", got, ok)
+	}
+	if got, ok := obs(&Aggregate{Func: AggCount, Var: "v", Distinct: true}, `"a"`, `"b"`, `"a"`); !ok || got != intLit("2") {
+		t.Errorf("COUNT(DISTINCT ?v) = %q %t", got, ok)
+	}
+	if got, ok := obs(&Aggregate{Func: AggSum, Var: "v"}, `"2"`, `"40"^^<http://www.w3.org/2001/XMLSchema#int>`); !ok || got != intLit("42") {
+		t.Errorf("SUM = %q %t", got, ok)
+	}
+	if _, ok := obs(&Aggregate{Func: AggSum, Var: "v"}, `"2"`, `"x"`); ok {
+		t.Error("SUM over a non-numeric value must be unbound")
+	}
+	if got, ok := obs(&Aggregate{Func: AggSum, Var: "v"}); !ok || got != intLit("0") {
+		t.Errorf("SUM over nothing = %q %t, want 0", got, ok)
+	}
+	if got, ok := obs(&Aggregate{Func: AggAvg, Var: "v"}, `"2"`, `"3"`); !ok || got != `"2.5"^^<http://www.w3.org/2001/XMLSchema#double>` {
+		t.Errorf("AVG = %q %t", got, ok)
+	}
+	if got, ok := obs(&Aggregate{Func: AggMin, Var: "v"}, `"10"`, `"2"`); !ok || got != `"2"` {
+		t.Errorf("MIN numeric = %q %t", got, ok)
+	}
+	if got, ok := obs(&Aggregate{Func: AggMax, Var: "v"}, `"10"`, `"2"`); !ok || got != `"10"` {
+		t.Errorf("MAX numeric = %q %t", got, ok)
+	}
+	if _, ok := obs(&Aggregate{Func: AggMin, Var: "v"}); ok {
+		t.Error("MIN over nothing must be unbound")
+	}
+}
+
+func TestEvalTerm(t *testing.T) {
+	b := bindingOf(map[string]string{
+		"iri": "<http://e/a>",
+		"n":   `"41"^^<http://www.w3.org/2001/XMLSchema#int>`,
+	})
+	bindOf := func(text string) Expr {
+		t.Helper()
+		q, err := ParseQuery(`SELECT * WHERE { ?s ?p ?o . BIND(` + text + ` AS ?out) }`)
+		if err != nil {
+			t.Fatalf("BIND(%s): %v", text, err)
+		}
+		return q.Groups[0].Binds[0].Expr
+	}
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{`?iri`, "<http://e/a>"},
+		{`?n`, `"41"^^<http://www.w3.org/2001/XMLSchema#int>`},
+		{`42`, `"42"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{`"hello"`, `"hello"`},
+		{`?n > 40`, `"true"^^<http://www.w3.org/2001/XMLSchema#boolean>`},
+		{`bound(?missing)`, `"false"^^<http://www.w3.org/2001/XMLSchema#boolean>`},
+	}
+	for _, c := range cases {
+		got, ok := EvalTerm(bindOf(c.expr), b)
+		if !ok || got != c.want {
+			t.Errorf("EvalTerm(%s) = %q %t, want %q", c.expr, got, ok, c.want)
+		}
+	}
+	if _, ok := EvalTerm(bindOf(`?missing`), b); ok {
+		t.Error("EvalTerm of an unbound variable must report !ok")
 	}
 }
 

@@ -73,6 +73,7 @@ func ParseSyncPolicy(name string) (SyncPolicy, error) {
 	return 0, fmt.Errorf("wal: unknown sync policy %q (want always | interval | none)", name)
 }
 
+// String names the policy the way the CLI flag spells it.
 func (p SyncPolicy) String() string {
 	switch p {
 	case SyncAlways:

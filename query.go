@@ -3,7 +3,7 @@ package inferray
 import (
 	"fmt"
 	"io"
-	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -193,12 +193,15 @@ func LoadImage(path string, opts ...Option) (*Reasoner, error) {
 
 // Select parses and evaluates a SPARQL SELECT query — the dialect
 // documented in docs/SPARQL.md: PREFIX, SELECT (DISTINCT) with a
-// projection list or *, a basic graph pattern or a UNION of groups,
-// FILTER (comparisons, regex, bound), ORDER BY, LIMIT, and OFFSET —
+// projection list (plain variables and aggregates) or *, a basic graph
+// pattern (';'/',' lists included) or a UNION of groups, OPTIONAL
+// blocks, BIND, inline VALUES, FILTER (comparisons, regex, bound),
+// GROUP BY with COUNT/SUM/MIN/MAX/AVG, ORDER BY, LIMIT, and OFFSET —
 // against the store (run Materialize first to query the closure). Each
 // solution maps the projected variable names to term surface forms;
-// variables left unbound by a UNION branch are absent from that row.
-// ASK queries are rejected here; evaluate them with Ask.
+// variables left unbound by a UNION branch or an unmatched OPTIONAL
+// are absent from that row. ASK queries are rejected here; evaluate
+// them with Ask.
 func (r *Reasoner) Select(queryText string) ([]map[string]string, error) {
 	_, rows, err := r.SelectWithVars(queryText)
 	return rows, err
@@ -253,15 +256,21 @@ type QueryResult struct {
 // ExecFunc is the streaming core under Select, SelectWithVars, and Ask:
 // it parses queryText (SELECT or ASK), plans and evaluates it, and
 // streams SELECT solutions through the solution-modifier pipeline
-// (FILTER → projection → DISTINCT → ORDER BY → OFFSET → LIMIT).
+// (per-group patterns ⋈ VALUES → OPTIONAL → BIND → FILTER, then
+// aggregation → projection → DISTINCT → ORDER BY → OFFSET → LIMIT).
 //
 // For a SELECT query, onHead (when non-nil) is invoked exactly once
 // with the ordered projection before any row, and onRow once per
-// delivered solution; onRow may return false to stop early. A query
-// with ORDER BY buffers and sorts internally before delivery — every
-// other query streams. maxRows > 0 caps delivered rows on top of the
-// query's own LIMIT (the HTTP endpoint's limit parameter). For an ASK
-// query neither callback runs; the answer is in QueryResult.Truth.
+// delivered solution; onRow may return false to stop early. Rows are
+// partial bindings: a variable an OPTIONAL block or a UNION branch
+// left unbound is absent from its row map. A query with ORDER BY
+// buffers internally before delivery — a bounded top-(OFFSET+LIMIT)
+// heap when an effective limit applies and DISTINCT is off, a full
+// sort otherwise; aggregate queries buffer their groups. Every other
+// query streams. maxRows > 0 caps delivered rows on top of the query's
+// own LIMIT (the HTTP endpoint's limit parameter) and bounds the ORDER
+// BY heap the same way. For an ASK query neither callback runs; the
+// answer is in QueryResult.Truth.
 //
 // The reasoner's read lock is held for the whole evaluation, so the
 // callbacks must not call back into the Reasoner. Parse failures are
@@ -274,20 +283,18 @@ func (r *Reasoner) ExecFunc(queryText string, maxRows int, onHead func(vars []st
 	}
 
 	// Global variable namespace across UNION branches, in order of
-	// first appearance.
+	// first appearance: triple-pattern variables (required and
+	// OPTIONAL), BIND targets, and VALUES variables.
 	varSlots := map[string]int{}
 	var varNames []string
-	slotOf := func(name string) int {
-		slot, ok := varSlots[name]
-		if !ok {
-			slot = len(varNames)
-			varSlots[name] = slot
+	slotOf := func(name string) {
+		if _, ok := varSlots[name]; !ok {
+			varSlots[name] = len(varNames)
 			varNames = append(varNames, name)
 		}
-		return slot
 	}
-	for _, g := range q.Groups {
-		for _, pat := range g.Patterns {
+	registerPatterns := func(pats [][3]string) {
+		for _, pat := range pats {
 			for _, t := range pat {
 				if strings.HasPrefix(t, "?") {
 					slotOf(t[1:])
@@ -295,18 +302,69 @@ func (r *Reasoner) ExecFunc(queryText string, maxRows int, onHead func(vars []st
 			}
 		}
 	}
+	for _, g := range q.Groups {
+		registerPatterns(g.Patterns)
+		for _, o := range g.Optionals {
+			registerPatterns(o.Patterns)
+		}
+		for _, b := range g.Binds {
+			slotOf(b.Var)
+		}
+		for _, v := range g.Values {
+			for _, name := range v.Vars {
+				slotOf(name)
+			}
+		}
+	}
 	if len(varNames) > 64 {
 		return QueryResult{}, fmt.Errorf("inferray: more than 64 distinct variables")
 	}
 
+	aggregating := q.HasAggregates() || len(q.GroupBy) > 0
+
 	res := QueryResult{}
-	if q.Form == sparql.FormAsk {
+	switch {
+	case q.Form == sparql.FormAsk:
 		res.Ask = true
-	} else {
+	case aggregating:
+		// The parser already enforced the grouping rules that need only
+		// the query text (plain projections covered by GROUP BY, no
+		// SELECT *, alias collisions); here the keys and aggregate
+		// arguments must additionally resolve to WHERE-clause variables.
+		for _, v := range q.GroupBy {
+			if _, ok := varSlots[v]; !ok {
+				return QueryResult{}, fmt.Errorf("inferray: GROUP BY variable ?%s does not appear in the WHERE pattern", v)
+			}
+		}
+		for _, it := range q.Items {
+			if it.Agg != nil && !it.Agg.Star {
+				if _, ok := varSlots[it.Agg.Var]; !ok {
+					return QueryResult{}, fmt.Errorf("inferray: aggregate variable ?%s does not appear in the WHERE pattern", it.Agg.Var)
+				}
+			}
+		}
+		res.Vars = q.Vars
+		// Post-aggregation rows carry only the GROUP BY keys and the
+		// projected aggregates, so only those are orderable.
+		orderable := map[string]bool{}
+		for _, v := range q.GroupBy {
+			orderable[v] = true
+		}
+		for _, it := range q.Items {
+			orderable[it.Name] = true
+		}
+		for _, k := range q.OrderBy {
+			if !orderable[k.Var] {
+				return QueryResult{}, fmt.Errorf("inferray: ORDER BY variable ?%s is neither a GROUP BY key nor a projected aggregate", k.Var)
+			}
+		}
+	default:
 		if len(q.Vars) > 0 {
 			// A projected variable that never occurs in the WHERE clause
 			// is almost always a typo; reject it instead of silently
-			// emitting rows with the key missing.
+			// emitting rows with the key missing. Variables bound only
+			// inside OPTIONAL blocks or single UNION branches do occur —
+			// they are merely unbound in some rows.
 			for _, v := range q.Vars {
 				if _, ok := varSlots[v]; !ok {
 					return QueryResult{}, fmt.Errorf("inferray: SELECT variable ?%s does not appear in the WHERE pattern", v)
@@ -343,17 +401,45 @@ func (r *Reasoner) ExecFunc(queryText string, maxRows int, onHead func(vars []st
 	if pl.distinct {
 		pl.seen = make(map[string]bool)
 	}
-	var buffered []map[string]string
+
+	var ob *orderBuffer
+	if len(q.OrderBy) > 0 && !res.Ask {
+		// Bounded buffering: with an effective limit, only the
+		// OFFSET+LIMIT smallest rows can ever be delivered, so the
+		// buffer is a top-k heap. DISTINCT falls back to the full sort —
+		// deduplication happens on the projected row after sorting, so
+		// a bounded buffer could evict rows that deduplication would
+		// have promoted into the window.
+		k := -1
+		if limit >= 0 && !q.Distinct {
+			k = q.Offset + limit
+		}
+		ob = newOrderBuffer(q.OrderBy, k)
+	}
+
+	var agg *aggregator
+	if aggregating && !res.Ask {
+		agg = newAggregator(q)
+	}
+
+	// feed delivers one post-WHERE row into the modifier tail.
+	feed := func(row map[string]string) bool {
+		if ob != nil {
+			ob.push(row)
+			return true
+		}
+		return pl.push(row)
+	}
 	sink := func(row map[string]string) bool {
 		if res.Ask {
 			res.Truth = true
 			return false // one witness is enough
 		}
-		if len(q.OrderBy) > 0 {
-			buffered = append(buffered, row)
-			return true
+		if agg != nil {
+			agg.add(row)
+			return true // every solution feeds its group
 		}
-		return pl.push(row)
+		return feed(row)
 	}
 
 	r.mu.RLock()
@@ -373,47 +459,77 @@ func (r *Reasoner) ExecFunc(queryText string, maxRows int, onHead func(vars []st
 		}
 	}
 
-	if len(q.OrderBy) > 0 && !res.Ask {
-		sort.SliceStable(buffered, func(i, j int) bool {
-			for _, k := range q.OrderBy {
-				c := sparql.CompareTerms(buffered[i][k.Var], buffered[j][k.Var])
-				if k.Desc {
-					c = -c
-				}
-				if c != 0 {
-					return c < 0
-				}
-			}
-			return false
-		})
-		for _, row := range buffered {
-			if !pl.push(row) {
-				break
-			}
-		}
+	if agg != nil {
+		agg.flush(feed)
+	}
+	if ob != nil {
+		ob.flush(pl.push)
 	}
 	return res, nil
 }
 
-// evalGroup evaluates one UNION branch: encode its patterns, solve the
-// BGP, decode each engine row to surface forms, apply the branch's
-// FILTERs, and hand surviving solutions to sink. Returns false when
-// sink stopped the enumeration (later branches must not run).
+// evalGroup evaluates one UNION branch in SPARQL's group order: the
+// VALUES data joins the required graph pattern first (each combination
+// of the blocks' rows seeds one engine run), the OPTIONAL blocks
+// left-join the seeded solutions, each decoded row then takes the
+// branch's BINDs and FILTERs, and survivors go to sink. Returns false
+// when sink stopped the enumeration (later branches must not run).
 func (r *Reasoner) evalGroup(g sparql.Group, varSlots map[string]int, nVars int, varNames []string, sink func(map[string]string) bool) bool {
-	var branchMask uint64 // slots this branch binds
-	patterns := make([]query.Pattern, len(g.Patterns))
-	for i, pat := range g.Patterns {
+	required, ok := r.encodePatterns(g.Patterns, varSlots)
+	if !ok {
+		return true // unknown constant: branch yields nothing
+	}
+	// Everything seed-independent is computed once, not per VALUES
+	// combination: the encoded OPTIONAL blocks (an unknown constant
+	// makes a block dead for every combination) and the BIND lookup
+	// table the optional filters resolve targets from.
+	enc := groupEncoding{required: required}
+	for _, og := range g.Optionals {
+		pats, ok := r.encodePatterns(og.Patterns, varSlots)
+		if !ok {
+			continue // dead OPTIONAL: never matches, its variables stay unbound
+		}
+		enc.optionals = append(enc.optionals, encodedOptional{raw: og, patterns: pats})
+	}
+	if len(g.Binds) > 0 {
+		enc.bindExpr = make(map[string]sparql.Expr, len(g.Binds))
+		for _, b := range g.Binds {
+			enc.bindExpr[b.Var] = b.Expr
+		}
+	}
+	return forEachValuesRow(g.Values, 0, map[string]string{}, func(vals map[string]string) bool {
+		return r.evalSeeded(g, vals, &enc, varSlots, nVars, varNames, sink)
+	})
+}
+
+// groupEncoding is one UNION branch's seed-independent compiled state.
+type groupEncoding struct {
+	required  []query.Pattern
+	optionals []encodedOptional
+	bindExpr  map[string]sparql.Expr
+}
+
+// encodedOptional pairs an OPTIONAL block with its engine patterns.
+type encodedOptional struct {
+	raw      sparql.Optional
+	patterns []query.Pattern
+}
+
+// encodePatterns translates surface patterns to engine terms; ok is
+// false when a constant is not in the dictionary (it can match
+// nothing).
+func (r *Reasoner) encodePatterns(pats [][3]string, varSlots map[string]int) ([]query.Pattern, bool) {
+	out := make([]query.Pattern, len(pats))
+	for i, pat := range pats {
 		var qp query.Pattern
 		for pos, raw := range pat {
 			var term query.Term
 			if strings.HasPrefix(raw, "?") {
-				slot := varSlots[raw[1:]]
-				branchMask |= 1 << uint(slot)
-				term = query.Var(slot)
+				term = query.Var(varSlots[raw[1:]])
 			} else {
 				id, ok := r.engine.Dict.Lookup(raw)
 				if !ok {
-					return true // unknown constant: this branch matches nothing
+					return nil, false
 				}
 				term = query.Const(id)
 			}
@@ -426,37 +542,193 @@ func (r *Reasoner) evalGroup(g sparql.Group, varSlots map[string]int, nVars int,
 				qp.O = term
 			}
 		}
-		patterns[i] = qp
+		out[i] = qp
+	}
+	return out, true
+}
+
+// forEachValuesRow enumerates every cross-block-compatible combination
+// of the VALUES blocks' rows (one empty combination when there are no
+// blocks). UNDEF cells bind nothing; a variable two blocks both bind
+// must agree. Returns false when fn stopped the enumeration.
+func forEachValuesRow(blocks []sparql.Values, i int, acc map[string]string, fn func(map[string]string) bool) bool {
+	if i == len(blocks) {
+		return fn(acc)
+	}
+	vb := blocks[i]
+	for _, vrow := range vb.Rows {
+		merged := acc
+		compatible, cloned := true, false
+		for k, name := range vb.Vars {
+			term := vrow[k]
+			if term == "" {
+				continue // UNDEF
+			}
+			if cur, ok := merged[name]; ok {
+				if cur != term {
+					compatible = false
+					break
+				}
+				continue
+			}
+			if !cloned {
+				c := make(map[string]string, len(merged)+len(vb.Vars))
+				for k2, v2 := range merged {
+					c[k2] = v2
+				}
+				merged, cloned = c, true
+			}
+			merged[name] = term
+		}
+		if !compatible {
+			continue
+		}
+		if !forEachValuesRow(blocks, i+1, merged, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalSeeded runs one VALUES combination: seed the engine with the
+// combination's dictionary-known bindings, left-join the live OPTIONAL
+// blocks, decode, overlay dictionary-unknown VALUES cells, and run the
+// group tail (BINDs, FILTERs). An unknown VALUES term pinning a
+// required-pattern variable proves the combination empty; pinning only
+// optional patterns kills just those blocks (their variables stay
+// unbound); pinning nothing still appears in the output rows.
+func (r *Reasoner) evalSeeded(g sparql.Group, vals map[string]string, enc *groupEncoding, varSlots map[string]int, nVars int, varNames []string, sink func(map[string]string) bool) bool {
+	patternVar := func(pats [][3]string, name string) bool {
+		for _, pat := range pats {
+			for _, t := range pat {
+				if strings.HasPrefix(t, "?") && t[1:] == name {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	var seed []query.Binding
+	var unknown map[string]bool // VALUES vars with no dictionary entry
+	for name, term := range vals {
+		if id, ok := r.engine.Dict.Lookup(term); ok {
+			seed = append(seed, query.Binding{Slot: varSlots[name], ID: id})
+			continue
+		}
+		if patternVar(g.Patterns, name) {
+			return true // no stored triple can contain the term
+		}
+		if unknown == nil {
+			unknown = map[string]bool{}
+		}
+		unknown[name] = true
+	}
+
+	// BIND targets are visible to OPTIONAL FILTERs (SPARQL binds them
+	// before a later OPTIONAL), resolved on demand over the variables
+	// bound at that point of the left join.
+	bindExpr := enc.bindExpr
+
+	var opts []query.OptionalGroup
+	for _, eo := range enc.optionals {
+		dead := false
+		for name := range unknown {
+			if patternVar(eo.raw.Patterns, name) {
+				dead = true // pinned to a term no triple contains
+				break
+			}
+		}
+		if dead {
+			continue
+		}
+		opt := query.OptionalGroup{Patterns: eo.patterns}
+		if len(eo.raw.Filters) > 0 {
+			filters := eo.raw.Filters
+			opt.Accept = func(row []uint64, bound uint64) bool {
+				var inProgress map[string]bool
+				var lookup func(string) (string, bool)
+				lookup = func(name string) (string, bool) {
+					if slot, ok := varSlots[name]; ok && bound&(1<<uint(slot)) != 0 {
+						return r.engine.Dict.MustDecode(row[slot]), true
+					}
+					if unknown[name] {
+						return vals[name], true
+					}
+					if e, ok := bindExpr[name]; ok && !inProgress[name] {
+						if inProgress == nil {
+							inProgress = map[string]bool{}
+						}
+						inProgress[name] = true
+						term, okEval := sparql.EvalTerm(e, lookup)
+						delete(inProgress, name)
+						return term, okEval
+					}
+					return "", false
+				}
+				for _, f := range filters {
+					if !sparql.Eval(f, lookup) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		opts = append(opts, opt)
 	}
 
 	eng := &query.Engine{St: r.engine.Main}
 	cont := true
-	_ = eng.Solve(patterns, nVars, func(row []uint64) bool {
+	_ = eng.SolveLeftJoin(enc.required, opts, nVars, seed, func(row []uint64, bound uint64) bool {
 		out := make(map[string]string, len(varNames))
 		for slot, name := range varNames {
-			if branchMask&(1<<uint(slot)) != 0 {
+			if bound&(1<<uint(slot)) != 0 {
 				out[name] = r.engine.Dict.MustDecode(row[slot])
 			}
 		}
-		lookup := func(name string) (string, bool) {
-			v, ok := out[name]
-			return v, ok
+		for name := range unknown {
+			out[name] = vals[name]
 		}
-		for _, f := range g.Filters {
-			if !sparql.Eval(f, lookup) {
-				return true // constraint failed: keep walking
-			}
-		}
-		cont = sink(out)
+		cont = r.finishRow(g, out, sink)
 		return cont
 	})
 	return cont
 }
 
-// rowPipeline applies the solution modifiers after FILTER: projection,
-// DISTINCT (on the projected row), OFFSET, and LIMIT, in SPARQL's
-// order. push returns false once delivery must stop (limit reached or
-// the consumer aborted).
+// finishRow runs one decoded solution through the group's tail: BINDs
+// in order (an erroring expression leaves its target unbound) and the
+// group's FILTERs (the VALUES data already joined upstream, before the
+// OPTIONAL blocks).
+func (r *Reasoner) finishRow(g sparql.Group, row map[string]string, sink func(map[string]string) bool) bool {
+	lookup := mapLookup(row) // reads the map live, so one closure serves the whole tail
+	for _, b := range g.Binds {
+		if _, ok := row[b.Var]; ok {
+			continue // defensive: the parser rejects rebinding targets
+		}
+		if term, ok := sparql.EvalTerm(b.Expr, lookup); ok {
+			row[b.Var] = term
+		}
+	}
+	for _, f := range g.Filters {
+		if !sparql.Eval(f, lookup) {
+			return true // constraint failed: keep walking
+		}
+	}
+	return sink(row)
+}
+
+// mapLookup adapts a row map to the expression evaluator's lookup.
+func mapLookup(m map[string]string) func(string) (string, bool) {
+	return func(name string) (string, bool) {
+		v, ok := m[name]
+		return v, ok
+	}
+}
+
+// rowPipeline applies the solution modifiers after FILTER and
+// aggregation: projection, DISTINCT (on the projected row), OFFSET,
+// and LIMIT, in SPARQL's order. push returns false once delivery must
+// stop (limit reached or the consumer aborted).
 type rowPipeline struct {
 	project  bool
 	vars     []string
@@ -483,7 +755,7 @@ func (pl *rowPipeline) push(row map[string]string) bool {
 		row = projected
 	}
 	if pl.distinct {
-		key := distinctKey(pl.vars, row)
+		key := solutionKey(pl.vars, row)
 		if pl.seen[key] {
 			return true
 		}
@@ -500,14 +772,22 @@ func (pl *rowPipeline) push(row map[string]string) bool {
 	return pl.limit < 0 || pl.sent < pl.limit
 }
 
-// distinctKey serializes the projected values for DISTINCT
-// deduplication. Terms are never empty, so an unbound variable ("")
-// cannot collide with any bound one.
-func distinctKey(vars []string, row map[string]string) string {
+// solutionKey serializes the named cells of a row into an unambiguous
+// key for DISTINCT and GROUP BY: every bound value is length-prefixed
+// and an unbound cell gets its own marker, so no combination of
+// missing keys and value contents (including NUL bytes) can collide.
+func solutionKey(vars []string, row map[string]string) string {
 	var b strings.Builder
+	var num [20]byte
 	for _, v := range vars {
-		b.WriteString(row[v])
-		b.WriteByte(0)
+		if val, ok := row[v]; ok {
+			b.WriteByte('B')
+			b.Write(strconv.AppendInt(num[:0], int64(len(val)), 10))
+			b.WriteByte(':')
+			b.WriteString(val)
+		} else {
+			b.WriteByte('U')
+		}
 	}
 	return b.String()
 }

@@ -2,6 +2,7 @@ package inferray_test
 
 import (
 	"bytes"
+	"fmt"
 	"sort"
 	"strings"
 	"testing"
@@ -509,5 +510,423 @@ func TestSelectUnknownProjectionRejected(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "orgg") {
 		t.Fatalf("error does not name the variable: %v", err)
+	}
+}
+
+// ------------------------------------------------- SPARQL 1.1 expansion
+
+func TestSelectOptional(t *testing.T) {
+	r := universityFixture(t)
+	if err := r.Add("<alice>", "<age>", `"42"`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.Select(`SELECT ?who ?a WHERE {
+  ?who <worksFor> ?org .
+  OPTIONAL { ?who <age> ?a }
+} ORDER BY ?who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0]["who"] != "<alice>" || rows[0]["a"] != `"42"` {
+		t.Fatalf("matched optional row = %v", rows[0])
+	}
+	if rows[1]["who"] != "<bob>" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if _, ok := rows[1]["a"]; ok {
+		t.Fatalf("unmatched optional must leave ?a unbound: %v", rows[1])
+	}
+}
+
+// A FILTER inside OPTIONAL is part of the join condition: an extension
+// it rejects degrades to the null row instead of dropping the solution.
+func TestSelectOptionalScopedFilter(t *testing.T) {
+	r := universityFixture(t)
+	for _, e := range [][2]string{{"<alice>", `"42"`}, {"<bob>", `"7"`}} {
+		if err := r.Add(e[0], "<age>", e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.Select(`SELECT ?who ?a WHERE {
+  ?who <worksFor> ?org .
+  OPTIONAL { ?who <age> ?a . FILTER(?a > 10) }
+} ORDER BY ?who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0]["a"] != `"42"` {
+		t.Fatalf("alice = %v", rows[0])
+	}
+	if _, ok := rows[1]["a"]; ok {
+		t.Fatalf("bob's age 7 fails the scoped filter, ?a must be unbound: %v", rows[1])
+	}
+	// The outer filter then sees the unbound cell three-valued.
+	rows, err = r.Select(`SELECT ?who WHERE {
+  ?who <worksFor> ?org .
+  OPTIONAL { ?who <age> ?a . FILTER(?a > 10) }
+  FILTER(!bound(?a))
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["who"] != "<bob>" {
+		t.Fatalf("!bound rows = %v", rows)
+	}
+}
+
+func TestSelectBind(t *testing.T) {
+	r := universityFixture(t)
+	rows, err := r.Select(`SELECT ?who ?where ?tag WHERE {
+  ?who <worksFor> ?org .
+  BIND(?org AS ?where)
+  BIND(42 AS ?tag)
+} ORDER BY ?who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0]["where"] != "<DeptCS>" ||
+		rows[0]["tag"] != `"42"^^<http://www.w3.org/2001/XMLSchema#integer>` {
+		t.Fatalf("rows = %v", rows)
+	}
+	// An erroring expression leaves the target unbound, not an error.
+	rows, err = r.Select(`SELECT ?who ?bad WHERE { ?who <worksFor> ?org . BIND(?nope > 3 AS ?bad) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if _, ok := row["bad"]; ok {
+			t.Fatalf("erroring BIND must stay unbound: %v", row)
+		}
+	}
+}
+
+func TestSelectValues(t *testing.T) {
+	r := universityFixture(t)
+	// VALUES constrains a pattern variable.
+	rows, err := r.Select(`SELECT ?who WHERE {
+  VALUES ?who { <alice> <carol> }
+  ?who <worksFor> ?org
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["who"] != "<alice>" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Multi-variable VALUES with UNDEF: the undef cell joins anything.
+	rows, err = r.Select(`SELECT ?who ?note WHERE {
+  ?who <worksFor> ?org .
+  VALUES (?who ?note) { (<alice> "pi") (UNDEF "anyone") }
+} ORDER BY ?who ?note`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []map[string]string{
+		{"who": "<alice>", "note": `"anyone"`},
+		{"who": "<alice>", "note": `"pi"`},
+		{"who": "<bob>", "note": `"anyone"`},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i := range want {
+		if rows[i]["who"] != want[i]["who"] || rows[i]["note"] != want[i]["note"] {
+			t.Fatalf("row %d = %v, want %v", i, rows[i], want[i])
+		}
+	}
+	// VALUES-only group enumerates its data.
+	rows, err = r.Select(`SELECT ?x WHERE { VALUES ?x { <a> <b> <c> } } ORDER BY ?x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0]["x"] != "<a>" || rows[2]["x"] != "<c>" {
+		t.Fatalf("values-only rows = %v", rows)
+	}
+}
+
+func TestSelectPredicateObjectListSugar(t *testing.T) {
+	r := universityFixture(t)
+	// `;` and `,` expand to plain triple patterns over the same data.
+	rows, err := r.Select(`SELECT ?who WHERE { ?who <worksFor> <DeptCS> ; a <Professor> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["who"] != "<alice>" {
+		t.Fatalf("';' rows = %v", rows)
+	}
+	n, err := r.Ask(`ASK { <GroupA> <subOrgOf> <DeptCS> , <Univ0> }`)
+	if err != nil || !n {
+		t.Fatalf("',' ask = %t err=%v", n, err)
+	}
+}
+
+func TestSelectAggregates(t *testing.T) {
+	r := universityFixture(t)
+	for _, e := range [][3]string{
+		{"<alice>", "<age>", `"42"`},
+		{"<bob>", "<age>", `"7"`},
+		{"<carol>", "<worksFor>", "<DeptCS>"},
+		{"<carol>", "<age>", `"31"`},
+	} {
+		if err := r.Add(e[0], e[1], e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	intLit := func(n string) string { return `"` + n + `"^^<http://www.w3.org/2001/XMLSchema#integer>` }
+
+	// GROUP BY with COUNT: DeptCS employs alice and carol, GroupA bob.
+	rows, err := r.Select(`SELECT ?org (COUNT(*) AS ?n) WHERE {
+  ?who <worksFor> ?org
+} GROUP BY ?org ORDER BY DESC(?n) ?org`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0]["org"] != "<DeptCS>" || rows[0]["n"] != intLit("2") {
+		t.Fatalf("row 0 = %v", rows[0])
+	}
+	if rows[1]["org"] != "<GroupA>" || rows[1]["n"] != intLit("1") {
+		t.Fatalf("row 1 = %v", rows[1])
+	}
+
+	// Implicit group: MIN/MAX/SUM/AVG/COUNT over everyone with an age.
+	rows, err = r.Select(`SELECT (COUNT(?a) AS ?n) (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) (SUM(?a) AS ?sum) (AVG(?a) AS ?avg)
+WHERE { ?who <age> ?a }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	row := rows[0]
+	if row["n"] != intLit("3") || row["lo"] != `"7"` || row["hi"] != `"42"` ||
+		row["sum"] != intLit("80") {
+		t.Fatalf("row = %v", row)
+	}
+	if row["avg"] != `"26.666666666666668"^^<http://www.w3.org/2001/XMLSchema#double>` {
+		t.Fatalf("avg = %q", row["avg"])
+	}
+
+	// COUNT(DISTINCT ?v) vs COUNT(?v).
+	rows, err = r.Select(`SELECT (COUNT(?org) AS ?all) (COUNT(DISTINCT ?org) AS ?orgs) WHERE { ?who <worksFor> ?org }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0]["all"] != intLit("3") || rows[0]["orgs"] != intLit("2") {
+		t.Fatalf("distinct counts = %v", rows[0])
+	}
+
+	// Zero solutions: implicit group still answers, COUNT is 0, MIN
+	// unbound (omitted).
+	rows, err = r.Select(`SELECT (COUNT(?x) AS ?n) (MIN(?x) AS ?lo) WHERE { ?x <worksFor> <Nowhere0> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["n"] != intLit("0") {
+		t.Fatalf("empty-set aggregate rows = %v", rows)
+	}
+	if _, ok := rows[0]["lo"]; ok {
+		t.Fatalf("MIN over nothing must be unbound: %v", rows[0])
+	}
+	// ... but an explicit GROUP BY over zero solutions yields zero rows.
+	rows, err = r.Select(`SELECT ?org (COUNT(*) AS ?n) WHERE { ?x <worksFor> <Nowhere0> . ?x <memberOf> ?org } GROUP BY ?org`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("grouped empty-set rows = %v", rows)
+	}
+
+	// COUNT over an optionally-bound variable counts only bound cells.
+	rows, err = r.Select(`SELECT (COUNT(*) AS ?people) (COUNT(?a) AS ?aged) WHERE {
+  ?who <memberOf> ?org OPTIONAL { ?who <age> ?a }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0]["people"] != intLit("3") || rows[0]["aged"] != intLit("3") {
+		t.Fatalf("optional counts = %v", rows[0])
+	}
+}
+
+func TestSelectAggregateErrors(t *testing.T) {
+	r := universityFixture(t)
+	for q, want := range map[string]string{
+		`SELECT ?org (COUNT(*) AS ?n) WHERE { ?x <worksFor> ?o } GROUP BY ?org`:         "GROUP BY variable ?org",
+		`SELECT (SUM(?zzz) AS ?n) WHERE { ?x <worksFor> ?o }`:                           "aggregate variable ?zzz",
+		`SELECT ?o (COUNT(*) AS ?n) WHERE { ?x <worksFor> ?o } GROUP BY ?o ORDER BY ?x`: "neither a GROUP BY key nor a projected aggregate",
+	} {
+		_, err := r.Select(q)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("%s:\n  err = %v, want substring %q", q, err, want)
+		}
+	}
+}
+
+// ORDER BY and DISTINCT over partially-bound rows: unbound sorts
+// before any bound term, and missing-vs-bound cells never collapse.
+func TestSelectUnboundCellsInModifiers(t *testing.T) {
+	r := universityFixture(t)
+	rows, err := r.Select(`SELECT ?who ?org WHERE {
+  { ?who <memberOf> ?org } UNION { ?who a <Professor> }
+} ORDER BY ?org ?who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// The professor branch row (no ?org) must sort first.
+	if _, ok := rows[0]["org"]; ok {
+		t.Fatalf("first row should have unbound ?org: %v", rows)
+	}
+	// DISTINCT keeps unbound-?org rows apart from every bound one: the
+	// second branch repeats both members with ?org unbound, so all four
+	// (?who, ?org) combinations survive deduplication.
+	rows, err = r.Select(`SELECT DISTINCT ?who ?org WHERE {
+  { ?who <memberOf> ?org } UNION { ?who <memberOf> ?x }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("distinct rows = %v", rows)
+	}
+	// ORDER BY a variable bound only inside OPTIONAL is legal.
+	if _, err := r.Select(`SELECT ?who WHERE { ?who <memberOf> ?org OPTIONAL { ?who <age> ?a } } ORDER BY ?a`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The ORDER BY + LIMIT top-k heap must deliver exactly what the full
+// sort delivered, offsets included.
+func TestSelectOrderByLimitMatchesFullSort(t *testing.T) {
+	r := inferray.New(inferray.WithFragment(inferray.RhoDF))
+	for i := 0; i < 200; i++ {
+		if err := r.Add(fmt.Sprintf("<s%03d>", i), "<p>", fmt.Sprintf("<o%03d>", (i*37)%100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Select(`SELECT ?s ?o WHERE { ?s <p> ?o } ORDER BY ?o DESC(?s)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ offset, limit int }{{0, 1}, {0, 10}, {5, 7}, {190, 20}, {0, 0}} {
+		q := fmt.Sprintf(`SELECT ?s ?o WHERE { ?s <p> ?o } ORDER BY ?o DESC(?s) LIMIT %d OFFSET %d`, c.limit, c.offset)
+		got, err := r.Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full
+		if c.offset < len(want) {
+			want = want[c.offset:]
+		} else {
+			want = nil
+		}
+		if c.limit < len(want) {
+			want = want[:c.limit]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows, want %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i]["s"] != want[i]["s"] || got[i]["o"] != want[i]["o"] {
+				t.Fatalf("%s: row %d = %v, want %v", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// VALUES joins the group's graph pattern before the OPTIONAL left
+// join: a VALUES binding with no matching optional extension survives
+// as the null row (it must never be dropped by a later join).
+func TestSelectValuesBeforeOptional(t *testing.T) {
+	r := universityFixture(t)
+	// <carol> has no age; <dave> appears in no triple at all.
+	vars, rows, err := r.SelectWithVars(`SELECT * WHERE {
+  VALUES ?x { <carol> <dave> }
+  OPTIONAL { ?x <worksFor> ?d }
+} ORDER BY ?x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 2 || len(rows) != 2 {
+		t.Fatalf("vars=%v rows=%v", vars, rows)
+	}
+	if rows[0]["x"] != "<carol>" || rows[1]["x"] != "<dave>" {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, row := range rows {
+		if _, ok := row["d"]; ok {
+			t.Fatalf("unmatched optional must stay unbound: %v", row)
+		}
+	}
+	// A VALUES binding that does match still extends.
+	rows, err = r.Select(`SELECT * WHERE { VALUES ?x { <alice> <dave> } OPTIONAL { ?x <worksFor> ?d } } ORDER BY ?x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0]["d"] != "<DeptCS>" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if _, ok := rows[1]["d"]; ok {
+		t.Fatalf("dave must stay unmatched: %v", rows[1])
+	}
+}
+
+// A FILTER inside OPTIONAL can reference a BIND target: SPARQL binds
+// it before a later OPTIONAL, so the filter must see the computed
+// value, not an unbound variable.
+func TestSelectOptionalFilterSeesBind(t *testing.T) {
+	r := universityFixture(t)
+	for _, e := range [][3]string{
+		{"<alice>", "<limit>", `"5"`},
+		{"<alice>", "<score>", `"9"`},
+		{"<bob>", "<limit>", `"10"`},
+		{"<bob>", "<score>", `"3"`},
+	} {
+		if err := r.Add(e[0], e[1], e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.Select(`SELECT ?x ?z WHERE {
+  ?x <limit> ?o .
+  BIND(?o AS ?lim)
+  OPTIONAL { ?x <score> ?z . FILTER(?z > ?lim) }
+} ORDER BY ?x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0]["x"] != "<alice>" || rows[0]["z"] != `"9"` {
+		t.Fatalf("alice's 9 > 5 must pass the inner filter: %v", rows[0])
+	}
+	if _, ok := rows[1]["z"]; ok {
+		t.Fatalf("bob's 3 > 10 must fail into the null row: %v", rows[1])
 	}
 }

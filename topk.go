@@ -1,0 +1,150 @@
+package inferray
+
+// ORDER BY buffering. A query with ORDER BY cannot stream, but it does
+// not always have to buffer the whole solution set either: with an
+// effective limit only the OFFSET+LIMIT smallest rows under the sort
+// order can ever be delivered, so the buffer is a bounded binary heap
+// of exactly that many rows. Ties beyond the sort keys break on
+// arrival order — the unbounded buffer through a stable sort, the heap
+// through explicit sequence numbers — so both modes deliver
+// byte-for-byte what a stable full sort followed by OFFSET/LIMIT
+// delivers.
+
+import (
+	"sort"
+
+	"inferray/internal/sparql"
+)
+
+// orderBuffer collects rows for ORDER BY: a top-k heap when k ≥ 0, a
+// plain slice (stable full sort at flush) when k < 0.
+type orderBuffer struct {
+	keys []sparql.OrderKey
+	heap *topK
+	rows []map[string]string // full-sort mode; slice order = arrival order
+	seq  int
+}
+
+func newOrderBuffer(keys []sparql.OrderKey, k int) *orderBuffer {
+	ob := &orderBuffer{keys: keys}
+	if k >= 0 {
+		ob.heap = &topK{k: k, less: ob.seqLess}
+	}
+	return ob
+}
+
+// keyCompare orders two rows by the ORDER BY keys alone (unbound cells
+// sort before any bound term, see sparql.CompareTerms).
+func (ob *orderBuffer) keyCompare(a, b map[string]string) int {
+	for _, k := range ob.keys {
+		c := sparql.CompareTerms(a[k.Var], b[k.Var])
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// seqLess is keyCompare with arrival order as the final tiebreak — the
+// heap's strict total order.
+func (ob *orderBuffer) seqLess(a, b *seqRow) bool {
+	if c := ob.keyCompare(a.row, b.row); c != 0 {
+		return c < 0
+	}
+	return a.seq < b.seq
+}
+
+func (ob *orderBuffer) push(row map[string]string) {
+	if ob.heap != nil {
+		ob.heap.push(&seqRow{row: row, seq: ob.seq})
+		ob.seq++
+		return
+	}
+	ob.rows = append(ob.rows, row)
+}
+
+// flush delivers the buffered rows in sort order; emit may return
+// false to stop early.
+func (ob *orderBuffer) flush(emit func(map[string]string) bool) {
+	if ob.heap == nil {
+		sort.SliceStable(ob.rows, func(i, j int) bool {
+			return ob.keyCompare(ob.rows[i], ob.rows[j]) < 0
+		})
+		for _, row := range ob.rows {
+			if !emit(row) {
+				return
+			}
+		}
+		return
+	}
+	rows := ob.heap.rows
+	sort.Slice(rows, func(i, j int) bool { return ob.seqLess(rows[i], rows[j]) })
+	for _, r := range rows {
+		if !emit(r.row) {
+			return
+		}
+	}
+}
+
+// seqRow is one heap-buffered solution with its arrival rank.
+type seqRow struct {
+	row map[string]string
+	seq int
+}
+
+// topK keeps the k smallest rows seen so far under less, as a max-heap
+// rooted at the largest kept row: a new row either displaces the root
+// or is dropped, so at most k rows are ever retained.
+type topK struct {
+	k    int
+	less func(a, b *seqRow) bool
+	rows []*seqRow
+}
+
+func (h *topK) push(r *seqRow) {
+	if h.k == 0 {
+		return
+	}
+	if len(h.rows) < h.k {
+		h.rows = append(h.rows, r)
+		h.up(len(h.rows) - 1)
+		return
+	}
+	if h.less(r, h.rows[0]) {
+		h.rows[0] = r
+		h.down(0)
+	}
+}
+
+func (h *topK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.rows[parent], h.rows[i]) {
+			return
+		}
+		h.rows[parent], h.rows[i] = h.rows[i], h.rows[parent]
+		i = parent
+	}
+}
+
+func (h *topK) down(i int) {
+	n := len(h.rows)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && h.less(h.rows[l], h.rows[r]) {
+			big = r
+		}
+		if !h.less(h.rows[i], h.rows[big]) {
+			return
+		}
+		h.rows[i], h.rows[big] = h.rows[big], h.rows[i]
+		i = big
+	}
+}

@@ -1,0 +1,74 @@
+package inferray
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"inferray/internal/sparql"
+)
+
+// The bounded ORDER BY buffer must retain at most k rows no matter how
+// many are pushed — that is the whole point of the top-k heap — and
+// deliver exactly what the stable full sort + OFFSET/LIMIT delivered.
+func TestTopKBoundedAndEquivalent(t *testing.T) {
+	keys := []sparql.OrderKey{{Var: "v"}, {Var: "w", Desc: true}}
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{0, 1, 5, 17} {
+		bounded := newOrderBuffer(keys, k)
+		full := newOrderBuffer(keys, -1)
+		for i := 0; i < 2000; i++ {
+			row := map[string]string{
+				"v": fmt.Sprintf(`"%03d"`, rng.Intn(40)),
+				"w": fmt.Sprintf("<t%d>", rng.Intn(3)),
+				"i": fmt.Sprintf("%d", i), // arrival marker for tie checks
+			}
+			bounded.push(row)
+			full.push(row)
+			if len(bounded.heap.rows) > k {
+				t.Fatalf("k=%d: heap holds %d rows", k, len(bounded.heap.rows))
+			}
+		}
+		var got, want []map[string]string
+		bounded.flush(func(r map[string]string) bool { got = append(got, r); return true })
+		full.flush(func(r map[string]string) bool { want = append(want, r); return true })
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d rows, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i]["i"] != want[i]["i"] {
+				t.Fatalf("k=%d: row %d is arrival %s, full sort kept %s", k, i, got[i]["i"], want[i]["i"])
+			}
+		}
+	}
+}
+
+// The full-sort path must behave exactly like sort.SliceStable on the
+// arrival order (the seq tiebreak is what makes sort.Slice stable
+// here).
+func TestOrderBufferStableTies(t *testing.T) {
+	keys := []sparql.OrderKey{{Var: "v"}}
+	ob := newOrderBuffer(keys, -1)
+	var arrivals []map[string]string
+	for i := 0; i < 50; i++ {
+		row := map[string]string{"v": `"tie"`, "i": fmt.Sprintf("%d", i)}
+		arrivals = append(arrivals, row)
+		ob.push(row)
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool { return false }) // no-op, all tied
+	i := 0
+	ob.flush(func(r map[string]string) bool {
+		if r["i"] != arrivals[i]["i"] {
+			t.Fatalf("tie order broken at %d: %s", i, r["i"])
+		}
+		i++
+		return true
+	})
+	if i != 50 {
+		t.Fatalf("flushed %d rows", i)
+	}
+}
