@@ -1,0 +1,294 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"inferray/internal/datagen"
+	"inferray/internal/dictionary"
+	"inferray/internal/query"
+	"inferray/internal/rdf"
+	"inferray/internal/reasoner"
+	"inferray/internal/rules"
+	"inferray/internal/snapshot"
+)
+
+// EncodingDataset is one row of the hierarchy-encoding comparison: the
+// same dataset materialized with the interval encoding on and off.
+// "On"/"Off" suffixes name the engine mode; times are milliseconds
+// except the per-query microseconds.
+type EncodingDataset struct {
+	Name     string `json:"name"`
+	Fragment string `json:"fragment"`
+	Input    int    `json:"input_triples"`
+	// VisibleClosure is the closure size both engines expose;
+	// StoredEncoded is what the encoded engine physically keeps.
+	VisibleClosure int `json:"visible_closure"`
+	StoredEncoded  int `json:"stored_encoded"`
+	// ClosureShrink = 1 - stored/visible: the fraction of the closure
+	// the encoding avoids materializing. The CI smoke gate checks it.
+	ClosureShrink     float64 `json:"closure_shrink"`
+	Encoded           bool    `json:"encoded"`
+	MaterializeMsOn   float64 `json:"materialize_ms_on"`
+	MaterializeMsOff  float64 `json:"materialize_ms_off"`
+	CheckpointMsOn    float64 `json:"checkpoint_ms_on"`
+	CheckpointMsOff   float64 `json:"checkpoint_ms_off"`
+	CheckpointBytesOn int     `json:"checkpoint_bytes_on"`
+	CheckpointBytesOf int     `json:"checkpoint_bytes_off"`
+	RecoverMsOn       float64 `json:"recover_ms_on"`
+	RecoverMsOff      float64 `json:"recover_ms_off"`
+	TypeQueryUsOn     float64 `json:"type_query_us_on"`
+	TypeQueryUsOff    float64 `json:"type_query_us_off"`
+	TypeQueryRows     int     `json:"type_query_rows"`
+}
+
+// EncodingReport is the -json document (BENCH_6.json).
+type EncodingReport struct {
+	Scale    string            `json:"scale"`
+	Datasets []EncodingDataset `json:"datasets"`
+}
+
+// encodingDatasets picks the comparison workloads: LUBM (RDFS-Plus),
+// BSBM, and the taxonomy stand-ins (RDFS-default) — hierarchy-heavy by
+// construction, which is the case the encoding exists for.
+func encodingDatasets(cfg scaleCfg) []struct {
+	name     string
+	triples  []rdf.Triple
+	fragment rules.Fragment
+} {
+	out := []struct {
+		name     string
+		triples  []rdf.Triple
+		fragment rules.Fragment
+	}{}
+	for _, n := range cfg.lubmSizes[:2] {
+		out = append(out, struct {
+			name     string
+			triples  []rdf.Triple
+			fragment rules.Fragment
+		}{"LUBM " + kfmt(n), datagen.LUBM(n, 13), rules.RDFSPlus})
+	}
+	out = append(out, struct {
+		name     string
+		triples  []rdf.Triple
+		fragment rules.Fragment
+	}{"BSBM " + kfmt(cfg.bsbmSizes[0]), datagen.BSBM(cfg.bsbmSizes[0], 11), rules.RDFSDefault})
+	for _, ds := range taxonomyDatasets(cfg) {
+		out = append(out, struct {
+			name     string
+			triples  []rdf.Triple
+			fragment rules.Fragment
+		}{ds.name, ds.triples, rules.RDFSDefault})
+	}
+	return out
+}
+
+// newEncodingEngine materializes triples with the encoding on or off
+// and returns the engine plus the wall time.
+func newEncodingEngine(triples []rdf.Triple, fragment rules.Fragment, encoded bool) (*reasoner.Engine, time.Duration) {
+	e := reasoner.New(reasoner.Options{
+		Fragment:          fragment,
+		Parallel:          true,
+		HierarchyEncoding: encoded,
+	})
+	e.LoadTriples(triples)
+	start := time.Now()
+	e.Materialize()
+	return e, time.Since(start)
+}
+
+// countingWriter counts bytes for checkpoint-size reporting.
+type countingWriter struct{ n int }
+
+// Write implements io.Writer.
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// checkpointAndRecover measures a snapshot write of the engine's store
+// and a full restore into a fresh engine of the same options.
+func checkpointAndRecover(e *reasoner.Engine, fragment rules.Fragment, optEncoded bool) (writeT, recoverT time.Duration, bytesOut int) {
+	encoded := e.HierView() != nil
+	cw := &countingWriter{}
+	start := time.Now()
+	if err := snapshot.Write(cw, e.Dict, e.Main, encoded); err != nil {
+		panic(err)
+	}
+	writeT = time.Since(start)
+	bytesOut = cw.n
+
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, e.Dict, e.Main, encoded); err != nil {
+		panic(err)
+	}
+	start = time.Now()
+	d, st, enc, err := snapshot.Read(&buf)
+	if err != nil {
+		panic(err)
+	}
+	e2 := reasoner.New(reasoner.Options{
+		Fragment:          fragment,
+		Parallel:          true,
+		HierarchyEncoding: optEncoded,
+	})
+	if err := e2.RestoreState(d, st, enc); err != nil {
+		panic(err)
+	}
+	recoverT = time.Since(start)
+	return writeT, recoverT, bytesOut
+}
+
+// pickTypeClass returns the class with the most instances in the
+// engine's *stored* type table — in the fully materialized engine that
+// is the most super class, the worst case for a type query.
+func pickTypeClass(e *reasoner.Engine) (uint64, bool) {
+	t := e.Main.Table(e.V.Type)
+	if t == nil || t.Empty() {
+		return 0, false
+	}
+	os := t.OS()
+	var best uint64
+	bestN := 0
+	for i := 0; i < len(os); {
+		o := os[i]
+		j := i
+		for j < len(os) && os[j] == o {
+			j += 2
+		}
+		if n := (j - i) / 2; n > bestN {
+			bestN, best = n, o
+		}
+		i = j
+	}
+	return best, true
+}
+
+// typeQueryTime times `?x rdf:type <class>` through the planned query
+// engine (virtual view fused when active), averaged over iterations.
+func typeQueryTime(e *reasoner.Engine, class uint64) (time.Duration, int) {
+	qe := &query.Engine{St: e.Main}
+	if hv := e.HierView(); hv != nil {
+		qe.Virtual = hv
+	}
+	pat := []query.Pattern{{
+		S: query.Var(0),
+		P: query.Const(dictionary.PropID(e.V.Type)),
+		O: query.Const(class),
+	}}
+	rows := 0
+	if err := qe.Solve(pat, 1, func([]uint64) bool { rows++; return true }); err != nil {
+		panic(err)
+	}
+	const iters = 20
+	start := time.Now()
+	for k := 0; k < iters; k++ {
+		if err := qe.Solve(pat, 1, func([]uint64) bool { return true }); err != nil {
+			panic(err)
+		}
+	}
+	return time.Since(start) / iters, rows
+}
+
+// tableEncoding runs the hierarchy-encoding comparison (this repo's
+// extension, not a paper table) and returns the report for -json and
+// the -minshrink gate.
+func tableEncoding(cfg scaleCfg) EncodingReport {
+	fmt.Println("== Hierarchy interval encoding: reduced vs full closure ==")
+	fmt.Printf("%-14s %-13s %9s %9s %7s  %8s %8s  %8s %8s  %8s %8s  %9s %9s\n",
+		"Dataset", "Fragment", "visible", "stored", "shrink",
+		"mat(on)", "mat(off)", "ckpt(on)", "ckpt(off)", "rec(on)", "rec(off)", "tq(on)", "tq(off)")
+	fmt.Printf("%-14s %-13s %9s %9s %7s  %8s %8s  %8s %8s  %8s %8s  %9s %9s\n",
+		"", "", "", "", "", "(ms)", "(ms)", "(ms)", "(ms)", "(ms)", "(ms)", "(µs)", "(µs)")
+
+	report := EncodingReport{Scale: cfg.name}
+	for _, ds := range encodingDatasets(cfg) {
+		eOn, matOn := newEncodingEngine(ds.triples, ds.fragment, true)
+		eOff, matOff := newEncodingEngine(ds.triples, ds.fragment, false)
+
+		row := EncodingDataset{
+			Name:             ds.name,
+			Fragment:         ds.fragment.String(),
+			Input:            len(ds.triples),
+			VisibleClosure:   eOn.Size(),
+			StoredEncoded:    eOn.StoredSize(),
+			Encoded:          eOn.HierView() != nil,
+			MaterializeMsOn:  float64(matOn.Microseconds()) / 1000,
+			MaterializeMsOff: float64(matOff.Microseconds()) / 1000,
+		}
+		if eOn.Size() != eOff.Size() {
+			panic(fmt.Sprintf("%s: closure mismatch: %d encoded vs %d materialized",
+				ds.name, eOn.Size(), eOff.Size()))
+		}
+		if row.VisibleClosure > 0 {
+			row.ClosureShrink = 1 - float64(row.StoredEncoded)/float64(row.VisibleClosure)
+		}
+		ckptOn, recOn, bytesOn := checkpointAndRecover(eOn, ds.fragment, true)
+		ckptOff, recOff, bytesOff := checkpointAndRecover(eOff, ds.fragment, false)
+		row.CheckpointMsOn = float64(ckptOn.Microseconds()) / 1000
+		row.CheckpointMsOff = float64(ckptOff.Microseconds()) / 1000
+		row.CheckpointBytesOn = bytesOn
+		row.CheckpointBytesOf = bytesOff
+		row.RecoverMsOn = float64(recOn.Microseconds()) / 1000
+		row.RecoverMsOff = float64(recOff.Microseconds()) / 1000
+
+		if class, ok := pickTypeClass(eOff); ok {
+			tqOn, rowsOn := typeQueryTime(eOn, class)
+			tqOff, rowsOff := typeQueryTime(eOff, class)
+			if rowsOn != rowsOff {
+				panic(fmt.Sprintf("%s: type query rows mismatch: %d vs %d", ds.name, rowsOn, rowsOff))
+			}
+			row.TypeQueryUsOn = float64(tqOn.Nanoseconds()) / 1000
+			row.TypeQueryUsOff = float64(tqOff.Nanoseconds()) / 1000
+			row.TypeQueryRows = rowsOn
+		}
+
+		fmt.Printf("%-14s %-13s %9s %9s %6.1f%%  %8.0f %8.0f  %8.1f %8.1f  %8.1f %8.1f  %9.0f %9.0f\n",
+			row.Name, row.Fragment, kfmt(row.VisibleClosure), kfmt(row.StoredEncoded),
+			row.ClosureShrink*100,
+			row.MaterializeMsOn, row.MaterializeMsOff,
+			row.CheckpointMsOn, row.CheckpointMsOff,
+			row.RecoverMsOn, row.RecoverMsOff,
+			row.TypeQueryUsOn, row.TypeQueryUsOff)
+		report.Datasets = append(report.Datasets, row)
+	}
+	fmt.Println()
+	return report
+}
+
+// writeReport marshals the encoding report to path (BENCH_6.json).
+func writeReport(report EncodingReport, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// checkShrink enforces the CI smoke gate: every hierarchy-heavy
+// dataset (LUBM and the taxonomies; BSBM's closure is instance-
+// dominated and exempt) must keep its closure shrink at or above min.
+func checkShrink(report EncodingReport, min float64, w io.Writer) bool {
+	ok := true
+	for _, ds := range report.Datasets {
+		if len(ds.Name) >= 4 && ds.Name[:4] == "BSBM" {
+			continue
+		}
+		if !ds.Encoded || ds.ClosureShrink < min {
+			fmt.Fprintf(w, "benchtables: closure-shrink regression: %s encoded=%v shrink=%.1f%% < %.1f%%\n",
+				ds.Name, ds.Encoded, ds.ClosureShrink*100, min*100)
+			ok = false
+		}
+	}
+	return ok
+}

@@ -14,6 +14,10 @@
 //	benchtables -figure 7           # memory counters, closure bench
 //	benchtables -figure 8           # memory counters, RDFS-Plus bench
 //	benchtables -all -scale medium  # everything at a larger scale
+//	benchtables -encoding -json BENCH_6.json -minshrink 0.30
+//	                                # hierarchy-encoding comparison; exit 1
+//	                                # if a hierarchy-heavy dataset's closure
+//	                                # shrink regresses below the threshold
 package main
 
 import (
@@ -83,10 +87,13 @@ var scales = map[string]scaleCfg{
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "table to regenerate (1-4)")
-		figure = flag.Int("figure", 0, "figure to regenerate (7 or 8)")
-		all    = flag.Bool("all", false, "regenerate everything")
-		scale  = flag.String("scale", "small", "workload scale: small | medium | paper")
+		table    = flag.Int("table", 0, "table to regenerate (1-4)")
+		figure   = flag.Int("figure", 0, "figure to regenerate (7 or 8)")
+		all      = flag.Bool("all", false, "regenerate everything")
+		scale    = flag.String("scale", "small", "workload scale: small | medium | paper")
+		encoding = flag.Bool("encoding", false, "hierarchy-encoding comparison (reduced vs full closure)")
+		jsonPath = flag.String("json", "", "write the encoding comparison as JSON to this path")
+		minShr   = flag.Float64("minshrink", 0, "fail unless every hierarchy-heavy dataset's closure shrink is >= this fraction")
 	)
 	flag.Parse()
 
@@ -119,6 +126,19 @@ func main() {
 	}
 	if *all || *figure == 8 {
 		figure8(cfg)
+		ran = true
+	}
+	if *all || *encoding {
+		report := tableEncoding(cfg)
+		if *jsonPath != "" {
+			if err := writeReport(report, *jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *minShr > 0 && !checkShrink(report, *minShr, os.Stderr) {
+			os.Exit(1)
+		}
 		ran = true
 	}
 	if !ran {

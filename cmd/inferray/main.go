@@ -183,9 +183,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			return
 		}
 		fmt.Fprintf(stderr,
-			"fragment=%s batch=%s incremental=%t input=%d inferred=%d total=%d iterations=%d fired=%d skipped=%d closure=%s loop=%s total=%s\n",
+			"fragment=%s batch=%s incremental=%t input=%d inferred=%d total=%d materialized=%d virtual=%d encoded=%t iterations=%d fired=%d skipped=%d closure=%s loop=%s total=%s\n",
 			fragment, batch, st.Incremental, st.InputTriples, st.InferredTriples,
-			st.TotalTriples, st.Iterations, st.RulesFired, st.RulesSkipped,
+			st.TotalTriples, st.MaterializedTriples, st.VirtualTriples, st.HierarchyEncoded,
+			st.Iterations, st.RulesFired, st.RulesSkipped,
 			st.ClosureTime, st.LoopTime, st.TotalTime)
 	}
 

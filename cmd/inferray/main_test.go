@@ -50,6 +50,11 @@ func TestCLIStatsAndQuiet(t *testing.T) {
 	if !strings.Contains(errOut, "inferred=3") {
 		t.Fatalf("stats line wrong: %s", errOut)
 	}
+	// a⊑c, x type b and x type c are virtual under the hierarchy
+	// encoding; only the 3 input triples are physically stored.
+	if !strings.Contains(errOut, "materialized=3 virtual=3 encoded=true") {
+		t.Fatalf("stats line lacks encoding figures: %s", errOut)
+	}
 }
 
 func TestCLITurtleFormat(t *testing.T) {

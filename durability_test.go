@@ -111,7 +111,7 @@ func TestDurableCheckpointAndRecover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Generation != 1 || info.Triples != r.Size() || info.SnapshotBytes == 0 {
+	if info.Generation != 1 || info.Triples != r.StoredSize() || info.SnapshotBytes == 0 {
 		t.Fatalf("checkpoint info: %+v", info)
 	}
 	if ds, _ := r.DurabilityStats(); ds.WALRecords != 0 || ds.Generation != 1 {

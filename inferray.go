@@ -111,6 +111,20 @@ func WithLowMemory(on bool) Option {
 	return func(c *config) { c.engine.LowMemory = on }
 }
 
+// WithHierarchyEncoding enables or disables the LiteMat-style hierarchy
+// interval encoding (default enabled): the transitive subClassOf/
+// subPropertyOf closure and the rdf:type triples it entails are kept
+// virtual — answered by an interval index instead of being
+// materialized. Every visible result (Holds, Triples, WriteNTriples,
+// Query, Select, Ask, Size) is identical with the option on or off;
+// only the stored footprint and the materialization/checkpoint times
+// change. Datasets that re-describe the RDFS/OWL meta-vocabulary
+// itself fall back to full materialization automatically (see DESIGN.md
+// §10), so the option is always safe to leave on.
+func WithHierarchyEncoding(on bool) Option {
+	return func(c *config) { c.engine.HierarchyEncoding = on }
+}
+
 // DurabilityOptions tunes the durability layer enabled by
 // WithDurability. The zero value is a sensible default: group-commit
 // fsync every 50ms, automatic checkpoint at 64 MiB or 4096 logged
@@ -195,7 +209,11 @@ func New(opts ...Option) *Reasoner {
 }
 
 func newConfig(opts []Option) *config {
-	c := &config{engine: reasoner.Options{Fragment: rules.RDFSDefault, Parallel: true}}
+	c := &config{engine: reasoner.Options{
+		Fragment:          rules.RDFSDefault,
+		Parallel:          true,
+		HierarchyEncoding: true,
+	}}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -241,7 +259,7 @@ func Open(opts ...Option) (*Reasoner, error) {
 				return fmt.Errorf("data dir was materialized under fragment %s, but the reasoner is configured for %s",
 					meta.Fragment, r.engine.Fragment())
 			}
-			if err := r.engine.RestoreState(d, st); err != nil {
+			if err := r.engine.RestoreState(d, st, meta.HierarchyEncoded); err != nil {
 				return err
 			}
 			r.engine.MarkMaterialized()
@@ -387,7 +405,7 @@ func (r *Reasoner) materialize(autoCheckpoint bool) (Stats, error) {
 // CheckpointInfo reports one completed checkpoint.
 type CheckpointInfo struct {
 	Generation    uint64        // the new snapshot/WAL generation
-	Triples       int           // closure size captured in the image
+	Triples       int           // stored triples captured in the image (virtual triples excluded)
 	SnapshotBytes int64         // on-disk image size
 	Duration      time.Duration // wall time of image write + rotation
 }
@@ -418,7 +436,7 @@ func (r *Reasoner) Checkpoint() (CheckpointInfo, error) {
 func (r *Reasoner) doCheckpoint() (CheckpointInfo, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	cs, err := r.dur.Checkpoint(r.engine.Dict, r.engine.Main, r.engine.Size())
+	cs, err := r.dur.Checkpoint(r.engine.Dict, r.engine.Main, r.engine.StoredSize(), r.engine.HierView() != nil)
 	if err != nil {
 		return CheckpointInfo{}, err
 	}
@@ -489,12 +507,69 @@ func (r *Reasoner) Pending() int {
 // Fragment returns the rule fragment the reasoner materializes under.
 func (r *Reasoner) Fragment() Fragment { return r.engine.Fragment() }
 
-// Size returns the number of distinct triples currently stored
-// (including inferred ones after Materialize).
+// Size returns the number of distinct visible triples (including
+// inferred ones after Materialize). With the hierarchy encoding active
+// the virtual subsumption/type triples are counted — Size is identical
+// with the encoding on or off.
 func (r *Reasoner) Size() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.engine.Size()
+}
+
+// StoredSize returns the number of physically stored triples. Without
+// the hierarchy encoding it equals Size; with it, the difference is the
+// virtual triple count the interval index answers without storing.
+func (r *Reasoner) StoredSize() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.engine.StoredSize()
+}
+
+// HierarchyEncoded reports whether the hierarchy interval encoding is
+// currently active (enabled, and not bypassed by the meta-vocabulary
+// guards of DESIGN.md §10).
+func (r *Reasoner) HierarchyEncoded() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.engine.HierView() != nil
+}
+
+// HierarchyStats describes the hierarchy interval encoding's current
+// state: the materialized/virtual split of the visible closure and the
+// size of the interval side tables. All virtual counts are zero when
+// Encoded is false.
+type HierarchyStats struct {
+	// Encoded reports whether the encoding is active.
+	Encoded bool
+	// MaterializedTriples is the physically stored triple count;
+	// VirtualTriples the further visible triples answered by the
+	// interval index. Their sum is Size().
+	MaterializedTriples int
+	VirtualTriples      int
+	// Classes and Properties count the nodes of the two encoded
+	// hierarchies; Intervals the total interval-table size.
+	Classes    int
+	Properties int
+	Intervals  int
+}
+
+// HierarchyStats reports the hierarchy encoding's current state.
+func (r *Reasoner) HierarchyStats() HierarchyStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	hs := HierarchyStats{MaterializedTriples: r.engine.StoredSize()}
+	hv := r.engine.HierView()
+	if hv == nil {
+		return hs
+	}
+	vSC, vSP, vType := hv.VirtualCounts()
+	hs.Encoded = true
+	hs.VirtualTriples = vSC + vSP + vType
+	hs.Classes = hv.Idx.Classes.Nodes()
+	hs.Properties = hv.Idx.Props.Nodes()
+	hs.Intervals = hv.Idx.Intervals()
+	return hs
 }
 
 // Holds reports whether the closure contains the triple. It is only

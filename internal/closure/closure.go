@@ -191,6 +191,16 @@ func closeComponent(es, ed []int32, n int, emit func(u, v int32)) {
 	}
 }
 
+// StronglyConnected computes the strongly connected components of a CSR
+// graph: the SCC id of every node, the SCC count, and a per-SCC flag
+// telling whether the component carries a cycle (size > 1, or an
+// explicit self-loop edge). SCC ids are assigned in reverse topological
+// order of the condensation, so every quotient edge goes from a higher
+// id to a lower id. The hierarchy interval index builds on it.
+func StronglyConnected(n int, adjStart, adj []int32) (scc []int32, nscc int, cyclic []bool) {
+	return tarjanSCC(n, adjStart, adj)
+}
+
 // tarjanSCC computes strongly connected components over a CSR graph with
 // an iterative Tarjan traversal. It returns the SCC id of every node, the
 // SCC count, and a per-SCC flag telling whether the component carries a

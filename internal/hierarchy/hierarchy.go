@@ -1,0 +1,613 @@
+// Package hierarchy implements the LiteMat-style interval encoding of
+// the rdfs:subClassOf / rdfs:subPropertyOf hierarchies: instead of
+// materializing the transitive subsumption closure as triples, every
+// hierarchy node receives a dense preorder rank, and the strict
+// ancestor/descendant sets of each strong component are kept as compact
+// interval sets over that rank space. Subsumption entailment then is an
+// interval-containment check — `A rdfs:subClassOf B` holds iff
+// rank(A) lies in B's descendant intervals — and the subsumption-derived
+// part of the closure (transitive subClassOf/subPropertyOf triples and
+// the rdf:type triples they entail) becomes *virtual*: computed on
+// demand by View, never stored, sorted, merged, or checkpointed.
+//
+// The encoding deliberately does not renumber the dictionary (LiteMat
+// encodes subsumption into the term ids themselves): Inferray's
+// dictionary is append-only and its dense split numbering is load-bearing
+// for property-table addressing and snapshot stability, so the interval
+// ids live in a side table keyed by term id instead. DESIGN.md §10
+// documents the layout and the exact virtual-triple semantics.
+package hierarchy
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"inferray/internal/closure"
+	"inferray/internal/store"
+)
+
+// Relation encodes one subsumption hierarchy (the class hierarchy from
+// the raw subClassOf edges, or the property hierarchy from the raw
+// subPropertyOf edges). The visible relation it answers for is the
+// transitive closure with path length ≥ 1 of the edges it was built
+// from: exactly what closure.Close materializes in the encoding-off
+// engine, including the reflexive pairs cycles produce.
+type Relation struct {
+	nodes []uint64 // sorted distinct node ids (terms with edges)
+
+	sccOf  []int32 // local node index -> SCC id
+	rankOf []int32 // local node index -> dense preorder rank
+	nodeAt []int32 // rank -> local node index
+
+	cyclic   []bool  // per SCC: mutual or self edges (reflexive pairs visible)
+	sccFirst []int32 // per SCC: first rank of its contiguous member block
+	sccSize  []int32 // per SCC: member count
+	// Strict ancestor / descendant rank sets per SCC (members of the SCC
+	// itself excluded; a cyclic SCC adds its own block at query time).
+	up, down []*closure.IntervalSet
+
+	visiblePairs int // total visible (sub, super) pairs
+	subjects     int // nodes with a nonempty visible super set
+	objects      int // nodes with a nonempty visible sub set
+	intervals    int // total stored intervals across up+down (compactness)
+}
+
+// newRelation builds a relation from a flat ⟨sub, super⟩ edge list (the
+// raw, unclosed property-table pairs). The build is deterministic in the
+// edge list, so rebuilding from a restored snapshot reproduces the same
+// encoding.
+func newRelation(pairs []uint64) *Relation {
+	r := &Relation{}
+	if len(pairs) == 0 {
+		return r
+	}
+	nodes := collectNodes(pairs)
+	n := len(nodes)
+	r.nodes = nodes
+	idx := func(id uint64) int32 {
+		i := sort.Search(n, func(i int) bool { return nodes[i] >= id })
+		return int32(i)
+	}
+
+	// CSR adjacency for the sub → super edges.
+	nEdges := len(pairs) / 2
+	src := make([]int32, nEdges)
+	dst := make([]int32, nEdges)
+	adjStart := make([]int32, n+1)
+	for e := 0; e < nEdges; e++ {
+		src[e] = idx(pairs[2*e])
+		dst[e] = idx(pairs[2*e+1])
+		adjStart[src[e]+1]++
+	}
+	for i := 0; i < n; i++ {
+		adjStart[i+1] += adjStart[i]
+	}
+	adj := make([]int32, nEdges)
+	fill := make([]int32, n)
+	copy(fill, adjStart[:n])
+	for e := 0; e < nEdges; e++ {
+		adj[fill[src[e]]] = dst[e]
+		fill[src[e]]++
+	}
+
+	scc, nscc, cyclic := closure.StronglyConnected(n, adjStart, adj)
+	r.sccOf = scc
+	r.cyclic = cyclic
+
+	// Deduplicated quotient edges, in both orientations. SCC ids are in
+	// reverse topological order of sub → super, so supers have lower ids.
+	type qedge struct{ from, to int32 }
+	qset := make(map[qedge]struct{}, nEdges)
+	for e := 0; e < nEdges; e++ {
+		cf, ct := scc[src[e]], scc[dst[e]]
+		if cf != ct {
+			qset[qedge{cf, ct}] = struct{}{}
+		}
+	}
+	upAdj := make([][]int32, nscc)   // SCC -> its direct super SCCs
+	downAdj := make([][]int32, nscc) // SCC -> its direct sub SCCs
+	for q := range qset {
+		upAdj[q.from] = append(upAdj[q.from], q.to)
+		downAdj[q.to] = append(downAdj[q.to], q.from)
+	}
+	for c := range upAdj {
+		sortInt32(upAdj[c])
+		sortInt32(downAdj[c])
+	}
+
+	// SCC member lists in ascending local (= term id) order.
+	members := make([][]int32, nscc)
+	for v := int32(0); v < int32(n); v++ {
+		members[scc[v]] = append(members[scc[v]], v)
+	}
+
+	// Preorder ranks: walk the condensation from the hierarchy tops down
+	// the super → sub edges, giving every SCC one contiguous member
+	// block and — for the common tree-shaped hierarchy — every subtree a
+	// contiguous rank range, which is what keeps the descendant interval
+	// sets near-minimal (the LiteMat property). Ascending SCC id order
+	// visits supers first, so every component is reached.
+	r.rankOf = make([]int32, n)
+	r.nodeAt = make([]int32, n)
+	r.sccFirst = make([]int32, nscc)
+	r.sccSize = make([]int32, nscc)
+	visited := make([]bool, nscc)
+	var next int32
+	var stack []int32
+	for rootC := int32(0); rootC < int32(nscc); rootC++ {
+		if visited[rootC] {
+			continue
+		}
+		stack = append(stack[:0], rootC)
+		visited[rootC] = true
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			r.sccFirst[c] = next
+			r.sccSize[c] = int32(len(members[c]))
+			for _, v := range members[c] {
+				r.rankOf[v] = next
+				r.nodeAt[next] = v
+				next++
+			}
+			// Push children in reverse so the lowest-id sub is visited
+			// first (pure determinism; any fixed order is correct).
+			kids := downAdj[c]
+			for i := len(kids) - 1; i >= 0; i-- {
+				if !visited[kids[i]] {
+					visited[kids[i]] = true
+					stack = append(stack, kids[i])
+				}
+			}
+		}
+	}
+
+	// Strict ancestor sets, in ascending SCC id order: every direct
+	// super SCC (lower id) is final when its subs are processed. The
+	// containment check is Nuutila's pruning — member blocks enter
+	// atomically, so one rank probes the whole block.
+	r.up = make([]*closure.IntervalSet, nscc)
+	r.down = make([]*closure.IntervalSet, nscc)
+	for c := 0; c < nscc; c++ {
+		r.up[c] = &closure.IntervalSet{}
+		r.down[c] = &closure.IntervalSet{}
+	}
+	for c := int32(0); c < int32(nscc); c++ {
+		for _, t := range upAdj[c] {
+			if r.up[c].Contains(r.sccFirst[t]) {
+				continue
+			}
+			r.up[c].AddRange(r.sccFirst[t], r.sccFirst[t]+r.sccSize[t]-1)
+			r.up[c].UnionWith(r.up[t])
+		}
+	}
+	// Strict descendant sets, in descending SCC id order (subs first).
+	for c := int32(nscc) - 1; c >= 0; c-- {
+		for _, s := range downAdj[c] {
+			if r.down[c].Contains(r.sccFirst[s]) {
+				continue
+			}
+			r.down[c].AddRange(r.sccFirst[s], r.sccFirst[s]+r.sccSize[s]-1)
+			r.down[c].UnionWith(r.down[s])
+		}
+	}
+
+	for c := 0; c < nscc; c++ {
+		size := int(r.sccSize[c])
+		supers := r.up[c].Cardinality()
+		subs := r.down[c].Cardinality()
+		if r.cyclic[c] {
+			supers += size
+			subs += size
+		}
+		r.visiblePairs += size * supers
+		if supers > 0 {
+			r.subjects += size
+		}
+		if subs > 0 {
+			r.objects += size
+		}
+		r.intervals += r.up[c].Intervals() + r.down[c].Intervals()
+	}
+	return r
+}
+
+// collectNodes returns the sorted distinct ids of the pair list.
+func collectNodes(pairs []uint64) []uint64 {
+	nodes := make([]uint64, len(pairs))
+	copy(nodes, pairs)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	w := 1
+	for r := 1; r < len(nodes); r++ {
+		if nodes[r] != nodes[w-1] {
+			nodes[w] = nodes[r]
+			w++
+		}
+	}
+	return nodes[:w]
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// lookup returns the local index of a term id.
+func (r *Relation) lookup(id uint64) (int32, bool) {
+	n := len(r.nodes)
+	i := sort.Search(n, func(i int) bool { return r.nodes[i] >= id })
+	if i < n && r.nodes[i] == id {
+		return int32(i), true
+	}
+	return 0, false
+}
+
+// Has reports whether the term participates in the hierarchy.
+func (r *Relation) Has(id uint64) bool {
+	_, ok := r.lookup(id)
+	return ok
+}
+
+// Nodes returns the number of hierarchy terms.
+func (r *Relation) Nodes() int { return len(r.nodes) }
+
+// VisiblePairs returns the total number of visible ⟨sub, super⟩ pairs —
+// the size the materialized closure of the edges would have.
+func (r *Relation) VisiblePairs() int { return r.visiblePairs }
+
+// Intervals returns the total number of stored intervals across all
+// ancestor/descendant sets (the interval-table size statistic).
+func (r *Relation) Intervals() int { return r.intervals }
+
+// Subjects returns the number of nodes with a nonempty visible super set.
+func (r *Relation) Subjects() int { return r.subjects }
+
+// Objects returns the number of nodes with a nonempty visible sub set.
+func (r *Relation) Objects() int { return r.objects }
+
+// Subsumes reports whether ⟨a, super⟩ is a visible pair: a path of
+// length ≥ 1 from a to super exists — the interval-containment check at
+// the heart of the encoding.
+func (r *Relation) Subsumes(a, super uint64) bool {
+	la, ok := r.lookup(a)
+	if !ok {
+		return false
+	}
+	lb, ok := r.lookup(super)
+	if !ok {
+		return false
+	}
+	ca, cb := r.sccOf[la], r.sccOf[lb]
+	if ca == cb {
+		return r.cyclic[ca]
+	}
+	return r.up[ca].Contains(r.rankOf[lb])
+}
+
+// HasSupers reports whether a has at least one visible super.
+func (r *Relation) HasSupers(a uint64) bool {
+	la, ok := r.lookup(a)
+	if !ok {
+		return false
+	}
+	c := r.sccOf[la]
+	return r.cyclic[c] || !r.up[c].Empty()
+}
+
+// HasSubs reports whether super has at least one visible sub.
+func (r *Relation) HasSubs(super uint64) bool {
+	lb, ok := r.lookup(super)
+	if !ok {
+		return false
+	}
+	c := r.sccOf[lb]
+	return r.cyclic[c] || !r.down[c].Empty()
+}
+
+// reachLocals appends the sorted local indexes of the visible reach of
+// SCC c through the given strict rank set (up or down), including the
+// SCC's own block when it is cyclic.
+func (r *Relation) reachLocals(c int32, set *closure.IntervalSet, buf []int32) []int32 {
+	set.ForEach(func(rank int32) {
+		buf = append(buf, r.nodeAt[rank])
+	})
+	if r.cyclic[c] {
+		first := r.sccFirst[c]
+		for i := int32(0); i < r.sccSize[c]; i++ {
+			buf = append(buf, r.nodeAt[first+i])
+		}
+	}
+	sortInt32(buf)
+	return buf
+}
+
+// Supers streams the visible supers of a in ascending term-id order.
+// fn returning false stops the walk; the return value reports whether
+// the walk ran to completion.
+func (r *Relation) Supers(a uint64, fn func(super uint64) bool) bool {
+	la, ok := r.lookup(a)
+	if !ok {
+		return true
+	}
+	c := r.sccOf[la]
+	for _, li := range r.reachLocals(c, r.up[c], nil) {
+		if !fn(r.nodes[li]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subs streams the visible subs of super in ascending term-id order.
+func (r *Relation) Subs(super uint64, fn func(sub uint64) bool) bool {
+	lb, ok := r.lookup(super)
+	if !ok {
+		return true
+	}
+	c := r.sccOf[lb]
+	for _, li := range r.reachLocals(c, r.down[c], nil) {
+		if !fn(r.nodes[li]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendSupers appends the visible supers of a to buf (unsorted SCC
+// block order; callers sort after accumulating several sets).
+func (r *Relation) AppendSupers(a uint64, buf []uint64) []uint64 {
+	la, ok := r.lookup(a)
+	if !ok {
+		return buf
+	}
+	c := r.sccOf[la]
+	r.up[c].ForEach(func(rank int32) {
+		buf = append(buf, r.nodes[r.nodeAt[rank]])
+	})
+	if r.cyclic[c] {
+		first := r.sccFirst[c]
+		for i := int32(0); i < r.sccSize[c]; i++ {
+			buf = append(buf, r.nodes[r.nodeAt[first+i]])
+		}
+	}
+	return buf
+}
+
+// SupersCount returns the number of visible supers of a.
+func (r *Relation) SupersCount(a uint64) int {
+	la, ok := r.lookup(a)
+	if !ok {
+		return 0
+	}
+	c := r.sccOf[la]
+	n := r.up[c].Cardinality()
+	if r.cyclic[c] {
+		n += int(r.sccSize[c])
+	}
+	return n
+}
+
+// ForEachPair streams every visible ⟨sub, super⟩ pair: sorted by
+// ⟨sub, super⟩ when osOrder is false, by ⟨super, sub⟩ when true. fn is
+// always called as fn(sub, super).
+func (r *Relation) ForEachPair(osOrder bool, fn func(sub, super uint64) bool) bool {
+	for li := int32(0); li < int32(len(r.nodes)); li++ {
+		c := r.sccOf[li]
+		set := r.up[c]
+		if osOrder {
+			set = r.down[c]
+		}
+		for _, lj := range r.reachLocals(c, set, nil) {
+			var ok bool
+			if osOrder {
+				ok = fn(r.nodes[lj], r.nodes[li])
+			} else {
+				ok = fn(r.nodes[li], r.nodes[lj])
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ForEachCyclicSCC calls fn with the sorted member ids of every cyclic
+// strong component — the equivalence classes the encoded SCM-EQC2 /
+// SCM-EQP2 rules emit from.
+func (r *Relation) ForEachCyclicSCC(fn func(members []uint64)) {
+	for c := 0; c < len(r.cyclic); c++ {
+		if !r.cyclic[c] || r.sccSize[c] == 0 {
+			continue
+		}
+		ids := make([]uint64, 0, r.sccSize[c])
+		first := r.sccFirst[c]
+		for i := int32(0); i < r.sccSize[c]; i++ {
+			ids = append(ids, r.nodes[r.nodeAt[first+i]])
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		fn(ids)
+	}
+}
+
+// Index pairs the class and property relations of one materialized
+// store with the property indexes of the three predicates whose tables
+// carry virtual content. It is immutable once built (the reasoner
+// replaces the whole index when a subClassOf/subPropertyOf table
+// changes); the embedded caches are concurrency-safe.
+type Index struct {
+	// Classes is the subClassOf hierarchy, Props the subPropertyOf one.
+	Classes *Relation
+	Props   *Relation
+
+	typePidx, scPidx, spPidx int
+
+	mu       sync.Mutex
+	sigCount map[string]int // class-set signature -> visible type count
+	typeMemo typeMemo
+
+	// subjMemo caches the merged visible subject list per class for
+	// virtual type scans (View.typeSubjects), valid for one type-table
+	// version; a version bump drops the whole map.
+	subjVersion uint64
+	subjMemo    map[uint64][]uint64
+}
+
+// typeSubjectsCached returns the memoized visible-subject list of a
+// class, if cached for this type-table version. The returned slice is
+// shared — callers must not mutate it.
+func (x *Index) typeSubjectsCached(class, version uint64) ([]uint64, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.subjMemo == nil || x.subjVersion != version {
+		return nil, false
+	}
+	s, ok := x.subjMemo[class]
+	return s, ok
+}
+
+// memoTypeSubjects stores a class's visible-subject list for the given
+// type-table version, resetting the cache when the version moved.
+func (x *Index) memoTypeSubjects(class, version uint64, subjects []uint64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.subjMemo == nil || x.subjVersion != version {
+		x.subjMemo = make(map[uint64][]uint64)
+		x.subjVersion = version
+	}
+	x.subjMemo[class] = subjects
+}
+
+// typeMemo caches the whole-table virtual rdf:type statistics per type
+// table version.
+type typeMemo struct {
+	ok      bool
+	version uint64
+	virtual int // visible type pairs minus stored type pairs
+	objects int // distinct visible classes
+}
+
+// Build constructs the index from the raw (unclosed, normalized)
+// subClassOf and subPropertyOf pair lists. typePidx, scPidx and spPidx
+// are the dense property indexes of rdf:type, rdfs:subClassOf and
+// rdfs:subPropertyOf.
+func Build(scPairs, spPairs []uint64, typePidx, scPidx, spPidx int) *Index {
+	return &Index{
+		Classes:  newRelation(scPairs),
+		Props:    newRelation(spPairs),
+		typePidx: typePidx,
+		scPidx:   scPidx,
+		spPidx:   spPidx,
+	}
+}
+
+// TypePidx returns the dense property index of rdf:type.
+func (x *Index) TypePidx() int { return x.typePidx }
+
+// SubClassPidx returns the dense property index of rdfs:subClassOf.
+func (x *Index) SubClassPidx() int { return x.scPidx }
+
+// SubPropPidx returns the dense property index of rdfs:subPropertyOf.
+func (x *Index) SubPropPidx() int { return x.spPidx }
+
+// Intervals returns the total interval-table size across both relations.
+func (x *Index) Intervals() int {
+	return x.Classes.Intervals() + x.Props.Intervals()
+}
+
+// visibleTypeCount returns the number of visible classes of one stored
+// class run (the objects of one subject's rdf:type run): the stored
+// classes plus every visible super, deduplicated. Runs repeat massively
+// across subjects (every instance of a class shares the run), so the
+// result is memoized per run signature.
+func (x *Index) visibleTypeCount(classes []uint64) int {
+	var sig [8]byte
+	key := make([]byte, 0, 8*len(classes))
+	for _, c := range classes {
+		binary.LittleEndian.PutUint64(sig[:], c)
+		key = append(key, sig[:]...)
+	}
+	x.mu.Lock()
+	if n, ok := x.sigCount[string(key)]; ok {
+		x.mu.Unlock()
+		return n
+	}
+	x.mu.Unlock()
+
+	buf := append([]uint64(nil), classes...)
+	for _, c := range classes {
+		buf = x.Classes.AppendSupers(c, buf)
+	}
+	n := dedupCount(buf)
+
+	x.mu.Lock()
+	if x.sigCount == nil {
+		x.sigCount = make(map[string]int)
+	}
+	x.sigCount[string(key)] = n
+	x.mu.Unlock()
+	return n
+}
+
+// dedupCount sorts buf and returns the number of distinct values.
+func dedupCount(buf []uint64) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	n := 1
+	for i := 1; i < len(buf); i++ {
+		if buf[i] != buf[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// typeStats returns (virtual type pairs, distinct visible classes) for
+// the given rdf:type table, cached per table version.
+func (x *Index) typeStats(t *store.Table) (virtual, objects int) {
+	if t == nil || t.Empty() {
+		return 0, 0
+	}
+	x.mu.Lock()
+	if x.typeMemo.ok && x.typeMemo.version == t.Version() {
+		v, o := x.typeMemo.virtual, x.typeMemo.objects
+		x.mu.Unlock()
+		return v, o
+	}
+	x.mu.Unlock()
+
+	pairs := t.Pairs()
+	stored := len(pairs) / 2
+	visible := 0
+	distinct := make(map[uint64]struct{})
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j] == pairs[i] {
+			distinct[pairs[j+1]] = struct{}{}
+			j += 2
+		}
+		run := make([]uint64, 0, (j-i)/2)
+		for k := i; k < j; k += 2 {
+			run = append(run, pairs[k+1])
+		}
+		visible += x.visibleTypeCount(run)
+		i = j
+	}
+	buf := make([]uint64, 0, len(distinct))
+	for c := range distinct {
+		buf = append(buf, c)
+	}
+	base := append([]uint64(nil), buf...)
+	for _, c := range base {
+		buf = x.Classes.AppendSupers(c, buf)
+	}
+	virtual = visible - stored
+	objects = dedupCount(buf)
+
+	x.mu.Lock()
+	x.typeMemo = typeMemo{ok: true, version: t.Version(), virtual: virtual, objects: objects}
+	x.mu.Unlock()
+	return virtual, objects
+}

@@ -65,8 +65,13 @@ func (e *Engine) planFrom(patterns []Pattern, initBound uint64) []int {
 		if haveAgg {
 			return a
 		}
-		e.St.ForEachTable(func(_ int, t *store.Table) bool {
-			st := t.Stats()
+		e.St.ForEachTable(func(pidx int, t *store.Table) bool {
+			var st store.TableStats
+			if e.virtualPidx(pidx) {
+				st = e.Virtual.Stats(pidx)
+			} else {
+				st = t.Stats()
+			}
 			a.pairs += float64(st.Pairs)
 			a.subjects += float64(st.Subjects)
 			a.objects += float64(st.Objects)
@@ -87,11 +92,23 @@ func (e *Engine) planFrom(patterns []Pattern, initBound uint64) []int {
 			if !dictionary.IsProperty(p.P.ID) {
 				return 0 // not a property: matches nothing
 			}
-			t := e.St.Table(dictionary.PropIndex(p.P.ID))
+			pidx := dictionary.PropIndex(p.P.ID)
+			t := e.St.Table(pidx)
 			if t == nil || t.Empty() {
+				// A virtual table is empty exactly when its stored table
+				// is (virtual pairs derive from stored ones), so this
+				// also proves virtual emptiness.
 				return 0 // empty table: proves emptiness immediately
 			}
-			st := t.Stats()
+			// The hierarchy access class: visible-relation statistics
+			// stand in for the stored table's, so interval range scans
+			// are costed by the rows they actually yield.
+			var st store.TableStats
+			if e.virtualPidx(pidx) {
+				st = e.Virtual.Stats(pidx)
+			} else {
+				st = t.Stats()
+			}
 			switch {
 			case s && o:
 				return 0.5 // existence probe: filters, never expands
@@ -382,12 +399,46 @@ func (x *exec) enumStep(step *planStep, bound uint64, fn func(uint64) bool) {
 		}
 	}
 
+	// scanVirtual answers one encoded property through the Virtual
+	// interface — the hierarchy range-scan access class. The shapes
+	// mirror scanTable: existence probe, subject scan, object scan,
+	// full enumeration (optionally in ⟨o,s⟩ order).
+	scanVirtual := func(pidx int, osOrder bool) bool {
+		v := x.e.Virtual
+		switch {
+		case sB && oB:
+			sv, ov := termValue(p.S, row), termValue(p.O, row)
+			if v.Contains(pidx, sv, ov) {
+				return tryTriple(pidx, sv, ov)
+			}
+			return true
+		case sB:
+			sv := termValue(p.S, row)
+			return v.ScanSubject(pidx, sv, func(o uint64) bool {
+				return tryTriple(pidx, sv, o)
+			})
+		case oB:
+			ov := termValue(p.O, row)
+			return v.ScanObject(pidx, ov, func(s uint64) bool {
+				return tryTriple(pidx, s, ov)
+			})
+		default:
+			return v.ScanAll(pidx, osOrder, func(s, o uint64) bool {
+				return tryTriple(pidx, s, o)
+			})
+		}
+	}
+
 	if pB {
 		pid := termValue(p.P, row)
 		if !dictionary.IsProperty(pid) {
 			return
 		}
 		pidx := dictionary.PropIndex(pid)
+		if x.e.virtualPidx(pidx) {
+			scanVirtual(pidx, step.scanOS)
+			return
+		}
 		t := x.e.St.Table(pidx)
 		if t == nil || t.Empty() {
 			return
@@ -396,6 +447,9 @@ func (x *exec) enumStep(step *planStep, bound uint64, fn func(uint64) bool) {
 		return
 	}
 	x.e.St.ForEachTable(func(pidx int, t *store.Table) bool {
+		if x.e.virtualPidx(pidx) {
+			return scanVirtual(pidx, false)
+		}
 		return scanTable(pidx, t, false)
 	})
 }

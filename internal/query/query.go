@@ -36,9 +36,40 @@ func Const(id uint64) Term { return Term{ID: id} }
 // Pattern is one triple pattern.
 type Pattern struct{ S, P, O Term }
 
-// Engine evaluates patterns against a normalized store.
+// Virtual supplies computed triples for a subset of property tables —
+// the hierarchy interval encoding's virtual subsumption pairs
+// (hierarchy.View is the one implementation). For a pidx claimed by
+// VirtualPidx, the engine routes every access through the interface
+// instead of the stored table: the visible relation may be a strict
+// superset of the stored pairs. Scan callbacks must deliver ascending
+// ids (ScanAll: ⟨s,o⟩ order, or ⟨o,s⟩ when osOrder) and return false
+// when the consumer aborted the walk.
+type Virtual interface {
+	// VirtualPidx reports whether pidx carries virtual content.
+	VirtualPidx(pidx int) bool
+	// Contains reports whether ⟨s, pidx, o⟩ is visible.
+	Contains(pidx int, s, o uint64) bool
+	// ScanSubject streams the visible objects of s ascending.
+	ScanSubject(pidx int, s uint64, fn func(o uint64) bool) bool
+	// ScanObject streams the visible subjects of o ascending.
+	ScanObject(pidx int, o uint64, fn func(s uint64) bool) bool
+	// ScanAll streams all visible pairs, in ⟨o,s⟩ order when osOrder.
+	ScanAll(pidx int, osOrder bool, fn func(s, o uint64) bool) bool
+	// Stats returns visible-relation statistics for the planner.
+	Stats(pidx int) store.TableStats
+}
+
+// Engine evaluates patterns against a normalized store. When Virtual is
+// non-nil, the property tables it claims are answered through it (the
+// hierarchy range-scan access class) instead of the stored pairs.
 type Engine struct {
-	St *store.Store
+	St      *store.Store
+	Virtual Virtual
+}
+
+// virtualPidx reports whether pidx is routed through e.Virtual.
+func (e *Engine) virtualPidx(pidx int) bool {
+	return e.Virtual != nil && e.Virtual.VirtualPidx(pidx)
 }
 
 // Solve enumerates all solutions of the conjunctive pattern list. Each
@@ -300,12 +331,44 @@ func (e *Engine) enumerate(p Pattern, row []uint64, bound uint64, fn func(uint64
 		}
 	}
 
+	// scanVirtual mirrors scanTable for the encoded properties answered
+	// through the Virtual interface.
+	scanVirtual := func(pidx int) bool {
+		v := e.Virtual
+		switch {
+		case sB && oB:
+			sv, ov := termValue(p.S, row), termValue(p.O, row)
+			if v.Contains(pidx, sv, ov) {
+				return tryTriple(pidx, sv, ov)
+			}
+			return true
+		case sB:
+			sv := termValue(p.S, row)
+			return v.ScanSubject(pidx, sv, func(o uint64) bool {
+				return tryTriple(pidx, sv, o)
+			})
+		case oB:
+			ov := termValue(p.O, row)
+			return v.ScanObject(pidx, ov, func(s uint64) bool {
+				return tryTriple(pidx, s, ov)
+			})
+		default:
+			return v.ScanAll(pidx, false, func(s, o uint64) bool {
+				return tryTriple(pidx, s, o)
+			})
+		}
+	}
+
 	if pB {
 		pid := termValue(p.P, row)
 		if !dictionary.IsProperty(pid) {
 			return
 		}
 		pidx := dictionary.PropIndex(pid)
+		if e.virtualPidx(pidx) {
+			scanVirtual(pidx)
+			return
+		}
 		t := e.St.Table(pidx)
 		if t == nil || t.Empty() {
 			return
@@ -314,6 +377,9 @@ func (e *Engine) enumerate(p Pattern, row []uint64, bound uint64, fn func(uint64
 		return
 	}
 	e.St.ForEachTable(func(pidx int, t *store.Table) bool {
+		if e.virtualPidx(pidx) {
+			return scanVirtual(pidx)
+		}
 		return scanTable(pidx, t)
 	})
 }

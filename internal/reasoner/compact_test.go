@@ -1,0 +1,109 @@
+package reasoner
+
+import (
+	"testing"
+
+	"inferray/internal/rdf"
+	"inferray/internal/rules"
+)
+
+// lookupID resolves a term that must already be in the dictionary.
+func lookupID(t *testing.T, e *Engine, term string) uint64 {
+	t.Helper()
+	id, ok := e.Dict.Lookup(term)
+	if !ok {
+		t.Fatalf("term %s not in dictionary", term)
+	}
+	return id
+}
+
+// storedType reports whether ⟨s rdf:type o⟩ is physically stored (not
+// merely visible through the interval index).
+func storedType(t *testing.T, e *Engine, s, o string) bool {
+	t.Helper()
+	tt := e.Main.Table(e.V.Type)
+	if tt == nil || tt.Empty() {
+		return false
+	}
+	return tt.Contains(lookupID(t, e, s), lookupID(t, e, o))
+}
+
+// TestCompactTypeTable checks that subsumption-redundant stored rdf:type
+// pairs — loaded directly or derived by rules that do not consult the
+// interval index (domain fallout here) — are compacted away, while the
+// visible closure keeps every pair.
+func TestCompactTypeTable(t *testing.T) {
+	e := New(Options{Fragment: rules.RDFSDefault, HierarchyEncoding: true})
+	e.LoadTriples([]rdf.Triple{
+		{S: "<Dog>", P: rdf.RDFSSubClassOf, O: "<Mammal>"},
+		{S: "<Mammal>", P: rdf.RDFSSubClassOf, O: "<Animal>"},
+		{S: "<walks>", P: rdf.RDFSDomain, O: "<Mammal>"},
+		// ⟨x type Animal⟩ is redundant next to ⟨x type Dog⟩; the domain
+		// rule's ⟨x type Mammal⟩ fallout is redundant the same way.
+		{S: "<x>", P: rdf.RDFType, O: "<Dog>"},
+		{S: "<x>", P: rdf.RDFType, O: "<Animal>"},
+		{S: "<x>", P: "<walks>", O: "<y>"},
+		{S: "<z>", P: rdf.RDFType, O: "<Mammal>"},
+	})
+	e.Materialize()
+
+	if e.HierView() == nil {
+		t.Fatal("hierarchy encoding unexpectedly bypassed")
+	}
+	if !storedType(t, e, "<x>", "<Dog>") || !storedType(t, e, "<z>", "<Mammal>") {
+		t.Error("minimal type pairs must stay stored")
+	}
+	for _, o := range []string{"<Animal>", "<Mammal>"} {
+		if storedType(t, e, "<x>", o) {
+			t.Errorf("⟨x type %s⟩ still stored; should be compacted", o)
+		}
+	}
+	for _, tr := range []rdf.Triple{
+		{S: "<x>", P: rdf.RDFType, O: "<Dog>"},
+		{S: "<x>", P: rdf.RDFType, O: "<Mammal>"},
+		{S: "<x>", P: rdf.RDFType, O: "<Animal>"},
+		{S: "<z>", P: rdf.RDFType, O: "<Animal>"},
+	} {
+		if !e.Contains(tr) {
+			t.Errorf("visible closure lost: %v", tr)
+		}
+	}
+
+	// Re-loading an already-compacted pair must behave like loading a
+	// duplicate: absorbed (no livelock), still compacted, still visible.
+	e.LoadTriples([]rdf.Triple{{S: "<x>", P: rdf.RDFType, O: "<Animal>"}})
+	e.Materialize()
+	if storedType(t, e, "<x>", "<Animal>") {
+		t.Error("re-loaded redundant pair must compact away again")
+	}
+	if !e.Contains(rdf.Triple{S: "<x>", P: rdf.RDFType, O: "<Animal>"}) {
+		t.Error("re-loaded redundant pair must stay visible")
+	}
+}
+
+// TestCompactTypeTableCycle checks the mutual-subsumption tiebreak: for
+// classes in one subsumption cycle exactly one stored pair survives per
+// subject (the smallest class id) and both memberships remain visible.
+func TestCompactTypeTableCycle(t *testing.T) {
+	e := New(Options{Fragment: rules.RDFSDefault, HierarchyEncoding: true})
+	e.LoadTriples([]rdf.Triple{
+		{S: "<A>", P: rdf.RDFSSubClassOf, O: "<B>"},
+		{S: "<B>", P: rdf.RDFSSubClassOf, O: "<A>"},
+		{S: "<x>", P: rdf.RDFType, O: "<A>"},
+		{S: "<x>", P: rdf.RDFType, O: "<B>"},
+	})
+	e.Materialize()
+
+	if e.HierView() == nil {
+		t.Fatal("hierarchy encoding unexpectedly bypassed")
+	}
+	a, b := storedType(t, e, "<x>", "<A>"), storedType(t, e, "<x>", "<B>")
+	if a == b {
+		t.Errorf("cycle tiebreak must keep exactly one of ⟨x type A⟩/⟨x type B⟩, got stored A=%v B=%v", a, b)
+	}
+	for _, o := range []string{"<A>", "<B>"} {
+		if !e.Contains(rdf.Triple{S: "<x>", P: rdf.RDFType, O: o}) {
+			t.Errorf("⟨x type %s⟩ must stay visible", o)
+		}
+	}
+}

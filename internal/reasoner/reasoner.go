@@ -24,6 +24,7 @@ import (
 
 	"inferray/internal/closure"
 	"inferray/internal/dictionary"
+	"inferray/internal/hierarchy"
 	"inferray/internal/rdf"
 	"inferray/internal/rules"
 	"inferray/internal/store"
@@ -42,6 +43,16 @@ type Options struct {
 	// trading join speed for footprint (the paper's clearable cache,
 	// §4.2). Results are identical; only performance changes.
 	LowMemory bool
+	// HierarchyEncoding keeps the transitive subClassOf/subPropertyOf
+	// closure — and the rdf:type triples it entails — virtual: a
+	// LiteMat-style interval index answers subsumption in O(1) and the
+	// rules switch to interval-driven forms, so those triples are never
+	// materialized. The visible closure (Size, Triples, Contains, the
+	// query engine) is identical to a full materialization. When the
+	// loaded data re-describes the RDFS/OWL meta-vocabulary itself (see
+	// DESIGN.md §10 for the exact guards) the engine transparently falls
+	// back to full materialization, so the option is always safe.
+	HierarchyEncoding bool
 }
 
 // RoundStats reports what one fixpoint iteration did.
@@ -55,6 +66,9 @@ type RoundStats struct {
 // (Incremental true), InputTriples counts the distinct triples newly
 // added since the previous materialization and InferredTriples the
 // further closure growth; the pre-existing closure is neither.
+// TotalTriples and InferredTriples count the *visible* closure, so they
+// are identical with and without the hierarchy encoding; the
+// materialized/virtual split is reported separately.
 type Stats struct {
 	InputTriples    int
 	InferredTriples int
@@ -67,6 +81,22 @@ type Stats struct {
 	ClosureTime     time.Duration
 	LoopTime        time.Duration
 	TotalTime       time.Duration
+
+	// MaterializedTriples is the number of triples physically stored;
+	// VirtualTriples the further visible triples the hierarchy interval
+	// index answers without storing (zero when the encoding is off or
+	// bypassed). MaterializedTriples + VirtualTriples == TotalTriples.
+	MaterializedTriples int
+	VirtualTriples      int
+	// HierarchyEncoded reports whether the interval encoding is active
+	// (requested, and not bypassed by the meta-vocabulary guards).
+	HierarchyEncoded bool
+	// HierarchyClasses / HierarchyProperties count the nodes of the two
+	// interval-encoded hierarchies; HierarchyIntervals the total number
+	// of intervals stored across both side tables.
+	HierarchyClasses    int
+	HierarchyProperties int
+	HierarchyIntervals  int
 }
 
 // Engine is a forward-chaining reasoner: load triples, call Materialize,
@@ -85,6 +115,17 @@ type Engine struct {
 
 	materialized bool
 	staged       *store.Store // triples loaded since the last Materialize
+
+	// hier is the hierarchy interval index when the encoding is active;
+	// nil when the option is off, before the first Materialize, or after
+	// a guard-forced bypass. hierBypassed is sticky: once the loaded data
+	// trips a meta-vocabulary guard the engine stays on full
+	// materialization. The two changed flags carry "the previous merge
+	// round changed the raw hierarchy edges" into the next rule pass.
+	hier             *hierarchy.Index
+	hierBypassed     bool
+	hierClassChanged bool
+	hierPropChanged  bool
 }
 
 // New creates an engine for the given options, with the vocabulary
@@ -237,13 +278,24 @@ func (e *Engine) Materialize() Stats {
 		return e.materializeIncremental()
 	}
 	start := time.Now()
-	e.Main.Normalize()
+	if e.opts.Parallel {
+		e.Main.NormalizeParallel()
+	} else {
+		e.Main.Normalize()
+	}
 	inputSize := e.Main.Size() // after load-time dedup
 
 	// Line 2: transitivity closures on a dedicated layout (§4.1).
 	closureStart := time.Now()
 	e.transitivityClosures()
 	closureTime := time.Since(closureStart)
+
+	// Pre-warm the ⟨o,s⟩ caches across cores instead of letting the
+	// first iteration's joins build them one by one under table locks.
+	// Pointless under LowMemory, which drops them every iteration.
+	if e.opts.Parallel && !e.opts.LowMemory {
+		e.Main.WarmOSCaches()
+	}
 
 	// Lines 3–8: fixed point. On the first pass delta aliases main and
 	// every rule fires (the changed set is unknown).
@@ -252,14 +304,28 @@ func (e *Engine) Materialize() Stats {
 	e.fixpoint(e.Main, nil, true, &st)
 	st.LoopTime = time.Since(loopStart)
 
-	total := e.Main.Size()
+	total := e.Size()
 	st.InputTriples = inputSize
 	st.InferredTriples = total - inputSize
 	st.TotalTriples = total
 	st.ClosureTime = closureTime
 	st.TotalTime = time.Since(start)
+	e.finishStats(&st)
 	e.materialized = true
 	return st
+}
+
+// finishStats fills the materialized/virtual split and the hierarchy
+// index figures of a Stats record from the engine's current state.
+func (e *Engine) finishStats(st *Stats) {
+	st.MaterializedTriples = e.Main.Size()
+	st.VirtualTriples = st.TotalTriples - st.MaterializedTriples
+	if e.hier != nil {
+		st.HierarchyEncoded = true
+		st.HierarchyClasses = e.hier.Classes.Nodes()
+		st.HierarchyProperties = e.hier.Props.Nodes()
+		st.HierarchyIntervals = e.hier.Intervals()
+	}
 }
 
 // materializeIncremental merges the staged delta into main and runs the
@@ -268,27 +334,30 @@ func (e *Engine) Materialize() Stats {
 // every transitive table the delta touches.
 func (e *Engine) materializeIncremental() Stats {
 	start := time.Now()
-	prevTotal := e.Main.Size()
+	prevTotal := e.Size()
 	st := Stats{Incremental: true, TotalTriples: prevTotal}
 	staged := e.staged
 	e.staged = nil
 	if staged == nil || staged.Size() == 0 {
 		st.TotalTime = time.Since(start)
+		e.finishStats(&st)
 		return st
 	}
 	loopStart := time.Now()
 	delta, changed := store.MergeRound(e.Main, staged, e.opts.Parallel)
+	delta, changed = e.maintainHier(delta, changed)
 	newInput := delta.Size()
 	if newInput > 0 {
 		e.fixpoint(delta, changed, false, &st)
 	}
 	st.LoopTime = time.Since(loopStart)
 
-	total := e.Main.Size()
+	total := e.Size()
 	st.InputTriples = newInput
 	st.InferredTriples = total - prevTotal - newInput
 	st.TotalTriples = total
 	st.TotalTime = time.Since(start)
+	e.finishStats(&st)
 	return st
 }
 
@@ -308,6 +377,7 @@ func (e *Engine) fixpoint(delta *store.Store, changed []int, fireAll bool, st *S
 		st.RulesFired += fired
 		st.RulesSkipped += skipped
 		delta, changed = store.MergeRound(e.Main, inferred, e.opts.Parallel)
+		delta, changed = e.maintainHier(delta, changed)
 		st.Rounds = append(st.Rounds, RoundStats{
 			RulesFired:   fired,
 			RulesSkipped: skipped,
@@ -324,7 +394,10 @@ func (e *Engine) fixpoint(delta *store.Store, changed []int, fireAll bool, st *S
 
 // transitivityClosures closes the θ tables in place before the fixpoint:
 // subClassOf and subPropertyOf for every fragment; owl:sameAs (after
-// symmetrization) and every owl:TransitiveProperty for RDFS-Plus.
+// symmetrization) and every owl:TransitiveProperty for RDFS-Plus. With
+// the hierarchy encoding requested, the subClassOf/subPropertyOf
+// closures are not materialized: the interval index is built from the
+// raw edges instead (unless a meta-vocabulary guard forces a bypass).
 func (e *Engine) transitivityClosures() {
 	closeTable := func(pidx int) {
 		t := e.Main.Table(pidx)
@@ -335,8 +408,19 @@ func (e *Engine) transitivityClosures() {
 		t.AppendPairs(closed)
 		t.Normalize()
 	}
-	closeTable(e.V.SubClassOf)
-	closeTable(e.V.SubPropertyOf)
+	if e.opts.HierarchyEncoding && !e.hierBypassed {
+		e.buildHier()
+		if !e.hierGuardsOK() {
+			e.hier = nil
+			e.hierBypassed = true
+		} else {
+			e.compactTypeTable(nil, nil)
+		}
+	}
+	if e.hier == nil {
+		closeTable(e.V.SubClassOf)
+		closeTable(e.V.SubPropertyOf)
+	}
 
 	if !e.opts.Fragment.UsesSameAs() {
 		return
@@ -365,6 +449,273 @@ func (e *Engine) transitivityClosures() {
 			}
 		}
 	}
+}
+
+// buildHier (re)builds the hierarchy interval index from the raw
+// subClassOf/subPropertyOf edges of the main store.
+func (e *Engine) buildHier() {
+	raw := func(pidx int) []uint64 {
+		t := e.Main.Table(pidx)
+		if t == nil || t.Empty() {
+			return nil
+		}
+		return t.Pairs()
+	}
+	e.hier = hierarchy.Build(raw(e.V.SubClassOf), raw(e.V.SubPropertyOf),
+		e.V.Type, e.V.SubClassOf, e.V.SubPropertyOf)
+}
+
+// hierGuardsOK checks the bypass guards of the hierarchy encoding
+// (DESIGN.md §10): the interval-driven rule forms are equivalent to full
+// materialization only while the loaded data does not re-describe the
+// RDFS/OWL meta-vocabulary itself. The guards are deliberately
+// conservative — tripping one costs only the encoding, never soundness.
+func (e *Engine) hierGuardsOK() bool {
+	h, v := e.hier, e.V
+	// G1: no rule-marker class may acquire subclasses. Several rules
+	// select subjects by ⟨x rdf:type marker⟩ runs over the stored type
+	// table; with a class strictly below a marker, a virtual type pair
+	// could carry the marker as object and the stored run would miss it.
+	for _, m := range []uint64{
+		v.Class, v.Property, v.Datatype, v.ContainerMembership,
+		v.FunctionalProp, v.InverseFunctionalProp, v.SymmetricProp,
+		v.TransitiveProp, v.DatatypeProp, v.ObjectProp, v.OWLClass,
+	} {
+		if h.Classes.HasSubs(m) {
+			return false
+		}
+	}
+	subjOf := func(pidx int, id uint64) bool {
+		t := e.Main.Table(pidx)
+		if t == nil || t.Empty() {
+			return false
+		}
+		lo, hi := t.SubjectRun(id)
+		return lo != hi
+	}
+	objOf := func(pidx int, id uint64) bool {
+		t := e.Main.Table(pidx)
+		if t == nil || t.Empty() {
+			return false
+		}
+		lo, hi := t.ObjectRun(id)
+		return lo != hi
+	}
+	// G2: the three encoded predicates must not themselves be described
+	// by schema triples — a subPropertyOf/domain/range/equivalence/
+	// inverse/sameAs/type statement about rdf:type, rdfs:subClassOf or
+	// rdfs:subPropertyOf would make rules join against their (virtually
+	// incomplete) stored tables.
+	for _, m := range []uint64{
+		dictionary.PropID(e.V.Type),
+		dictionary.PropID(e.V.SubClassOf),
+		dictionary.PropID(e.V.SubPropertyOf),
+	} {
+		if subjOf(v.SubPropertyOf, m) || subjOf(v.Domain, m) ||
+			subjOf(v.Range, m) || subjOf(v.Type, m) {
+			return false
+		}
+		if subjOf(v.EquivProp, m) || objOf(v.EquivProp, m) ||
+			subjOf(v.InverseOf, m) || objOf(v.InverseOf, m) {
+			return false
+		}
+		if e.opts.Fragment.UsesSameAs() &&
+			(subjOf(v.SameAs, m) || objOf(v.SameAs, m)) {
+			return false
+		}
+	}
+	// G3 (RDFS-Plus only): owl:sameAs endpoints must stay clear of both
+	// hierarchies — sameAs-driven replication of a hierarchy node would
+	// have to flow through the virtual closure.
+	if e.opts.Fragment.UsesSameAs() {
+		if t := e.Main.Table(v.SameAs); t != nil && !t.Empty() {
+			for _, id := range t.Pairs() {
+				if h.Classes.Has(id) || h.Props.Has(id) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// maintainHier runs after every merge round: it rebuilds the interval
+// index when the raw hierarchy edges changed, re-checks the bypass
+// guards when any guard-relevant table changed, and — if a guard
+// tripped — expands the virtual closure into the store and disables the
+// encoding. It returns the (possibly grown) delta and changed set.
+func (e *Engine) maintainHier(delta *store.Store, changed []int) (*store.Store, []int) {
+	e.hierClassChanged, e.hierPropChanged = false, false
+	if e.hier == nil {
+		return delta, changed
+	}
+	touched := func(pidx int) bool {
+		for _, c := range changed {
+			if c == pidx {
+				return true
+			}
+		}
+		return false
+	}
+	if touched(e.V.SubClassOf) {
+		e.hierClassChanged = true
+	}
+	if touched(e.V.SubPropertyOf) {
+		e.hierPropChanged = true
+	}
+	if e.hierClassChanged || e.hierPropChanged {
+		e.buildHier()
+	}
+	recheck := e.hierClassChanged || e.hierPropChanged ||
+		touched(e.V.Type) || touched(e.V.Domain) || touched(e.V.Range) ||
+		touched(e.V.SameAs) || touched(e.V.EquivProp) || touched(e.V.InverseOf)
+	if recheck && !e.hierGuardsOK() {
+		return e.expandEncoding(delta, changed)
+	}
+	if e.hierClassChanged || touched(e.V.Type) {
+		changed = e.compactTypeTable(delta, changed)
+	}
+	return delta, changed
+}
+
+// compactTypeTable drops stored rdf:type pairs the interval index
+// already serves: ⟨x, D⟩ is redundant when another stored pair ⟨x, C⟩
+// of the same subject has C strictly below D (inside a subsumption
+// cycle the smallest class id is kept, so mutually-subsuming classes
+// never shadow each other away). A redundant pair is visible through
+// the intervals either way, so dropping it from the main store AND
+// from the running delta reproduces exactly what the materialized
+// engine's merge does with a derivation that is already present:
+// no rule ever fires on it again. Rules that read the stored type
+// table directly select marker classes, which guard G1 keeps
+// subclass-free — a marker pair can therefore never be redundant.
+// Returns the changed set, with rdf:type removed when the delta's
+// type table compacts to nothing.
+func (e *Engine) compactTypeTable(delta *store.Store, changed []int) []int {
+	if e.hier == nil || e.hier.Classes.VisiblePairs() == 0 {
+		return changed
+	}
+	rel := e.hier.Classes
+	t := e.Main.Table(e.V.Type)
+	if t == nil || t.Empty() {
+		return changed
+	}
+	pairs := t.Pairs()
+	// redundant reports whether the class at flat index k+1 is shadowed
+	// by a sibling class of the same subject run pairs[lo:hi].
+	redundant := func(lo, hi, k int) bool {
+		d := pairs[k+1]
+		for i := lo; i < hi; i += 2 {
+			if i == k {
+				continue
+			}
+			c := pairs[i+1]
+			if c != d && rel.Subsumes(c, d) && (!rel.Subsumes(d, c) || c < d) {
+				return true
+			}
+		}
+		return false
+	}
+	var kept []uint64 // allocated lazily, on the first drop
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j] == pairs[i] {
+			j += 2
+		}
+		if j-i > 2 { // a single-class subject has nothing to shadow
+			for k := i; k < j; k += 2 {
+				if redundant(i, j, k) {
+					if kept == nil {
+						kept = append(make([]uint64, 0, len(pairs)-2), pairs[:k]...)
+					}
+				} else if kept != nil {
+					kept = append(kept, pairs[k], pairs[k+1])
+				}
+			}
+		} else if kept != nil {
+			kept = append(kept, pairs[i:j]...)
+		}
+		i = j
+	}
+	if kept == nil {
+		return changed
+	}
+	t.SetPairs(kept)
+	t.Normalize()
+
+	if delta == nil {
+		return changed
+	}
+	dt := delta.Table(e.V.Type)
+	if dt == nil || dt.Empty() {
+		return changed
+	}
+	// The delta is a subset of the merged main store, so a delta pair
+	// survives iff it survived the main-table compaction.
+	dp := dt.Pairs()
+	dkept := make([]uint64, 0, len(dp))
+	for i := 0; i < len(dp); i += 2 {
+		if t.Contains(dp[i], dp[i+1]) {
+			dkept = append(dkept, dp[i], dp[i+1])
+		}
+	}
+	if len(dkept) == len(dp) {
+		return changed
+	}
+	dt.SetPairs(dkept)
+	dt.Normalize()
+	if len(dkept) == 0 {
+		out := make([]int, 0, len(changed))
+		for _, c := range changed {
+			if c != e.V.Type {
+				out = append(out, c)
+			}
+		}
+		changed = out
+	}
+	return changed
+}
+
+// expandEncoding materializes every virtual triple into the main store
+// and permanently disables the encoding (the guard trip is sticky). The
+// expansion's genuinely-new triples are unioned into the running delta
+// so the fixpoint processes them like any other derivation.
+func (e *Engine) expandEncoding(delta *store.Store, changed []int) (*store.Store, []int) {
+	view := &hierarchy.View{St: e.Main, Idx: e.hier}
+	exp := store.New(e.Main.NumSlots())
+	for _, pidx := range []int{e.V.SubClassOf, e.V.SubPropertyOf, e.V.Type} {
+		out := exp.Ensure(pidx)
+		view.ScanAll(pidx, false, func(s, o uint64) bool {
+			out.Append(s, o)
+			return true
+		})
+	}
+	e.hier = nil
+	e.hierBypassed = true
+	e.hierClassChanged, e.hierPropChanged = false, false
+	expDelta, expChanged := store.MergeRound(e.Main, exp, e.opts.Parallel)
+	expDelta.ForEachTable(func(pidx int, t *store.Table) bool {
+		if t.Empty() {
+			return true
+		}
+		dt := delta.Ensure(pidx)
+		dt.AppendPairs(t.RawPairs())
+		dt.Normalize()
+		return true
+	})
+	for _, c := range expChanged {
+		found := false
+		for _, old := range changed {
+			if old == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			changed = append(changed, c)
+		}
+	}
+	return delta, changed
 }
 
 // applyRules fires the scheduled rules of the fragment against (main,
@@ -401,7 +752,12 @@ func (e *Engine) applyRules(delta *store.Store, changed []int, fireAll bool) (*s
 	outs := make([]*store.Store, len(e.rules))
 	run := func(i int) {
 		out := store.New(slots)
-		ctx := &rules.Context{Main: e.Main, Delta: delta, Out: out, V: e.V}
+		ctx := &rules.Context{
+			Main: e.Main, Delta: delta, Out: out, V: e.V,
+			Hier:             e.hier,
+			HierClassChanged: e.hierClassChanged,
+			HierPropChanged:  e.hierPropChanged,
+		}
 		e.rules[i].Apply(ctx)
 		outs[i] = out
 	}
@@ -445,7 +801,15 @@ func (e *Engine) applyRules(delta *store.Store, changed []int, fireAll bool) (*s
 // term). The vocabulary indexes are re-resolved and verified. The engine
 // returns to the not-yet-materialized state: the next Materialize runs
 // the full Algorithm 1 over the restored store.
-func (e *Engine) RestoreState(d *dictionary.Dictionary, st *store.Store) error {
+//
+// encoded declares that the snapshot was written by an engine with the
+// hierarchy encoding active, i.e. the stored closure is reduced (the
+// transitive subsumption and derived type triples are absent). In that
+// case the interval index is rebuilt — deterministically, from the
+// stored edges — or, when this engine runs without the encoding, the
+// reduced closure is expanded back into the store. Either way the
+// visible closure is exactly the snapshotted one.
+func (e *Engine) RestoreState(d *dictionary.Dictionary, st *store.Store, encoded bool) error {
 	for i, term := range rdf.VocabularyProperties {
 		id, ok := d.Lookup(term)
 		if !ok || dictionary.PropIndex(id) != i {
@@ -459,7 +823,55 @@ func (e *Engine) RestoreState(d *dictionary.Dictionary, st *store.Store) error {
 	e.input = st.Size()
 	e.materialized = false
 	e.staged = nil
+	e.hier = nil
+	e.hierBypassed = false
+	e.hierClassChanged, e.hierPropChanged = false, false
+	if e.opts.Parallel {
+		e.Main.NormalizeParallel()
+	} else {
+		e.Main.Normalize()
+	}
+	if encoded {
+		e.buildHier()
+		if !e.opts.HierarchyEncoding || !e.hierGuardsOK() {
+			// This engine will not serve virtual triples: expand the
+			// reduced closure into the store before dropping the index.
+			e.expandRestoredClosure()
+			e.hier = nil
+			e.hierBypassed = true
+		}
+	} else if e.opts.HierarchyEncoding {
+		// A fully materialized snapshot under an encoding-enabled engine:
+		// build the index over the closed tables. Visible equals stored
+		// (the closure is its own closure), so virtual counts are zero,
+		// and future increments still profit from the interval joins.
+		e.buildHier()
+		if !e.hierGuardsOK() {
+			e.hier = nil
+			e.hierBypassed = true
+		}
+	}
+	e.input = e.Main.Size()
 	return nil
+}
+
+// expandRestoredClosure materializes the virtual triples of a restored
+// reduced closure directly into the main store.
+func (e *Engine) expandRestoredClosure() {
+	view := &hierarchy.View{St: e.Main, Idx: e.hier}
+	for _, pidx := range []int{e.V.SubClassOf, e.V.SubPropertyOf, e.V.Type} {
+		t := e.Main.Table(pidx)
+		if t == nil || t.Empty() {
+			continue
+		}
+		var buf []uint64
+		view.ScanAll(pidx, false, func(s, o uint64) bool {
+			buf = append(buf, s, o)
+			return true
+		})
+		t.AppendPairs(buf)
+		t.Normalize()
+	}
 }
 
 // MarkMaterialized declares the current store a closure, so the next
@@ -469,27 +881,76 @@ func (e *Engine) RestoreState(d *dictionary.Dictionary, st *store.Store) error {
 // re-deriving the (empty) fixpoint would only waste the cold start.
 func (e *Engine) MarkMaterialized() { e.materialized = true }
 
-// Size returns the current number of stored triples (staged triples not
-// yet materialized are excluded).
-func (e *Engine) Size() int { return e.Main.Size() }
+// Size returns the current number of visible triples (staged triples
+// not yet materialized are excluded). With the hierarchy encoding
+// active this counts the stored triples plus the virtual subsumption
+// and type triples — the same number a full materialization stores.
+func (e *Engine) Size() int {
+	hv := e.HierView()
+	if hv == nil {
+		return e.Main.Size()
+	}
+	vSC, vSP, vType := hv.VirtualCounts()
+	return e.Main.Size() + vSC + vSP + vType
+}
 
-// Triples streams every stored triple in decoded surface form; fn may
+// StoredSize returns the number of physically stored triples, excluding
+// the virtual triples of the hierarchy encoding. Checkpoints persist
+// exactly this many triples.
+func (e *Engine) StoredSize() int { return e.Main.Size() }
+
+// HierView returns the visible-triple view of the active hierarchy
+// encoding, or nil when the encoding is off, bypassed, or not yet
+// built. Callers holding an interface must nil-check before assigning.
+func (e *Engine) HierView() *hierarchy.View {
+	if e.hier == nil {
+		return nil
+	}
+	return &hierarchy.View{St: e.Main, Idx: e.hier}
+}
+
+// Triples streams every visible triple in decoded surface form; fn may
 // return false to stop early. Call after Materialize for the closure,
-// or before for the input.
+// or before for the input. With the hierarchy encoding active the
+// virtual subsumption/type triples are interleaved in sorted position,
+// so the stream is identical to a full materialization's.
 func (e *Engine) Triples(fn func(t rdf.Triple) bool) {
 	d := e.Dict
-	e.Main.ForEach(func(pidx int, s, o uint64) bool {
-		t := rdf.Triple{
+	decode := func(pidx int, s, o uint64) bool {
+		return fn(rdf.Triple{
 			S: d.MustDecode(s),
 			P: d.MustDecode(dictionary.PropID(pidx)),
 			O: d.MustDecode(o),
+		})
+	}
+	hv := e.HierView()
+	if hv == nil {
+		e.Main.ForEach(decode)
+		return
+	}
+	// A virtual table is empty exactly when its stored table is empty, so
+	// sweeping the stored tables misses nothing.
+	e.Main.ForEachTable(func(pidx int, t *store.Table) bool {
+		if t.Empty() {
+			return true
 		}
-		return fn(t)
+		if hv.VirtualPidx(pidx) {
+			return hv.ScanAll(pidx, false, func(s, o uint64) bool {
+				return decode(pidx, s, o)
+			})
+		}
+		pairs := t.Pairs()
+		for i := 0; i < len(pairs); i += 2 {
+			if !decode(pidx, pairs[i], pairs[i+1]) {
+				return false
+			}
+		}
+		return true
 	})
 }
 
-// Contains reports whether the store holds the given (surface form)
-// triple. All three terms must already be known to the dictionary.
+// Contains reports whether the given (surface form) triple is visible.
+// All three terms must already be known to the dictionary.
 func (e *Engine) Contains(t rdf.Triple) bool {
 	p, ok := e.Dict.Lookup(t.P)
 	if !ok || !dictionary.IsProperty(p) {
@@ -502,6 +963,9 @@ func (e *Engine) Contains(t rdf.Triple) bool {
 	o, ok := e.Dict.Lookup(t.O)
 	if !ok {
 		return false
+	}
+	if hv := e.HierView(); hv != nil {
+		return hv.Contains(dictionary.PropIndex(p), s, o)
 	}
 	return e.Main.Contains(dictionary.PropIndex(p), s, o)
 }

@@ -2,6 +2,7 @@ package rules
 
 import (
 	"inferray/internal/dictionary"
+	"inferray/internal/hierarchy"
 	"inferray/internal/store"
 )
 
@@ -63,6 +64,22 @@ type Context struct {
 	Delta *store.Store // triples new in the previous iteration
 	Out   *store.Store // this rule's private output (unsorted appends)
 	V     *Vocab
+
+	// Hier, when non-nil, is the hierarchy interval index of the
+	// encoded engine: the transitive subClassOf/subPropertyOf closure
+	// and the rdf:type triples it entails are virtual (answered by the
+	// index, never stored), and the rules that would materialize or
+	// join against that closure switch to interval-driven forms. The
+	// reasoner only sets it while its bypass guards hold, so every
+	// other rule may keep reading stored tables unchanged.
+	Hier *hierarchy.Index
+	// HierClassChanged / HierPropChanged report that the previous merge
+	// round changed the raw subClassOf / subPropertyOf edges — Hier was
+	// rebuilt, the virtual closure may have grown, and encoded rules
+	// must re-sweep their full main-store antecedents instead of only
+	// the delta.
+	HierClassChanged bool
+	HierPropChanged  bool
 }
 
 // FirstPass reports whether this is the first iteration, where delta and

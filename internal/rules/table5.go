@@ -14,6 +14,13 @@ import (
 // ruleCAXSCO (#3): c1 subClassOf c2 ∧ x type c1 ⇒ x type c2.
 func ruleCAXSCO() Rule {
 	return Rule{Name: "CAX-SCO", Class: Alpha, Apply: func(c *Context) {
+		if c.Hier != nil {
+			// Subsumption-derived types are virtual under the hierarchy
+			// encoding: the view expands ⟨x type c1⟩ to every visible
+			// super of c1, so materializing ⟨x type c2⟩ is exactly the
+			// storage this rule exists to avoid.
+			return
+		}
 		out := c.Out.Ensure(c.V.Type)
 		c.alphaJoin(c.V.SubClassOf, true, c.V.Type, false, func(c2, x uint64) {
 			out.Append(x, c2)
@@ -24,6 +31,13 @@ func ruleCAXSCO() Rule {
 // ruleCAXEQC1 (#1): c1 equivalentClass c2 ∧ x type c2 ⇒ x type c1.
 func ruleCAXEQC1() Rule {
 	return Rule{Name: "CAX-EQC1", Class: Alpha, Apply: func(c *Context) {
+		if c.Hier != nil {
+			// SCM-EQC1 materializes every equivalentClass pair as mutual
+			// subClassOf edges, so equivalent classes share a cyclic
+			// strong component and the type expansion covers both
+			// directions virtually.
+			return
+		}
 		out := c.Out.Ensure(c.V.Type)
 		c.alphaJoin(c.V.EquivClass, false, c.V.Type, false, func(c1, x uint64) {
 			out.Append(x, c1)
@@ -34,6 +48,9 @@ func ruleCAXEQC1() Rule {
 // ruleCAXEQC2 (#2): c1 equivalentClass c2 ∧ x type c1 ⇒ x type c2.
 func ruleCAXEQC2() Rule {
 	return Rule{Name: "CAX-EQC2", Class: Alpha, Apply: func(c *Context) {
+		if c.Hier != nil {
+			return // see CAX-EQC1: covered by the cyclic-SCC expansion
+		}
 		out := c.Out.Ensure(c.V.Type)
 		c.alphaJoin(c.V.EquivClass, true, c.V.Type, false, func(c2, x uint64) {
 			out.Append(x, c2)
@@ -44,6 +61,10 @@ func ruleCAXEQC2() Rule {
 // ruleSCMDOM1 (#20): p domain c1 ∧ c1 subClassOf c2 ⇒ p domain c2.
 func ruleSCMDOM1() Rule {
 	return Rule{Name: "SCM-DOM1", Class: Alpha, Apply: func(c *Context) {
+		if c.Hier != nil {
+			encodedSchemaExpand(c, c.V.Domain, c.Hier.Classes, c.HierClassChanged, true)
+			return
+		}
 		out := c.Out.Ensure(c.V.Domain)
 		c.alphaJoin(c.V.Domain, false, c.V.SubClassOf, true, func(p, c2 uint64) {
 			out.Append(p, c2)
@@ -54,6 +75,10 @@ func ruleSCMDOM1() Rule {
 // ruleSCMDOM2 (#21): p2 domain c ∧ p1 subPropertyOf p2 ⇒ p1 domain c.
 func ruleSCMDOM2() Rule {
 	return Rule{Name: "SCM-DOM2", Class: Alpha, Apply: func(c *Context) {
+		if c.Hier != nil {
+			encodedSchemaExpand(c, c.V.Domain, c.Hier.Props, c.HierPropChanged, false)
+			return
+		}
 		out := c.Out.Ensure(c.V.Domain)
 		c.alphaJoin(c.V.Domain, true, c.V.SubPropertyOf, false, func(cc, p1 uint64) {
 			out.Append(p1, cc)
@@ -64,6 +89,10 @@ func ruleSCMDOM2() Rule {
 // ruleSCMRNG1 (#26): p range c1 ∧ c1 subClassOf c2 ⇒ p range c2.
 func ruleSCMRNG1() Rule {
 	return Rule{Name: "SCM-RNG1", Class: Alpha, Apply: func(c *Context) {
+		if c.Hier != nil {
+			encodedSchemaExpand(c, c.V.Range, c.Hier.Classes, c.HierClassChanged, true)
+			return
+		}
 		out := c.Out.Ensure(c.V.Range)
 		c.alphaJoin(c.V.Range, false, c.V.SubClassOf, true, func(p, c2 uint64) {
 			out.Append(p, c2)
@@ -74,6 +103,10 @@ func ruleSCMRNG1() Rule {
 // ruleSCMRNG2 (#27): p2 range c ∧ p1 subPropertyOf p2 ⇒ p1 range c.
 func ruleSCMRNG2() Rule {
 	return Rule{Name: "SCM-RNG2", Class: Alpha, Apply: func(c *Context) {
+		if c.Hier != nil {
+			encodedSchemaExpand(c, c.V.Range, c.Hier.Props, c.HierPropChanged, false)
+			return
+		}
 		out := c.Out.Ensure(c.V.Range)
 		c.alphaJoin(c.V.Range, true, c.V.SubPropertyOf, false, func(cc, p1 uint64) {
 			out.Append(p1, cc)
@@ -89,6 +122,28 @@ func ruleSCMRNG2() Rule {
 // table finds every pair with at least one new antecedent.
 func betaSymmetricPair(name string, prop func(*Vocab) int, head func(*Vocab) int) Rule {
 	return Rule{Name: name, Class: Beta, Apply: func(c *Context) {
+		if c.Hier != nil {
+			// Mutual visible subsumption is exactly co-membership in a
+			// cyclic strong component, so the head pairs are the ordered
+			// pairs (reflexive included — the body matches with both
+			// variables equal on a cyclic node) of each such component.
+			rel, changed := c.Hier.Classes, c.HierClassChanged
+			if prop(c.V) == c.V.SubPropertyOf {
+				rel, changed = c.Hier.Props, c.HierPropChanged
+			}
+			if !c.FirstPass() && !changed {
+				return
+			}
+			out := c.Out.Ensure(head(c.V))
+			rel.ForEachCyclicSCC(func(members []uint64) {
+				for _, a := range members {
+					for _, b := range members {
+						out.Append(a, b)
+					}
+				}
+			})
+			return
+		}
 		p := prop(c.V)
 		dt := c.deltaTable(p)
 		mt := c.mainTable(p)
@@ -145,6 +200,14 @@ func gammaSchemaTable(name string, schemaProp func(*Vocab) int, emitSubject bool
 				if !ok {
 					continue
 				}
+				// Under the hierarchy encoding, only the minimal classes
+				// of p's schema run are materialized: the interval
+				// expansion of a minimal class covers every super, so
+				// typing instances with non-minimal classes would store
+				// triples the view already answers.
+				if c.Hier != nil && !minimalClass(c, schemaProp(c.V), p, cls) {
+					continue
+				}
 				inst := pass.b.Table(pidx)
 				if inst == nil || inst.Empty() {
 					continue
@@ -177,6 +240,33 @@ func rulePRPRNG() Rule {
 // copy per schema pair).
 func rulePRPSPO1() Rule {
 	return Rule{Name: "PRP-SPO1", Class: Gamma, Apply: func(c *Context) {
+		if c.Hier != nil {
+			// Interval form: each data table is copied through its
+			// property's visible supers (the virtual subPropertyOf
+			// closure). Normally only the delta tables are swept; when
+			// the property hierarchy itself changed, the whole main
+			// store is re-swept against the fresh intervals. The
+			// self-copy (a cyclic property's own block) is skipped like
+			// the stored form skips p1 == p2.
+			src := c.Delta
+			if c.FirstPass() || c.HierPropChanged {
+				src = c.Main
+			}
+			src.ForEachTable(func(pidx int, t *store.Table) bool {
+				p := dictionary.PropID(pidx)
+				c.Hier.Props.Supers(p, func(q uint64) bool {
+					if q == p {
+						return true
+					}
+					if qi, ok := propIndexOf(q); ok {
+						c.Out.Ensure(qi).AppendPairs(t.RawPairs())
+					}
+					return true
+				})
+				return true
+			})
+			return
+		}
 		for _, pass := range c.passes() {
 			schema := pass.a.Table(c.V.SubPropertyOf)
 			if schema == nil || schema.Empty() {
@@ -470,8 +560,14 @@ func thetaRule(plus bool) Rule {
 				closeNow(pidx)
 			}
 		}
-		closeIfChanged(c.V.SubClassOf)
-		closeIfChanged(c.V.SubPropertyOf)
+		if c.Hier == nil {
+			// With the hierarchy encoding active the transitive
+			// subClassOf/subPropertyOf closure is virtual: the reasoner
+			// rebuilds the interval index whenever the raw edges change,
+			// so there is nothing to re-close here.
+			closeIfChanged(c.V.SubClassOf)
+			closeIfChanged(c.V.SubPropertyOf)
+		}
 		if !plus {
 			return
 		}

@@ -448,6 +448,19 @@ type statsResponse struct {
 	DeltaTriples    int64            `json:"delta_triples"`
 	LastMaterialize *lastMaterialize `json:"last_materialize,omitempty"`
 	Durability      *durabilityInfo  `json:"durability,omitempty"`
+	Hierarchy       *hierarchyInfo   `json:"hierarchy,omitempty"`
+}
+
+// hierarchyInfo is the hierarchy-encoding section of /stats, present
+// only while the interval encoding is active. Triples (above) counts
+// the visible closure; materialized_triples the physically stored
+// subset, virtual_triples the remainder the interval index answers.
+type hierarchyInfo struct {
+	MaterializedTriples int `json:"materialized_triples"`
+	VirtualTriples      int `json:"virtual_triples"`
+	Classes             int `json:"classes"`
+	Properties          int `json:"properties"`
+	Intervals           int `json:"intervals"`
 }
 
 // durabilityInfo is the persistence section of /stats, present only
@@ -494,6 +507,15 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 		QueryErrors:   s.queryErrors.Load(),
 		DeltaBatches:  s.deltaBatches.Load(),
 		DeltaTriples:  s.deltaTriples.Load(),
+	}
+	if hs := s.r.HierarchyStats(); hs.Encoded {
+		resp.Hierarchy = &hierarchyInfo{
+			MaterializedTriples: hs.MaterializedTriples,
+			VirtualTriples:      hs.VirtualTriples,
+			Classes:             hs.Classes,
+			Properties:          hs.Properties,
+			Intervals:           hs.Intervals,
+		}
 	}
 	if ds, ok := s.r.DurabilityStats(); ok {
 		info := &durabilityInfo{

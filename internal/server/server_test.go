@@ -302,7 +302,7 @@ func TestTriplesRejectsBadInput(t *testing.T) {
 }
 
 func TestStatsAndHealthz(t *testing.T) {
-	ts, _ := newTestServer(t)
+	ts, r := newTestServer(t)
 	getResults(t, ts, `SELECT ?who WHERE { ?who <memberOf> <DeptCS> }`)
 
 	resp, err := http.Get(ts.URL + "/stats")
@@ -316,6 +316,17 @@ func TestStatsAndHealthz(t *testing.T) {
 	}
 	if st.Triples == 0 || st.Queries != 1 || st.Fragment != "rdfs-plus" {
 		t.Fatalf("stats = %+v", st)
+	}
+	// The fixture has a subPropertyOf edge, so the hierarchy interval
+	// encoding is active and /stats must carry its section.
+	if st.Hierarchy == nil {
+		t.Fatal("/stats lacks hierarchy section with encoding active")
+	}
+	if st.Hierarchy.Properties < 2 || st.Hierarchy.Intervals == 0 {
+		t.Fatalf("hierarchy stats = %+v", st.Hierarchy)
+	}
+	if got := st.Hierarchy.MaterializedTriples + st.Hierarchy.VirtualTriples; got != r.Size() {
+		t.Fatalf("materialized+virtual = %d, want Size() = %d", got, r.Size())
 	}
 
 	hresp, err := http.Get(ts.URL + "/healthz")

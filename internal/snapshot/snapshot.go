@@ -7,7 +7,7 @@
 //
 // Format (little-endian):
 //
-//	magic "IFRY" | version u32
+//	magic "IFRY" | version u32 | flags u32 (version ≥ 3)
 //	numProps u32 | numResources u32
 //	property terms: numProps × (len u32, bytes)
 //	resource terms: numResources × (len u32, bytes)
@@ -19,8 +19,14 @@
 // consecutive differences are tiny and uvarint encoding shrinks the
 // image well below the raw 16 bytes/triple. Version 2 added the
 // per-table version counter (the store's mutation counters survive a
-// round trip, so WAL/image pairing can rely on them); version-1 images
-// are still read.
+// round trip, so WAL/image pairing can rely on them). Version 3 added
+// the flags word; its sole flag, flagEncoded, marks a *reduced* closure:
+// the store was materialized under the hierarchy interval encoding, so
+// the transitive subsumption closure and the subsumption-derived rdf:type
+// triples are absent and must be served virtually (or expanded) by the
+// restoring engine. The hierarchy index itself is never serialized — its
+// construction is deterministic in the stored edges, so restore rebuilds
+// it. Version-1 and -2 images are still read (as full closures).
 //
 // WriteFile/ReadFile wrap the stream in a durable on-disk image: a meta
 // header (generation, creation time, triple count) for pairing the
@@ -47,23 +53,35 @@ import (
 
 const (
 	magic   = "IFRY"
-	version = 2
+	version = 3
 
 	fileMagic   = "IFRI"
 	fileVersion = 1
+
+	// flagEncoded (stream flags bit 0) marks a reduced closure written
+	// under the hierarchy interval encoding.
+	flagEncoded = 1 << 0
 )
 
 // castagnoli is the CRC-32C table shared with internal/wal.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Write serializes the dictionary and store to w. Tables must be
-// normalized (sorted, duplicate-free).
-func Write(w io.Writer, d *dictionary.Dictionary, st *store.Store) error {
+// normalized (sorted, duplicate-free). encoded marks the store as a
+// reduced closure (hierarchy interval encoding active at write time);
+// Read hands the flag back so the restoring engine can rebuild the
+// index or expand the virtual triples.
+func Write(w io.Writer, d *dictionary.Dictionary, st *store.Store, encoded bool) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
 	writeU32(bw, version)
+	var flags uint32
+	if encoded {
+		flags |= flagEncoded
+	}
+	writeU32(bw, flags)
 	writeU32(bw, uint32(d.NumProperties()))
 	writeU32(bw, uint32(d.NumResources()))
 
@@ -103,44 +121,58 @@ func Write(w io.Writer, d *dictionary.Dictionary, st *store.Store) error {
 	return bw.Flush()
 }
 
-// Read restores a snapshot. The returned store is normalized.
-func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, error) {
+// Read restores a snapshot. The returned store is normalized. encoded
+// reports the stream's flagEncoded bit: the store is a reduced closure
+// whose virtual triples the hierarchy index must supply (always false
+// for version-1/-2 images, which predate the encoding).
+func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, bool, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	head := make([]byte, 4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, nil, fmt.Errorf("snapshot: reading magic: %w", err)
+		return nil, nil, false, fmt.Errorf("snapshot: reading magic: %w", err)
 	}
 	if string(head) != magic {
-		return nil, nil, fmt.Errorf("snapshot: bad magic %q", head)
+		return nil, nil, false, fmt.Errorf("snapshot: bad magic %q", head)
 	}
 	v, err := readU32(br)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
-	if v != 1 && v != version {
-		return nil, nil, fmt.Errorf("snapshot: unsupported version %d", v)
+	if v < 1 || v > version {
+		return nil, nil, false, fmt.Errorf("snapshot: unsupported version %d", v)
+	}
+	encoded := false
+	if v >= 3 {
+		flags, err := readU32(br)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if flags&^uint32(flagEncoded) != 0 {
+			return nil, nil, false, fmt.Errorf("snapshot: unknown flags %#x", flags)
+		}
+		encoded = flags&flagEncoded != 0
 	}
 	nProps, err := readU32(br)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	nRes, err := readU32(br)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 
 	d := dictionary.New()
 	for i := uint32(0); i < nProps; i++ {
 		term, err := readString(br)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 		d.EncodeProperty(term)
 	}
 	for i := uint32(0); i < nRes; i++ {
 		term, err := readString(br)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 		if term == "" {
 			d.ReserveTombstone()
@@ -149,45 +181,45 @@ func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, error) {
 		d.EncodeResource(term)
 	}
 	if d.NumProperties() != int(nProps) || d.NumResources() != int(nRes) {
-		return nil, nil, fmt.Errorf("snapshot: duplicate terms corrupted the dictionary")
+		return nil, nil, false, fmt.Errorf("snapshot: duplicate terms corrupted the dictionary")
 	}
 
 	st := store.New(int(nProps))
 	nTables, err := readU32(br)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	if nTables > nProps {
-		return nil, nil, fmt.Errorf("snapshot: %d tables for %d properties", nTables, nProps)
+		return nil, nil, false, fmt.Errorf("snapshot: %d tables for %d properties", nTables, nProps)
 	}
 	for i := uint32(0); i < nTables; i++ {
 		pidx, err := readU32(br)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 		if pidx >= nProps {
-			return nil, nil, fmt.Errorf("snapshot: table index %d out of range", pidx)
+			return nil, nil, false, fmt.Errorf("snapshot: table index %d out of range", pidx)
 		}
 		var tver uint64
 		if v >= 2 {
 			if tver, err = readU64(br); err != nil {
-				return nil, nil, err
+				return nil, nil, false, err
 			}
 		}
 		nPairs, err := readU32(br)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 		pairs, err := readPairs(br, int(nPairs))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 		// Every stored ID must decode, or later enumeration of the
 		// restored store would panic in MustDecode on a crafted or
 		// corrupted image.
 		for _, id := range pairs {
 			if _, ok := d.Decode(id); !ok {
-				return nil, nil, fmt.Errorf("snapshot: table %d references unknown id %d", pidx, id)
+				return nil, nil, false, fmt.Errorf("snapshot: table %d references unknown id %d", pidx, id)
 			}
 		}
 		t := st.Ensure(int(pidx))
@@ -197,7 +229,7 @@ func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, error) {
 	// One pass normalizes every table; Normalize never touches the
 	// version counters, so the SetVersion values above survive it.
 	st.Normalize()
-	return d, st, nil
+	return d, st, encoded, nil
 }
 
 // Meta is the image-file header that pairs a snapshot with the
@@ -218,6 +250,12 @@ type Meta struct {
 	// extending an rdfs-plus closure with rdfs-default rules would
 	// yield a store that is the closure of neither.
 	Fragment string
+	// HierarchyEncoded reports that the image body is a reduced closure
+	// (see the package comment on version 3). It lives in the inner
+	// stream's flags word, not the file header — the field is filled by
+	// ReadFile and consumed by WriteFile, and the IFRI byte layout is
+	// unchanged.
+	HierarchyEncoded bool
 }
 
 // metaSize is the fixed byte length of the file header — magic, file
@@ -269,7 +307,7 @@ func WriteFile(path string, d *dictionary.Dictionary, st *store.Store, meta Meta
 	if _, err = io.WriteString(w, meta.Fragment); err != nil {
 		return err
 	}
-	if err = Write(w, d, st); err != nil {
+	if err = Write(w, d, st, meta.HierarchyEncoded); err != nil {
 		return err
 	}
 	var foot [4]byte
@@ -337,10 +375,11 @@ func ReadFile(path string) (*dictionary.Dictionary, *store.Store, Meta, error) {
 	}
 	meta.Fragment = string(frag)
 
-	d, st, err := Read(body)
+	d, st, encoded, err := Read(body)
 	if err != nil {
 		return nil, nil, meta, err
 	}
+	meta.HierarchyEncoded = encoded
 	// Drain whatever the stream parser's buffering left unread so the
 	// hash covers the full body, then check the footer.
 	if _, err := io.Copy(io.Discard, body); err != nil {

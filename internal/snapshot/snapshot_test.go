@@ -31,10 +31,10 @@ func buildFixture() (*dictionary.Dictionary, *store.Store) {
 func TestRoundTrip(t *testing.T) {
 	d, st := buildFixture()
 	var buf bytes.Buffer
-	if err := Write(&buf, d, st); err != nil {
+	if err := Write(&buf, d, st, false); err != nil {
 		t.Fatal(err)
 	}
-	d2, st2, err := Read(&buf)
+	d2, st2, _, err := Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,10 +85,10 @@ func TestRoundTripQuick(t *testing.T) {
 		st.Normalize()
 
 		var buf bytes.Buffer
-		if err := Write(&buf, d, st); err != nil {
+		if err := Write(&buf, d, st, false); err != nil {
 			return false
 		}
-		d2, st2, err := Read(&buf)
+		d2, st2, _, err := Read(&buf)
 		if err != nil {
 			return false
 		}
@@ -126,7 +126,7 @@ func randTerm(rng *rand.Rand) string {
 func TestRejectsCorruptInput(t *testing.T) {
 	d, st := buildFixture()
 	var buf bytes.Buffer
-	if err := Write(&buf, d, st); err != nil {
+	if err := Write(&buf, d, st, false); err != nil {
 		t.Fatal(err)
 	}
 	img := buf.Bytes()
@@ -142,7 +142,7 @@ func TestRejectsCorruptInput(t *testing.T) {
 		"truncated": img[:len(img)/2],
 	}
 	for name, data := range cases {
-		if _, _, err := Read(bytes.NewReader(data)); err == nil {
+		if _, _, _, err := Read(bytes.NewReader(data)); err == nil {
 			t.Errorf("%s: corrupt snapshot accepted", name)
 		}
 	}
@@ -161,10 +161,10 @@ func TestCompression(t *testing.T) {
 	}
 	st.Normalize()
 	var withTable, withoutTable bytes.Buffer
-	if err := Write(&withTable, d, st); err != nil {
+	if err := Write(&withTable, d, st, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := Write(&withoutTable, d, store.New(1)); err != nil {
+	if err := Write(&withoutTable, d, store.New(1), false); err != nil {
 		t.Fatal(err)
 	}
 	pairBytes := withTable.Len() - withoutTable.Len()
@@ -208,10 +208,10 @@ func TestRoundTripWithTombstone(t *testing.T) {
 	st.Normalize()
 
 	var buf bytes.Buffer
-	if err := Write(&buf, d, st); err != nil {
+	if err := Write(&buf, d, st, false); err != nil {
 		t.Fatalf("Write with tombstone: %v", err)
 	}
-	d2, st2, err := Read(&buf)
+	d2, st2, _, err := Read(&buf)
 	if err != nil {
 		t.Fatalf("Read with tombstone: %v", err)
 	}
@@ -226,5 +226,58 @@ func TestRoundTripWithTombstone(t *testing.T) {
 	}
 	if !st2.Contains(dictionary.PropIndex(pid), keep, keep) {
 		t.Fatal("store content lost")
+	}
+}
+
+// TestReadVersion2BackCompat: a version-2 stream — identical layout
+// minus the flags word — still reads, and always as a full closure
+// (encoded=false). The fixture is built by surgically downgrading a
+// v3 stream: patch the version field and cut the 4 flag bytes.
+func TestReadVersion2BackCompat(t *testing.T) {
+	d, st := buildFixture()
+	var buf bytes.Buffer
+	if err := Write(&buf, d, st, false); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	v2 := make([]byte, 0, len(img)-4)
+	v2 = append(v2, img[:4]...)  // magic
+	v2 = append(v2, 2, 0, 0, 0)  // version = 2
+	v2 = append(v2, img[12:]...) // body, skipping the v3 flags word
+	d2, st2, encoded, err := Read(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatalf("v2 stream rejected: %v", err)
+	}
+	if encoded {
+		t.Error("v2 stream predates the encoding; encoded must be false")
+	}
+	if st2.Size() != st.Size() || d2.NumResources() != d.NumResources() {
+		t.Fatalf("v2 restore lost data: %d/%d triples, %d/%d resources",
+			st2.Size(), st.Size(), d2.NumResources(), d.NumResources())
+	}
+	st.ForEachTable(func(pidx int, tab *store.Table) bool {
+		if !reflect.DeepEqual(st2.Table(pidx).Pairs(), tab.Pairs()) {
+			t.Fatalf("table %d differs after v2 restore", pidx)
+		}
+		return true
+	})
+}
+
+// TestEncodedFlagRoundTrip: the flags word round-trips, and unknown
+// flag bits are rejected rather than silently dropped.
+func TestEncodedFlagRoundTrip(t *testing.T) {
+	d, st := buildFixture()
+	var buf bytes.Buffer
+	if err := Write(&buf, d, st, true); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	if _, _, encoded, err := Read(bytes.NewReader(img)); err != nil || !encoded {
+		t.Fatalf("encoded flag lost: encoded=%v err=%v", encoded, err)
+	}
+	bad := append([]byte{}, img...)
+	bad[8] |= 0x80 // unknown flag bit
+	if _, _, _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("unknown flag bits accepted")
 	}
 }

@@ -7,7 +7,9 @@
 package store
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"inferray/internal/sorting"
 )
@@ -295,6 +297,79 @@ func (st *Store) Normalize() {
 	}
 }
 
+// NormalizeParallel normalizes every dirty table, running the per-table
+// sorts concurrently on a GOMAXPROCS-bounded worker pool (§4.3: property
+// tables are independent, so index maintenance parallelizes trivially).
+// With at most one dirty table it degenerates to the serial path —
+// goroutine setup would cost more than the single sort. Like Normalize,
+// it requires exclusive access to the store.
+func (st *Store) NormalizeParallel() {
+	dirty := make([]*Table, 0, 16)
+	for _, t := range st.tables {
+		if t != nil && t.dirty {
+			dirty = append(dirty, t)
+		}
+	}
+	if len(dirty) <= 1 {
+		for _, t := range dirty {
+			t.Normalize()
+		}
+		return
+	}
+	runPool(len(dirty), func(i int) { dirty[i].Normalize() })
+}
+
+// WarmOSCaches materializes the ⟨o,s⟩-sorted cache of every non-empty
+// table up front, in parallel on the worker pool. The caches are
+// otherwise built lazily under each table's lock the first time a rule
+// needs object order, which serializes the builds behind the first
+// iteration's joins; pre-warming moves that cost to the start of a full
+// materialization where all cores are idle. Tables must be normalized.
+// Callers that drop caches under memory pressure should not warm them.
+func (st *Store) WarmOSCaches() {
+	tabs := make([]*Table, 0, 16)
+	for _, t := range st.tables {
+		if t != nil && !t.Empty() {
+			tabs = append(tabs, t)
+		}
+	}
+	if len(tabs) == 0 {
+		return
+	}
+	runPool(len(tabs), func(i int) { tabs[i].OS() })
+}
+
+// runPool executes fn(0..n-1) on min(n, GOMAXPROCS) workers pulling
+// indexes from a shared atomic counter.
+func runPool(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Size returns the total number of triples.
 func (st *Store) Size() int {
 	n := 0
@@ -372,14 +447,20 @@ func (st *Store) Clone() *Store {
 // it so terms moved to the property side keep a single identity across
 // triples stored before the move; batching the renames keeps a load that
 // promotes many terms at one full-store scan instead of one per term.
+// Tables rewrite independently (the renames map is only read), so the
+// scan runs on the worker pool when more than one table exists.
 func (st *Store) RewriteTerms(renames map[uint64]uint64) {
 	if len(renames) == 0 {
 		return
 	}
+	tabs := make([]*Table, 0, 16)
 	for _, t := range st.tables {
-		if t == nil {
-			continue
+		if t != nil && !t.Empty() {
+			tabs = append(tabs, t)
 		}
+	}
+	runPool(len(tabs), func(k int) {
+		t := tabs[k]
 		touched := false
 		for i, v := range t.pairs {
 			if nv, ok := renames[v]; ok {
@@ -393,5 +474,5 @@ func (st *Store) RewriteTerms(renames map[uint64]uint64) {
 			t.invalidateOS()
 			t.Normalize()
 		}
-	}
+	})
 }

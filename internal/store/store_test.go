@@ -394,3 +394,81 @@ func TestTableStats(t *testing.T) {
 		t.Fatalf("stats after mutation = %+v (stale cache?)", st)
 	}
 }
+
+// TestNormalizeParallelMatchesSerial: the pooled normalization must
+// produce byte-identical tables to the serial path on random stores,
+// including the ≤1-dirty-table fast path.
+func TestNormalizeParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nProps := 1 + rng.Intn(8)
+		serial := New(nProps)
+		for i := 0; i < rng.Intn(120); i++ {
+			serial.Add(rng.Intn(nProps), uint64(rng.Intn(15)), uint64(rng.Intn(15)))
+		}
+		par := serial.Clone()
+		serial.Normalize()
+		par.NormalizeParallel()
+		if serial.Size() != par.Size() {
+			return false
+		}
+		same := true
+		serial.ForEachTable(func(pidx int, tab *Table) bool {
+			other := par.Table(pidx)
+			if other == nil || !reflect.DeepEqual(tab.Pairs(), other.Pairs()) {
+				same = false
+				return false
+			}
+			return true
+		})
+		return same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWarmOSCaches: pre-warming builds the same ⟨o,s⟩ views the lazy
+// path would, and a subsequent OS() call reuses them (same backing
+// array, no rebuild).
+func TestWarmOSCaches(t *testing.T) {
+	st := New(2)
+	st.Ensure(0).AppendPairs([]uint64{2, 7, 1, 9})
+	st.Ensure(1).AppendPairs([]uint64{4, 3})
+	st.Normalize()
+	st.WarmOSCaches()
+	os0 := st.Table(0).OS()
+	if !reflect.DeepEqual(os0, []uint64{7, 2, 9, 1}) {
+		t.Fatalf("warmed OS view wrong: %v", os0)
+	}
+	if &os0[0] != &st.Table(0).OS()[0] {
+		t.Error("OS() after warm rebuilt the cache")
+	}
+	if got := st.Table(1).OS(); !reflect.DeepEqual(got, []uint64{3, 4}) {
+		t.Fatalf("table 1 OS = %v", got)
+	}
+}
+
+// TestRewriteTermsManyTables: the pooled rewrite path (more than one
+// table) matches per-table expectations.
+func TestRewriteTermsManyTables(t *testing.T) {
+	st := New(4)
+	for p := 0; p < 4; p++ {
+		st.Ensure(p).AppendPairs([]uint64{9, uint64(p), uint64(p), 9})
+	}
+	st.Normalize()
+	st.RewriteTerms(map[uint64]uint64{9: 100})
+	for p := 0; p < 4; p++ {
+		want := []uint64{uint64(p), 100, 100, uint64(p)}
+		if p == 0 {
+			// 0,100 sorts before 100,0.
+			want = []uint64{0, 100, 100, 0}
+		}
+		if !reflect.DeepEqual(st.Table(p).Pairs(), want) {
+			t.Fatalf("table %d = %v, want %v", p, st.Table(p).Pairs(), want)
+		}
+		if !sorting.IsSortedPairs(st.Table(p).Pairs()) {
+			t.Errorf("table %d not re-normalized", p)
+		}
+	}
+}

@@ -263,17 +263,21 @@ func (m *Manager) ShouldRotate() bool {
 // appends only under the write lock), which is what guarantees every
 // logged record is inside the image before its log is deleted. The
 // sequence is crash-ordered: image first (fsync+rename), then the new
-// log (fsync), then deletion of the superseded generation.
-func (m *Manager) Checkpoint(d *dictionary.Dictionary, st *store.Store, triples int) (CheckpointStats, error) {
+// log (fsync), then deletion of the superseded generation. triples is
+// the *stored* triple count, and encoded marks a reduced closure
+// written under the hierarchy interval encoding (the image flags it so
+// recovery rebuilds the index or expands the virtual triples).
+func (m *Manager) Checkpoint(d *dictionary.Dictionary, st *store.Store, triples int, encoded bool) (CheckpointStats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	start := time.Now()
 	newGen := m.gen + 1
 	meta := snapshot.Meta{
-		Generation:  newGen,
-		CreatedUnix: time.Now().Unix(),
-		Triples:     uint64(triples),
-		Fragment:    m.opts.Fragment,
+		Generation:       newGen,
+		CreatedUnix:      time.Now().Unix(),
+		Triples:          uint64(triples),
+		Fragment:         m.opts.Fragment,
+		HierarchyEncoded: encoded,
 	}
 	snapPath := m.snapPath(newGen)
 	if err := snapshot.WriteFile(snapPath, d, st, meta); err != nil {

@@ -94,6 +94,9 @@ func (r *Reasoner) QueryFunc(fn func(row map[string]string) bool, patterns ...[3
 	}
 
 	eng := &query.Engine{St: r.engine.Main}
+	if hv := r.engine.HierView(); hv != nil {
+		eng.Virtual = hv
+	}
 	return eng.Solve(qp, len(varNames), func(row []uint64) bool {
 		out := make(map[string]string, named)
 		for i, name := range varNames {
@@ -125,7 +128,7 @@ func (r *Reasoner) SaveSnapshot(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.engine.Main.Normalize()
-	return snapshot.Write(w, r.engine.Dict, r.engine.Main)
+	return snapshot.Write(w, r.engine.Dict, r.engine.Main, r.engine.HierView() != nil)
 }
 
 // LoadSnapshot restores a reasoner from a snapshot image. The restored
@@ -139,12 +142,12 @@ func (r *Reasoner) SaveSnapshot(w io.Writer) error {
 // un-inferred: later deltas extend it incrementally without deriving
 // the facts the skipped initial run would have produced.
 func LoadSnapshot(src io.Reader, opts ...Option) (*Reasoner, error) {
-	d, st, err := snapshot.Read(src)
+	d, st, encoded, err := snapshot.Read(src)
 	if err != nil {
 		return nil, err
 	}
 	r := New(opts...)
-	if err := r.engine.RestoreState(d, st); err != nil {
+	if err := r.engine.RestoreState(d, st, encoded); err != nil {
 		return nil, err
 	}
 	r.engine.MarkMaterialized()
@@ -162,9 +165,10 @@ func (r *Reasoner) SaveImage(path string) error {
 	defer r.mu.Unlock()
 	r.engine.Main.Normalize()
 	return snapshot.WriteFile(path, r.engine.Dict, r.engine.Main, snapshot.Meta{
-		CreatedUnix: time.Now().Unix(),
-		Triples:     uint64(r.engine.Size()),
-		Fragment:    r.engine.Fragment().String(),
+		CreatedUnix:      time.Now().Unix(),
+		Triples:          uint64(r.engine.StoredSize()),
+		Fragment:         r.engine.Fragment().String(),
+		HierarchyEncoded: r.engine.HierView() != nil,
 	})
 }
 
@@ -184,7 +188,7 @@ func LoadImage(path string, opts ...Option) (*Reasoner, error) {
 		return nil, fmt.Errorf("inferray: image %s was materialized under fragment %s, but the reasoner is configured for %s (pass the matching fragment)",
 			path, meta.Fragment, r.engine.Fragment())
 	}
-	if err := r.engine.RestoreState(d, st); err != nil {
+	if err := r.engine.RestoreState(d, st, meta.HierarchyEncoded); err != nil {
 		return nil, err
 	}
 	r.engine.MarkMaterialized()
@@ -678,6 +682,9 @@ func (r *Reasoner) evalSeeded(g sparql.Group, vals map[string]string, enc *group
 	}
 
 	eng := &query.Engine{St: r.engine.Main}
+	if hv := r.engine.HierView(); hv != nil {
+		eng.Virtual = hv
+	}
 	cont := true
 	_ = eng.SolveLeftJoin(enc.required, opts, nVars, seed, func(row []uint64, bound uint64) bool {
 		out := make(map[string]string, len(varNames))
