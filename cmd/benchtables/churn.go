@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"inferray/internal/datagen"
+	"inferray/internal/rdf"
+	"inferray/internal/reasoner"
+	"inferray/internal/rules"
+)
+
+// ChurnRow is one cell of the churn comparison: deleting a batch of a
+// given size from a materialized LUBM closure, maintained by
+// delete-rederive versus rebuilt from scratch.
+type ChurnRow struct {
+	Dataset string `json:"dataset"`
+	Input   int    `json:"input_triples"`
+	Closure int    `json:"closure"`
+	Encoded bool   `json:"encoded"`
+	Batch   int    `json:"delete_batch"`
+	// Retracted / Overdeleted report what the average DRed run did:
+	// asserted triples removed, and stored triples the overdeletion
+	// phase took out before rederivation.
+	Retracted   int `json:"retracted"`
+	Overdeleted int `json:"overdeleted"`
+	// DRedMs maintains the closure in place; RematMs loads the
+	// surviving asserted triples into a fresh engine and materializes.
+	// Both are means over the same trial batches.
+	DRedMs  float64 `json:"dred_ms"`
+	RematMs float64 `json:"remat_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// ChurnReport is the -json document (BENCH_7.json).
+type ChurnReport struct {
+	Scale string     `json:"scale"`
+	Rows  []ChurnRow `json:"rows"`
+}
+
+// deletableIndexes lists input triples safe to pick as delete targets:
+// instance data, not subClassOf/subPropertyOf schema edges, so the
+// comparison measures the common maintenance path rather than the
+// (deliberately expensive) hierarchy-encoding fallback. Schema-edge
+// retraction cost is covered by the equivalence tests.
+func deletableIndexes(triples []rdf.Triple) []int {
+	out := make([]int, 0, len(triples))
+	for i, t := range triples {
+		if strings.Contains(t.P, "subClassOf") || strings.Contains(t.P, "subPropertyOf") {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// churnTrial measures one batch: DRed on a freshly materialized engine,
+// then a from-scratch rematerialization of the survivors. Returns the
+// two wall times and the DRed stats, and panics if the two engines
+// disagree on the resulting closure size (the full triple-level
+// equivalence is enforced by the reasoner test suite).
+func churnTrial(triples []rdf.Triple, fragment rules.Fragment, encoded bool, batchIdx []int) (dred, remat time.Duration, st reasoner.RetractStats) {
+	e, _ := newEncodingEngine(triples, fragment, encoded)
+	batch := make([]rdf.Triple, len(batchIdx))
+	inBatch := make(map[int]bool, len(batchIdx))
+	for i, idx := range batchIdx {
+		batch[i] = triples[idx]
+		inBatch[idx] = true
+	}
+
+	start := time.Now()
+	st, err := e.Retract(batch)
+	if err != nil {
+		panic(err)
+	}
+	dred = time.Since(start)
+
+	surviving := make([]rdf.Triple, 0, len(triples)-len(batch))
+	for i, t := range triples {
+		if !inBatch[i] {
+			surviving = append(surviving, t)
+		}
+	}
+	// The rematerialization alternative pays for the whole rebuild:
+	// fresh engine, re-encoding the asserted set, materializing.
+	start = time.Now()
+	fresh := reasoner.New(reasoner.Options{
+		Fragment:          fragment,
+		Parallel:          true,
+		HierarchyEncoding: encoded,
+	})
+	fresh.LoadTriples(surviving)
+	fresh.Materialize()
+	remat = time.Since(start)
+
+	if e.Size() != fresh.Size() {
+		panic(fmt.Sprintf("churn: closure mismatch after delete: DRed %d vs remat %d", e.Size(), fresh.Size()))
+	}
+	return dred, remat, st
+}
+
+// tableChurn runs the churn workload: for each LUBM dataset and batch
+// size, the mean cost of maintaining the closure by delete-rederive
+// versus rematerializing from scratch. The point of incremental
+// retraction is the small-delete regime; the table shows where the
+// crossover sits.
+func tableChurn(cfg scaleCfg) ChurnReport {
+	fmt.Println("== Churn: delete-rederive vs full rematerialization ==")
+	fmt.Printf("%-14s %-8s %9s %7s %10s %12s  %9s %9s  %8s\n",
+		"Dataset", "encoding", "closure", "batch", "retracted", "overdeleted", "DRed(ms)", "remat(ms)", "speedup")
+
+	const trials = 3
+	report := ChurnReport{Scale: cfg.name}
+	for _, n := range cfg.lubmSizes[:2] {
+		triples := datagen.LUBM(n, 13)
+		pool := deletableIndexes(triples)
+		for _, encoded := range []bool{true, false} {
+			base, _ := newEncodingEngine(triples, rules.RDFSPlus, encoded)
+			for _, batch := range []int{1, 10, 100, 1000} {
+				if batch > len(pool)/2 {
+					continue
+				}
+				rng := rand.New(rand.NewSource(int64(n*8191 + batch)))
+				var dredSum, rematSum time.Duration
+				var st reasoner.RetractStats
+				for k := 0; k < trials; k++ {
+					idx := make([]int, batch)
+					for i, j := range rng.Perm(len(pool))[:batch] {
+						idx[i] = pool[j]
+					}
+					d, m, s := churnTrial(triples, rules.RDFSPlus, encoded, idx)
+					dredSum += d
+					rematSum += m
+					st = s
+				}
+				row := ChurnRow{
+					Dataset:     "LUBM " + kfmt(n),
+					Input:       len(triples),
+					Closure:     base.Size(),
+					Encoded:     base.HierView() != nil,
+					Batch:       batch,
+					Retracted:   st.Retracted,
+					Overdeleted: st.Overdeleted,
+					DRedMs:      float64(dredSum.Microseconds()) / 1000 / trials,
+					RematMs:     float64(rematSum.Microseconds()) / 1000 / trials,
+				}
+				if row.DRedMs > 0 {
+					row.Speedup = row.RematMs / row.DRedMs
+				}
+				enc := "off"
+				if row.Encoded {
+					enc = "on"
+				}
+				fmt.Printf("%-14s %-8s %9s %7d %10d %12d  %9.2f %9.2f  %7.1fx\n",
+					row.Dataset, enc, kfmt(row.Closure), row.Batch,
+					row.Retracted, row.Overdeleted, row.DRedMs, row.RematMs, row.Speedup)
+				report.Rows = append(report.Rows, row)
+			}
+		}
+	}
+	fmt.Println()
+	return report
+}
+
+// writeChurnReport marshals the churn report to path (BENCH_7.json).
+func writeChurnReport(report ChurnReport, path string) error {
+	return writeJSON(report, path)
+}

@@ -116,18 +116,18 @@ func checkpointAndRecover(e *reasoner.Engine, fragment rules.Fragment, optEncode
 	encoded := e.HierView() != nil
 	cw := &countingWriter{}
 	start := time.Now()
-	if err := snapshot.Write(cw, e.Dict, e.Main, encoded); err != nil {
+	if err := snapshot.Write(cw, e.Dict, e.Main, encoded, e.AssertedStore()); err != nil {
 		panic(err)
 	}
 	writeT = time.Since(start)
 	bytesOut = cw.n
 
 	var buf bytes.Buffer
-	if err := snapshot.Write(&buf, e.Dict, e.Main, encoded); err != nil {
+	if err := snapshot.Write(&buf, e.Dict, e.Main, encoded, e.AssertedStore()); err != nil {
 		panic(err)
 	}
 	start = time.Now()
-	d, st, enc, err := snapshot.Read(&buf)
+	d, st, enc, asserted, err := snapshot.Read(&buf)
 	if err != nil {
 		panic(err)
 	}
@@ -136,7 +136,7 @@ func checkpointAndRecover(e *reasoner.Engine, fragment rules.Fragment, optEncode
 		Parallel:          true,
 		HierarchyEncoding: optEncoded,
 	})
-	if err := e2.RestoreState(d, st, enc); err != nil {
+	if err := e2.RestoreState(d, st, enc, asserted); err != nil {
 		panic(err)
 	}
 	recoverT = time.Since(start)
@@ -262,13 +262,18 @@ func tableEncoding(cfg scaleCfg) EncodingReport {
 
 // writeReport marshals the encoding report to path (BENCH_6.json).
 func writeReport(report EncodingReport, path string) error {
+	return writeJSON(report, path)
+}
+
+// writeJSON writes any report document as indented JSON.
+func writeJSON(v any, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(report); err != nil {
+	if err := enc.Encode(v); err != nil {
 		f.Close()
 		return err
 	}

@@ -18,6 +18,10 @@
 //	                                # hierarchy-encoding comparison; exit 1
 //	                                # if a hierarchy-heavy dataset's closure
 //	                                # shrink regresses below the threshold
+//	benchtables -churn -json BENCH_7.json
+//	                                # churn workload: incremental retraction
+//	                                # (delete-rederive) vs rematerializing
+//	                                # the closure from scratch
 package main
 
 import (
@@ -92,6 +96,7 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate everything")
 		scale    = flag.String("scale", "small", "workload scale: small | medium | paper")
 		encoding = flag.Bool("encoding", false, "hierarchy-encoding comparison (reduced vs full closure)")
+		churn    = flag.Bool("churn", false, "churn workload: delete-rederive vs full rematerialization")
 		jsonPath = flag.String("json", "", "write the encoding comparison as JSON to this path")
 		minShr   = flag.Float64("minshrink", 0, "fail unless every hierarchy-heavy dataset's closure shrink is >= this fraction")
 	)
@@ -138,6 +143,16 @@ func main() {
 		}
 		if *minShr > 0 && !checkShrink(report, *minShr, os.Stderr) {
 			os.Exit(1)
+		}
+		ran = true
+	}
+	if *all || *churn {
+		report := tableChurn(cfg)
+		if *jsonPath != "" {
+			if err := writeChurnReport(report, *jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		ran = true
 	}

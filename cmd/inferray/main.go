@@ -15,6 +15,7 @@
 //	inferray serve -addr :7070 -rules rdfs-plus -in base.nt
 //	inferray serve -addr :7070 -data-dir /var/lib/inferray -sync always
 //	inferray checkpoint -addr localhost:7070
+//	inferray update -addr localhost:7070 -update 'DELETE DATA { <s> <p> <o> }'
 //
 // Each -delta file (repeatable, applied in order) is loaded after the
 // initial materialization and materialized incrementally: the fixpoint
@@ -35,7 +36,10 @@
 // docs/SPARQL.md — FILTER, DISTINCT, ORDER BY, LIMIT/OFFSET, UNION) as
 // streamed application/sparql-results+json,
 // POST /triples stages an N-Triples delta and extends the closure
-// incrementally, GET /stats and GET /healthz report state. SIGINT or
+// incrementally, POST /update executes SPARQL UPDATE (INSERT DATA,
+// DELETE DATA, DELETE WHERE — deletions maintain the closure by
+// delete-rederive; the update subcommand is an HTTP client for it),
+// GET /stats and GET /healthz report state. SIGINT or
 // SIGTERM shuts the server down gracefully. With -data-dir the server
 // is durable: every accepted delta is written to a write-ahead log
 // before it is applied (-sync picks the fsync policy), checkpoints
@@ -125,6 +129,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			return runServe(ctx, args[1:], stdin, stderr)
 		case "checkpoint":
 			return runCheckpoint(ctx, args[1:], stdout, stderr)
+		case "update":
+			return runUpdate(ctx, args[1:], stdin, stdout, stderr)
 		}
 	}
 	fs := flag.NewFlagSet("inferray", flag.ContinueOnError)
@@ -360,6 +366,60 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 	fmt.Fprintf(stderr, "inferray: serving %s closure (%d triples, %d inferred) on %s\n",
 		fragment, r.Size(), st.InferredTriples, ln.Addr())
 	return server.New(r).Serve(ctx, ln)
+}
+
+// runUpdate implements the update subcommand: an HTTP client for a
+// running server's POST /update. The request comes from -update or,
+// when the flag is empty, from stdin — so both one-liners and files
+// work:
+//
+//	inferray update -addr localhost:7070 -update 'DELETE DATA { <s> <p> <o> }'
+//	inferray update < batch.ru
+func runUpdate(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("inferray update", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:7070", "address of the running inferray serve instance")
+	text := fs.String("update", "", "SPARQL UPDATE request (INSERT DATA, DELETE DATA, DELETE WHERE; empty = read from stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body := *text
+	if body == "" {
+		raw, err := io.ReadAll(io.LimitReader(stdin, 1<<20))
+		if err != nil {
+			return err
+		}
+		body = string(raw)
+	}
+	if strings.TrimSpace(body) == "" {
+		return fmt.Errorf("update: empty request (pass -update or pipe the request on stdin)")
+	}
+	u := *addr
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u+"/update", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/sparql-update")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("update: server returned %s: %s", resp.Status, strings.TrimSpace(string(out)))
+	}
+	if len(out) == 0 || out[len(out)-1] != '\n' {
+		out = append(out, '\n')
+	}
+	_, err = stdout.Write(out)
+	return err
 }
 
 // runCheckpoint implements the checkpoint subcommand: an HTTP client

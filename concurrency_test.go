@@ -179,3 +179,107 @@ func TestConcurrentStaging(t *testing.T) {
 		t.Fatalf("final closure has %d C2 instances, want 200", n)
 	}
 }
+
+// TestConcurrentUpdateDeleteWhere hammers the bidirectional write path:
+// one writer alternates INSERT DATA and DELETE WHERE updates (the
+// delete-rederive path rewrites tables in place under the write lock)
+// while reader goroutines drive the full read path and a durable
+// checkpoint fires mid-stream. Readers must only ever observe closures
+// from before or after an update, never a half-retracted state — the
+// base facts below are never deleted, so they must be visible in every
+// snapshot.
+func TestConcurrentUpdateDeleteWhere(t *testing.T) {
+	dir := t.TempDir()
+	r := openDurable(t, dir, inferray.WithFragment(inferray.RDFSPlus))
+	defer r.Close()
+	if _, err := r.Update(`INSERT DATA {
+		<subOrgOf> a <http://www.w3.org/2002/07/owl#TransitiveProperty> .
+		<worksFor> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <memberOf> .
+		<GroupA> <subOrgOf> <DeptCS> .
+		<DeptCS> <subOrgOf> <Univ0> .
+		<alice> <worksFor> <DeptCS>
+	}`); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 8
+	const churns = 10
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch j % 4 {
+				case 0:
+					rows, err := r.Select(`SELECT ?who WHERE { ?who <memberOf> <DeptCS> }`)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if len(rows) < 1 {
+						t.Errorf("snapshot lost alice's membership: %v", rows)
+						return
+					}
+				case 1:
+					if !r.Holds("<alice>", "<memberOf>", "<DeptCS>") {
+						t.Error("snapshot lost base membership")
+						return
+					}
+				case 2:
+					if r.Size() == 0 {
+						t.Error("empty snapshot")
+						return
+					}
+				case 3:
+					if err := r.WriteNTriples(io.Discard); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// The writer churns: insert a cohort of workers, checkpoint halfway,
+	// then DELETE WHERE the cohort away again.
+	for j := 0; j < churns; j++ {
+		if _, err := r.Update(fmt.Sprintf(
+			`INSERT DATA { <w%d_a> <worksFor> <GroupA> . <w%d_b> <worksFor> <GroupA> }`, j, j)); err != nil {
+			t.Fatal(err)
+		}
+		if j == churns/2 {
+			if _, err := r.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := r.Update(`DELETE WHERE { ?w <worksFor> <GroupA> }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Deleted != 2 {
+			t.Fatalf("churn %d deleted %d, want 2", j, st.Deleted)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// All workers retracted; only alice's chain survives, and recovery
+	// agrees with the live closure.
+	n, err := r.QueryCount([3]string{"?who", "<memberOf>", "?org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("final closure has %d memberships, want alice only", n)
+	}
+	r2 := openDurable(t, dir, inferray.WithFragment(inferray.RDFSPlus))
+	defer r2.Close()
+	sameClosure(t, r2, r)
+}

@@ -251,7 +251,7 @@ func Open(opts ...Option) (*Reasoner, error) {
 	// absorb each surviving WAL batch exactly the way the live server
 	// absorbed it — LoadTriples + incremental Materialize.
 	hooks := wal.Hooks{
-		Restore: func(d *dictionary.Dictionary, st *store.Store, meta snapshot.Meta) error {
+		Restore: func(d *dictionary.Dictionary, st *store.Store, asserted *store.Store, meta snapshot.Meta) error {
 			// A closure is only a closure under its own ruleset:
 			// extending an image built with different rules would
 			// produce a store that is the closure of neither.
@@ -259,7 +259,7 @@ func Open(opts ...Option) (*Reasoner, error) {
 				return fmt.Errorf("data dir was materialized under fragment %s, but the reasoner is configured for %s",
 					meta.Fragment, r.engine.Fragment())
 			}
-			if err := r.engine.RestoreState(d, st, meta.HierarchyEncoded); err != nil {
+			if err := r.engine.RestoreState(d, st, meta.HierarchyEncoded, asserted); err != nil {
 				return err
 			}
 			r.engine.MarkMaterialized()
@@ -270,12 +270,26 @@ func Open(opts ...Option) (*Reasoner, error) {
 			r.engine.Materialize()
 			return nil
 		},
+		ReplayDelete: func(batch []rdf.Triple) error {
+			_, err := r.engine.Retract(batch)
+			return err
+		},
 	}
 	m, err := wal.OpenManager(c.durDir, walOpts, hooks)
 	if err != nil {
 		return nil, err
 	}
 	r.dur = m
+	// A data directory written by an older build leaves a version-1 log
+	// open — a format that cannot record deletions. Checkpoint away from
+	// it now (fresh image + current-version log) so the first Update is
+	// not the one to discover the stale format.
+	if m.LogVersion() < 2 {
+		if _, err := r.doCheckpoint(); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("inferray: migrating version-1 write-ahead log: %w", err)
+		}
+	}
 	return r, nil
 }
 
@@ -436,7 +450,7 @@ func (r *Reasoner) Checkpoint() (CheckpointInfo, error) {
 func (r *Reasoner) doCheckpoint() (CheckpointInfo, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	cs, err := r.dur.Checkpoint(r.engine.Dict, r.engine.Main, r.engine.StoredSize(), r.engine.HierView() != nil)
+	cs, err := r.dur.Checkpoint(r.engine.Dict, r.engine.Main, r.engine.AssertedStore(), r.engine.StoredSize(), r.engine.HierView() != nil)
 	if err != nil {
 		return CheckpointInfo{}, err
 	}

@@ -116,6 +116,14 @@ type Engine struct {
 	materialized bool
 	staged       *store.Store // triples loaded since the last Materialize
 
+	// asserted records the explicitly loaded (asserted) triples,
+	// independent of the closure: Retract may only remove asserted
+	// triples, and rederivation after an overdeletion re-seeds from this
+	// set. It is append-only under LoadTriples and shrinks only in
+	// Retract; under the hierarchy encoding it keeps even the type pairs
+	// compactTypeTable drops from the main store.
+	asserted *store.Store
+
 	// hier is the hierarchy interval index when the encoding is active;
 	// nil when the option is off, before the first Materialize, or after
 	// a guard-forced bypass. hierBypassed is sticky: once the loaded data
@@ -145,6 +153,7 @@ func New(opts Options) *Engine {
 	}
 	e.deps = rules.DependencyGraph(e.rules)
 	e.Main = store.New(d.NumProperties())
+	e.asserted = store.New(d.NumProperties())
 	return e
 }
 
@@ -243,6 +252,7 @@ func (e *Engine) LoadTriples(triples []rdf.Triple) {
 	}
 	if len(renames) > 0 {
 		e.Main.RewriteTerms(renames)
+		e.asserted.RewriteTerms(renames)
 		if e.staged != nil {
 			e.staged.RewriteTerms(renames)
 		}
@@ -258,11 +268,14 @@ func (e *Engine) LoadTriples(triples []rdf.Triple) {
 		target = e.staged
 	}
 	target.Grow(d.NumProperties())
+	e.asserted.Grow(d.NumProperties())
 	for _, t := range triples {
 		p, _ := d.Lookup(t.P)
 		s := d.EncodeResource(t.S)
 		o := d.EncodeResource(t.O)
-		target.Add(dictionary.PropIndex(p), s, o)
+		pidx := dictionary.PropIndex(p)
+		target.Add(pidx, s, o)
+		e.asserted.Add(pidx, s, o)
 	}
 	e.Main.Grow(d.NumProperties())
 	e.input += len(triples)
@@ -283,6 +296,10 @@ func (e *Engine) Materialize() Stats {
 	} else {
 		e.Main.Normalize()
 	}
+	// Normalizing the asserted record here (under the caller's write
+	// exclusivity) keeps it clean for snapshot writers, which run under a
+	// shared read lock and must not mutate.
+	e.asserted.Normalize()
 	inputSize := e.Main.Size() // after load-time dedup
 
 	// Line 2: transitivity closures on a dedicated layout (§4.1).
@@ -336,6 +353,7 @@ func (e *Engine) materializeIncremental() Stats {
 	start := time.Now()
 	prevTotal := e.Size()
 	st := Stats{Incremental: true, TotalTriples: prevTotal}
+	e.asserted.Normalize()
 	staged := e.staged
 	e.staged = nil
 	if staged == nil || staged.Size() == 0 {
@@ -748,7 +766,15 @@ func (e *Engine) applyRules(delta *store.Store, changed []int, fireAll bool) (*s
 		}
 	}
 	skipped := len(e.rules) - len(runnable)
+	return e.runRules(runnable, delta), len(runnable), skipped
+}
 
+// runRules fires the given rules against (main, delta), each into a
+// private output store, and concatenates the outputs. Retraction reuses
+// it with its own rule selections: read-triggered during overdeletion,
+// write-targeted during rederivation.
+func (e *Engine) runRules(runnable []int, delta *store.Store) *store.Store {
+	slots := e.Main.NumSlots()
 	outs := make([]*store.Store, len(e.rules))
 	run := func(i int) {
 		out := store.New(slots)
@@ -791,7 +817,7 @@ func (e *Engine) applyRules(delta *store.Store, changed []int, fireAll bool) (*s
 			return true
 		})
 	}
-	return inferred, len(runnable), skipped
+	return inferred
 }
 
 // RestoreState replaces the engine's dictionary and store with a
@@ -809,7 +835,13 @@ func (e *Engine) applyRules(delta *store.Store, changed []int, fireAll bool) (*s
 // stored edges — or, when this engine runs without the encoding, the
 // reduced closure is expanded back into the store. Either way the
 // visible closure is exactly the snapshotted one.
-func (e *Engine) RestoreState(d *dictionary.Dictionary, st *store.Store, encoded bool) error {
+//
+// asserted is the snapshotted record of explicitly loaded triples; nil
+// when the snapshot predates it (stream versions ≤ 3), in which case the
+// whole restored closure is treated as asserted — a degraded but
+// well-defined state: every visible triple is retractable, and none is
+// rederivable from a smaller asserted core.
+func (e *Engine) RestoreState(d *dictionary.Dictionary, st *store.Store, encoded bool, asserted *store.Store) error {
 	for i, term := range rdf.VocabularyProperties {
 		id, ok := d.Lookup(term)
 		if !ok || dictionary.PropIndex(id) != i {
@@ -851,8 +883,24 @@ func (e *Engine) RestoreState(d *dictionary.Dictionary, st *store.Store, encoded
 			e.hierBypassed = true
 		}
 	}
+	if asserted != nil {
+		asserted.Grow(d.NumProperties())
+		asserted.Normalize()
+		e.asserted = asserted
+	} else {
+		e.asserted = e.Main.Clone()
+	}
 	e.input = e.Main.Size()
 	return nil
+}
+
+// AssertedStore returns the engine's record of explicitly loaded
+// (asserted) triples, normalized. Snapshot writers persist it so a
+// restored engine can keep retracting; callers must treat it as
+// read-only.
+func (e *Engine) AssertedStore() *store.Store {
+	e.asserted.Normalize()
+	return e.asserted
 }
 
 // expandRestoredClosure materializes the virtual triples of a restored

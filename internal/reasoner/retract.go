@@ -1,0 +1,342 @@
+package reasoner
+
+import (
+	"fmt"
+	"time"
+
+	"inferray/internal/dictionary"
+	"inferray/internal/rdf"
+	"inferray/internal/store"
+)
+
+// RetractStats reports what one retraction did.
+//
+// The engine maintains the closure under deletion DRed-style
+// (delete-and-rederive): overdelete everything the deleted triples could
+// have contributed to — by firing the dependency-scheduled rules forward
+// from the deleted set against the still-intact closure — then rederive
+// the overdeleted triples that survive on other support, through the
+// same incremental machinery insertions use. See DESIGN.md §11.
+type RetractStats struct {
+	Requested   int // triples in the delete batch
+	Retracted   int // batch triples that were actually asserted (the rest are no-ops)
+	Overdeleted int // stored triples removed by the overdeletion phase
+	Rederived   int // overdeleted triples restored because they survive on other support
+
+	TotalTriples int // visible closure size after the retraction
+	Iterations   int // overdeletion + rederivation fixpoint iterations
+
+	// EncodingDropped reports that this retraction touched a
+	// subClassOf/subPropertyOf edge while the hierarchy encoding was
+	// active: the virtual closure was expanded into the store and the
+	// encoding permanently bypassed (same sticky fallback as the
+	// meta-vocabulary guards).
+	EncodingDropped bool
+
+	OverdeleteTime time.Duration
+	RederiveTime   time.Duration
+	TotalTime      time.Duration
+}
+
+// Retract removes a batch of asserted triples and incrementally repairs
+// the closure, leaving exactly the store a full rematerialization of the
+// surviving asserted triples would produce. Batch entries that are not
+// currently asserted — unknown terms, never loaded, or derived-only —
+// are ignored (SPARQL DELETE DATA semantics: deleting an absent triple
+// is not an error).
+//
+// The engine must be materialized, with no staged delta pending.
+func (e *Engine) Retract(batch []rdf.Triple) (RetractStats, error) {
+	start := time.Now()
+	st := RetractStats{Requested: len(batch)}
+	if !e.materialized {
+		return st, fmt.Errorf("reasoner: Retract before Materialize")
+	}
+	if e.staged != nil && e.staged.Size() > 0 {
+		return st, fmt.Errorf("reasoner: staged triples pending; Materialize before Retract")
+	}
+	e.asserted.Normalize()
+
+	// Resolve the batch against the asserted record. Only asserted
+	// triples seed a retraction: a derived triple has no independent
+	// existence to retract, and an unknown term cannot name anything.
+	slots := e.Main.NumSlots()
+	del := store.New(slots)
+	for _, t := range batch {
+		p, ok := e.Dict.Lookup(t.P)
+		if !ok || !dictionary.IsProperty(p) {
+			continue
+		}
+		s, ok := e.Dict.Lookup(t.S)
+		if !ok {
+			continue
+		}
+		o, ok := e.Dict.Lookup(t.O)
+		if !ok {
+			continue
+		}
+		pidx := dictionary.PropIndex(p)
+		if e.asserted.Contains(pidx, s, o) {
+			del.Add(pidx, s, o)
+		}
+	}
+	del.Normalize()
+	st.Retracted = del.Size()
+	if st.Retracted == 0 {
+		st.TotalTriples = e.Size()
+		st.TotalTime = time.Since(start)
+		return st, nil
+	}
+	e.asserted.Delete(del)
+	e.input -= st.Retracted
+
+	// Phase 1: overdeletion. Retried at most once, when a schema-edge
+	// delete forces the hierarchy encoding to expand first.
+	e.hierClassChanged, e.hierPropChanged = false, false
+	overStart := time.Now()
+	var over *store.Store
+	for {
+		var retry bool
+		over, retry = e.overdelete(del, &st)
+		if !retry {
+			break
+		}
+	}
+	st.OverdeleteTime = time.Since(overStart)
+	st.Overdeleted = over.Size()
+	if st.Overdeleted == 0 {
+		// Nothing stored depended on the deleted triples (e.g. they were
+		// compacted type pairs the interval index still serves).
+		st.TotalTriples = e.Size()
+		st.TotalTime = time.Since(start)
+		return st, nil
+	}
+
+	// Phase 2: physical deletion, then rederivation of survivors.
+	rederiveStart := time.Now()
+	e.Main.Delete(over)
+	storedAfterDelete := e.Main.Size()
+
+	// Reseed every touched table from the asserted record. This
+	// over-approximates the lost asserted triples — the whole table, not
+	// just the overdeleted slice — but the merge round drops everything
+	// still present, so over-approximation costs a scan, never
+	// correctness.
+	var deletedPidx []int
+	reseed := store.New(slots)
+	over.ForEachTable(func(pidx int, t *store.Table) bool {
+		deletedPidx = append(deletedPidx, pidx)
+		if at := e.asserted.Table(pidx); at != nil && !at.Empty() {
+			reseed.Ensure(pidx).AppendPairs(at.Pairs())
+		}
+		return true
+	})
+	reseed.Normalize()
+	delta, changed := store.MergeRound(e.Main, reseed, e.opts.Parallel)
+	delta, changed = e.maintainHier(delta, changed)
+
+	// A surviving derivation whose antecedents were never deleted is
+	// invisible to semi-naive evaluation (its antecedents are in no
+	// delta), so run one full pass — delta aliasing main, first-pass
+	// semantics — of exactly the rules that write into a deleted table,
+	// and fold the output into the running delta.
+	mask := make([]bool, slots)
+	for _, p := range deletedPidx {
+		if p < slots {
+			mask[p] = true
+		}
+	}
+	var runnable []int
+	for i := range e.rules {
+		if e.rules[i].Writes().Triggered(mask, true) {
+			runnable = append(runnable, i)
+		}
+	}
+	inferred := e.runRules(runnable, e.Main)
+	fullDelta, fullChanged := store.MergeRound(e.Main, inferred, e.opts.Parallel)
+	fullDelta, fullChanged = e.maintainHier(fullDelta, fullChanged)
+	fullDelta.ForEachTable(func(pidx int, t *store.Table) bool {
+		dt := delta.Ensure(pidx)
+		dt.AppendPairs(t.RawPairs())
+		dt.Normalize()
+		return true
+	})
+	for _, c := range fullChanged {
+		dup := false
+		for _, old := range changed {
+			if old == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			changed = append(changed, c)
+		}
+	}
+
+	// Everything restored so far flows through the ordinary incremental
+	// fixpoint, which also re-closes any θ table the deletion opened up
+	// (the reseeded raw edges are in the delta, so θ re-fires on them).
+	if delta.Size() > 0 {
+		var fs Stats
+		e.fixpoint(delta, changed, false, &fs)
+		st.Iterations += fs.Iterations
+	}
+
+	st.Rederived = e.Main.Size() - storedAfterDelete
+	st.RederiveTime = time.Since(rederiveStart)
+	st.TotalTriples = e.Size()
+	st.TotalTime = time.Since(start)
+	return st, nil
+}
+
+// overdelete computes the overdeletion set: every stored triple with a
+// derivation path from the deleted set, found by firing the
+// read-triggered rules forward from the deleted triples against the
+// still-intact closure and intersecting each round's output with the
+// store. Nothing is physically deleted here.
+//
+// Returns retry=true when a subClassOf/subPropertyOf edge entered the
+// frontier while the hierarchy encoding was active: the interval index
+// cannot subtract edges, so the virtual closure is expanded into the
+// store, the encoding is bypassed (sticky, mirroring the guard
+// machinery), and the caller restarts against the expanded store — safe
+// because the closure is still intact.
+func (e *Engine) overdelete(del *store.Store, st *RetractStats) (*store.Store, bool) {
+	slots := e.Main.NumSlots()
+	over := store.New(slots)
+	frontier := store.New(slots)
+	del.ForEachTable(func(pidx int, dt *store.Table) bool {
+		mt := e.Main.Table(pidx)
+		if mt == nil || mt.Empty() {
+			return true
+		}
+		p := dt.Pairs()
+		for i := 0; i < len(p); i += 2 {
+			if mt.Contains(p[i], p[i+1]) {
+				over.Add(pidx, p[i], p[i+1])
+				frontier.Add(pidx, p[i], p[i+1])
+			}
+		}
+		return true
+	})
+	over.Normalize()
+	frontier.Normalize()
+
+	touches := func(s *store.Store, pidx int) bool {
+		t := s.Table(pidx)
+		return t != nil && !t.Empty()
+	}
+	trans := e.transitiveTables()
+	wiped := make(map[int]bool)
+
+	for frontier.Size() > 0 {
+		st.Iterations++
+		if e.hier != nil &&
+			(touches(frontier, e.V.SubClassOf) || touches(frontier, e.V.SubPropertyOf)) {
+			e.expandRestoredClosure()
+			e.hier = nil
+			e.hierBypassed = true
+			st.EncodingDropped = true
+			return nil, true
+		}
+		// θ emits nothing new on an already-closed table, so rule firing
+		// alone cannot trace transitive consequences of a deleted edge.
+		// When the frontier reaches a θ-closed table, conservatively
+		// overdelete the whole table (once); rederivation restores the
+		// surviving asserted edges and the fixpoint re-closes them.
+		for _, pidx := range trans {
+			if wiped[pidx] || !touches(frontier, pidx) {
+				continue
+			}
+			wiped[pidx] = true
+			mt := e.Main.Table(pidx)
+			if mt == nil || mt.Empty() {
+				continue
+			}
+			pr := mt.Pairs()
+			var adds []uint64
+			for i := 0; i < len(pr); i += 2 {
+				if !over.Contains(pidx, pr[i], pr[i+1]) {
+					adds = append(adds, pr[i], pr[i+1])
+				}
+			}
+			if len(adds) > 0 {
+				over.Ensure(pidx).AppendPairs(adds)
+				frontier.Ensure(pidx).AppendPairs(adds)
+			}
+		}
+		over.Normalize()
+		frontier.Normalize()
+
+		// Fire the rules whose read footprint meets the frontier, with
+		// the frontier as the delta and the intact closure as main — the
+		// standard semi-naive passes, repurposed: anything they infer
+		// that is physically stored may depend on the deleted set.
+		mask := make([]bool, slots)
+		frontier.ForEachTable(func(pidx int, t *store.Table) bool {
+			if pidx < slots {
+				mask[pidx] = true
+			}
+			return true
+		})
+		var runnable []int
+		for i := range e.rules {
+			if e.rules[i].Reads().Triggered(mask, true) {
+				runnable = append(runnable, i)
+			}
+		}
+		inferred := e.runRules(runnable, frontier)
+		inferred.Normalize()
+
+		next := store.New(slots)
+		inferred.ForEachTable(func(pidx int, t *store.Table) bool {
+			mt := e.Main.Table(pidx)
+			if mt == nil || mt.Empty() {
+				return true
+			}
+			pr := t.Pairs()
+			for i := 0; i < len(pr); i += 2 {
+				if mt.Contains(pr[i], pr[i+1]) && !over.Contains(pidx, pr[i], pr[i+1]) {
+					next.Add(pidx, pr[i], pr[i+1])
+				}
+			}
+			return true
+		})
+		next.Normalize()
+		next.ForEachTable(func(pidx int, t *store.Table) bool {
+			over.Ensure(pidx).AppendPairs(t.RawPairs())
+			return true
+		})
+		over.Normalize()
+		frontier = next
+	}
+	return over, false
+}
+
+// transitiveTables lists the property tables the θ stage keeps
+// transitively closed — the tables overdeletion must wipe rather than
+// trace: subClassOf/subPropertyOf (unless the hierarchy encoding serves
+// them virtually), and for RDFS-Plus owl:sameAs plus every property
+// currently declared owl:TransitiveProperty.
+func (e *Engine) transitiveTables() []int {
+	var out []int
+	if e.hier == nil {
+		out = append(out, e.V.SubClassOf, e.V.SubPropertyOf)
+	}
+	if !e.opts.Fragment.UsesSameAs() {
+		return out
+	}
+	out = append(out, e.V.SameAs)
+	if tt := e.Main.Table(e.V.Type); tt != nil && !tt.Empty() {
+		os := tt.OS()
+		lo, hi := tt.ObjectRun(e.V.TransitiveProp)
+		for i := lo; i < hi; i++ {
+			p := os[2*i+1]
+			if dictionary.IsProperty(p) {
+				out = append(out, dictionary.PropIndex(p))
+			}
+		}
+	}
+	return out
+}

@@ -23,6 +23,11 @@
 //	POST /triples               N-Triples document staged as a delta and
 //	                            materialized incrementally (durably, when the
 //	                            reasoner has a data dir); JSON run stats
+//	POST /update                SPARQL UPDATE (INSERT DATA, DELETE DATA,
+//	                            DELETE WHERE; docs/SPARQL.md) in the body
+//	                            (application/sparql-update) or form field
+//	                            "update"; deletions maintain the closure
+//	                            incrementally by delete-rederive; JSON stats
 //	POST /checkpoint            admin: force a durability checkpoint (snapshot
 //	                            image + WAL rotation); 409 on an in-memory
 //	                            reasoner
@@ -67,6 +72,8 @@ type Server struct {
 	deltaBatches atomic.Int64
 	deltaTriples atomic.Int64
 	checkpoints  atomic.Int64
+	updates      atomic.Int64
+	updateErrors atomic.Int64
 
 	// deltaMu serializes stage+materialize per request, so a delta
 	// response reports the effect of that request's batch rather than
@@ -91,6 +98,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/triples", s.handleTriples)
+	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -393,6 +401,71 @@ func (s *Server) handleTriples(w http.ResponseWriter, req *http.Request) {
 	})
 }
 
+// --------------------------------------------------------------- /update
+
+// updateResponse reports what one SPARQL UPDATE request did.
+type updateResponse struct {
+	Ops             int    `json:"ops"`              // operations executed
+	Inserted        int    `json:"inserted"`         // triples asserted by INSERT DATA
+	Deleted         int    `json:"deleted"`          // asserted triples retracted
+	Total           int    `json:"total"`            // visible closure size afterwards
+	EncodingDropped bool   `json:"encoding_dropped"` // a schema delete disabled the hierarchy encoding
+	Duration        string `json:"duration"`
+	DurationMS      int64  `json:"duration_ms"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var text string
+	ct := req.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/sparql-update") {
+		body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		text = string(body)
+	} else {
+		text = req.FormValue("update")
+	}
+	if strings.TrimSpace(text) == "" {
+		httpError(w, http.StatusBadRequest, "missing update parameter")
+		return
+	}
+	// Serialize against /triples and /checkpoint: Update drains the
+	// shared staging buffer through a materialization, and deletions
+	// must not interleave with another request's stage+report cycle.
+	s.deltaMu.Lock()
+	start := time.Now()
+	st, err := s.r.Update(text)
+	elapsed := time.Since(start)
+	s.deltaMu.Unlock()
+	if err != nil {
+		s.updateErrors.Add(1)
+		var pe *sparql.ParseError
+		if errors.As(err, &pe) {
+			writeQueryError(w, err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	s.updates.Add(1)
+	writeJSON(w, "application/json", updateResponse{
+		Ops:             st.Ops,
+		Inserted:        st.Inserted,
+		Deleted:         st.Deleted,
+		Total:           s.r.Size(),
+		EncodingDropped: st.EncodingDropped,
+		Duration:        elapsed.String(),
+		DurationMS:      elapsed.Milliseconds(),
+	})
+}
+
 // ------------------------------------------------------------ /checkpoint
 
 // checkpointResponse reports a forced checkpoint.
@@ -446,6 +519,8 @@ type statsResponse struct {
 	QueryErrors     int64            `json:"query_errors"`
 	DeltaBatches    int64            `json:"delta_batches"`
 	DeltaTriples    int64            `json:"delta_triples"`
+	Updates         int64            `json:"updates"`
+	UpdateErrors    int64            `json:"update_errors"`
 	LastMaterialize *lastMaterialize `json:"last_materialize,omitempty"`
 	Durability      *durabilityInfo  `json:"durability,omitempty"`
 	Hierarchy       *hierarchyInfo   `json:"hierarchy,omitempty"`
@@ -507,6 +582,8 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 		QueryErrors:   s.queryErrors.Load(),
 		DeltaBatches:  s.deltaBatches.Load(),
 		DeltaTriples:  s.deltaTriples.Load(),
+		Updates:       s.updates.Load(),
+		UpdateErrors:  s.updateErrors.Load(),
 	}
 	if hs := s.r.HierarchyStats(); hs.Encoded {
 		resp.Hierarchy = &hierarchyInfo{

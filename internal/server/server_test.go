@@ -633,3 +633,130 @@ func TestQueryEndpointAggregates(t *testing.T) {
 		t.Fatalf("count binding = %+v", n)
 	}
 }
+
+// TestUpdateEndpoint: POST /update runs SPARQL UPDATE text against the
+// reasoner — raw body and form variants — and subsequent queries see
+// the maintained closure.
+func TestUpdateEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Raw application/sparql-update body: bob joins DeptCS; the
+	// subPropertyOf rule must fire on the inserted triple.
+	resp, err := http.Post(ts.URL+"/update", "application/sparql-update",
+		strings.NewReader(`INSERT DATA { <bob> <worksFor> <DeptCS> }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var ur updateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Ops != 1 || ur.Inserted != 1 || ur.Deleted != 0 {
+		t.Fatalf("response = %+v", ur)
+	}
+	res := getResults(t, ts, `SELECT ?who WHERE { ?who <memberOf> <DeptCS> } ORDER BY ?who`)
+	if len(res.Results.Bindings) != 2 {
+		t.Fatalf("bindings = %v", res.Results.Bindings)
+	}
+
+	// Form-encoded variant: DELETE WHERE retracts alice's assertion,
+	// and delete-rederive takes her derived memberOf with it.
+	resp2, err := http.PostForm(ts.URL+"/update", url.Values{
+		"update": {`DELETE WHERE { <alice> <worksFor> ?org }`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("status %d: %s", resp2.StatusCode, body)
+	}
+	var ur2 updateResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&ur2); err != nil {
+		t.Fatal(err)
+	}
+	if ur2.Deleted != 1 {
+		t.Fatalf("response = %+v", ur2)
+	}
+	res = getResults(t, ts, `SELECT ?who WHERE { ?who <memberOf> <DeptCS> }`)
+	if len(res.Results.Bindings) != 1 || res.Results.Bindings[0]["who"].Value != "bob" {
+		t.Fatalf("bindings = %v", res.Results.Bindings)
+	}
+
+	// /stats counts the updates.
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates != 2 || st.UpdateErrors != 0 {
+		t.Fatalf("stats updates = %d / errors = %d, want 2 / 0", st.Updates, st.UpdateErrors)
+	}
+}
+
+// TestUpdateEndpointErrors: parse failures come back as 400 with the
+// parser's position, wrong methods as 405, and the error counter moves.
+func TestUpdateEndpointErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/update", "application/sparql-update", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/update", "application/sparql-update",
+		strings.NewReader("INSERT DATA {\n  ?x <p> <o>\n}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var qe queryError
+	if err := json.NewDecoder(resp.Body).Decode(&qe); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qe.Error, "variables are not allowed in INSERT DATA") {
+		t.Fatalf("error = %+v", qe)
+	}
+	if qe.Line != 2 || qe.Token != "?x" {
+		t.Fatalf("position = %+v, want line 2 token ?x", qe)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.UpdateErrors == 0 {
+		t.Fatal("/stats update_errors did not move")
+	}
+}

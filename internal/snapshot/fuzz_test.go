@@ -15,7 +15,7 @@ func FuzzRead(f *testing.F) {
 	// checked in under testdata/fuzz/FuzzRead for CI's smoke mode.
 	d, st := buildFixture()
 	var buf bytes.Buffer
-	if err := Write(&buf, d, st, false); err != nil {
+	if err := Write(&buf, d, st, false, nil); err != nil {
 		f.Fatal(err)
 	}
 	img := buf.Bytes()
@@ -31,7 +31,7 @@ func FuzzRead(f *testing.F) {
 		if len(data) > 1<<20 {
 			return // size is bounded by callers (files); keep iterations fast
 		}
-		d, st, _, err := Read(bytes.NewReader(data))
+		d, st, _, _, err := Read(bytes.NewReader(data))
 		if err != nil {
 			return
 		}

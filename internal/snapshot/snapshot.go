@@ -20,13 +20,20 @@
 // image well below the raw 16 bytes/triple. Version 2 added the
 // per-table version counter (the store's mutation counters survive a
 // round trip, so WAL/image pairing can rely on them). Version 3 added
-// the flags word; its sole flag, flagEncoded, marks a *reduced* closure:
+// the flags word; flagEncoded marks a *reduced* closure:
 // the store was materialized under the hierarchy interval encoding, so
 // the transitive subsumption closure and the subsumption-derived rdf:type
 // triples are absent and must be served virtually (or expanded) by the
 // restoring engine. The hierarchy index itself is never serialized — its
 // construction is deterministic in the stored edges, so restore rebuilds
-// it. Version-1 and -2 images are still read (as full closures).
+// it. Version 4 added flagAsserted and the section it announces: after
+// the closure tables, a second table list (propIndex u32, numPairs u32,
+// delta-encoded pairs — no version counter) holding the *asserted*
+// triples, the explicitly loaded subset of the closure that SPARQL
+// UPDATE may retract. Images without the section (versions ≤ 3, or a
+// writer with no asserted record) restore with a nil asserted store and
+// the engine falls back to treating the whole closure as asserted.
+// Version-1/-2/-3 images are still read.
 //
 // WriteFile/ReadFile wrap the stream in a durable on-disk image: a meta
 // header (generation, creation time, triple count) for pairing the
@@ -53,7 +60,7 @@ import (
 
 const (
 	magic   = "IFRY"
-	version = 3
+	version = 4
 
 	fileMagic   = "IFRI"
 	fileVersion = 1
@@ -61,6 +68,9 @@ const (
 	// flagEncoded (stream flags bit 0) marks a reduced closure written
 	// under the hierarchy interval encoding.
 	flagEncoded = 1 << 0
+	// flagAsserted (stream flags bit 1) announces the asserted-triples
+	// section after the closure tables (version ≥ 4).
+	flagAsserted = 1 << 1
 )
 
 // castagnoli is the CRC-32C table shared with internal/wal.
@@ -70,8 +80,11 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // normalized (sorted, duplicate-free). encoded marks the store as a
 // reduced closure (hierarchy interval encoding active at write time);
 // Read hands the flag back so the restoring engine can rebuild the
-// index or expand the virtual triples.
-func Write(w io.Writer, d *dictionary.Dictionary, st *store.Store, encoded bool) error {
+// index or expand the virtual triples. asserted, when non-nil, is the
+// engine's record of explicitly loaded triples (also normalized); it is
+// persisted in its own section so a restored engine can keep serving
+// retractions.
+func Write(w io.Writer, d *dictionary.Dictionary, st *store.Store, encoded bool, asserted *store.Store) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
@@ -80,6 +93,9 @@ func Write(w io.Writer, d *dictionary.Dictionary, st *store.Store, encoded bool)
 	var flags uint32
 	if encoded {
 		flags |= flagEncoded
+	}
+	if asserted != nil {
+		flags |= flagAsserted
 	}
 	writeU32(bw, flags)
 	writeU32(bw, uint32(d.NumProperties()))
@@ -118,61 +134,84 @@ func Write(w io.Writer, d *dictionary.Dictionary, st *store.Store, encoded bool)
 	if err != nil {
 		return err
 	}
+	if asserted != nil {
+		nAsserted := 0
+		asserted.ForEachTable(func(int, *store.Table) bool { nAsserted++; return true })
+		writeU32(bw, uint32(nAsserted))
+		asserted.ForEachTable(func(pidx int, t *store.Table) bool {
+			writeU32(bw, uint32(pidx))
+			pairs := t.Pairs()
+			writeU32(bw, uint32(len(pairs)/2))
+			err = writePairs(bw, pairs)
+			return err == nil
+		})
+		if err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
-// Read restores a snapshot. The returned store is normalized. encoded
+// Read restores a snapshot. The returned stores are normalized. encoded
 // reports the stream's flagEncoded bit: the store is a reduced closure
 // whose virtual triples the hierarchy index must supply (always false
-// for version-1/-2 images, which predate the encoding).
-func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, bool, error) {
+// for version-1/-2 images, which predate the encoding). asserted is the
+// persisted asserted-triples record, nil when the stream has none
+// (versions ≤ 3, or flagAsserted clear).
+func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, bool, *store.Store, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	head := make([]byte, 4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, nil, false, fmt.Errorf("snapshot: reading magic: %w", err)
+		return nil, nil, false, nil, fmt.Errorf("snapshot: reading magic: %w", err)
 	}
 	if string(head) != magic {
-		return nil, nil, false, fmt.Errorf("snapshot: bad magic %q", head)
+		return nil, nil, false, nil, fmt.Errorf("snapshot: bad magic %q", head)
 	}
 	v, err := readU32(br)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, nil, err
 	}
 	if v < 1 || v > version {
-		return nil, nil, false, fmt.Errorf("snapshot: unsupported version %d", v)
+		return nil, nil, false, nil, fmt.Errorf("snapshot: unsupported version %d", v)
 	}
 	encoded := false
+	hasAsserted := false
 	if v >= 3 {
 		flags, err := readU32(br)
 		if err != nil {
-			return nil, nil, false, err
+			return nil, nil, false, nil, err
 		}
-		if flags&^uint32(flagEncoded) != 0 {
-			return nil, nil, false, fmt.Errorf("snapshot: unknown flags %#x", flags)
+		known := uint32(flagEncoded)
+		if v >= 4 {
+			known |= flagAsserted
+		}
+		if flags&^known != 0 {
+			return nil, nil, false, nil, fmt.Errorf("snapshot: unknown flags %#x", flags)
 		}
 		encoded = flags&flagEncoded != 0
+		hasAsserted = flags&flagAsserted != 0
 	}
 	nProps, err := readU32(br)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, nil, err
 	}
 	nRes, err := readU32(br)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, nil, err
 	}
 
 	d := dictionary.New()
 	for i := uint32(0); i < nProps; i++ {
 		term, err := readString(br)
 		if err != nil {
-			return nil, nil, false, err
+			return nil, nil, false, nil, err
 		}
 		d.EncodeProperty(term)
 	}
 	for i := uint32(0); i < nRes; i++ {
 		term, err := readString(br)
 		if err != nil {
-			return nil, nil, false, err
+			return nil, nil, false, nil, err
 		}
 		if term == "" {
 			d.ReserveTombstone()
@@ -181,55 +220,69 @@ func Read(r io.Reader) (*dictionary.Dictionary, *store.Store, bool, error) {
 		d.EncodeResource(term)
 	}
 	if d.NumProperties() != int(nProps) || d.NumResources() != int(nRes) {
-		return nil, nil, false, fmt.Errorf("snapshot: duplicate terms corrupted the dictionary")
+		return nil, nil, false, nil, fmt.Errorf("snapshot: duplicate terms corrupted the dictionary")
 	}
 
-	st := store.New(int(nProps))
-	nTables, err := readU32(br)
+	readTables := func(withVersions bool) (*store.Store, error) {
+		st := store.New(int(nProps))
+		nTables, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if nTables > nProps {
+			return nil, fmt.Errorf("snapshot: %d tables for %d properties", nTables, nProps)
+		}
+		for i := uint32(0); i < nTables; i++ {
+			pidx, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			if pidx >= nProps {
+				return nil, fmt.Errorf("snapshot: table index %d out of range", pidx)
+			}
+			var tver uint64
+			if withVersions && v >= 2 {
+				if tver, err = readU64(br); err != nil {
+					return nil, err
+				}
+			}
+			nPairs, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			pairs, err := readPairs(br, int(nPairs))
+			if err != nil {
+				return nil, err
+			}
+			// Every stored ID must decode, or later enumeration of the
+			// restored store would panic in MustDecode on a crafted or
+			// corrupted image.
+			for _, id := range pairs {
+				if _, ok := d.Decode(id); !ok {
+					return nil, fmt.Errorf("snapshot: table %d references unknown id %d", pidx, id)
+				}
+			}
+			t := st.Ensure(int(pidx))
+			t.SetPairs(pairs)
+			t.SetVersion(tver)
+		}
+		// One pass normalizes every table; Normalize never touches the
+		// version counters, so the SetVersion values above survive it.
+		st.Normalize()
+		return st, nil
+	}
+
+	st, err := readTables(true)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, nil, err
 	}
-	if nTables > nProps {
-		return nil, nil, false, fmt.Errorf("snapshot: %d tables for %d properties", nTables, nProps)
+	var asserted *store.Store
+	if hasAsserted {
+		if asserted, err = readTables(false); err != nil {
+			return nil, nil, false, nil, err
+		}
 	}
-	for i := uint32(0); i < nTables; i++ {
-		pidx, err := readU32(br)
-		if err != nil {
-			return nil, nil, false, err
-		}
-		if pidx >= nProps {
-			return nil, nil, false, fmt.Errorf("snapshot: table index %d out of range", pidx)
-		}
-		var tver uint64
-		if v >= 2 {
-			if tver, err = readU64(br); err != nil {
-				return nil, nil, false, err
-			}
-		}
-		nPairs, err := readU32(br)
-		if err != nil {
-			return nil, nil, false, err
-		}
-		pairs, err := readPairs(br, int(nPairs))
-		if err != nil {
-			return nil, nil, false, err
-		}
-		// Every stored ID must decode, or later enumeration of the
-		// restored store would panic in MustDecode on a crafted or
-		// corrupted image.
-		for _, id := range pairs {
-			if _, ok := d.Decode(id); !ok {
-				return nil, nil, false, fmt.Errorf("snapshot: table %d references unknown id %d", pidx, id)
-			}
-		}
-		t := st.Ensure(int(pidx))
-		t.SetPairs(pairs)
-		t.SetVersion(tver)
-	}
-	// One pass normalizes every table; Normalize never touches the
-	// version counters, so the SetVersion values above survive it.
-	st.Normalize()
-	return d, st, encoded, nil
+	return d, st, encoded, asserted, nil
 }
 
 // Meta is the image-file header that pairs a snapshot with the
@@ -272,7 +325,7 @@ const maxFragmentLen = 256
 // renamed into place, and the directory fsynced, so path either holds
 // the complete new image or whatever was there before — never a torn
 // mix.
-func WriteFile(path string, d *dictionary.Dictionary, st *store.Store, meta Meta) (err error) {
+func WriteFile(path string, d *dictionary.Dictionary, st *store.Store, asserted *store.Store, meta Meta) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -307,7 +360,7 @@ func WriteFile(path string, d *dictionary.Dictionary, st *store.Store, meta Meta
 	if _, err = io.WriteString(w, meta.Fragment); err != nil {
 		return err
 	}
-	if err = Write(w, d, st, meta.HierarchyEncoded); err != nil {
+	if err = Write(w, d, st, meta.HierarchyEncoded, asserted); err != nil {
 		return err
 	}
 	var foot [4]byte
@@ -330,72 +383,73 @@ func WriteFile(path string, d *dictionary.Dictionary, st *store.Store, meta Meta
 // ReadFile loads a snapshot image written by WriteFile, verifying the
 // whole-file CRC before trusting any of it. Any torn, truncated, or
 // corrupted image returns an error; the caller falls back to an older
-// generation.
-func ReadFile(path string) (*dictionary.Dictionary, *store.Store, Meta, error) {
+// generation. asserted is nil when the image carries no asserted
+// section (older stream versions).
+func ReadFile(path string) (*dictionary.Dictionary, *store.Store, *store.Store, Meta, error) {
 	var meta Meta
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, meta, err
+		return nil, nil, nil, meta, err
 	}
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, nil, meta, err
+		return nil, nil, nil, meta, err
 	}
 	if fi.Size() < metaSize+4 {
-		return nil, nil, meta, fmt.Errorf("snapshot: image %s truncated (%d bytes)", path, fi.Size())
+		return nil, nil, nil, meta, fmt.Errorf("snapshot: image %s truncated (%d bytes)", path, fi.Size())
 	}
 	h := crc32.New(castagnoli)
 	body := io.TeeReader(io.LimitReader(f, fi.Size()-4), h)
 
 	var head [metaSize]byte
 	if _, err := io.ReadFull(body, head[:]); err != nil {
-		return nil, nil, meta, err
+		return nil, nil, nil, meta, err
 	}
 	if string(head[:4]) != fileMagic {
-		return nil, nil, meta, fmt.Errorf("snapshot: bad image magic %q", head[:4])
+		return nil, nil, nil, meta, fmt.Errorf("snapshot: bad image magic %q", head[:4])
 	}
 	if v := binary.LittleEndian.Uint32(head[4:]); v != fileVersion {
-		return nil, nil, meta, fmt.Errorf("snapshot: unsupported image version %d", v)
+		return nil, nil, nil, meta, fmt.Errorf("snapshot: unsupported image version %d", v)
 	}
 	meta.Generation = binary.LittleEndian.Uint64(head[8:])
 	meta.CreatedUnix = int64(binary.LittleEndian.Uint64(head[16:]))
 	meta.Triples = binary.LittleEndian.Uint64(head[24:])
 	var fragLen [4]byte
 	if _, err := io.ReadFull(body, fragLen[:]); err != nil {
-		return nil, nil, meta, err
+		return nil, nil, nil, meta, err
 	}
 	n := binary.LittleEndian.Uint32(fragLen[:])
 	if n > maxFragmentLen {
-		return nil, nil, meta, fmt.Errorf("snapshot: implausible fragment-name length %d", n)
+		return nil, nil, nil, meta, fmt.Errorf("snapshot: implausible fragment-name length %d", n)
 	}
 	frag := make([]byte, n)
 	if _, err := io.ReadFull(body, frag); err != nil {
-		return nil, nil, meta, err
+		return nil, nil, nil, meta, err
 	}
 	meta.Fragment = string(frag)
 
-	d, st, encoded, err := Read(body)
+	d, st, encoded, asserted, err := Read(body)
 	if err != nil {
-		return nil, nil, meta, err
+		return nil, nil, nil, meta, err
 	}
 	meta.HierarchyEncoded = encoded
 	// Drain whatever the stream parser's buffering left unread so the
 	// hash covers the full body, then check the footer.
 	if _, err := io.Copy(io.Discard, body); err != nil {
-		return nil, nil, meta, err
+		return nil, nil, nil, meta, err
 	}
 	var foot [4]byte
 	if _, err := io.ReadFull(f, foot[:]); err != nil {
-		return nil, nil, meta, err
+		return nil, nil, nil, meta, err
 	}
 	if got := binary.LittleEndian.Uint32(foot[:]); got != h.Sum32() {
-		return nil, nil, meta, fmt.Errorf("snapshot: image %s CRC mismatch", path)
+		return nil, nil, nil, meta, fmt.Errorf("snapshot: image %s CRC mismatch", path)
 	}
 	if n := uint64(st.Size()); n != meta.Triples {
-		return nil, nil, meta, fmt.Errorf("snapshot: image %s holds %d triples, header says %d", path, n, meta.Triples)
+		return nil, nil, nil, meta, fmt.Errorf("snapshot: image %s holds %d triples, header says %d", path, n, meta.Triples)
 	}
-	return d, st, meta, nil
+	return d, st, asserted, meta, nil
 }
 
 // SyncDir fsyncs a directory so a rename or unlink inside it is

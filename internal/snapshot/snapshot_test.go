@@ -31,10 +31,10 @@ func buildFixture() (*dictionary.Dictionary, *store.Store) {
 func TestRoundTrip(t *testing.T) {
 	d, st := buildFixture()
 	var buf bytes.Buffer
-	if err := Write(&buf, d, st, false); err != nil {
+	if err := Write(&buf, d, st, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	d2, st2, _, err := Read(&buf)
+	d2, st2, _, _, err := Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,10 +85,10 @@ func TestRoundTripQuick(t *testing.T) {
 		st.Normalize()
 
 		var buf bytes.Buffer
-		if err := Write(&buf, d, st, false); err != nil {
+		if err := Write(&buf, d, st, false, nil); err != nil {
 			return false
 		}
-		d2, st2, _, err := Read(&buf)
+		d2, st2, _, _, err := Read(&buf)
 		if err != nil {
 			return false
 		}
@@ -126,7 +126,7 @@ func randTerm(rng *rand.Rand) string {
 func TestRejectsCorruptInput(t *testing.T) {
 	d, st := buildFixture()
 	var buf bytes.Buffer
-	if err := Write(&buf, d, st, false); err != nil {
+	if err := Write(&buf, d, st, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	img := buf.Bytes()
@@ -142,7 +142,7 @@ func TestRejectsCorruptInput(t *testing.T) {
 		"truncated": img[:len(img)/2],
 	}
 	for name, data := range cases {
-		if _, _, _, err := Read(bytes.NewReader(data)); err == nil {
+		if _, _, _, _, err := Read(bytes.NewReader(data)); err == nil {
 			t.Errorf("%s: corrupt snapshot accepted", name)
 		}
 	}
@@ -161,10 +161,10 @@ func TestCompression(t *testing.T) {
 	}
 	st.Normalize()
 	var withTable, withoutTable bytes.Buffer
-	if err := Write(&withTable, d, st, false); err != nil {
+	if err := Write(&withTable, d, st, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := Write(&withoutTable, d, store.New(1), false); err != nil {
+	if err := Write(&withoutTable, d, store.New(1), false, nil); err != nil {
 		t.Fatal(err)
 	}
 	pairBytes := withTable.Len() - withoutTable.Len()
@@ -208,10 +208,10 @@ func TestRoundTripWithTombstone(t *testing.T) {
 	st.Normalize()
 
 	var buf bytes.Buffer
-	if err := Write(&buf, d, st, false); err != nil {
+	if err := Write(&buf, d, st, false, nil); err != nil {
 		t.Fatalf("Write with tombstone: %v", err)
 	}
-	d2, st2, _, err := Read(&buf)
+	d2, st2, _, _, err := Read(&buf)
 	if err != nil {
 		t.Fatalf("Read with tombstone: %v", err)
 	}
@@ -236,7 +236,7 @@ func TestRoundTripWithTombstone(t *testing.T) {
 func TestReadVersion2BackCompat(t *testing.T) {
 	d, st := buildFixture()
 	var buf bytes.Buffer
-	if err := Write(&buf, d, st, false); err != nil {
+	if err := Write(&buf, d, st, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	img := buf.Bytes()
@@ -244,7 +244,7 @@ func TestReadVersion2BackCompat(t *testing.T) {
 	v2 = append(v2, img[:4]...)  // magic
 	v2 = append(v2, 2, 0, 0, 0)  // version = 2
 	v2 = append(v2, img[12:]...) // body, skipping the v3 flags word
-	d2, st2, encoded, err := Read(bytes.NewReader(v2))
+	d2, st2, encoded, _, err := Read(bytes.NewReader(v2))
 	if err != nil {
 		t.Fatalf("v2 stream rejected: %v", err)
 	}
@@ -268,16 +268,16 @@ func TestReadVersion2BackCompat(t *testing.T) {
 func TestEncodedFlagRoundTrip(t *testing.T) {
 	d, st := buildFixture()
 	var buf bytes.Buffer
-	if err := Write(&buf, d, st, true); err != nil {
+	if err := Write(&buf, d, st, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	img := buf.Bytes()
-	if _, _, encoded, err := Read(bytes.NewReader(img)); err != nil || !encoded {
+	if _, _, encoded, _, err := Read(bytes.NewReader(img)); err != nil || !encoded {
 		t.Fatalf("encoded flag lost: encoded=%v err=%v", encoded, err)
 	}
 	bad := append([]byte{}, img...)
 	bad[8] |= 0x80 // unknown flag bit
-	if _, _, _, err := Read(bytes.NewReader(bad)); err == nil {
+	if _, _, _, _, err := Read(bytes.NewReader(bad)); err == nil {
 		t.Error("unknown flag bits accepted")
 	}
 }

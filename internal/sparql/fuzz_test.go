@@ -12,6 +12,99 @@ import (
 // relies on — non-empty groups of 3-term patterns, positioned errors
 // on failure. The checked-in corpus seeds valid queries, every
 // documented rejected construct, and pathological token streams.
+// FuzzParseUpdate throws arbitrary byte streams at the update parser.
+// The contract: never panic, never hang, positioned errors on failure,
+// and on success the structural invariants the executor relies on —
+// a non-empty operation list, ground triples in the DATA forms, at
+// least one pattern (and no blank nodes) in DELETE WHERE.
+func FuzzParseUpdate(f *testing.F) {
+	seeds := []string{
+		// Valid requests across the three forms.
+		`INSERT DATA { <s> <p> <o> }`,
+		`PREFIX ex: <http://e/> INSERT DATA { ex:a ex:p ex:b , ex:c ; a ex:T . _:b <q> "v"@en }`,
+		`DELETE DATA { <s> <p> "42"^^<http://www.w3.org/2001/XMLSchema#int> }`,
+		`DELETE WHERE { ?x <p> ?y . ?x a <T> }`,
+		`INSERT DATA { <a> <p> <b> } ; DELETE DATA { <a> <p> <b> } ; DELETE WHERE { ?s ?p ?o }`,
+		`INSERT DATA { <s> <p> <o> } ;`,
+		"INSERT DATA { <s> <p> <o> } ;\nPREFIX ex: <http://e/>\nDELETE DATA { ex:s ex:p ex:o }",
+		// Every documented rejected construct.
+		`INSERT { ?s <p> <o> } WHERE { ?s a <T> }`,
+		`DELETE { ?s <p> ?o } WHERE { ?s <p> ?o }`,
+		`INSERT DATA { ?s <p> <o> }`,
+		`DELETE DATA { _:b <p> <o> }`,
+		`DELETE WHERE { _:b <p> ?o }`,
+		`DELETE WHERE { }`,
+		`LOAD <http://e/g>`,
+		`CLEAR ALL`,
+		`WITH <g> DELETE WHERE { ?s ?p ?o }`,
+		`SELECT * WHERE { ?s ?p ?o }`,
+		`INSERT DATA { GRAPH <g> { <s> <p> <o> } }`,
+		`DELETE WHERE { ?s ?p ?o FILTER(?p = <x>) }`,
+		// Pathological token streams.
+		``,
+		`INSERT`,
+		`INSERT DATA {`,
+		`INSERT DATA { <s> <p> "unterminated`,
+		`DELETE DATA { <s> <p> <o> } ; ; ;`,
+		`insert data { <s> <p> <o> }`,
+		`{{{{{{{{`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		u, err := ParseUpdate(text)
+		if err != nil {
+			if pe, ok := err.(*ParseError); ok {
+				if pe.Line < 1 || pe.Col < 1 {
+					t.Fatalf("non-positive error position %d:%d for %q", pe.Line, pe.Col, text)
+				}
+			}
+			return
+		}
+		if len(u.Ops) == 0 {
+			t.Fatalf("accepted update with no operations: %q", text)
+		}
+		for _, op := range u.Ops {
+			switch op.Kind {
+			case UpdateInsertData, UpdateDeleteData:
+				if len(op.Patterns) != 0 {
+					t.Fatalf("DATA operation carries patterns in %q", text)
+				}
+				for _, tr := range op.Triples {
+					for _, term := range tr {
+						if term == "" || strings.HasPrefix(term, "?") {
+							t.Fatalf("non-ground term %q in DATA operation of %q", term, text)
+						}
+						if op.Kind == UpdateDeleteData && strings.HasPrefix(term, "_:") {
+							t.Fatalf("blank node %q accepted in DELETE DATA of %q", term, text)
+						}
+					}
+				}
+			case UpdateDeleteWhere:
+				if len(op.Patterns) == 0 {
+					t.Fatalf("accepted empty DELETE WHERE in %q", text)
+				}
+				if len(op.Triples) != 0 {
+					t.Fatalf("DELETE WHERE carries ground triples in %q", text)
+				}
+				for _, pat := range op.Patterns {
+					for _, term := range pat {
+						if term == "" {
+							t.Fatalf("empty term in DELETE WHERE of %q", text)
+						}
+						if strings.HasPrefix(term, "_:") {
+							t.Fatalf("blank node %q accepted in DELETE WHERE of %q", term, text)
+						}
+					}
+				}
+			default:
+				t.Fatalf("unknown op kind %d in %q", op.Kind, text)
+			}
+		}
+	})
+}
+
 func FuzzParseSelect(f *testing.F) {
 	seeds := []string{
 		// Valid queries across the dialect.

@@ -193,9 +193,10 @@ func ParseQuery(text string) (*Query, error) {
 	case p.peekKeyword("ASK"):
 		q.Form = FormAsk
 		p.next()
-	case p.peekKeyword("CONSTRUCT"), p.peekKeyword("DESCRIBE"),
-		p.peekKeyword("INSERT"), p.peekKeyword("DELETE"):
+	case p.peekKeyword("CONSTRUCT"), p.peekKeyword("DESCRIBE"):
 		return nil, p.errHere("only SELECT and ASK query forms are supported")
+	case p.peekKeyword("INSERT"), p.peekKeyword("DELETE"):
+		return nil, p.errHere("INSERT and DELETE are update operations; send them to the update endpoint")
 	default:
 		return nil, p.errHere("expected SELECT or ASK")
 	}

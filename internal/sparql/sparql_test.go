@@ -248,7 +248,9 @@ func TestRejectedConstructMessages(t *testing.T) {
 		`SELECT * WHERE { { SELECT ?s WHERE { ?s ?p ?o } } }`:                   "subqueries are not supported",
 		`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s HAVING(?n > 1)`: "HAVING is not supported",
 		`CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }`:                             "only SELECT and ASK query forms are supported",
-		`DESCRIBE <x>`: "only SELECT and ASK query forms are supported",
+		`DESCRIBE <x>`:                                                              "only SELECT and ASK query forms are supported",
+		`INSERT DATA { <s> <p> <o> }`:                                               "INSERT and DELETE are update operations; send them to the update endpoint",
+		`DELETE WHERE { ?s <p> ?o }`:                                                "INSERT and DELETE are update operations; send them to the update endpoint",
 		`SELECT * WHERE { ?s ?p ?o . FILTER(isBlank(?s)) }`:                         "FILTER function isblank is not supported",
 		`SELECT * WHERE { ?s ?p ?o . FILTER EXISTS { ?s <q> ?r } }`:                 "FILTER needs a parenthesized expression",
 		`SELECT * WHERE { ?s ?p ?o . { ?s <q> ?r } }`:                               "nested group patterns are not supported",

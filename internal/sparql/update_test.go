@@ -1,0 +1,154 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseUpdateForms checks each supported operation parses into the
+// expected structure.
+func TestParseUpdateForms(t *testing.T) {
+	u, err := ParseUpdate(`PREFIX ex: <http://e/>
+		INSERT DATA { ex:a ex:p ex:b , ex:c ; a ex:T . <s> <q> "v"@en } ;
+		DELETE DATA { ex:a ex:p ex:b } ;
+		DELETE WHERE { ?x ex:p ?y . ?x a ex:T }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Ops) != 3 {
+		t.Fatalf("got %d ops, want 3", len(u.Ops))
+	}
+	ins := u.Ops[0]
+	if ins.Kind != UpdateInsertData {
+		t.Errorf("op 0 kind = %v, want INSERT DATA", ins.Kind)
+	}
+	wantIns := [][3]string{
+		{"<http://e/a>", "<http://e/p>", "<http://e/b>"},
+		{"<http://e/a>", "<http://e/p>", "<http://e/c>"},
+		{"<http://e/a>", "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>", "<http://e/T>"},
+		{"<s>", "<q>", `"v"@en`},
+	}
+	if len(ins.Triples) != len(wantIns) {
+		t.Fatalf("INSERT DATA parsed %d triples, want %d: %v", len(ins.Triples), len(wantIns), ins.Triples)
+	}
+	for i, w := range wantIns {
+		if ins.Triples[i] != w {
+			t.Errorf("INSERT DATA triple %d = %v, want %v", i, ins.Triples[i], w)
+		}
+	}
+	if u.Ops[1].Kind != UpdateDeleteData || len(u.Ops[1].Triples) != 1 {
+		t.Errorf("op 1 = %+v, want one DELETE DATA triple", u.Ops[1])
+	}
+	dw := u.Ops[2]
+	if dw.Kind != UpdateDeleteWhere || len(dw.Patterns) != 2 {
+		t.Fatalf("op 2 = %+v, want two DELETE WHERE patterns", dw)
+	}
+	if dw.Patterns[0] != [3]string{"?x", "<http://e/p>", "?y"} {
+		t.Errorf("DELETE WHERE pattern 0 = %v", dw.Patterns[0])
+	}
+}
+
+// TestParseUpdateBlankNodes pins the asymmetry: INSERT DATA accepts
+// blank nodes, both DELETE forms reject them.
+func TestParseUpdateBlankNodes(t *testing.T) {
+	if _, err := ParseUpdate(`INSERT DATA { _:b <p> <o> }`); err != nil {
+		t.Errorf("INSERT DATA with a blank node failed: %v", err)
+	}
+	for _, text := range []string{
+		`DELETE DATA { _:b <p> <o> }`,
+		`DELETE DATA { <s> <p> _:b }`,
+		`DELETE WHERE { _:b <p> ?o }`,
+	} {
+		_, err := ParseUpdate(text)
+		if err == nil || !strings.Contains(err.Error(), "blank nodes are not allowed") {
+			t.Errorf("%s: err = %v, want blank-node rejection", text, err)
+		}
+	}
+}
+
+// TestParseUpdateRejections pins the error-message contract documented
+// in docs/SPARQL.md.
+func TestParseUpdateRejections(t *testing.T) {
+	cases := map[string]string{
+		`INSERT { ?s <p> <o> } WHERE { ?s a <T> }`:   "only INSERT DATA is supported",
+		`DELETE { ?s <p> ?o } WHERE { ?s <p> ?o }`:   "only DELETE DATA and DELETE WHERE are supported",
+		`INSERT DATA { ?s <p> <o> }`:                 "variables are not allowed in INSERT DATA",
+		`DELETE DATA { <s> <p> ?o }`:                 "variables are not allowed in DELETE DATA",
+		`DELETE WHERE { }`:                           "DELETE WHERE needs at least one triple pattern",
+		`LOAD <http://e/g>`:                          "graph management operations are not supported",
+		`CLEAR ALL`:                                  "graph management operations are not supported",
+		`DROP GRAPH <g>`:                             "graph management operations are not supported",
+		`WITH <g> DELETE WHERE { ?s ?p ?o }`:         "WITH/USING graph selection is not supported",
+		`SELECT * WHERE { ?s ?p ?o }`:                "queries are not update operations",
+		`INSERT DATA { GRAPH <g> { <s> <p> <o> } }`:  "GRAPH is not supported",
+		`INSERT DATA { <s> <p> <o> } garbage`:        "unsupported or trailing syntax",
+		`INSERT DATA { <s> <p>/<q> <o> }`:            "property paths are not supported",
+		`DELETE WHERE { ?s ?p ?o FILTER(?p = <x>) }`: "holds only triples",
+		``:                             "empty update request",
+		`INSERT DATA { <s> <p>`:        "unexpected end of query in triple pattern",
+		`INSERT DATA <s> <p> <o>`:      "expected '{'",
+		`FOO DATA { <s> <p> <o> }`:     "expected an update operation",
+		`PREFIX ex: <http://e/>`:       "empty update request",
+		`INSERT DATA { <s> ex:p <o> }`: `undefined prefix "ex"`,
+	}
+	for text, want := range cases {
+		_, err := ParseUpdate(text)
+		if err == nil {
+			t.Errorf("%q: parsed, want error containing %q", text, want)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("%q: err = %v, want it to contain %q", text, err, want)
+		}
+		if pe, ok := err.(*ParseError); ok {
+			if pe.Line < 1 || pe.Col < 1 {
+				t.Errorf("%q: non-positive error position %d:%d", text, pe.Line, pe.Col)
+			}
+		} else {
+			t.Errorf("%q: error is %T, want *ParseError", text, err)
+		}
+	}
+}
+
+// TestParseQueryPointsAtUpdatePath checks the query parser's new
+// rejection message for update keywords.
+func TestParseQueryPointsAtUpdatePath(t *testing.T) {
+	for _, text := range []string{
+		`INSERT DATA { <s> <p> <o> }`,
+		`DELETE WHERE { ?s ?p ?o }`,
+	} {
+		_, err := ParseQuery(text)
+		if err == nil || !strings.Contains(err.Error(), "update operations") {
+			t.Errorf("ParseQuery(%q) err = %v, want pointer to the update endpoint", text, err)
+		}
+	}
+}
+
+// TestParseUpdateTrailingSemicolon: a trailing ';' after the last
+// operation is accepted, as in SPARQL.
+func TestParseUpdateTrailingSemicolon(t *testing.T) {
+	u, err := ParseUpdate(`INSERT DATA { <s> <p> <o> } ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Ops) != 1 {
+		t.Fatalf("got %d ops, want 1", len(u.Ops))
+	}
+}
+
+// TestParseUpdateLatePrefixes: PREFIX between operations binds for the
+// remainder of the request.
+func TestParseUpdateLatePrefixes(t *testing.T) {
+	u, err := ParseUpdate(`INSERT DATA { <s> <p> <o> } ;
+		PREFIX ex: <http://e/>
+		DELETE DATA { ex:s ex:p ex:o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Ops) != 2 {
+		t.Fatalf("got %d ops, want 2", len(u.Ops))
+	}
+	if u.Ops[1].Triples[0] != [3]string{"<http://e/s>", "<http://e/p>", "<http://e/o>"} {
+		t.Errorf("late prefix did not resolve: %v", u.Ops[1].Triples[0])
+	}
+}

@@ -71,6 +71,44 @@ func (t *Table) SetPairs(pairs []uint64) {
 	t.version++
 }
 
+// DeletePairs removes every ⟨s,o⟩ pair of del — a normalized flat pair
+// list (⟨s,o⟩-sorted, duplicate-free) — from the table in one linear
+// merge pass; pairs absent from the table are ignored. The table must be
+// normalized and stays normalized (removal preserves the sort), so no
+// re-sort is needed. The version bump invalidates the cached planner
+// statistics, and the ⟨o,s⟩ cache is dropped under osMu. Returns the
+// number of pairs removed. Like Normalize, it requires exclusive access.
+func (t *Table) DeletePairs(del []uint64) int {
+	if t.dirty {
+		panic("store: DeletePairs on dirty table; call Normalize first")
+	}
+	if len(del) == 0 || len(t.pairs) == 0 {
+		return 0
+	}
+	pairs := t.pairs
+	out := pairs[:0] // in-place compaction: write index never passes read index
+	di := 0
+	removed := 0
+	for i := 0; i < len(pairs); i += 2 {
+		s, o := pairs[i], pairs[i+1]
+		for di < len(del) && (del[di] < s || (del[di] == s && del[di+1] < o)) {
+			di += 2
+		}
+		if di < len(del) && del[di] == s && del[di+1] == o {
+			removed++
+			continue
+		}
+		out = append(out, s, o)
+	}
+	if removed == 0 {
+		return 0
+	}
+	t.pairs = out
+	t.version++
+	t.invalidateOS()
+	return removed
+}
+
 // Normalize sorts the primary list on ⟨s,o⟩ and removes duplicates using
 // the operating-range sort selector (§5.4). It is a no-op on clean tables.
 func (t *Table) Normalize() {
@@ -415,6 +453,21 @@ func (st *Store) ForEach(fn func(pidx int, s, o uint64) bool) {
 func (st *Store) Contains(pidx int, s, o uint64) bool {
 	t := st.Table(pidx)
 	return t != nil && !t.Empty() && t.Contains(s, o)
+}
+
+// Delete removes every pair of del (both stores normalized) from the
+// corresponding tables and returns the total number of pairs removed.
+// Touched tables bump their version counters, so planner statistics and
+// the ⟨o,s⟩ caches invalidate exactly as they do for insertions.
+func (st *Store) Delete(del *Store) int {
+	removed := 0
+	del.ForEachTable(func(pidx int, dt *Table) bool {
+		if t := st.Table(pidx); t != nil && !t.Empty() {
+			removed += t.DeletePairs(dt.Pairs())
+		}
+		return true
+	})
+	return removed
 }
 
 // DropOSCaches releases every table's ⟨o,s⟩ cache (the paper clears

@@ -449,6 +449,98 @@ func TestWarmOSCaches(t *testing.T) {
 	}
 }
 
+func TestTableDeletePairs(t *testing.T) {
+	var tab Table
+	tab.AppendPairs([]uint64{1, 1, 1, 2, 2, 5, 3, 3, 9, 9})
+	tab.Normalize()
+	v0 := tab.Version()
+	_ = tab.OS()
+
+	var del Table
+	del.AppendPairs([]uint64{1, 2, 2, 5, 7, 7}) // (7,7) absent: ignored
+	del.Normalize()
+
+	if n := tab.DeletePairs(del.Pairs()); n != 2 {
+		t.Fatalf("removed %d pairs, want 2", n)
+	}
+	want := []uint64{1, 1, 3, 3, 9, 9}
+	if !reflect.DeepEqual(tab.Pairs(), want) {
+		t.Fatalf("after delete = %v, want %v", tab.Pairs(), want)
+	}
+	if tab.Version() <= v0 {
+		t.Error("delete must bump the version counter")
+	}
+	if !sorting.IsSortedPairs(tab.Pairs()) {
+		t.Error("delete must preserve the sort")
+	}
+	// The ⟨o,s⟩ cache and planner stats must reflect the deletion.
+	if os := tab.OS(); len(os) != 6 || os[1] != 1 {
+		t.Fatalf("OS view not invalidated: %v", os)
+	}
+	if st := tab.Stats(); st.Pairs != 3 || st.Subjects != 3 {
+		t.Fatalf("stats stale after delete: %+v", st)
+	}
+	// Deleting nothing leaves the version alone.
+	v1 := tab.Version()
+	if n := tab.DeletePairs([]uint64{7, 7}); n != 0 || tab.Version() != v1 {
+		t.Fatal("no-op delete must not bump the version")
+	}
+}
+
+// TestTableDeletePairsQuick: deleting a random subset matches the
+// map-based oracle for arbitrary table contents.
+func TestTableDeletePairsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tab, del Table
+		oracle := map[[2]uint64]bool{}
+		for i := 0; i < rng.Intn(80); i++ {
+			s, o := uint64(rng.Intn(10)), uint64(rng.Intn(10))
+			tab.Append(s, o)
+			oracle[[2]uint64{s, o}] = true
+		}
+		for i := 0; i < rng.Intn(40); i++ {
+			s, o := uint64(rng.Intn(12)), uint64(rng.Intn(12))
+			del.Append(s, o)
+			delete(oracle, [2]uint64{s, o})
+		}
+		tab.Normalize()
+		del.Normalize()
+		tab.DeletePairs(del.Pairs())
+		if tab.Size() != len(oracle) {
+			return false
+		}
+		p := tab.Pairs()
+		for i := 0; i < len(p); i += 2 {
+			if !oracle[[2]uint64{p[i], p[i+1]}] {
+				return false
+			}
+		}
+		return sorting.IsSortedPairs(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	st := New(3)
+	st.Ensure(0).AppendPairs([]uint64{1, 2, 3, 4})
+	st.Ensure(2).AppendPairs([]uint64{5, 6})
+	st.Normalize()
+	del := New(3)
+	del.Ensure(0).AppendPairs([]uint64{3, 4})
+	del.Ensure(1).AppendPairs([]uint64{9, 9}) // table absent in st
+	del.Ensure(2).AppendPairs([]uint64{5, 6})
+	del.Normalize()
+	if n := st.Delete(del); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	if st.Size() != 1 || !st.Contains(0, 1, 2) || st.Contains(2, 5, 6) {
+		t.Fatalf("store after delete wrong: size=%d", st.Size())
+	}
+}
+
 // TestRewriteTermsManyTables: the pooled rewrite path (more than one
 // table) matches per-table expectations.
 func TestRewriteTermsManyTables(t *testing.T) {

@@ -74,11 +74,15 @@ type Recovery struct {
 }
 
 // Hooks receive the recovered state during OpenManager. Restore is
-// called at most once, before any Replay call; Replay is called once
-// per surviving log record, in append order.
+// called at most once, before any Replay call; Replay and ReplayDelete
+// are called once per surviving log record, in append order. asserted
+// is the image's asserted-triples section, nil for images that predate
+// it. A nil ReplayDelete with a delete record in the log is an error —
+// silently skipping the record would resurrect retracted triples.
 type Hooks struct {
-	Restore func(d *dictionary.Dictionary, st *store.Store, meta snapshot.Meta) error
-	Replay  func(batch []rdf.Triple) error
+	Restore      func(d *dictionary.Dictionary, st *store.Store, asserted *store.Store, meta snapshot.Meta) error
+	Replay       func(batch []rdf.Triple) error
+	ReplayDelete func(batch []rdf.Triple) error
 }
 
 // CheckpointStats reports one checkpoint.
@@ -134,14 +138,14 @@ func OpenManager(dir string, opts Options, hooks Hooks) (*Manager, error) {
 	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
 	var corrupt []string
 	for _, g := range gens {
-		d, st, meta, err := snapshot.ReadFile(snaps[g])
+		d, st, asserted, meta, err := snapshot.ReadFile(snaps[g])
 		if err != nil {
 			m.recovery.CorruptSnapshots++
 			corrupt = append(corrupt, fmt.Sprintf("%s (%v)", snaps[g], err))
 			continue
 		}
 		if hooks.Restore != nil {
-			if err := hooks.Restore(d, st, meta); err != nil {
+			if err := hooks.Restore(d, st, asserted, meta); err != nil {
 				return nil, fmt.Errorf("wal: restoring snapshot %s: %w", snaps[g], err)
 			}
 		}
@@ -176,7 +180,7 @@ func OpenManager(dir string, opts Options, hooks Hooks) (*Manager, error) {
 	}
 	sort.Slice(replayGens, func(i, j int) bool { return replayGens[i] < replayGens[j] })
 
-	replayRecord := func(payload []byte) error {
+	replayRecord := func(kind OpKind, payload []byte) error {
 		var batch []rdf.Triple
 		if err := rdf.ReadNTriples(bytes.NewReader(payload), func(t rdf.Triple) error {
 			batch = append(batch, t)
@@ -187,8 +191,16 @@ func OpenManager(dir string, opts Options, hooks Hooks) (*Manager, error) {
 			return fmt.Errorf("wal: replaying record: %w", err)
 		}
 		m.recovery.ReplayedTriples += len(batch)
-		if hooks.Replay != nil {
-			return hooks.Replay(batch)
+		switch kind {
+		case OpDelete:
+			if hooks.ReplayDelete == nil {
+				return fmt.Errorf("wal: log holds a delete record but no ReplayDelete hook is set")
+			}
+			return hooks.ReplayDelete(batch)
+		default:
+			if hooks.Replay != nil {
+				return hooks.Replay(batch)
+			}
 		}
 		return nil
 	}
@@ -230,6 +242,18 @@ func (m *Manager) Recovery() Recovery {
 // Append logs one ingested batch, serialized as N-Triples, honoring the
 // sync policy. Callers append before applying the batch to the store.
 func (m *Manager) Append(batch []rdf.Triple) error {
+	return m.append(OpAdd, batch)
+}
+
+// AppendDelete logs one retracted batch. Callers append before removing
+// the batch from the store, mirroring Append's write-ahead ordering.
+// Fails on a recovered version-1 log; LogVersion lets callers detect
+// that state and checkpoint away from it up front.
+func (m *Manager) AppendDelete(batch []rdf.Triple) error {
+	return m.append(OpDelete, batch)
+}
+
+func (m *Manager) append(kind OpKind, batch []rdf.Triple) error {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -240,7 +264,17 @@ func (m *Manager) Append(batch []rdf.Triple) error {
 	m.mu.Lock()
 	cur := m.cur
 	m.mu.Unlock()
-	return cur.Append(buf.Bytes())
+	return cur.Append(kind, buf.Bytes())
+}
+
+// LogVersion returns the active log's on-disk format version. It is
+// below the current version only right after recovering a directory
+// written by an older build; a checkpoint rotates to a current-version
+// log.
+func (m *Manager) LogVersion() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur.Version()
 }
 
 // ShouldRotate reports whether the log has crossed a checkpoint
@@ -266,8 +300,11 @@ func (m *Manager) ShouldRotate() bool {
 // log (fsync), then deletion of the superseded generation. triples is
 // the *stored* triple count, and encoded marks a reduced closure
 // written under the hierarchy interval encoding (the image flags it so
-// recovery rebuilds the index or expands the virtual triples).
-func (m *Manager) Checkpoint(d *dictionary.Dictionary, st *store.Store, triples int, encoded bool) (CheckpointStats, error) {
+// recovery rebuilds the index or expands the virtual triples). asserted
+// is the engine's asserted-triples record, persisted alongside the
+// closure so a restored engine can keep serving retractions; nil writes
+// an image without the section.
+func (m *Manager) Checkpoint(d *dictionary.Dictionary, st *store.Store, asserted *store.Store, triples int, encoded bool) (CheckpointStats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	start := time.Now()
@@ -280,7 +317,7 @@ func (m *Manager) Checkpoint(d *dictionary.Dictionary, st *store.Store, triples 
 		HierarchyEncoded: encoded,
 	}
 	snapPath := m.snapPath(newGen)
-	if err := snapshot.WriteFile(snapPath, d, st, meta); err != nil {
+	if err := snapshot.WriteFile(snapPath, d, st, asserted, meta); err != nil {
 		m.checkpointErr = err
 		return CheckpointStats{}, err
 	}

@@ -12,9 +12,16 @@
 //	header: magic "IFWL" | version u32 | generation u64
 //	records: × (payloadLen u32 | crc32c(payload) u32 | payload)
 //
-// A payload is one ingested batch serialized as N-Triples — the same
-// bytes a client posted, so replay runs the exact incremental
-// materialization path the live server ran.
+// In a version-2 log the record payload opens with one op-kind byte
+// (OpAdd = 1, OpDelete = 2) followed by the batch serialized as
+// N-Triples — the same bytes a client posted, so replay runs the exact
+// incremental path the live server ran. Version-1 logs (no kind byte)
+// still replay, every record as an add batch; a record whose kind byte
+// is unknown is treated exactly like a bad CRC — the tail is truncated,
+// never guessed at. New logs are always created at version 2, and a
+// recovered version-1 log refuses delete appends (its replayer could
+// not distinguish them), so the owning manager checkpoints away from it
+// before accepting deletes.
 package wal
 
 import (
@@ -29,7 +36,7 @@ import (
 
 const (
 	logMagic   = "IFWL"
-	logVersion = 1
+	logVersion = 2
 	headerSize = 4 + 4 + 8
 	recHeader  = 4 + 4
 
@@ -37,6 +44,17 @@ const (
 	// it is treated as corruption, which keeps a flipped length bit from
 	// demanding a gigabyte allocation during replay.
 	MaxRecordBytes = 1 << 28
+)
+
+// OpKind says what a log record does to the store.
+type OpKind byte
+
+const (
+	// OpAdd is an ingested triple batch (the only kind version-1 logs
+	// can express).
+	OpAdd OpKind = 1
+	// OpDelete is a retracted triple batch (version-2 logs only).
+	OpDelete OpKind = 2
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -92,7 +110,8 @@ type Log struct {
 	f       *os.File
 	path    string
 	gen     uint64
-	size    int64 // bytes, header included
+	ver     uint32 // on-disk format version (1 or 2)
+	size    int64  // bytes, header included
 	records int
 	dirty   bool // appended since the last fsync
 	syncErr error
@@ -121,7 +140,7 @@ func Create(path string, gen uint64, policy SyncPolicy, interval time.Duration) 
 		f.Close()
 		return nil, err
 	}
-	l := &Log{f: f, path: path, gen: gen, size: headerSize, policy: policy}
+	l := &Log{f: f, path: path, gen: gen, ver: logVersion, size: headerSize, policy: policy}
 	l.startFlusher(interval)
 	return l, nil
 }
@@ -135,18 +154,19 @@ type ReplayStats struct {
 }
 
 // Open replays an existing log and opens it for appending. Every record
-// whose CRC verifies is delivered to fn in order; the first record that
-// is torn (short) or corrupt (bad CRC, implausible length) ends the
+// whose CRC verifies is delivered to fn in order with its op kind (every
+// version-1 record is an OpAdd); the first record that is torn (short)
+// or corrupt (bad CRC, implausible length, unknown op kind) ends the
 // replay and the file is truncated at the last valid offset, so the
 // next writer appends over the garbage instead of after it. A missing
 // file is an error; a file with a damaged header is rewritten empty
 // (nothing before the first record can be trusted).
-func Open(path string, policy SyncPolicy, interval time.Duration, fn func(payload []byte) error) (*Log, ReplayStats, error) {
+func Open(path string, policy SyncPolicy, interval time.Duration, fn func(kind OpKind, payload []byte) error) (*Log, ReplayStats, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, ReplayStats{}, err
 	}
-	st, gen, err := replay(f, fn)
+	st, gen, ver, err := replay(f, fn)
 	if err != nil {
 		f.Close()
 		return nil, st, err
@@ -165,30 +185,34 @@ func Open(path string, policy SyncPolicy, interval time.Duration, fn func(payloa
 		f.Close()
 		return nil, st, err
 	}
-	l := &Log{f: f, path: path, gen: gen, size: st.Bytes, records: st.Records, policy: policy}
+	l := &Log{f: f, path: path, gen: gen, ver: ver, size: st.Bytes, records: st.Records, policy: policy}
 	l.startFlusher(interval)
 	return l, st, nil
 }
 
 // replay scans records from the start of f, calling fn for each valid
-// one. It returns the stats and the generation from the header. Only an
-// error from fn is fatal; corruption ends the scan with Truncated set.
-func replay(f *os.File, fn func(payload []byte) error) (ReplayStats, uint64, error) {
+// one. It returns the stats and the generation and format version from
+// the header. Only an error from fn is fatal; corruption ends the scan
+// with Truncated set.
+func replay(f *os.File, fn func(kind OpKind, payload []byte) error) (ReplayStats, uint64, uint32, error) {
 	st := ReplayStats{}
 	var head [headerSize]byte
-	if _, err := io.ReadFull(f, head[:]); err != nil || string(head[:4]) != logMagic ||
-		binary.LittleEndian.Uint32(head[4:]) != logVersion {
+	var ver uint32
+	if _, err := io.ReadFull(f, head[:]); err == nil && string(head[:4]) == logMagic {
+		ver = binary.LittleEndian.Uint32(head[4:])
+	}
+	if ver < 1 || ver > logVersion {
 		// Unreadable header: treat the whole file as a torn create and
 		// rewrite it empty under generation 0. The caller pairs logs
 		// with snapshots by filename, so the embedded generation is
 		// advisory.
 		if err := rewriteHeader(f, 0); err != nil {
-			return st, 0, err
+			return st, 0, logVersion, err
 		}
 		st.Truncated = true
 		st.Bytes = headerSize
 		st.TruncatedAt = headerSize
-		return st, 0, nil
+		return st, 0, logVersion, nil
 	}
 	gen := binary.LittleEndian.Uint64(head[8:])
 	offset := int64(headerSize)
@@ -217,9 +241,23 @@ func replay(f *os.File, fn func(payload []byte) error) (ReplayStats, uint64, err
 			st.Truncated = true
 			break
 		}
+		kind, body := OpAdd, payload
+		if ver >= 2 {
+			// The kind byte is inside the CRC, so reaching here means it
+			// was written as-is — an unknown value is a writer from the
+			// future (or a logic bug), and guessing at its semantics
+			// could silently corrupt the store. Corruption rules apply:
+			// truncate, don't replay.
+			kind = OpKind(payload[0])
+			if kind != OpAdd && kind != OpDelete {
+				st.Truncated = true
+				break
+			}
+			body = payload[1:]
+		}
 		if fn != nil {
-			if err := fn(payload); err != nil {
-				return st, gen, err
+			if err := fn(kind, body); err != nil {
+				return st, gen, ver, err
 			}
 		}
 		offset += recHeader + int64(n)
@@ -229,7 +267,7 @@ func replay(f *os.File, fn func(payload []byte) error) (ReplayStats, uint64, err
 	if st.Truncated {
 		st.TruncatedAt = offset
 	}
-	return st, gen, nil
+	return st, gen, ver, nil
 }
 
 func rewriteHeader(f *os.File, gen uint64) error {
@@ -274,12 +312,19 @@ func (l *Log) startFlusher(interval time.Duration) {
 
 // Append writes one record — write-ahead: callers append before
 // applying the batch, so a crash between the two replays the batch on
-// recovery (re-adding triples is idempotent under set semantics).
-func (l *Log) Append(payload []byte) error {
+// recovery (re-applying a batch is idempotent: adds under set
+// semantics, deletes because retracting an absent triple is a no-op).
+// Appending a delete to a recovered version-1 log is refused — the v1
+// format has no way to say "delete", so the record would replay as an
+// insertion.
+func (l *Log) Append(kind OpKind, payload []byte) error {
+	if kind != OpAdd && kind != OpDelete {
+		return fmt.Errorf("wal: unknown op kind %d", kind)
+	}
 	if len(payload) == 0 {
 		return fmt.Errorf("wal: empty record")
 	}
-	if len(payload) > MaxRecordBytes {
+	if len(payload) >= MaxRecordBytes {
 		return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecordBytes)
 	}
 	l.mu.Lock()
@@ -287,16 +332,25 @@ func (l *Log) Append(payload []byte) error {
 	if l.syncErr != nil {
 		return l.syncErr
 	}
+	if l.ver < 2 && kind != OpAdd {
+		return fmt.Errorf("wal: version-%d log cannot record op kind %d; checkpoint to rotate to a current log first", l.ver, kind)
+	}
 	// One buffer, one write: a partial record must never linger in the
 	// file, or later successful appends would land after the torn bytes
 	// and recovery's CRC scan would truncate them — acknowledged writes
 	// silently lost. On any write failure, roll the file back to the
 	// last good offset; if even that fails, poison the log (sticky
 	// error) rather than keep appending past garbage.
-	rec := make([]byte, recHeader+len(payload))
-	binary.LittleEndian.PutUint32(rec[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, castagnoli))
-	copy(rec[recHeader:], payload)
+	body := payload
+	if l.ver >= 2 {
+		body = make([]byte, 1+len(payload))
+		body[0] = byte(kind)
+		copy(body[1:], payload)
+	}
+	rec := make([]byte, recHeader+len(body))
+	binary.LittleEndian.PutUint32(rec[:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(body, castagnoli))
+	copy(rec[recHeader:], body)
 	if _, err := l.f.Write(rec); err != nil {
 		if terr := l.f.Truncate(l.size); terr == nil {
 			if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
@@ -360,6 +414,10 @@ func (l *Log) Close() error {
 
 // Generation returns the generation the log was created under.
 func (l *Log) Generation() uint64 { return l.gen }
+
+// Version returns the log's on-disk format version (1 or 2). Recovered
+// version-1 logs stay at version 1 until a checkpoint rotates them away.
+func (l *Log) Version() uint32 { return l.ver }
 
 // Size returns the current file size in bytes (header included).
 func (l *Log) Size() int64 {

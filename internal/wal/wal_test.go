@@ -2,15 +2,17 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 )
 
-func collect(payloads *[][]byte) func([]byte) error {
-	return func(p []byte) error {
+func collect(payloads *[][]byte) func(OpKind, []byte) error {
+	return func(_ OpKind, p []byte) error {
 		*payloads = append(*payloads, append([]byte(nil), p...))
 		return nil
 	}
@@ -24,7 +26,7 @@ func TestLogRoundTrip(t *testing.T) {
 	}
 	want := [][]byte{[]byte("<a> <p> <b> .\n"), []byte("<c> <p> <d> .\n<e> <p> <f> .\n"), bytes.Repeat([]byte{0xAB}, 100_000)}
 	for _, p := range want {
-		if err := l.Append(p); err != nil {
+		if err := l.Append(OpAdd, p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -56,7 +58,7 @@ func TestLogRoundTrip(t *testing.T) {
 		}
 	}
 	// The reopened log must accept appends after the existing tail.
-	if err := l2.Append([]byte("more")); err != nil {
+	if err := l2.Append(OpAdd, []byte("more")); err != nil {
 		t.Fatal(err)
 	}
 	if err := l2.Close(); err != nil {
@@ -87,7 +89,7 @@ func TestLogCorruptTailTruncated(t *testing.T) {
 		for i := 0; i < 5; i++ {
 			p := []byte(fmt.Sprintf("<s%d> <p> <o%d> .\n", i, i))
 			want = append(want, p)
-			if err := l.Append(p); err != nil {
+			if err := l.Append(OpAdd, p); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -144,7 +146,7 @@ func TestLogCorruptTailTruncated(t *testing.T) {
 				}
 			}
 			// Appending over the truncation point and reopening must be clean.
-			if err := l.Append([]byte("fresh")); err != nil {
+			if err := l.Append(OpAdd, []byte("fresh")); err != nil {
 				t.Fatal(err)
 			}
 			if err := l.Close(); err != nil {
@@ -179,7 +181,7 @@ func TestLogDamagedHeaderRewritten(t *testing.T) {
 	if !st.Truncated || st.Records != 0 {
 		t.Fatalf("damaged header: truncated=%v records=%d", st.Truncated, st.Records)
 	}
-	if err := l.Append([]byte("ok")); err != nil {
+	if err := l.Append(OpAdd, []byte("ok")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -190,7 +192,7 @@ func TestSyncIntervalFlushes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Append([]byte("payload")); err != nil {
+	if err := l.Append(OpAdd, []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
@@ -234,7 +236,122 @@ func TestAppendRejectsOversizeAndEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if err := l.Append(nil); err == nil {
+	if err := l.Append(OpAdd, nil); err == nil {
 		t.Error("empty record accepted")
+	}
+}
+
+// writeRawLog hand-writes a log file: the given header version, then
+// records whose payloads are supplied verbatim (CRCs computed, so they
+// are valid records of that version).
+func writeRawLog(t *testing.T, path string, version uint32, payloads ...[]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	head := make([]byte, headerSize)
+	copy(head[:4], logMagic)
+	binary.LittleEndian.PutUint32(head[4:], version)
+	binary.LittleEndian.PutUint64(head[8:], 42)
+	buf.Write(head)
+	for _, p := range payloads {
+		rec := make([]byte, recHeader)
+		binary.LittleEndian.PutUint32(rec[:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(p, castagnoli))
+		buf.Write(rec)
+		buf.Write(p)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An unknown op-kind byte CRC-verifies (it was written that way) but
+// must be handled as corruption: truncate at the record, never guess
+// its semantics, and never deliver it to the replay callback.
+func TestUnknownOpKindTruncatesNotReplays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	good := append([]byte{byte(OpAdd)}, "<a> <p> <b> .\n"...)
+	future := append([]byte{7}, "<x> <p> <y> .\n"...)
+	trailing := append([]byte{byte(OpDelete)}, "<a> <p> <b> .\n"...)
+	writeRawLog(t, path, 2, good, future, trailing)
+
+	var kinds []OpKind
+	var got [][]byte
+	l, st, err := Open(path, SyncAlways, 0, func(k OpKind, p []byte) error {
+		kinds = append(kinds, k)
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated {
+		t.Fatal("unknown op kind not reported as truncation")
+	}
+	// Only the record before the unknown kind replays; the valid-looking
+	// record after it is unreachable (truncated away with the garbage).
+	if st.Records != 1 || len(got) != 1 || kinds[0] != OpAdd || string(got[0]) != "<a> <p> <b> .\n" {
+		t.Fatalf("replayed %d records (kinds %v), want exactly the first add", st.Records, kinds)
+	}
+	if err := l.Append(OpDelete, []byte("<a> <p> <b> .\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds, got = nil, nil
+	l2, st2, err := Open(path, SyncAlways, 0, func(k OpKind, p []byte) error {
+		kinds = append(kinds, k)
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st2.Truncated || st2.Records != 2 {
+		t.Fatalf("second open: truncated=%v records=%d, want clean 2", st2.Truncated, st2.Records)
+	}
+	if kinds[1] != OpDelete {
+		t.Fatalf("appended delete replayed as %v", kinds[1])
+	}
+}
+
+// A version-1 log (no kind byte) still replays — every record as an
+// add — and refuses delete appends, which the v1 replayer would
+// misread as insertions.
+func TestVersion1LogBackCompat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	recs := [][]byte{[]byte("<a> <p> <b> .\n"), []byte("<c> <p> <d> .\n")}
+	writeRawLog(t, path, 1, recs...)
+
+	var kinds []OpKind
+	var got [][]byte
+	l, st, err := Open(path, SyncAlways, 0, func(k OpKind, p []byte) error {
+		kinds = append(kinds, k)
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if st.Truncated || st.Records != len(recs) {
+		t.Fatalf("v1 replay: truncated=%v records=%d", st.Truncated, st.Records)
+	}
+	for i := range recs {
+		if kinds[i] != OpAdd || !bytes.Equal(got[i], recs[i]) {
+			t.Fatalf("v1 record %d: kind=%v payload=%q", i, kinds[i], got[i])
+		}
+	}
+	if l.Version() != 1 {
+		t.Fatalf("recovered version = %d, want 1", l.Version())
+	}
+	// Adds keep working on the recovered v1 log; deletes are refused.
+	if err := l.Append(OpAdd, []byte("<e> <p> <f> .\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(OpDelete, []byte("<a> <p> <b> .\n")); err == nil {
+		t.Fatal("v1 log accepted a delete record")
 	}
 }

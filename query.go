@@ -128,7 +128,7 @@ func (r *Reasoner) SaveSnapshot(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.engine.Main.Normalize()
-	return snapshot.Write(w, r.engine.Dict, r.engine.Main, r.engine.HierView() != nil)
+	return snapshot.Write(w, r.engine.Dict, r.engine.Main, r.engine.HierView() != nil, r.engine.AssertedStore())
 }
 
 // LoadSnapshot restores a reasoner from a snapshot image. The restored
@@ -142,12 +142,12 @@ func (r *Reasoner) SaveSnapshot(w io.Writer) error {
 // un-inferred: later deltas extend it incrementally without deriving
 // the facts the skipped initial run would have produced.
 func LoadSnapshot(src io.Reader, opts ...Option) (*Reasoner, error) {
-	d, st, encoded, err := snapshot.Read(src)
+	d, st, encoded, asserted, err := snapshot.Read(src)
 	if err != nil {
 		return nil, err
 	}
 	r := New(opts...)
-	if err := r.engine.RestoreState(d, st, encoded); err != nil {
+	if err := r.engine.RestoreState(d, st, encoded, asserted); err != nil {
 		return nil, err
 	}
 	r.engine.MarkMaterialized()
@@ -164,7 +164,7 @@ func (r *Reasoner) SaveImage(path string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.engine.Main.Normalize()
-	return snapshot.WriteFile(path, r.engine.Dict, r.engine.Main, snapshot.Meta{
+	return snapshot.WriteFile(path, r.engine.Dict, r.engine.Main, r.engine.AssertedStore(), snapshot.Meta{
 		CreatedUnix:      time.Now().Unix(),
 		Triples:          uint64(r.engine.StoredSize()),
 		Fragment:         r.engine.Fragment().String(),
@@ -179,7 +179,7 @@ func (r *Reasoner) SaveImage(path string) error {
 // ruleset. Like LoadSnapshot, the restored store is installed as an
 // already-materialized closure.
 func LoadImage(path string, opts ...Option) (*Reasoner, error) {
-	d, st, meta, err := snapshot.ReadFile(path)
+	d, st, asserted, meta, err := snapshot.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +188,7 @@ func LoadImage(path string, opts ...Option) (*Reasoner, error) {
 		return nil, fmt.Errorf("inferray: image %s was materialized under fragment %s, but the reasoner is configured for %s (pass the matching fragment)",
 			path, meta.Fragment, r.engine.Fragment())
 	}
-	if err := r.engine.RestoreState(d, st, meta.HierarchyEncoded); err != nil {
+	if err := r.engine.RestoreState(d, st, meta.HierarchyEncoded, asserted); err != nil {
 		return nil, err
 	}
 	r.engine.MarkMaterialized()

@@ -1,0 +1,261 @@
+package inferray_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inferray"
+	"inferray/internal/sparql"
+)
+
+// TestUpdateInsertDeleteRoundTrip drives the full bidirectional write
+// path through SPARQL UPDATE text: insert, verify the closure grew,
+// delete, verify the consequences are maintained away.
+func TestUpdateInsertDeleteRoundTrip(t *testing.T) {
+	r := inferray.New()
+	st, err := r.Update(`INSERT DATA {
+		<human> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <mammal> .
+		<mammal> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <animal> .
+		<Bart> a <human>
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 1 || st.Inserted != 3 {
+		t.Fatalf("stats = %+v, want 1 op / 3 inserted", st)
+	}
+	if !r.Holds("<Bart>", inferray.Type, "<animal>") {
+		t.Fatal("closure missing ⟨Bart type animal⟩ after INSERT DATA")
+	}
+
+	st, err = r.Update(`DELETE DATA { <mammal> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <animal> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted != 1 {
+		t.Fatalf("stats = %+v, want 1 deleted", st)
+	}
+	if r.Holds("<Bart>", inferray.Type, "<animal>") {
+		t.Fatal("⟨Bart type animal⟩ survived deleting its supporting schema edge")
+	}
+	if !r.Holds("<Bart>", inferray.Type, "<mammal>") {
+		t.Fatal("⟨Bart type mammal⟩ was lost; it does not depend on the deleted edge")
+	}
+}
+
+// TestUpdateDeleteWhere checks pattern-driven retraction: asserted
+// matches go, derived-only matches are no-ops, and matching + deletion
+// see the closure (virtual triples included).
+func TestUpdateDeleteWhere(t *testing.T) {
+	r := inferray.New()
+	if _, err := r.Update(`INSERT DATA {
+		<a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <b> .
+		<b> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <c> .
+		<x> a <a> . <y> a <a> . <z> a <b>
+	}`); err != nil {
+		t.Fatal(err)
+	}
+	// Matches both asserted (x/y/z typed directly) and derived type
+	// triples; only the asserted ones are retractions, and retracting
+	// them removes the derivations too.
+	st, err := r.Update(`DELETE WHERE { ?i a <a> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted != 2 {
+		t.Fatalf("deleted = %d, want 2 (x and y)", st.Deleted)
+	}
+	for _, s := range []string{"<x>", "<y>"} {
+		for _, c := range []string{"<a>", "<b>", "<c>"} {
+			if r.Holds(s, inferray.Type, c) {
+				t.Errorf("⟨%s type %s⟩ survived DELETE WHERE", s, c)
+			}
+		}
+	}
+	if !r.Holds("<z>", inferray.Type, "<c>") {
+		t.Error("⟨z type c⟩ was lost; z's typing does not match the pattern")
+	}
+	// A pattern matching only derived triples deletes nothing.
+	st, err = r.Update(`DELETE WHERE { <z> a <c> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deleted != 0 {
+		t.Fatalf("deleting a derived-only triple reported %d deletions", st.Deleted)
+	}
+	if !r.Holds("<z>", inferray.Type, "<c>") {
+		t.Error("derived ⟨z type c⟩ vanished on a no-op delete")
+	}
+}
+
+// TestUpdateOpSequence: operations run in order within one request.
+func TestUpdateOpSequence(t *testing.T) {
+	r := inferray.New()
+	st, err := r.Update(`
+		PREFIX ex: <http://e/>
+		INSERT DATA { ex:s ex:p ex:o } ;
+		DELETE DATA { ex:s ex:p ex:o } ;
+		INSERT DATA { ex:s ex:p ex:o2 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 3 || st.Inserted != 2 || st.Deleted != 1 {
+		t.Fatalf("stats = %+v, want 3 ops / 2 inserted / 1 deleted", st)
+	}
+	if r.Holds("<http://e/s>", "<http://e/p>", "<http://e/o>") {
+		t.Error("deleted triple still visible")
+	}
+	if !r.Holds("<http://e/s>", "<http://e/p>", "<http://e/o2>") {
+		t.Error("re-inserted triple missing")
+	}
+}
+
+// TestUpdateParseError: failures surface as positioned parse errors and
+// leave the closure untouched.
+func TestUpdateParseError(t *testing.T) {
+	r := inferray.New()
+	mustAdd(t, r, "<s>", "<p>", "<o>")
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Size()
+	_, err := r.Update(`DELETE { ?s ?p ?o } WHERE { ?s ?p ?o }`)
+	var pe *sparql.ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *sparql.ParseError", err)
+	}
+	if !strings.Contains(err.Error(), "only DELETE DATA and DELETE WHERE are supported") {
+		t.Errorf("err = %v", err)
+	}
+	if r.Size() != before {
+		t.Error("failed update changed the closure")
+	}
+}
+
+// TestUpdateDurableReplay: a durable reasoner that crashes (never
+// closed) after interleaved updates recovers to exactly the closure an
+// uninterrupted in-memory run holds — deletions included, which means
+// the WAL's delete records replayed.
+func TestUpdateDurableReplay(t *testing.T) {
+	dir := t.TempDir()
+	ops := []string{
+		`INSERT DATA {
+			<a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <b> .
+			<b> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <c> .
+			<x> a <a> . <y> a <b> . <s> <p> <o>
+		}`,
+		`DELETE DATA { <x> a <a> }`,
+		`INSERT DATA { <x> a <b> }`,
+		`DELETE WHERE { ?i a <b> }`,
+	}
+
+	r := openDurable(t, dir)
+	mem := inferray.New()
+	for _, op := range ops {
+		if _, err := r.Update(op); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mem.Update(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: drop r without Close. Sync "always" means every
+	// acknowledged record is on disk.
+	r2 := openDurable(t, dir)
+	defer r2.Close()
+	sameClosure(t, r2, mem)
+
+	// The recovered reasoner keeps accepting updates.
+	if _, err := r2.Update(`DELETE DATA { <s> <p> <o> }`); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Holds("<s>", "<p>", "<o>") {
+		t.Error("post-recovery delete did not apply")
+	}
+}
+
+// TestUpdateDurableCheckpointed: deletions survive through a checkpoint
+// image (the asserted record rides the snapshot), not just WAL replay.
+func TestUpdateDurableCheckpointed(t *testing.T) {
+	dir := t.TempDir()
+	r := openDurable(t, dir)
+	if _, err := r.Update(`INSERT DATA {
+		<a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <b> .
+		<x> a <a> . <y> a <a>
+	}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Update(`DELETE DATA { <y> a <a> }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint delete lands in the fresh WAL and must replay on
+	// top of the image's asserted record.
+	if _, err := r.Update(`DELETE DATA { <x> a <a> }`); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openDurable(t, dir)
+	defer r2.Close()
+	for _, s := range []string{"<x>", "<y>"} {
+		if r2.Holds(s, inferray.Type, "<a>") || r2.Holds(s, inferray.Type, "<b>") {
+			t.Errorf("recovered closure still types %s", s)
+		}
+	}
+	if !r2.Holds("<a>", inferray.SubClassOf, "<b>") {
+		t.Error("recovered closure lost the schema edge")
+	}
+}
+
+// TestUpdateMigratesV1Log: a data directory written by an older build
+// holds a version-1 log, which cannot record deletions. Open must
+// replay it, checkpoint away from it immediately, and then accept
+// deletes.
+func TestUpdateMigratesV1Log(t *testing.T) {
+	dir := t.TempDir()
+	// Hand-write a v1 log (no op-kind byte in records) holding one add.
+	payload := []byte("<x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <c> .\n")
+	var buf bytes.Buffer
+	head := make([]byte, 16)
+	copy(head[:4], "IFWL")
+	binary.LittleEndian.PutUint32(head[4:], 1) // version 1
+	binary.LittleEndian.PutUint64(head[8:], 0) // generation 0
+	buf.Write(head)
+	rec := make([]byte, 8)
+	binary.LittleEndian.PutUint32(rec[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	buf.Write(rec)
+	buf.Write(payload)
+	logPath := filepath.Join(dir, "wal-0000000000000000.log")
+	if err := os.WriteFile(logPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openDurable(t, dir)
+	defer r.Close()
+	if !r.Holds("<x>", inferray.Type, "<c>") {
+		t.Fatal("v1 log record did not replay")
+	}
+	// Migration rotated to a fresh generation: the v1 file is gone.
+	if _, err := os.Stat(logPath); !os.IsNotExist(err) {
+		t.Fatalf("v1 log still present after migration (stat err = %v)", err)
+	}
+	// And deletes — which a v1 log could not record — now work end to
+	// end, crash replay included.
+	if _, err := r.Update(`DELETE DATA { <x> a <c> }`); err != nil {
+		t.Fatal(err)
+	}
+	r2 := openDurable(t, dir)
+	defer r2.Close()
+	if r2.Holds("<x>", inferray.Type, "<c>") {
+		t.Fatal("delete lost across recovery")
+	}
+}
