@@ -39,8 +39,13 @@
 // incrementally, POST /update executes SPARQL UPDATE (INSERT DATA,
 // DELETE DATA, DELETE WHERE — deletions maintain the closure by
 // delete-rederive; the update subcommand is an HTTP client for it),
-// GET /stats and GET /healthz report state. SIGINT or
-// SIGTERM shuts the server down gracefully. With -data-dir the server
+// GET /stats and GET /healthz report state, GET /readyz reports 503
+// until the initial load and materialization finished, and GET
+// /metrics exposes Prometheus text metrics for every layer (HTTP,
+// reasoner, WAL, query engine). -slow-query-ms logs queries over a
+// threshold as structured records; -pprof mounts net/http/pprof under
+// /debug/pprof/. The top-level -version flag prints build information.
+// SIGINT or SIGTERM shuts the server down gracefully. With -data-dir the server
 // is durable: every accepted delta is written to a write-ahead log
 // before it is applied (-sync picks the fsync policy), checkpoints
 // rotate the log into snapshot images, and a restart — even after
@@ -59,6 +64,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"inferray"
 	"inferray/internal/server"
@@ -137,6 +143,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fs.SetOutput(stderr)
 	var deltas multiFlag
 	var (
+		version   = fs.Bool("version", false, "print version information and exit")
 		rulesFlag = fs.String("rules", "rdfs-default", "rule fragment: rhodf | rdfs-default | rdfs-full | rdfs-plus | rdfs-plus-full")
 		inFlag    = fs.String("in", "-", "input file ('-' for stdin)")
 		outFlag   = fs.String("out", "-", "output N-Triples file ('-' for stdout)")
@@ -151,6 +158,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fs.Var(&deltas, "delta", "delta file to load and materialize incrementally after the initial run (repeatable, applied in order)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		v, gv := inferray.Version()
+		fmt.Fprintf(stdout, "inferray %s (%s)\n", v, gv)
+		return nil
 	}
 
 	fragment, err := inferray.ParseFragment(*rulesFlag)
@@ -296,6 +308,9 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 		syncFlag  = fs.String("sync", "interval", "WAL fsync policy: always | interval | none (with -data-dir)")
 		ckptBytes = fs.Int64("checkpoint-bytes", 0, "auto-checkpoint once the WAL exceeds this many bytes (0 = 64MiB default, negative disables)")
 		ckptRecs  = fs.Int("checkpoint-records", 0, "auto-checkpoint once the WAL holds this many batches (0 = 4096 default, negative disables)")
+
+		slowMS    = fs.Int("slow-query-ms", 0, "log queries slower than this many milliseconds as structured slow-query records (0 disables)")
+		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serve mux")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -308,6 +323,9 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 	opts := []inferray.Option{
 		inferray.WithFragment(fragment),
 		inferray.WithParallelism(!*seq),
+	}
+	if *slowMS > 0 {
+		opts = append(opts, inferray.WithSlowQueryLog(time.Duration(*slowMS)*time.Millisecond, nil))
 	}
 	if *dataDir != "" {
 		opts = append(opts, inferray.WithDurability(*dataDir, inferray.DurabilityOptions{
@@ -333,6 +351,32 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 		}
 	}
 	defer r.Close()
+
+	// The listener is bound and serving before the initial dataset is
+	// loaded and materialized: /healthz answers immediately and /readyz
+	// reports 503 until the closure is ready, so orchestrators can
+	// probe a server that is still absorbing a large base dataset.
+	srv := server.New(r)
+	srv.SetReady(false)
+	if *pprofFlag {
+		srv.EnablePprof()
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(sctx, ln) }()
+	// fail tears the already-serving listener down before surfacing a
+	// load error, so run() never leaks the goroutine.
+	fail := func(err error) error {
+		cancel()
+		<-errc
+		return err
+	}
+
 	recovered := false
 	if ds, ok := r.DurabilityStats(); ok && (ds.RecoveredFromSnapshot || ds.ReplayedRecords > 0 || ds.TruncatedTail) {
 		// A truncated tail alone (no image, no replayed records — e.g. a
@@ -351,21 +395,17 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 		if recovered {
 			fmt.Fprintf(stderr, "inferray: data dir already holds state; skipping -in %s (POST /triples to extend)\n", *inFlag)
 		} else if err := loadInput(r, *inFlag, *format, stdin); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 	st, err := r.Materialize()
 	if err != nil {
-		return err
+		return fail(err)
 	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
+	srv.SetReady(true)
 	fmt.Fprintf(stderr, "inferray: serving %s closure (%d triples, %d inferred) on %s\n",
 		fragment, r.Size(), st.InferredTriples, ln.Addr())
-	return server.New(r).Serve(ctx, ln)
+	return <-errc
 }
 
 // runUpdate implements the update subcommand: an HTTP client for a

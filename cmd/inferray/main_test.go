@@ -21,6 +21,18 @@ func runCLI(t *testing.T, args []string, stdin string) (stdout, stderr string, e
 	return out.String(), errBuf.String(), err
 }
 
+// TestCLIVersionFlag checks the top-level -version flag: the module
+// version (devel under go test) and the Go toolchain.
+func TestCLIVersionFlag(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-version"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "inferray ") || !strings.Contains(out, "go1.") {
+		t.Fatalf("version output %q", out)
+	}
+}
+
 const sampleNT = `<a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <b> .
 <b> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <c> .
 <x> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <a> .
@@ -311,6 +323,42 @@ func TestCLIServe(t *testing.T) {
 
 	if code, body := get("/stats"); code != http.StatusOK || !strings.Contains(body, `"delta_batches":1`) {
 		t.Fatalf("stats response %d: %s", code, body)
+	}
+	if code, body := get("/stats"); code != http.StatusOK || !strings.Contains(body, `"go_version":"go`) {
+		t.Fatalf("stats missing build info %d: %s", code, body)
+	}
+
+	// The startup line only prints after SetReady(true), so readiness
+	// is observable as soon as the address is known.
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz status %d", code)
+	}
+
+	// End-to-end scrape: the exposition covers every layer's families.
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, family := range []string{
+		"inferray_http_requests_total",
+		"inferray_http_request_duration_seconds_bucket",
+		"inferray_reasoner_materializations_total",
+		"inferray_wal_appends_total",
+		"inferray_query_solves_total",
+		"inferray_query_evaluations_total",
+		"inferray_build_info",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("metrics exposition missing family %q", family)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("exposition:\n%s", body)
+	}
+
+	// pprof was not opted into: its surface must be absent.
+	if code, _ := get("/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("pprof mounted without -pprof: status %d", code)
 	}
 
 	cancel()

@@ -24,6 +24,7 @@ package inferray
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -76,12 +77,14 @@ type Triple = rdf.Triple
 type Stats = reasoner.Stats
 
 // config is everything the option list can set: the engine options plus
-// the durability layer's.
+// the durability layer's and the slow-query log's.
 type config struct {
-	engine  reasoner.Options
-	durable bool
-	durDir  string
-	durOpts DurabilityOptions
+	engine    reasoner.Options
+	durable   bool
+	durDir    string
+	durOpts   DurabilityOptions
+	slowQuery time.Duration
+	slowLog   *slog.Logger
 }
 
 // Option configures a Reasoner.
@@ -195,6 +198,11 @@ type Reasoner struct {
 	// read lock — that ordering is what lets a checkpoint prune the log
 	// (every logged record is already inside the new image).
 	dur *wal.Manager
+
+	// obs is the instrumentation state: metric registry, per-layer
+	// instrument handles, slow-query log config. Always non-nil (New and
+	// Open both build it), so callers never nil-check.
+	obs *obs
 }
 
 // New creates an in-memory reasoner. It panics if the options include
@@ -205,7 +213,15 @@ func New(opts ...Option) *Reasoner {
 	if c.durable {
 		panic("inferray: WithDurability requires inferray.Open")
 	}
-	return &Reasoner{engine: reasoner.New(c.engine)}
+	return newReasoner(c)
+}
+
+// newReasoner builds the instrumentation state and the engine — in that
+// order, since newObs hangs the reasoner-layer instrument set on the
+// engine options.
+func newReasoner(c *config) *Reasoner {
+	o := newObs(c)
+	return &Reasoner{engine: reasoner.New(c.engine), obs: o}
 }
 
 func newConfig(opts []Option) *config {
@@ -230,7 +246,7 @@ func newConfig(opts []Option) *config {
 // costs the recovery replay on the next Open.
 func Open(opts ...Option) (*Reasoner, error) {
 	c := newConfig(opts)
-	r := &Reasoner{engine: reasoner.New(c.engine)}
+	r := newReasoner(c)
 	if !c.durable {
 		return r, nil
 	}
@@ -244,6 +260,7 @@ func Open(opts ...Option) (*Reasoner, error) {
 		RotateBytes:   c.durOpts.CheckpointBytes,
 		RotateRecords: c.durOpts.CheckpointRecords,
 		Fragment:      c.engine.Fragment.String(),
+		Metrics:       r.obs.wm,
 	}
 	// Recovery runs single-threaded before the reasoner is shared, so
 	// the hooks drive the engine directly: restore the image, mark it

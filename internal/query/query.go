@@ -65,6 +65,9 @@ type Virtual interface {
 type Engine struct {
 	St      *store.Store
 	Virtual Virtual
+	// Metrics, when non-nil, receives solve and row counters. Updates
+	// are atomic adds only — safe on the hot path.
+	Metrics *Metrics
 }
 
 // virtualPidx reports whether pidx is routed through e.Virtual.
@@ -88,6 +91,10 @@ func (e *Engine) Solve(patterns []Pattern, nVars int, fn func(row []uint64) bool
 	}
 	x := &exec{e: e, steps: e.buildPlan(patterns, 0), row: make([]uint64, nVars), fnRow: fn}
 	x.run(x.steps, 0, 0, nil)
+	if m := e.Metrics; m != nil {
+		m.PlannedSolves.Inc()
+		m.Rows.Add(x.rows)
+	}
 	return nil
 }
 
@@ -155,6 +162,10 @@ func (e *Engine) SolveLeftJoin(patterns []Pattern, optionals []OptionalGroup, nV
 	// With no optional layers done stays nil and the walk delivers
 	// straight to fn — every plain BGP query's path.
 	x.run(x.steps, 0, initMask, done)
+	if m := e.Metrics; m != nil {
+		m.PlannedSolves.Inc()
+		m.Rows.Add(x.rows)
+	}
 	return nil
 }
 
@@ -179,6 +190,15 @@ func varMask(patterns []Pattern) uint64 {
 func (e *Engine) SolveGreedy(patterns []Pattern, nVars int, fn func(row []uint64) bool) error {
 	if err := e.validate(patterns, nVars); err != nil {
 		return err
+	}
+	if m := e.Metrics; m != nil {
+		// The greedy engine is off the allocation-critical path, so the
+		// row tally can afford a wrapping closure.
+		m.GreedySolves.Inc()
+		var rows uint64
+		inner := fn
+		fn = func(row []uint64) bool { rows++; return inner(row) }
+		defer func() { m.Rows.Add(rows) }()
 	}
 	row := make([]uint64, nVars)
 	var bound uint64 // bitmask of bound slots

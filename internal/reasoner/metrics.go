@@ -1,0 +1,107 @@
+package reasoner
+
+import (
+	"inferray/internal/metrics"
+)
+
+// Metrics is the reasoner's instrument set. Hang one on
+// Options.Metrics to have every Materialize and Retract feed it; a nil
+// Metrics leaves the engine uninstrumented. Per-rule counters are
+// pre-resolved into index-aligned slices at engine construction, so
+// the fixpoint loop pays one atomic add per rule per iteration and no
+// map lookups.
+type Metrics struct {
+	// Materializations counts Materialize calls (full and incremental).
+	Materializations *metrics.Counter
+	// MaterializeSeconds observes each materialization's wall time.
+	MaterializeSeconds *metrics.Histogram
+	// Rounds counts fixpoint iterations across all materializations.
+	Rounds *metrics.Counter
+	// InferredTriples counts closure growth beyond the input triples.
+	InferredTriples *metrics.Counter
+	// RuleFired / RuleSkipped partition scheduling decisions by rule
+	// name: fired = the rule's read footprint met the changed set,
+	// skipped = the dependency scheduler proved it could derive nothing.
+	RuleFired   *metrics.CounterVec
+	RuleSkipped *metrics.CounterVec
+	// Retractions counts Retract calls; OverdeletedTriples and
+	// RederivedTriples size the two DRed phases, and RetractSeconds
+	// observes total retraction wall time.
+	Retractions        *metrics.Counter
+	RetractSeconds     *metrics.Histogram
+	OverdeletedTriples *metrics.Counter
+	RederivedTriples   *metrics.Counter
+}
+
+// NewMetrics registers the reasoner families into reg and returns the
+// instrument set to hang on Options.Metrics.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		Materializations: reg.Counter("inferray_reasoner_materializations_total",
+			"Materialize calls, full and incremental."),
+		MaterializeSeconds: reg.Histogram("inferray_reasoner_materialize_seconds",
+			"Wall time of each materialization (fixpoint plus pre-loop closures).",
+			metrics.DurationBuckets()),
+		Rounds: reg.Counter("inferray_reasoner_rounds_total",
+			"Fixpoint iterations across all materializations."),
+		InferredTriples: reg.Counter("inferray_reasoner_inferred_triples_total",
+			"Triples added to the visible closure beyond the loaded input."),
+		RuleFired: reg.CounterVec("inferray_reasoner_rule_fired_total",
+			"Rule firings by rule name (read footprint met the changed set).",
+			"rule"),
+		RuleSkipped: reg.CounterVec("inferray_reasoner_rule_skipped_total",
+			"Rules the dependency scheduler skipped, by rule name.",
+			"rule"),
+		Retractions: reg.Counter("inferray_reasoner_retractions_total",
+			"Retract calls (DRed overdelete + rederive runs)."),
+		RetractSeconds: reg.Histogram("inferray_reasoner_retract_seconds",
+			"Wall time of each retraction.", metrics.DurationBuckets()),
+		OverdeletedTriples: reg.Counter("inferray_reasoner_overdeleted_triples_total",
+			"Triples removed by DRed overdeletion (including casualties later rederived)."),
+		RederivedTriples: reg.Counter("inferray_reasoner_rederived_triples_total",
+			"Overdeletion casualties restored by the rederivation fixpoint."),
+	}
+}
+
+// resolveRuleCounters pre-resolves the per-rule fired/skipped counters
+// into slices aligned with e.rules, so the scheduler's bookkeeping is
+// an indexed atomic add.
+func (e *Engine) resolveRuleCounters() {
+	m := e.opts.Metrics
+	if m == nil {
+		return
+	}
+	e.mFired = make([]*metrics.Counter, len(e.rules))
+	e.mSkipped = make([]*metrics.Counter, len(e.rules))
+	for i, r := range e.rules {
+		e.mFired[i] = m.RuleFired.With(r.Name)
+		e.mSkipped[i] = m.RuleSkipped.With(r.Name)
+	}
+}
+
+// recordMaterialize feeds one finished materialization into the
+// instrument set.
+func (e *Engine) recordMaterialize(st *Stats) {
+	m := e.opts.Metrics
+	if m == nil {
+		return
+	}
+	m.Materializations.Inc()
+	m.MaterializeSeconds.ObserveDuration(st.TotalTime)
+	m.Rounds.Add(uint64(st.Iterations))
+	if st.InferredTriples > 0 {
+		m.InferredTriples.Add(uint64(st.InferredTriples))
+	}
+}
+
+// recordRetract feeds one finished retraction into the instrument set.
+func (e *Engine) recordRetract(st *RetractStats) {
+	m := e.opts.Metrics
+	if m == nil {
+		return
+	}
+	m.Retractions.Inc()
+	m.RetractSeconds.ObserveDuration(st.TotalTime)
+	m.OverdeletedTriples.Add(uint64(st.Overdeleted))
+	m.RederivedTriples.Add(uint64(st.Rederived))
+}

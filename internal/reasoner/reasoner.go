@@ -25,6 +25,7 @@ import (
 	"inferray/internal/closure"
 	"inferray/internal/dictionary"
 	"inferray/internal/hierarchy"
+	"inferray/internal/metrics"
 	"inferray/internal/rdf"
 	"inferray/internal/rules"
 	"inferray/internal/store"
@@ -53,6 +54,10 @@ type Options struct {
 	// DESIGN.md §10 for the exact guards) the engine transparently falls
 	// back to full materialization, so the option is always safe.
 	HierarchyEncoding bool
+	// Metrics, when non-nil, receives materialization, scheduling, and
+	// retraction instrumentation (see NewMetrics). Purely additive:
+	// results and Stats are identical either way.
+	Metrics *Metrics
 }
 
 // RoundStats reports what one fixpoint iteration did.
@@ -134,6 +139,11 @@ type Engine struct {
 	hierBypassed     bool
 	hierClassChanged bool
 	hierPropChanged  bool
+
+	// mFired / mSkipped are the per-rule scheduling counters, aligned
+	// with rules by index; nil when Options.Metrics is nil.
+	mFired   []*metrics.Counter
+	mSkipped []*metrics.Counter
 }
 
 // New creates an engine for the given options, with the vocabulary
@@ -152,6 +162,7 @@ func New(opts Options) *Engine {
 		panic(err) // drift between table5.go and spec.go; caught by tests
 	}
 	e.deps = rules.DependencyGraph(e.rules)
+	e.resolveRuleCounters()
 	e.Main = store.New(d.NumProperties())
 	e.asserted = store.New(d.NumProperties())
 	return e
@@ -328,6 +339,7 @@ func (e *Engine) Materialize() Stats {
 	st.ClosureTime = closureTime
 	st.TotalTime = time.Since(start)
 	e.finishStats(&st)
+	e.recordMaterialize(&st)
 	e.materialized = true
 	return st
 }
@@ -359,6 +371,7 @@ func (e *Engine) materializeIncremental() Stats {
 	if staged == nil || staged.Size() == 0 {
 		st.TotalTime = time.Since(start)
 		e.finishStats(&st)
+		e.recordMaterialize(&st)
 		return st
 	}
 	loopStart := time.Now()
@@ -376,6 +389,7 @@ func (e *Engine) materializeIncremental() Stats {
 	st.TotalTriples = total
 	st.TotalTime = time.Since(start)
 	e.finishStats(&st)
+	e.recordMaterialize(&st)
 	return st
 }
 
@@ -766,6 +780,19 @@ func (e *Engine) applyRules(delta *store.Store, changed []int, fireAll bool) (*s
 		}
 	}
 	skipped := len(e.rules) - len(runnable)
+	if e.mFired != nil {
+		// runnable is ascending by construction, so one merge-walk marks
+		// every rule as fired or skipped.
+		j := 0
+		for i := range e.rules {
+			if j < len(runnable) && runnable[j] == i {
+				e.mFired[i].Inc()
+				j++
+			} else {
+				e.mSkipped[i].Inc()
+			}
+		}
+	}
 	return e.runRules(runnable, delta), len(runnable), skipped
 }
 

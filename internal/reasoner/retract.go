@@ -85,6 +85,7 @@ func (e *Engine) Retract(batch []rdf.Triple) (RetractStats, error) {
 	if st.Retracted == 0 {
 		st.TotalTriples = e.Size()
 		st.TotalTime = time.Since(start)
+		e.recordRetract(&st)
 		return st, nil
 	}
 	e.asserted.Delete(del)
@@ -109,6 +110,7 @@ func (e *Engine) Retract(batch []rdf.Triple) (RetractStats, error) {
 		// compacted type pairs the interval index still serves).
 		st.TotalTriples = e.Size()
 		st.TotalTime = time.Since(start)
+		e.recordRetract(&st)
 		return st, nil
 	}
 
@@ -187,6 +189,7 @@ func (e *Engine) Retract(batch []rdf.Triple) (RetractStats, error) {
 	st.RederiveTime = time.Since(rederiveStart)
 	st.TotalTriples = e.Size()
 	st.TotalTime = time.Since(start)
+	e.recordRetract(&st)
 	return st, nil
 }
 

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"inferray"
+)
+
+// scrape fetches /metrics and returns the exposition body.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestMetricsEndpointFamilies(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Generate traffic so the families have samples.
+	getResults(t, ts, `SELECT ?who WHERE { ?who <memberOf> <DeptCS> }`)
+	body := scrape(t, ts)
+
+	for _, want := range []string{
+		// Server-owned HTTP families.
+		"# TYPE inferray_http_requests_total counter",
+		`inferray_http_requests_total{endpoint="query",code="200"} 1`,
+		"# TYPE inferray_http_request_duration_seconds histogram",
+		`inferray_http_request_duration_seconds_bucket{endpoint="query",le="+Inf"} 1`,
+		"# TYPE inferray_http_in_flight_requests gauge",
+		// Reasoner-owned families, appended by Reasoner.WriteMetrics.
+		"# TYPE inferray_reasoner_materializations_total counter",
+		"inferray_reasoner_materializations_total 1",
+		"# TYPE inferray_query_solves_total counter",
+		`inferray_query_solves_total{engine="planned"} 1`,
+		"# TYPE inferray_query_evaluations_total counter",
+		"inferray_query_evaluations_total 1",
+		"# TYPE inferray_wal_appends_total counter",
+		"# TYPE inferray_build_info gauge",
+		`fragment="rdfs-plus"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+}
+
+func TestMetricsEndpointCountsErrorsByCode(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/query?query=" + url.QueryEscape("SELECT nonsense"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body := scrape(t, ts)
+	if want := `inferray_http_requests_total{endpoint="query",code="400"} 1`; !strings.Contains(body, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, body)
+	}
+}
+
+func TestReadyzGatesOnSetReady(t *testing.T) {
+	r := inferray.New()
+	srv := New(r)
+	srv.SetReady(false)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	check := func(path string, want int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s status = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	check("/readyz", http.StatusServiceUnavailable)
+	check("/healthz", http.StatusOK) // liveness is independent of readiness
+	srv.SetReady(true)
+	check("/readyz", http.StatusOK)
+}
+
+func TestRequestIDEchoedAndMinted(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); id == "" {
+		t.Fatal("no minted X-Request-ID on response")
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "trace-me-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); id != "trace-me-42" {
+		t.Fatalf("X-Request-ID = %q, want the client's own", id)
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	r := inferray.New()
+	srv := New(r)
+	off := httptest.NewServer(srv.Handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof served without opt-in: status %d", resp.StatusCode)
+	}
+
+	srv.EnablePprof()
+	on := httptest.NewServer(srv.Handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d body %.80q", resp.StatusCode, body)
+	}
+}
+
+// TestConcurrentScrapesWhileServing hammers queries, deltas, and
+// /metrics scrapes concurrently; run under -race it proves every
+// instrument update is synchronized with exposition.
+func TestConcurrentScrapesWhileServing(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				getResults(t, ts, `SELECT ?who WHERE { ?who <memberOf> <DeptCS> }`)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			nt := fmt.Sprintf("<scraped%d> <worksFor> <DeptCS> .\n", i)
+			resp, err := http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader(nt))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				scrape(t, ts)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The counter increments after the handler returns, so the last
+	// request's sample can trail its response by an instant: poll.
+	want := `inferray_http_requests_total{endpoint="query",code="200"} 100`
+	var body string
+	for i := 0; i < 50; i++ {
+		body = scrape(t, ts)
+		if strings.Contains(body, want) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("exposition missing %q after hammer:\n%s", want, body)
+}

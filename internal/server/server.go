@@ -31,20 +31,36 @@
 //	POST /checkpoint            admin: force a durability checkpoint (snapshot
 //	                            image + WAL rotation); 409 on an in-memory
 //	                            reasoner
-//	GET  /stats                 store size, traffic counters, last
-//	                            materialization, persistence state
+//	GET  /stats                 store size, traffic counters, build info,
+//	                            last materialization, persistence state
 //	GET  /healthz               liveness probe
+//	GET  /readyz                readiness probe: 503 until the initial
+//	                            recovery/materialization finished (see
+//	                            SetReady), 200 after
+//	GET  /metrics               Prometheus text exposition: the server's
+//	                            HTTP families plus every family the
+//	                            reasoner registers (reasoner, WAL, query
+//	                            engine, build info)
+//
+// Every request is stamped with a request ID (the X-Request-ID header
+// when the client sent one, a fresh random ID otherwise), echoed back
+// in the response header and propagated into the reasoner's evaluation
+// context so slow-query log records can be joined to access logs.
+// EnablePprof additionally mounts net/http/pprof under /debug/pprof/.
 package server
 
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,6 +68,7 @@ import (
 	"time"
 
 	"inferray"
+	"inferray/internal/metrics"
 	"inferray/internal/rdf"
 	"inferray/internal/sparql"
 )
@@ -66,6 +83,24 @@ const maxDeltaBytes = 64 << 20
 type Server struct {
 	r     *inferray.Reasoner
 	start time.Time
+
+	// reg holds the server's own HTTP-level metric families; GET
+	// /metrics writes it followed by the reasoner's registry. Keeping
+	// them separate means the server never reaches into internal metric
+	// types through the public inferray API, and family names must
+	// simply not collide (HTTP families are inferray_http_*).
+	reg          *metrics.Registry
+	httpRequests *metrics.CounterVec   // by endpoint and status code
+	httpDuration *metrics.HistogramVec // by endpoint
+	inFlight     *metrics.Gauge
+
+	// ready gates /readyz: true once the initial recovery and
+	// materialization finished. New starts ready (embedders that
+	// construct the server after loading need no extra call); the CLI
+	// flips it off while loading and on before announcing the address.
+	ready atomic.Bool
+	// pprofOn mounts net/http/pprof under /debug/pprof/ (EnablePprof).
+	pprofOn atomic.Bool
 
 	queries      atomic.Int64
 	queryErrors  atomic.Int64
@@ -89,20 +124,117 @@ type Server struct {
 }
 
 // New wraps a reasoner (typically already loaded and materialized).
+// The server starts ready; use SetReady(false) before serving if the
+// initial load happens while the listener is already accepting.
 func New(r *inferray.Reasoner) *Server {
-	return &Server{r: r, start: time.Now()}
+	reg := metrics.NewRegistry()
+	s := &Server{
+		r:     r,
+		start: time.Now(),
+		reg:   reg,
+		httpRequests: reg.CounterVec("inferray_http_requests_total",
+			"HTTP requests completed, by endpoint and status code.",
+			"endpoint", "code"),
+		httpDuration: reg.HistogramVec("inferray_http_request_duration_seconds",
+			"HTTP request wall time, by endpoint.",
+			metrics.DurationBuckets(), "endpoint"),
+		inFlight: reg.Gauge("inferray_http_in_flight_requests",
+			"HTTP requests currently being handled."),
+	}
+	s.ready.Store(true)
+	return s
 }
 
-// Handler returns the routed HTTP handler.
+// SetReady flips the /readyz readiness state: false answers 503 so a
+// load balancer keeps traffic away during recovery or the initial
+// materialization, true answers 200. /healthz is unaffected — the
+// process is alive either way.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// EnablePprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/ on handlers returned by subsequent Handler calls.
+// Off by default: the profiling surface (heap dumps, CPU profiles,
+// symbol tables) is opt-in.
+func (s *Server) EnablePprof() { s.pprofOn.Store(true) }
+
+// Handler returns the routed HTTP handler. Every endpoint is wrapped
+// by the instrumentation middleware (request IDs, in-flight gauge,
+// per-endpoint counters and latency histograms).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/triples", s.handleTriples)
-	mux.HandleFunc("/update", s.handleUpdate)
-	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	route := func(pattern, endpoint string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(endpoint, h))
+	}
+	route("/query", "query", s.handleQuery)
+	route("/triples", "triples", s.handleTriples)
+	route("/update", "update", s.handleUpdate)
+	route("/checkpoint", "checkpoint", s.handleCheckpoint)
+	route("/stats", "stats", s.handleStats)
+	route("/healthz", "healthz", s.handleHealthz)
+	route("/readyz", "readyz", s.handleReadyz)
+	route("/metrics", "metrics", s.handleMetrics)
+	if s.pprofOn.Load() {
+		// pprof's own handlers are not instrumented: a 30-second CPU
+		// profile would distort the latency histogram, and the debug
+		// surface is not traffic worth alerting on.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// statusRecorder captures the status code a handler writes (200 when
+// it never calls WriteHeader explicitly).
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the status code and forwards it.
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one endpoint with the observability middleware:
+// request-ID stamping (honoring an incoming X-Request-ID, minting a
+// random one otherwise, echoing it back, and propagating it through
+// the request context into the reasoner's slow-query log), the
+// in-flight gauge, and the per-endpoint request counter and latency
+// histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	requests := s.httpRequests
+	duration := s.httpDuration.With(endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		req = req.WithContext(inferray.ContextWithRequestID(req.Context(), id))
+
+		s.inFlight.Inc()
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(sr, req)
+		duration.ObserveDuration(time.Since(start))
+		s.inFlight.Dec()
+		requests.With(endpoint, strconv.Itoa(sr.code)).Inc()
+	})
+}
+
+// newRequestID mints a 16-hex-character random request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; an ID derived from
+		// the clock still serves its correlation purpose.
+		return strconv.FormatInt(time.Now().UnixNano(), 16)
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Serve accepts connections on ln until ctx is canceled, then shuts
@@ -235,7 +367,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	// it matters; the limit parameter is the caller's tool for
 	// bounding the buffered size.
 	st := &resultStream{}
-	res, err := s.r.ExecFunc(text, maxRows, st.head, st.row)
+	res, err := s.r.ExecFuncCtx(req.Context(), text, maxRows, st.head, st.row)
 	if err != nil {
 		s.queryErrors.Add(1)
 		writeQueryError(w, err)
@@ -514,6 +646,8 @@ type statsResponse struct {
 	Triples         int              `json:"triples"`
 	Pending         int              `json:"pending"`
 	Fragment        string           `json:"fragment"`
+	Version         string           `json:"version"`
+	GoVersion       string           `json:"go_version"`
 	UptimeSeconds   int64            `json:"uptime_seconds"`
 	Queries         int64            `json:"queries"`
 	QueryErrors     int64            `json:"query_errors"`
@@ -573,10 +707,13 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	version, goVersion := inferray.Version()
 	resp := statsResponse{
 		Triples:       s.r.Size(),
 		Pending:       s.r.Pending(),
 		Fragment:      s.r.Fragment().String(),
+		Version:       version,
+		GoVersion:     goVersion,
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 		Queries:       s.queries.Load(),
 		QueryErrors:   s.queryErrors.Load(),
@@ -632,6 +769,36 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, "application/json", map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 once the initial recovery
+// and materialization finished, 503 while still loading (SetReady).
+func (s *Server) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "loading"})
+		return
+	}
+	writeJSON(w, "application/json", map[string]string{"status": "ok"})
+}
+
+// -------------------------------------------------------------- /metrics
+
+// handleMetrics renders the full metric surface in the Prometheus text
+// exposition format: the server's HTTP families first, then everything
+// the reasoner registers (reasoner, WAL, query engine, build info).
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		return // client went away mid-scrape
+	}
+	_ = s.r.WriteMetrics(w)
 }
 
 // ---------------------------------------------------------------- shared

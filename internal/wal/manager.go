@@ -49,6 +49,10 @@ type Options struct {
 	// under; it is stamped into every checkpoint image so recovery can
 	// refuse to install a closure built under different rules.
 	Fragment string
+	// Metrics, when non-nil, receives append, fsync, and checkpoint
+	// instrumentation (see NewMetrics); it is attached to every log the
+	// manager opens or rotates to.
+	Metrics *Metrics
 }
 
 func (o *Options) fill() {
@@ -152,6 +156,11 @@ func OpenManager(dir string, opts Options, hooks Hooks) (*Manager, error) {
 		m.recovery.SnapshotLoaded = true
 		m.recovery.SnapshotMeta = meta
 		m.gen = g
+		if opts.Metrics != nil {
+			if fi, err := os.Stat(snaps[g]); err == nil {
+				opts.Metrics.SnapshotBytes.Set(fi.Size())
+			}
+		}
 		break
 	}
 	// Checkpoints prune superseded generations, so normally exactly one
@@ -214,6 +223,7 @@ func OpenManager(dir string, opts Options, hooks Hooks) (*Manager, error) {
 		m.recovery.ReplayedRecords += st.Records
 		m.recovery.TruncatedTail = m.recovery.TruncatedTail || st.Truncated
 		if last {
+			l.SetMetrics(opts.Metrics)
 			m.cur = l
 			if g > m.gen {
 				m.gen = g
@@ -227,6 +237,7 @@ func OpenManager(dir string, opts Options, hooks Hooks) (*Manager, error) {
 		if err != nil {
 			return nil, err
 		}
+		l.SetMetrics(opts.Metrics)
 		m.cur = l
 	}
 	return m, nil
@@ -326,6 +337,7 @@ func (m *Manager) Checkpoint(d *dictionary.Dictionary, st *store.Store, asserted
 		m.checkpointErr = err
 		return CheckpointStats{}, err
 	}
+	newLog.SetMetrics(m.opts.Metrics)
 	old := m.cur
 	oldGen := m.gen
 	m.cur = newLog
@@ -359,6 +371,11 @@ func (m *Manager) Checkpoint(d *dictionary.Dictionary, st *store.Store, asserted
 	}
 	if fi != nil {
 		cs.SnapshotBytes = fi.Size()
+	}
+	if mm := m.opts.Metrics; mm != nil {
+		mm.Checkpoints.Inc()
+		mm.CheckpointSeconds.ObserveDuration(cs.Duration)
+		mm.SnapshotBytes.Set(cs.SnapshotBytes)
 	}
 	m.lastCheckpoint = cs
 	m.lastCheckpointAt = time.Now()

@@ -1,0 +1,56 @@
+package wal
+
+import "inferray/internal/metrics"
+
+// Metrics is the durability layer's instrument set. Hang one on
+// Options.Metrics (or an individual Log via SetMetrics) to have
+// appends, fsyncs, and checkpoints feed it; nil leaves the layer
+// uninstrumented.
+type Metrics struct {
+	// Appends counts records written; AppendBytes their on-disk size
+	// (record header and kind byte included).
+	Appends     *metrics.Counter
+	AppendBytes *metrics.Counter
+	// Fsyncs counts explicit log fsyncs — per-append under SyncAlways,
+	// per group commit under SyncInterval — and FsyncSeconds observes
+	// each one's latency.
+	Fsyncs       *metrics.Counter
+	FsyncSeconds *metrics.Histogram
+	// Checkpoints counts snapshot checkpoints, CheckpointSeconds
+	// observes their wall time (image write + WAL rotation + cleanup),
+	// and SnapshotBytes holds the newest image's size.
+	Checkpoints       *metrics.Counter
+	CheckpointSeconds *metrics.Histogram
+	SnapshotBytes     *metrics.Gauge
+}
+
+// NewMetrics registers the durability families into reg and returns
+// the instrument set to hang on Options.Metrics.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		Appends: reg.Counter("inferray_wal_appends_total",
+			"Records appended to the write-ahead log."),
+		AppendBytes: reg.Counter("inferray_wal_append_bytes_total",
+			"Bytes appended to the write-ahead log, record framing included."),
+		Fsyncs: reg.Counter("inferray_wal_fsyncs_total",
+			"Explicit WAL fsyncs (per append under -sync always, per group commit under interval)."),
+		FsyncSeconds: reg.Histogram("inferray_wal_fsync_seconds",
+			"Latency of each WAL fsync.", metrics.DurationBuckets()),
+		Checkpoints: reg.Counter("inferray_checkpoints_total",
+			"Snapshot checkpoints taken."),
+		CheckpointSeconds: reg.Histogram("inferray_checkpoint_seconds",
+			"Wall time of each checkpoint: image write, WAL rotation, cleanup.",
+			metrics.DurationBuckets()),
+		SnapshotBytes: reg.Gauge("inferray_snapshot_bytes",
+			"Size of the newest snapshot image in bytes."),
+	}
+}
+
+// SetMetrics attaches the instrument set to the log. Taking the log's
+// mutex orders the store against the background flusher's reads, so it
+// is safe to call after the flusher has started.
+func (l *Log) SetMetrics(m *Metrics) {
+	l.mu.Lock()
+	l.m = m
+	l.mu.Unlock()
+}

@@ -119,6 +119,11 @@ type Log struct {
 	policy SyncPolicy
 	stop   chan struct{} // closes the background flusher (SyncInterval)
 	done   chan struct{}
+
+	// m, when non-nil, receives append and fsync instrumentation. Read
+	// and written under mu (SetMetrics), which orders it against the
+	// flusher goroutine.
+	m *Metrics
 }
 
 // Create writes a fresh, empty log at path (truncating anything there),
@@ -363,9 +368,13 @@ func (l *Log) Append(kind OpKind, payload []byte) error {
 	}
 	l.size += int64(len(rec))
 	l.records++
+	if l.m != nil {
+		l.m.Appends.Inc()
+		l.m.AppendBytes.Add(uint64(len(rec)))
+	}
 	switch l.policy {
 	case SyncAlways:
-		return l.f.Sync()
+		return l.fsync()
 	case SyncInterval:
 		l.dirty = true
 	}
@@ -388,12 +397,25 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsync(); err != nil {
 		l.syncErr = err
 		return err
 	}
 	l.dirty = false
 	return nil
+}
+
+// fsync syncs the file, timing the call into the instrument set when
+// one is attached. Callers hold mu.
+func (l *Log) fsync() error {
+	if l.m == nil {
+		return l.f.Sync()
+	}
+	start := time.Now()
+	err := l.f.Sync()
+	l.m.Fsyncs.Inc()
+	l.m.FsyncSeconds.ObserveDuration(time.Since(start))
+	return err
 }
 
 // Close stops the flusher, does a final sync, and closes the file.

@@ -1,0 +1,181 @@
+package inferray_test
+
+// Tests for the observability layer at the public API surface: the
+// Prometheus exposition via WriteMetrics, the MetricsSnapshot API, the
+// structured slow-query log, and the allocation budget of the
+// instrumented query hot path.
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"inferray"
+	"inferray/internal/dictionary"
+	"inferray/internal/metrics"
+	"inferray/internal/query"
+)
+
+// obsTestReasoner loads a small RDFS-Plus dataset and materializes it.
+func obsTestReasoner(t *testing.T, opts ...inferray.Option) *inferray.Reasoner {
+	t.Helper()
+	r := inferray.New(append([]inferray.Option{inferray.WithFragment(inferray.RDFSPlus)}, opts...)...)
+	base := `
+<worksFor> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <memberOf> .
+<alice> <worksFor> <DeptCS> .
+<bob> <worksFor> <DeptCS> .
+`
+	if err := r.LoadNTriples(strings.NewReader(base)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	r := obsTestReasoner(t)
+	if _, err := r.Select(`SELECT ?who WHERE { ?who <memberOf> <DeptCS> }`); err != nil {
+		t.Fatal(err)
+	}
+
+	s := r.Metrics()
+	if s.Materializations != 1 {
+		t.Errorf("Materializations = %d, want 1", s.Materializations)
+	}
+	if s.FixpointRounds == 0 {
+		t.Error("FixpointRounds = 0")
+	}
+	if s.InferredTriples == 0 {
+		t.Error("InferredTriples = 0 (subPropertyOf should have inferred memberOf triples)")
+	}
+	if s.Queries != 1 {
+		t.Errorf("Queries = %d, want 1", s.Queries)
+	}
+	if s.QueryRows != 2 {
+		t.Errorf("QueryRows = %d, want 2", s.QueryRows)
+	}
+	if s.PlannedSolves == 0 {
+		t.Error("PlannedSolves = 0")
+	}
+	if len(s.RuleFired) == 0 {
+		t.Error("RuleFired is empty after a materialization")
+	}
+	fired := false
+	for _, n := range s.RuleFired {
+		if n > 0 {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Error("no rule recorded as fired")
+	}
+	// In-memory reasoner: the durability counters must stay zero.
+	if s.WALAppends != 0 || s.Checkpoints != 0 {
+		t.Errorf("durability counters nonzero in memory: appends=%d checkpoints=%d",
+			s.WALAppends, s.Checkpoints)
+	}
+	if s.SlowQueries != 0 {
+		t.Errorf("SlowQueries = %d with logging disabled", s.SlowQueries)
+	}
+}
+
+func TestWriteMetricsExposition(t *testing.T) {
+	r := obsTestReasoner(t)
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE inferray_reasoner_materializations_total counter",
+		"# TYPE inferray_reasoner_materialize_seconds histogram",
+		"# TYPE inferray_reasoner_rule_fired_total counter",
+		"# TYPE inferray_wal_fsync_seconds histogram",
+		"# TYPE inferray_query_solves_total counter",
+		"# TYPE inferray_query_seconds histogram",
+		"# TYPE inferray_slow_queries_total counter",
+		`inferray_build_info{version=`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", out)
+	}
+}
+
+func TestSlowQueryLogFires(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	// A 1ns threshold makes every evaluation slow.
+	r := obsTestReasoner(t, inferray.WithSlowQueryLog(time.Nanosecond, logger))
+
+	ctx := inferray.ContextWithRequestID(context.Background(), "req-test-7")
+	if _, err := r.ExecFuncCtx(ctx, `SELECT ?who WHERE { ?who <memberOf> <DeptCS> }`, 0,
+		nil, func(map[string]string) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	for _, want := range []string{
+		`msg="slow query"`,
+		"memberOf", // the query text
+		"plan=",    // the planner's chosen order
+		"rows=2",   // delivered rows
+		"request_id=req-test-7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow-query record missing %q in:\n%s", want, out)
+		}
+	}
+	if got := r.Metrics().SlowQueries; got != 1 {
+		t.Errorf("SlowQueries = %d, want 1", got)
+	}
+}
+
+func TestSlowQueryLogQuietBelowThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	r := obsTestReasoner(t, inferray.WithSlowQueryLog(time.Hour, logger))
+	if _, err := r.Select(`SELECT ?who WHERE { ?who <memberOf> <DeptCS> }`); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("unexpected log output below threshold:\n%s", buf.String())
+	}
+	if got := r.Metrics().SlowQueries; got != 0 {
+		t.Errorf("SlowQueries = %d, want 0", got)
+	}
+}
+
+// TestPlainBGPAllocBudget pins the allocation budget of the plain-BGP
+// hot path with instrumentation attached: one exec struct, one row
+// slice, and the planner's three small slices — five allocations per
+// Solve, metrics or not. The CI bench-smoke job runs this as a
+// regression gate.
+func TestPlainBGPAllocBudget(t *testing.T) {
+	st := selectBenchStore(10_000, 10_000, 10_000)
+	reg := metrics.NewRegistry()
+	e := &query.Engine{St: st, Metrics: query.NewMetrics(reg)}
+	pid := func(i int) uint64 { return dictionary.PropID(i) }
+	patterns := []query.Pattern{
+		{S: query.Var(0), P: query.Const(pid(0)), O: query.Var(1)},
+		{S: query.Var(1), P: query.Const(pid(1)), O: query.Var(2)},
+		{S: query.Var(2), P: query.Const(pid(2)), O: query.Var(3)},
+	}
+	sink := func([]uint64) bool { return true }
+	got := testing.AllocsPerRun(50, func() {
+		if err := e.Solve(patterns, 4, sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 5 {
+		t.Fatalf("plain-BGP Solve = %.0f allocs/op with metrics enabled, budget is 5", got)
+	}
+}

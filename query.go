@@ -1,6 +1,7 @@
 package inferray
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -93,10 +94,7 @@ func (r *Reasoner) QueryFunc(fn func(row map[string]string) bool, patterns ...[3
 		}
 	}
 
-	eng := &query.Engine{St: r.engine.Main}
-	if hv := r.engine.HierView(); hv != nil {
-		eng.Virtual = hv
-	}
+	eng := r.queryEngine()
 	return eng.Solve(qp, len(varNames), func(row []uint64) bool {
 		out := make(map[string]string, named)
 		for i, name := range varNames {
@@ -281,6 +279,16 @@ type QueryResult struct {
 // returned as *sparql.ParseError values carrying the line and column of
 // the offending token.
 func (r *Reasoner) ExecFunc(queryText string, maxRows int, onHead func(vars []string), onRow func(row map[string]string) bool) (QueryResult, error) {
+	return r.ExecFuncCtx(context.Background(), queryText, maxRows, onHead, onRow)
+}
+
+// ExecFuncCtx is ExecFunc with a caller-supplied context. The context
+// is not a cancellation mechanism (evaluation does not poll it); it
+// carries request-scoped metadata — a request ID installed with
+// ContextWithRequestID is stamped into the slow-query record, which is
+// how the HTTP server's logs join query text to access-log lines.
+func (r *Reasoner) ExecFuncCtx(ctx context.Context, queryText string, maxRows int, onHead func(vars []string), onRow func(row map[string]string) bool) (QueryResult, error) {
+	start := time.Now()
 	q, err := sparql.ParseQuery(queryText)
 	if err != nil {
 		return QueryResult{}, err
@@ -469,6 +477,7 @@ func (r *Reasoner) ExecFunc(queryText string, maxRows int, onHead func(vars []st
 	if ob != nil {
 		ob.flush(pl.push)
 	}
+	r.recordQueryLocked(ctx, queryText, q, varSlots, pl.sent, time.Since(start))
 	return res, nil
 }
 
@@ -681,10 +690,7 @@ func (r *Reasoner) evalSeeded(g sparql.Group, vals map[string]string, enc *group
 		opts = append(opts, opt)
 	}
 
-	eng := &query.Engine{St: r.engine.Main}
-	if hv := r.engine.HierView(); hv != nil {
-		eng.Virtual = hv
-	}
+	eng := r.queryEngine()
 	cont := true
 	_ = eng.SolveLeftJoin(enc.required, opts, nVars, seed, func(row []uint64, bound uint64) bool {
 		out := make(map[string]string, len(varNames))

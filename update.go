@@ -176,10 +176,7 @@ func (r *Reasoner) matchPatternsLocked(patterns [][3]string) ([]rdf.Triple, erro
 	if len(varNames) > 64 {
 		return nil, fmt.Errorf("inferray: more than 64 distinct variables")
 	}
-	eng := &query.Engine{St: r.engine.Main}
-	if hv := r.engine.HierView(); hv != nil {
-		eng.Virtual = hv
-	}
+	eng := r.queryEngine()
 	var out []rdf.Triple
 	err := eng.Solve(qp, len(varNames), func(row []uint64) bool {
 		for _, pat := range patterns {

@@ -1,0 +1,25 @@
+package inferray
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the module's build version and the Go toolchain that
+// built it, read from the binary's embedded build information. Builds
+// outside a released module version (local `go build`, `go test`)
+// report "devel".
+func Version() (version, goVersion string) {
+	version, goVersion = "devel", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		version = v
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	return version, goVersion
+}
