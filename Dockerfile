@@ -1,0 +1,17 @@
+# Build the inferray server from source. The binary is static (pure-Go,
+# CGO off), so the runtime stage needs nothing but a writable data dir.
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+ENV CGO_ENABLED=0
+RUN go build -trimpath -ldflags='-s -w' -o /out/inferray ./cmd/inferray
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/inferray /usr/local/bin/inferray
+# Durable state lives here when the container is started with -data-dir
+# /data; mount a volume to keep the closure across restarts.
+VOLUME ["/data"]
+EXPOSE 7070
+ENTRYPOINT ["/usr/local/bin/inferray"]
+CMD ["serve", "-addr", ":7070"]

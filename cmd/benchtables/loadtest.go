@@ -1,0 +1,276 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inferray"
+	"inferray/internal/datagen"
+	"inferray/internal/rdf"
+	"inferray/internal/server"
+)
+
+// LoadRun is one measured configuration of the serving-tier load test:
+// the same client fleet and mix, with the query-result cache on or off.
+type LoadRun struct {
+	Cache    bool    `json:"cache"`
+	Requests int     `json:"requests"`
+	Reads    int     `json:"reads"`
+	Writes   int     `json:"writes"`
+	Errors   int     `json:"errors"`
+	QPS      float64 `json:"qps"`
+	// Read latency percentiles; writes are excluded (they serialize on
+	// the materialization lock and would swamp the read distribution).
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// HitRatio is hits / (hits + misses) over the run's GET /query
+	// traffic, from the X-Inferray-Cache response header.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// LoadReport is the -loadtest -json document (BENCH_9.json).
+type LoadReport struct {
+	Scale       string    `json:"scale"`
+	Clients     int       `json:"clients"`
+	DurationSec float64   `json:"duration_sec"`
+	ReadPercent float64   `json:"read_percent"`
+	BaseTriples int       `json:"base_triples"`
+	Runs        []LoadRun `json:"runs"`
+	// SpeedupQPS is cache-on QPS over cache-off QPS on the identical
+	// workload; the acceptance bar is >= 2 on the 95/5 mix.
+	SpeedupQPS float64 `json:"speedup_qps"`
+}
+
+// loadQueries is the read workload: a skewed pool over the LUBM
+// vocabulary. The first entries are the hot set (most traffic), the
+// tail keeps the cache from degenerating to a single entry.
+func loadQueries() []string {
+	lubm := func(s string) string { return "<http://example.org/lubm/" + s + ">" }
+	queries := []string{
+		`SELECT ?x WHERE { ?x ` + rdf.RDFType + ` ` + lubm("Person") + ` }`,
+		`SELECT ?x ?d WHERE { ?x ` + lubm("worksFor") + ` ?d }`,
+		`SELECT (COUNT(*) AS ?n) WHERE { ?x ` + rdf.RDFType + ` ` + lubm("Student") + ` }`,
+		`ASK { ?x ` + rdf.RDFType + ` ` + lubm("FullProfessor") + ` }`,
+		`SELECT ?x WHERE { ?x ` + lubm("memberOf") + ` ?o . ?x ` + rdf.RDFType + ` ` + lubm("Professor") + ` }`,
+	}
+	for i := 0; i < 15; i++ {
+		queries = append(queries,
+			fmt.Sprintf(`SELECT ?x WHERE { ?x %s ?c . ?x %s <http://example.org/lubm/dept/%d> }`,
+				rdf.RDFType, lubm("memberOf"), i))
+	}
+	return queries
+}
+
+// loadtestBase sizes the served dataset per scale.
+func loadtestBase(cfg scaleCfg) int {
+	switch cfg.name {
+	case "small":
+		return 20_000
+	case "medium":
+		return 100_000
+	default:
+		return 500_000
+	}
+}
+
+// runLoad spins up one server (cache on or off), drives the client
+// fleet for dur, and returns the measured run.
+func runLoad(cfg scaleCfg, clients int, dur time.Duration, cacheOn bool) (LoadRun, error) {
+	r := inferray.New(inferray.WithFragment(inferray.RDFSPlus))
+	r.AddTriples(datagen.LUBM(loadtestBase(cfg), 42))
+	if _, err := r.Materialize(); err != nil {
+		return LoadRun{}, err
+	}
+	entries := 0
+	if cacheOn {
+		entries = 4096
+	}
+	srv := server.NewWithConfig(r, server.Config{CacheEntries: entries})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return LoadRun{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	transport := &http.Transport{
+		MaxIdleConns:        clients * 2,
+		MaxIdleConnsPerHost: clients * 2,
+	}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	queries := loadQueries()
+
+	var (
+		reads, writes, errors atomic.Int64
+		hits, misses          atomic.Int64
+		wg                    sync.WaitGroup
+	)
+	latencies := make([][]time.Duration, clients)
+	deadline := time.Now().Add(dur)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)*977 + 3))
+			lat := make([]time.Duration, 0, 4096)
+			for i := 0; time.Now().Before(deadline); i++ {
+				if rng.Intn(100) < 95 {
+					// Read: hot set (80%) or the long tail.
+					var q string
+					if rng.Intn(100) < 80 {
+						q = queries[rng.Intn(5)]
+					} else {
+						q = queries[rng.Intn(len(queries))]
+					}
+					start := time.Now()
+					resp, err := client.Get(base + "/query?query=" + url.QueryEscape(q))
+					if err != nil {
+						errors.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					lat = append(lat, time.Since(start))
+					reads.Add(1)
+					switch resp.Header.Get("X-Inferray-Cache") {
+					case "hit":
+						hits.Add(1)
+					case "miss":
+						misses.Add(1)
+					}
+					if resp.StatusCode != http.StatusOK {
+						errors.Add(1)
+					}
+				} else {
+					triple := fmt.Sprintf("<http://example.org/load/w%d-%d> <http://example.org/lubm/worksFor> <http://example.org/lubm/dept/%d>",
+						c, i, rng.Intn(15))
+					resp, err := client.PostForm(base+"/update",
+						url.Values{"update": {"INSERT DATA { " + triple + " . }"}})
+					if err != nil {
+						errors.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					writes.Add(1)
+					if resp.StatusCode != http.StatusOK {
+						errors.Add(1)
+					}
+				}
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	cancel()
+	<-done
+	transport.CloseIdleConnections()
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Millisecond)
+	}
+	total := int(reads.Load() + writes.Load())
+	run := LoadRun{
+		Cache:    cacheOn,
+		Requests: total,
+		Reads:    int(reads.Load()),
+		Writes:   int(writes.Load()),
+		Errors:   int(errors.Load()),
+		QPS:      float64(total) / dur.Seconds(),
+		P50Ms:    pct(0.50),
+		P99Ms:    pct(0.99),
+	}
+	if h, m := hits.Load(), misses.Load(); h+m > 0 {
+		run.HitRatio = float64(h) / float64(h+m)
+	}
+	return run, nil
+}
+
+// tableLoad runs the serving-tier load test — the same >=1k-client
+// 95/5 read/write fleet against a cache-on and a cache-off server —
+// and prints the comparison.
+func tableLoad(cfg scaleCfg, clients int, dur time.Duration) (LoadReport, error) {
+	report := LoadReport{
+		Scale:       cfg.name,
+		Clients:     clients,
+		DurationSec: dur.Seconds(),
+		ReadPercent: 95,
+		BaseTriples: loadtestBase(cfg),
+	}
+	fmt.Printf("Serving-tier load test: %d clients, 95/5 read/write, %s per run, LUBM %d\n\n",
+		clients, dur, report.BaseTriples)
+	fmt.Printf("%-10s %10s %10s %8s %10s %10s %10s\n",
+		"cache", "requests", "qps", "errors", "p50 ms", "p99 ms", "hit ratio")
+	for _, on := range []bool{false, true} {
+		run, err := runLoad(cfg, clients, dur, on)
+		if err != nil {
+			return report, err
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Printf("%-10v %10d %10.0f %8d %10.2f %10.2f %10.3f\n",
+			run.Cache, run.Requests, run.QPS, run.Errors, run.P50Ms, run.P99Ms, run.HitRatio)
+	}
+	if off, on := report.Runs[0].QPS, report.Runs[1].QPS; off > 0 {
+		report.SpeedupQPS = on / off
+	}
+	fmt.Printf("\ncache-on QPS speedup: %.2fx\n", report.SpeedupQPS)
+	return report, nil
+}
+
+// checkLoad enforces the acceptance bar on a finished report: cache-on
+// must deliver at least minSpeedup x the cache-off QPS at an equal or
+// better p99. Returns false (and explains on w) when it regressed.
+func checkLoad(report LoadReport, minSpeedup float64, w io.Writer) bool {
+	if len(report.Runs) != 2 {
+		fmt.Fprintf(w, "loadtest: expected 2 runs, have %d\n", len(report.Runs))
+		return false
+	}
+	off, on := report.Runs[0], report.Runs[1]
+	ok := true
+	if report.SpeedupQPS < minSpeedup {
+		fmt.Fprintf(w, "loadtest: cache-on speedup %.2fx below the %.2fx bar\n", report.SpeedupQPS, minSpeedup)
+		ok = false
+	}
+	if on.P99Ms > off.P99Ms*1.05 {
+		fmt.Fprintf(w, "loadtest: cache-on p99 %.2fms worse than cache-off %.2fms\n", on.P99Ms, off.P99Ms)
+		ok = false
+	}
+	if strings.TrimSpace(report.Scale) == "" {
+		ok = false
+	}
+	return ok
+}
+
+// writeLoadReport marshals the load report to path (BENCH_9.json).
+func writeLoadReport(report LoadReport, path string) error {
+	return writeJSON(report, path)
+}
+
+// failLoad prints err and exits; split out so main stays flat.
+func failLoad(err error) {
+	fmt.Fprintf(os.Stderr, "benchtables: loadtest: %v\n", err)
+	os.Exit(1)
+}

@@ -22,12 +22,17 @@
 //	                                # churn workload: incremental retraction
 //	                                # (delete-rederive) vs rematerializing
 //	                                # the closure from scratch
+//	benchtables -loadtest -loadclients 1000 -json BENCH_9.json
+//	                                # serving-tier load test: concurrent
+//	                                # 95/5 read/write clients against the
+//	                                # HTTP server, cache on vs off
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 )
 
 // scaleCfg sizes the workloads. The paper runs at memory scales (up to
@@ -97,6 +102,10 @@ func main() {
 		scale    = flag.String("scale", "small", "workload scale: small | medium | paper")
 		encoding = flag.Bool("encoding", false, "hierarchy-encoding comparison (reduced vs full closure)")
 		churn    = flag.Bool("churn", false, "churn workload: delete-rederive vs full rematerialization")
+		loadtest = flag.Bool("loadtest", false, "serving-tier load test: concurrent clients vs the HTTP server, cache on vs off")
+		loadCli  = flag.Int("loadclients", 1000, "loadtest: number of concurrent clients")
+		loadDur  = flag.Duration("loaddur", 10*time.Second, "loadtest: measured duration per run")
+		minSpeed = flag.Float64("minspeedup", 0, "loadtest: fail unless cache-on QPS is >= this multiple of cache-off at equal-or-better p99")
 		jsonPath = flag.String("json", "", "write the encoding comparison as JSON to this path")
 		minShr   = flag.Float64("minshrink", 0, "fail unless every hierarchy-heavy dataset's closure shrink is >= this fraction")
 	)
@@ -153,6 +162,21 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 				os.Exit(1)
 			}
+		}
+		ran = true
+	}
+	if *loadtest {
+		report, err := tableLoad(cfg, *loadCli, *loadDur)
+		if err != nil {
+			failLoad(err)
+		}
+		if *jsonPath != "" {
+			if err := writeLoadReport(report, *jsonPath); err != nil {
+				failLoad(err)
+			}
+		}
+		if *minSpeed > 0 && !checkLoad(report, *minSpeed, os.Stderr) {
+			os.Exit(1)
 		}
 		ran = true
 	}

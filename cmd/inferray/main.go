@@ -44,7 +44,14 @@
 // /metrics exposes Prometheus text metrics for every layer (HTTP,
 // reasoner, WAL, query engine). -slow-query-ms logs queries over a
 // threshold as structured records; -pprof mounts net/http/pprof under
-// /debug/pprof/. The top-level -version flag prints build information.
+// /debug/pprof/. The serving tier is tunable per flag: -cache-entries,
+// -cache-bytes, and -cache-entry-bytes size the generation-keyed
+// query-result cache, -query-rps/-query-burst and
+// -update-rps/-update-burst rate-limit clients per IP (429 +
+// Retry-After; -trust-forwarded keys on X-Forwarded-For), and
+// -max-in-flight plus -query-timeout shed overload with 503/504 — see
+// the serve-flag table in README.md.
+// The top-level -version flag prints build information.
 // SIGINT or SIGTERM shuts the server down gracefully. With -data-dir the server
 // is durable: every accepted delta is written to a write-ahead log
 // before it is applied (-sync picks the fsync policy), checkpoints
@@ -311,6 +318,17 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 
 		slowMS    = fs.Int("slow-query-ms", 0, "log queries slower than this many milliseconds as structured slow-query records (0 disables)")
 		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serve mux")
+
+		cacheEntries   = fs.Int("cache-entries", 1024, "query-result cache capacity in entries (0 disables the cache)")
+		cacheBytes     = fs.Int64("cache-bytes", 0, "query-result cache byte budget (0 = 64MiB default)")
+		cacheEntryMax  = fs.Int64("cache-entry-bytes", 0, "largest cacheable response body in bytes (0 = 4MiB default)")
+		queryRPS       = fs.Float64("query-rps", 0, "per-client /query rate limit in requests per second (0 disables)")
+		queryBurst     = fs.Int("query-burst", 10, "per-client /query token-bucket capacity (with -query-rps)")
+		updateRPS      = fs.Float64("update-rps", 0, "per-client /update and /triples rate limit in requests per second (0 disables)")
+		updateBurst    = fs.Int("update-burst", 5, "per-client write token-bucket capacity (with -update-rps)")
+		trustForwarded = fs.Bool("trust-forwarded", false, "rate-limit on the first X-Forwarded-For address (only behind a proxy that overwrites it)")
+		maxInFlight    = fs.Int("max-in-flight", 0, "admit at most this many concurrent queries, shedding excess with 503 (0 = unlimited)")
+		queryTimeout   = fs.Duration("query-timeout", 0, "abort queries exceeding this evaluation deadline with 504 (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -356,7 +374,18 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 	// loaded and materialized: /healthz answers immediately and /readyz
 	// reports 503 until the closure is ready, so orchestrators can
 	// probe a server that is still absorbing a large base dataset.
-	srv := server.New(r)
+	srv := server.NewWithConfig(r, server.Config{
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		CacheEntryBytes: *cacheEntryMax,
+		QueryRPS:        *queryRPS,
+		QueryBurst:      *queryBurst,
+		UpdateRPS:       *updateRPS,
+		UpdateBurst:     *updateBurst,
+		TrustForwarded:  *trustForwarded,
+		MaxInFlight:     *maxInFlight,
+		QueryTimeout:    *queryTimeout,
+	})
 	srv.SetReady(false)
 	if *pprofFlag {
 		srv.EnablePprof()

@@ -26,6 +26,7 @@ import (
 	"io"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"inferray/internal/dictionary"
@@ -203,6 +204,36 @@ type Reasoner struct {
 	// instrument handles, slow-query log config. Always non-nil (New and
 	// Open both build it), so callers never nil-check.
 	obs *obs
+
+	// gen is the store generation: a monotone counter that moves exactly
+	// when the visible closure may have changed. It is derived from the
+	// per-table version counters — after every mutation section (a
+	// Materialize that absorbed something, a Retract) the store's
+	// VersionSum is re-sampled under the write lock, and a changed sum
+	// bumps gen. Readers load it lock-free; evaluations capture it under
+	// the read lock, so a result is provably produced at the generation
+	// it reports (the query cache's invalidation signal).
+	gen    atomic.Uint64
+	genSum uint64 // last sampled Main.VersionSum, guarded by mu (write)
+}
+
+// Generation returns the store generation: a monotone counter that
+// increases whenever a mutation (Materialize with new triples, a SPARQL
+// UPDATE, a retraction) may have changed the visible closure, and never
+// otherwise. Two query evaluations at the same generation are
+// guaranteed to see the identical closure, which is what lets query
+// results be cached keyed on (query, generation) with no staleness:
+// see QueryResult.Generation for the capture rule.
+func (r *Reasoner) Generation() uint64 { return r.gen.Load() }
+
+// bumpGenerationLocked re-samples the store's version-counter sum and
+// advances the generation when it moved. Callers hold r.mu for writing
+// (the sample and the staleness comparison must not race a merge).
+func (r *Reasoner) bumpGenerationLocked() {
+	if sum := r.engine.Main.VersionSum(); sum != r.genSum {
+		r.genSum = sum
+		r.gen.Add(1)
+	}
 }
 
 // New creates an in-memory reasoner. It panics if the options include
@@ -423,6 +454,7 @@ func (r *Reasoner) materialize(autoCheckpoint bool) (Stats, error) {
 	}
 	r.engine.LoadTriples(batch)
 	st := r.engine.Materialize()
+	r.bumpGenerationLocked()
 	r.mu.Unlock()
 
 	if autoCheckpoint && r.dur != nil && r.dur.ShouldRotate() {

@@ -1,0 +1,273 @@
+// Package qcache is the server's query-result cache: a bounded LRU
+// keyed on (normalized query text, store generation, row cap) holding
+// fully-buffered response bodies.
+//
+// The generation in the key is what makes the cache correct by
+// construction instead of by invalidation protocol. The Reasoner bumps
+// its generation counter under the write lock on every mutation that
+// changes a table version (Materialize after inserts, Retract, Update),
+// and query evaluation captures the generation under the read lock it
+// holds for the whole enumeration — so a body stored under generation g
+// was provably computed against exactly the closure of generation g. A
+// lookup at the current generation therefore either misses or returns
+// bytes identical to what a fresh evaluation would produce; stale
+// entries are not invalidated, they simply become unreachable (no
+// future lookup carries an old generation) and age out of the LRU.
+//
+// The cache itself is storage policy only: it never talks to the
+// reasoner and trusts its callers to key entries honestly.
+package qcache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// Key identifies one cacheable response.
+type Key struct {
+	// Query is the normalized query text (see Normalize).
+	Query string
+	// Generation is the store generation the response was computed at.
+	Generation uint64
+	// MaxRows is the request's row cap (the HTTP limit parameter); the
+	// same query truncated differently is a different response.
+	MaxRows int
+}
+
+// Entry is one cached response: the fully-buffered body and the
+// Content-Type it was served with.
+type Entry struct {
+	Body        []byte
+	ContentType string
+}
+
+// size is the byte-budget charge for an entry: body plus the key's
+// query text (the dominant key component).
+func (k Key) size(e Entry) int64 {
+	return int64(len(e.Body) + len(k.Query) + len(e.ContentType) + 48)
+}
+
+// Options bound the cache.
+type Options struct {
+	// MaxEntries caps the number of cached responses; <= 0 means 0
+	// (cache disabled). The LRU entry is evicted at the cap.
+	MaxEntries int
+	// MaxBytes caps the summed charge of all entries; <= 0 applies the
+	// default of 64 MiB.
+	MaxBytes int64
+	// MaxEntryBytes caps a single body; larger responses are refused by
+	// Put (and should be bypassed by the caller). <= 0 applies the
+	// default of 4 MiB.
+	MaxEntryBytes int64
+}
+
+const (
+	defaultMaxBytes      = 64 << 20
+	defaultMaxEntryBytes = 4 << 20
+)
+
+// Stats is a point-in-time counter snapshot, exposed through /stats.
+type Stats struct {
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Bypassed   uint64 `json:"bypassed"`
+	Evictions  uint64 `json:"evictions"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	MaxEntries int    `json:"max_entries"`
+	MaxBytes   int64  `json:"max_bytes"`
+}
+
+// Cache is a mutex-guarded LRU over Key → Entry. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	opts  Options
+	ll    *list.List // front = most recently used
+	index map[Key]*list.Element
+	bytes int64
+
+	hits      uint64
+	misses    uint64
+	bypassed  uint64
+	evictions uint64
+}
+
+// cacheItem is the list payload: the key is carried so eviction can
+// delete from the index without a reverse map.
+type cacheItem struct {
+	key   Key
+	entry Entry
+}
+
+// New builds a cache with the given bounds (zero-value fields take the
+// documented defaults).
+func New(opts Options) *Cache {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = defaultMaxBytes
+	}
+	if opts.MaxEntryBytes <= 0 {
+		opts.MaxEntryBytes = defaultMaxEntryBytes
+	}
+	return &Cache{
+		opts:  opts,
+		ll:    list.New(),
+		index: make(map[Key]*list.Element),
+	}
+}
+
+// Enabled reports whether the cache can hold anything at all.
+func (c *Cache) Enabled() bool { return c != nil && c.opts.MaxEntries > 0 }
+
+// Get returns the cached entry for key and promotes it to most recently
+// used. ok is false on a miss. The returned body must be treated as
+// read-only — it is shared with every other hit.
+func (c *Cache) Get(key Key) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return Entry{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).entry, true
+}
+
+// Put stores an entry, evicting from the LRU tail until both bounds
+// hold. Oversized bodies and disabled caches are refused (the caller
+// counts those as bypasses via Bypass). Storing an existing key
+// replaces its entry.
+func (c *Cache) Put(key Key, e Entry) bool {
+	if !c.Enabled() || key.size(e) > c.opts.MaxEntryBytes {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		it := el.Value.(*cacheItem)
+		c.bytes += key.size(e) - it.key.size(it.entry)
+		it.entry = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.index[key] = c.ll.PushFront(&cacheItem{key: key, entry: e})
+		c.bytes += key.size(e)
+	}
+	for c.ll.Len() > c.opts.MaxEntries || c.bytes > c.opts.MaxBytes {
+		c.evictOldestLocked()
+	}
+	return true
+}
+
+// Bypass records a request that skipped the cache (no-cache header,
+// oversized body, non-cacheable form) so the hit ratio stays honest.
+func (c *Cache) Bypass() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.bypassed++
+	c.mu.Unlock()
+}
+
+// evictOldestLocked drops the LRU entry; c.mu must be held.
+func (c *Cache) evictOldestLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	it := el.Value.(*cacheItem)
+	c.ll.Remove(el)
+	delete(c.index, it.key)
+	c.bytes -= it.key.size(it.entry)
+	c.evictions++
+}
+
+// Snapshot returns the current counters and occupancy.
+func (c *Cache) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Bypassed:   c.bypassed,
+		Evictions:  c.evictions,
+		Entries:    c.ll.Len(),
+		Bytes:      c.bytes,
+		MaxEntries: c.opts.MaxEntries,
+		MaxBytes:   c.opts.MaxBytes,
+	}
+}
+
+// Normalize canonicalizes query text for use as a cache key: comments
+// (# to end of line) are stripped and runs of whitespace collapse to
+// one space, both only outside quoted strings and IRI references —
+// inside "…", '…', or <…> every byte is semantic and is preserved
+// exactly. Leading and trailing whitespace is dropped. Two queries that
+// normalize equally differ only in layout and comments, never in
+// meaning, so distinct queries cannot collide on a key.
+func Normalize(q string) string {
+	var b strings.Builder
+	b.Grow(len(q))
+	const (
+		code = iota
+		dquote
+		squote
+		iri
+		comment
+	)
+	state := code
+	space := false // a pending collapsed space in code state
+	for i := 0; i < len(q); i++ {
+		ch := q[i]
+		switch state {
+		case code:
+			switch {
+			case ch == '#':
+				state = comment
+			case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+				space = true
+			default:
+				if space && b.Len() > 0 {
+					b.WriteByte(' ')
+				}
+				space = false
+				b.WriteByte(ch)
+				switch ch {
+				case '"':
+					state = dquote
+				case '\'':
+					state = squote
+				case '<':
+					state = iri
+				}
+			}
+		case dquote, squote:
+			b.WriteByte(ch)
+			if ch == '\\' && i+1 < len(q) {
+				i++
+				b.WriteByte(q[i])
+				continue
+			}
+			if (state == dquote && ch == '"') || (state == squote && ch == '\'') {
+				state = code
+			}
+		case iri:
+			b.WriteByte(ch)
+			if ch == '>' {
+				state = code
+			}
+		case comment:
+			if ch == '\n' {
+				state = code
+				space = true
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package qcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGetPutAndLRUEviction(t *testing.T) {
+	c := New(Options{MaxEntries: 2})
+	k := func(i int) Key { return Key{Query: fmt.Sprintf("q%d", i), Generation: 1} }
+	e := func(i int) Entry { return Entry{Body: []byte(fmt.Sprintf("body%d", i)), ContentType: "x"} }
+
+	if _, ok := c.Get(k(1)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if !c.Put(k(1), e(1)) || !c.Put(k(2), e(2)) {
+		t.Fatal("put refused under capacity")
+	}
+	if got, ok := c.Get(k(1)); !ok || string(got.Body) != "body1" {
+		t.Fatalf("Get(k1) = %q, %v", got.Body, ok)
+	}
+	// k1 is now MRU; inserting k3 must evict k2.
+	c.Put(k(3), e(3))
+	if _, ok := c.Get(k(2)); ok {
+		t.Fatal("k2 survived eviction at capacity")
+	}
+	if _, ok := c.Get(k(1)); !ok {
+		t.Fatal("recently used k1 was evicted")
+	}
+	st := c.Snapshot()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+}
+
+func TestGenerationIsolatesEntries(t *testing.T) {
+	c := New(Options{MaxEntries: 8})
+	k1 := Key{Query: "SELECT ?x", Generation: 1}
+	k2 := Key{Query: "SELECT ?x", Generation: 2}
+	c.Put(k1, Entry{Body: []byte("old")})
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("lookup at generation 2 returned a generation-1 body")
+	}
+	c.Put(k2, Entry{Body: []byte("new")})
+	if got, _ := c.Get(k2); string(got.Body) != "new" {
+		t.Fatalf("generation 2 body = %q", got.Body)
+	}
+	if got, _ := c.Get(k1); string(got.Body) != "old" {
+		t.Fatalf("generation 1 body = %q", got.Body)
+	}
+}
+
+func TestByteBudgetEviction(t *testing.T) {
+	c := New(Options{MaxEntries: 100, MaxBytes: 400, MaxEntryBytes: 400})
+	body := make([]byte, 100)
+	for i := 0; i < 5; i++ {
+		c.Put(Key{Query: fmt.Sprintf("q%d", i)}, Entry{Body: body})
+	}
+	st := c.Snapshot()
+	if st.Bytes > 400 {
+		t.Fatalf("bytes %d over budget 400", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under byte pressure")
+	}
+}
+
+func TestOversizedEntryRefused(t *testing.T) {
+	c := New(Options{MaxEntries: 4, MaxEntryBytes: 64})
+	if c.Put(Key{Query: "big"}, Entry{Body: make([]byte, 128)}) {
+		t.Fatal("oversized body accepted")
+	}
+	if st := c.Snapshot(); st.Entries != 0 {
+		t.Fatalf("entries = %d after refused put", st.Entries)
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	c := New(Options{MaxEntries: 0})
+	if c.Enabled() {
+		t.Fatal("MaxEntries 0 reported enabled")
+	}
+	if c.Put(Key{Query: "q"}, Entry{Body: []byte("b")}) {
+		t.Fatal("disabled cache accepted a put")
+	}
+	var nilCache *Cache
+	if nilCache.Enabled() {
+		t.Fatal("nil cache reported enabled")
+	}
+	nilCache.Bypass()       // must not panic
+	_ = nilCache.Snapshot() // must not panic
+}
+
+func TestPutReplacesExisting(t *testing.T) {
+	c := New(Options{MaxEntries: 4})
+	k := Key{Query: "q", Generation: 7}
+	c.Put(k, Entry{Body: []byte("first")})
+	c.Put(k, Entry{Body: []byte("second, longer body")})
+	got, ok := c.Get(k)
+	if !ok || string(got.Body) != "second, longer body" {
+		t.Fatalf("Get = %q, %v", got.Body, ok)
+	}
+	if st := c.Snapshot(); st.Entries != 1 {
+		t.Fatalf("entries = %d after replace", st.Entries)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT ?x WHERE { ?x a ?y }", "SELECT ?x WHERE { ?x a ?y }"},
+		{"  SELECT   ?x\n\tWHERE {\n ?x a ?y }\n", "SELECT ?x WHERE { ?x a ?y }"},
+		{"SELECT ?x # trailing comment\nWHERE { ?x a ?y }", "SELECT ?x WHERE { ?x a ?y }"},
+		// '#' inside an IRI is a fragment, not a comment.
+		{"SELECT ?x WHERE { ?x <http://ex.org/ns#type> ?y }", "SELECT ?x WHERE { ?x <http://ex.org/ns#type> ?y }"},
+		// Whitespace and '#' inside string literals are semantic.
+		{`SELECT ?x WHERE { ?x ?p "a  b # not a comment" }`, `SELECT ?x WHERE { ?x ?p "a  b # not a comment" }`},
+		{`FILTER(?x = 'it''s  kept')`, `FILTER(?x = 'it''s  kept')`},
+		// Escaped quote does not close the string.
+		{`FILTER(?x = "say \" hi   there")`, `FILTER(?x = "say \" hi   there")`},
+		{"# only a comment", ""},
+	}
+	for _, tc := range cases {
+		if got := Normalize(tc.in); got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	// Distinct queries must stay distinct.
+	a := Normalize(`SELECT ?x WHERE { ?x ?p "v one" }`)
+	b := Normalize(`SELECT ?x WHERE { ?x ?p "v  one" }`)
+	if a == b {
+		t.Fatal("normalization collided two distinct literals")
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	c := New(Options{MaxEntries: 2})
+	k := Key{Query: "q"}
+	c.Get(k)
+	c.Put(k, Entry{Body: []byte("b")})
+	c.Get(k)
+	c.Bypass()
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Bypassed != 1 {
+		t.Fatalf("counters = %+v", st)
+	}
+}

@@ -1,0 +1,138 @@
+// Package ratelimit implements per-key token-bucket rate limiting for
+// the HTTP serving tier. Each key (a client IP) owns one bucket that
+// refills continuously at Rate tokens per second up to Burst; a request
+// spends one token or, when the bucket is dry, is refused together with
+// the duration after which one token will exist again (the 429
+// Retry-After value).
+//
+// The limiter is time-source-injected for deterministic tests and
+// sweeps idle buckets so an open endpoint scanning many source
+// addresses cannot grow the map without bound.
+package ratelimit
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Limiter is a keyed token-bucket rate limiter. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	allowed uint64
+	limited uint64
+
+	// sweep bookkeeping: buckets untouched for idleAfter are dropped
+	// (a full bucket carries no state worth keeping).
+	lastSweep time.Time
+}
+
+// bucket is one key's token state.
+type bucket struct {
+	tokens float64
+	last   time.Time // last refill instant
+}
+
+// idleAfter is how long a bucket may go untouched before a sweep drops
+// it. A dropped bucket resurrects full, which can only under-limit a
+// client that stayed away this long — acceptable, and it bounds memory.
+const idleAfter = 3 * time.Minute
+
+// sweepEvery rate-limits the sweep itself.
+const sweepEvery = time.Minute
+
+// New builds a limiter granting rate tokens per second with capacity
+// burst per key. rate <= 0 disables the limiter: Allow always grants.
+// burst < 1 is raised to 1 (a bucket that can never hold one token
+// would refuse everything).
+func New(rate float64, burst int) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Enabled reports whether the limiter actually limits.
+func (l *Limiter) Enabled() bool { return l != nil && l.rate > 0 }
+
+// Allow spends one token from key's bucket at instant now. When the
+// bucket is dry it returns ok=false and the wait until one token will
+// have accumulated — the Retry-After to send. now must not run
+// backwards per key (wall-clock time from a single process is fine;
+// a regressing now is treated as no time elapsed).
+func (l *Limiter) Allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if !l.Enabled() {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.maybeSweepLocked(now)
+	b := l.buckets[key]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		l.allowed++
+		return true, 0
+	}
+	l.limited++
+	// Time until the deficit to one full token refills.
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After is whole seconds; never advertise 0
+	}
+	return false, wait
+}
+
+// maybeSweepLocked drops idle buckets, at most once per sweepEvery.
+func (l *Limiter) maybeSweepLocked(now time.Time) {
+	if now.Sub(l.lastSweep) < sweepEvery {
+		return
+	}
+	l.lastSweep = now
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > idleAfter {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// Stats is a point-in-time limiter snapshot for /stats.
+type Stats struct {
+	Allowed uint64  `json:"allowed"`
+	Limited uint64  `json:"limited"`
+	Keys    int     `json:"keys"`
+	Rate    float64 `json:"rate"`
+	Burst   int     `json:"burst"`
+}
+
+// Snapshot returns the current counters and bucket count.
+func (l *Limiter) Snapshot() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Allowed: l.allowed,
+		Limited: l.limited,
+		Keys:    len(l.buckets),
+		Rate:    l.rate,
+		Burst:   int(l.burst),
+	}
+}

@@ -1,0 +1,119 @@
+package ratelimit
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestBurstThenRefuse(t *testing.T) {
+	l := New(1, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("a", t0); !ok {
+			t.Fatalf("request %d refused inside burst", i)
+		}
+	}
+	ok, retry := l.Allow("a", t0)
+	if ok {
+		t.Fatal("4th request allowed with empty bucket")
+	}
+	if retry < time.Second {
+		t.Fatalf("retryAfter = %v, want >= 1s", retry)
+	}
+}
+
+func TestRefill(t *testing.T) {
+	l := New(2, 2) // 2 tokens/s
+	l.Allow("a", t0)
+	l.Allow("a", t0)
+	if ok, _ := l.Allow("a", t0); ok {
+		t.Fatal("allowed with empty bucket")
+	}
+	// 500ms later exactly one token has refilled.
+	if ok, _ := l.Allow("a", t0.Add(500*time.Millisecond)); !ok {
+		t.Fatal("refused after refill")
+	}
+	if ok, _ := l.Allow("a", t0.Add(500*time.Millisecond)); ok {
+		t.Fatal("allowed a second request on a single refilled token")
+	}
+}
+
+func TestKeysIndependent(t *testing.T) {
+	l := New(1, 1)
+	if ok, _ := l.Allow("a", t0); !ok {
+		t.Fatal("a refused")
+	}
+	if ok, _ := l.Allow("b", t0); !ok {
+		t.Fatal("b refused after a spent its token")
+	}
+	if ok, _ := l.Allow("a", t0); ok {
+		t.Fatal("a allowed with empty bucket")
+	}
+}
+
+func TestBurstCap(t *testing.T) {
+	l := New(1, 2)
+	l.Allow("a", t0)
+	// A long absence must not bank more than burst tokens.
+	later := t0.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a", later); !ok {
+			t.Fatalf("request %d refused after long idle", i)
+		}
+	}
+	if ok, _ := l.Allow("a", later); ok {
+		t.Fatal("burst cap exceeded after long idle")
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	l := New(0, 5)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("a", t0); !ok {
+			t.Fatal("disabled limiter refused")
+		}
+	}
+	var nilL *Limiter
+	if nilL.Enabled() {
+		t.Fatal("nil limiter reports enabled")
+	}
+	if ok, _ := nilL.Allow("a", t0); !ok {
+		t.Fatal("nil limiter refused")
+	}
+	_ = nilL.Snapshot() // must not panic
+}
+
+func TestIdleSweep(t *testing.T) {
+	l := New(1, 1)
+	l.Allow("old", t0)
+	// Past the idle horizon and the sweep interval, a new request
+	// triggers the sweep and drops the stale bucket.
+	l.Allow("new", t0.Add(idleAfter+sweepEvery+time.Second))
+	st := l.Snapshot()
+	if st.Keys != 1 {
+		t.Fatalf("keys = %d after sweep, want 1", st.Keys)
+	}
+}
+
+func TestClockRegressionHarmless(t *testing.T) {
+	l := New(1, 1)
+	l.Allow("a", t0.Add(time.Hour))
+	// An earlier now must not panic or mint tokens.
+	if ok, _ := l.Allow("a", t0); ok {
+		t.Fatal("regressing clock minted a token")
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	l := New(1, 1)
+	l.Allow("a", t0)
+	l.Allow("a", t0)
+	st := l.Snapshot()
+	if st.Allowed != 1 || st.Limited != 1 || st.Keys != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Rate != 1 || st.Burst != 1 {
+		t.Fatalf("config in stats = %+v", st)
+	}
+}

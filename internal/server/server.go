@@ -47,6 +47,19 @@
 // in the response header and propagated into the reasoner's evaluation
 // context so slow-query log records can be joined to access logs.
 // EnablePprof additionally mounts net/http/pprof under /debug/pprof/.
+//
+// A configurable serving tier (Config / NewWithConfig) fronts the
+// endpoints: GET /query reads through a result cache keyed on
+// (normalized query, store generation) — provably never stale, because
+// the generation changes on every mutation; entries for dead
+// generations simply age out — bypassed per-request with Cache-Control:
+// no-cache and reported in the X-Inferray-Cache header (hit | miss |
+// bypass). Per-client token buckets refuse excess /query and
+// /update+/triples traffic with 429 + Retry-After, a max-in-flight cap
+// sheds queries with 503, and a query deadline aborts runaway
+// evaluations with 504. Responses carry X-Inferray-Generation, the
+// store generation they reflect: a write's generation is g, so any
+// later response with generation >= g includes that write.
 package server
 
 import (
@@ -69,6 +82,8 @@ import (
 
 	"inferray"
 	"inferray/internal/metrics"
+	"inferray/internal/qcache"
+	"inferray/internal/ratelimit"
 	"inferray/internal/rdf"
 	"inferray/internal/sparql"
 )
@@ -93,6 +108,23 @@ type Server struct {
 	httpRequests *metrics.CounterVec   // by endpoint and status code
 	httpDuration *metrics.HistogramVec // by endpoint
 	inFlight     *metrics.Gauge
+
+	// Serving tier (see Config): query-result cache, per-client rate
+	// limiters, and admission control. cache and the limiters are always
+	// non-nil (their disabled forms are no-ops); admit is nil when no
+	// in-flight cap is configured.
+	cfg         Config
+	cache       *qcache.Cache
+	queryLimit  *ratelimit.Limiter
+	updateLimit *ratelimit.Limiter
+	admit       chan struct{}
+
+	cacheHits     *metrics.Counter
+	cacheMisses   *metrics.Counter
+	cacheBypassed *metrics.Counter
+	rlLimited     *metrics.CounterVec // by budget (query | update)
+	admShed       *metrics.Counter
+	admDeadline   *metrics.Counter
 
 	// ready gates /readyz: true once the initial recovery and
 	// materialization finished. New starts ready (embedders that
@@ -123,10 +155,20 @@ type Server struct {
 	hasRun bool
 }
 
-// New wraps a reasoner (typically already loaded and materialized).
-// The server starts ready; use SetReady(false) before serving if the
-// initial load happens while the listener is already accepting.
+// New wraps a reasoner (typically already loaded and materialized)
+// with the default serving tier (DefaultConfig: caching on, no rate
+// limiting, no admission cap). The server starts ready; use
+// SetReady(false) before serving if the initial load happens while the
+// listener is already accepting.
 func New(r *inferray.Reasoner) *Server {
+	return NewWithConfig(r, DefaultConfig())
+}
+
+// NewWithConfig wraps a reasoner with an explicit serving-tier
+// configuration; the zero Config disables the cache, the limiters, the
+// in-flight cap, and the query deadline.
+func NewWithConfig(r *inferray.Reasoner, cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	reg := metrics.NewRegistry()
 	s := &Server{
 		r:     r,
@@ -140,7 +182,38 @@ func New(r *inferray.Reasoner) *Server {
 			metrics.DurationBuckets(), "endpoint"),
 		inFlight: reg.Gauge("inferray_http_in_flight_requests",
 			"HTTP requests currently being handled."),
+
+		cfg: cfg,
+		cache: qcache.New(qcache.Options{
+			MaxEntries:    cfg.CacheEntries,
+			MaxBytes:      cfg.CacheBytes,
+			MaxEntryBytes: cfg.CacheEntryBytes,
+		}),
+		queryLimit:  ratelimit.New(cfg.QueryRPS, cfg.QueryBurst),
+		updateLimit: ratelimit.New(cfg.UpdateRPS, cfg.UpdateBurst),
+
+		cacheHits: reg.Counter("inferray_cache_hits_total",
+			"Query responses served from the result cache."),
+		cacheMisses: reg.Counter("inferray_cache_misses_total",
+			"Cacheable query requests that missed the result cache."),
+		cacheBypassed: reg.Counter("inferray_cache_bypassed_total",
+			"Query requests that skipped the result cache (no-cache, POST, or oversized)."),
+		rlLimited: reg.CounterVec("inferray_ratelimit_limited_total",
+			"Requests refused with 429, by budget.", "budget"),
+		admShed: reg.Counter("inferray_admission_shed_total",
+			"Query requests shed with 503 at the max-in-flight cap."),
+		admDeadline: reg.Counter("inferray_admission_deadline_total",
+			"Query evaluations aborted with 504 at the query deadline."),
 	}
+	if cfg.MaxInFlight > 0 {
+		s.admit = make(chan struct{}, cfg.MaxInFlight)
+	}
+	reg.GaugeFunc("inferray_cache_entries",
+		"Entries currently held by the query-result cache.",
+		func() float64 { return float64(s.cache.Snapshot().Entries) })
+	reg.GaugeFunc("inferray_cache_bytes",
+		"Body bytes currently held by the query-result cache.",
+		func() float64 { return float64(s.cache.Snapshot().Bytes) })
 	s.ready.Store(true)
 	return s
 }
@@ -165,9 +238,9 @@ func (s *Server) Handler() http.Handler {
 	route := func(pattern, endpoint string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.instrument(endpoint, h))
 	}
-	route("/query", "query", s.handleQuery)
-	route("/triples", "triples", s.handleTriples)
-	route("/update", "update", s.handleUpdate)
+	route("/query", "query", s.limited("query", s.queryLimit, s.admitted(s.handleQuery)))
+	route("/triples", "triples", s.limited("update", s.updateLimit, s.handleTriples))
+	route("/update", "update", s.limited("update", s.updateLimit, s.handleUpdate))
 	route("/checkpoint", "checkpoint", s.handleCheckpoint)
 	route("/stats", "stats", s.handleStats)
 	route("/healthz", "healthz", s.handleHealthz)
@@ -239,10 +312,16 @@ func newRequestID() string {
 
 // Serve accepts connections on ln until ctx is canceled, then shuts
 // down gracefully: in-flight requests get up to ten seconds to finish.
+// Connection hygiene comes from Config: IdleTimeout reaps kept-alive
+// connections between requests and WriteTimeout bounds the whole
+// request/response cycle, so a client that stops reading its response
+// (or never sends a next request) cannot hold a connection forever.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       s.cfg.IdleTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -355,6 +434,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 		maxRows = n
 	}
 
+	// Cache lookup: GET only, opt-out via Cache-Control: no-cache. The
+	// key's generation is read before evaluation; on a miss the entry is
+	// stored under the generation the evaluation actually ran at
+	// (QueryResult.Generation, captured under the read lock), so a
+	// cached body is exact for its key even if a write lands between
+	// the lookup and the evaluation.
+	cacheable := req.Method == http.MethodGet && s.cache.Enabled()
+	cacheState := "bypass"
+	var key qcache.Key
+	if cacheable && wantsNoCache(req) {
+		cacheable = false
+		s.cache.Bypass()
+		s.cacheBypassed.Inc()
+	}
+	if cacheable {
+		key = qcache.Key{Query: qcache.Normalize(text), Generation: s.r.Generation(), MaxRows: maxRows}
+		if e, ok := s.cache.Get(key); ok {
+			s.cacheHits.Inc()
+			s.queries.Add(1)
+			w.Header().Set("X-Inferray-Cache", "hit")
+			genHeader(w, key.Generation)
+			w.Header().Set("Content-Type", e.ContentType)
+			_, _ = w.Write(e.Body)
+			return
+		}
+		s.cacheMisses.Inc()
+		cacheState = "miss"
+	}
+
+	ctx := req.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+
 	// The results document is encoded by a streaming writer: the head
 	// as soon as the query is planned, one binding at a time as rows
 	// are produced — never a whole-document marshal. It is encoded
@@ -367,20 +482,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	// it matters; the limit parameter is the caller's tool for
 	// bounding the buffered size.
 	st := &resultStream{}
-	res, err := s.r.ExecFuncCtx(req.Context(), text, maxRows, st.head, st.row)
+	res, err := s.r.ExecFuncCtx(ctx, text, maxRows, st.head, st.row)
 	if err != nil {
 		s.queryErrors.Add(1)
-		writeQueryError(w, err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.admDeadline.Inc()
+			httpError(w, http.StatusGatewayTimeout, "query exceeded the %v deadline", s.cfg.QueryTimeout)
+		case errors.Is(err, context.Canceled):
+			// The client went away; the status is for the access log.
+			httpError(w, http.StatusServiceUnavailable, "query canceled")
+		default:
+			writeQueryError(w, err)
+		}
 		return
 	}
 	s.queries.Add(1)
+
+	const resultsType = "application/sparql-results+json"
+	var body []byte
 	if res.Ask {
-		writeJSON(w, "application/sparql-results+json", askResults{Boolean: res.Truth})
-		return
+		enc, _ := json.Marshal(askResults{Boolean: res.Truth})
+		body = append(enc, '\n')
+	} else {
+		st.close()
+		body = st.buf.Bytes()
 	}
-	st.close()
-	w.Header().Set("Content-Type", "application/sparql-results+json")
-	_, _ = w.Write(st.buf.Bytes())
+	if cacheable {
+		key.Generation = res.Generation
+		if !s.cache.Put(key, qcache.Entry{Body: body, ContentType: resultsType}) {
+			// Oversized for the cache: served, just not stored.
+			s.cache.Bypass()
+			s.cacheBypassed.Inc()
+			cacheState = "bypass"
+		}
+	}
+	w.Header().Set("X-Inferray-Cache", cacheState)
+	genHeader(w, res.Generation)
+	w.Header().Set("Content-Type", resultsType)
+	_, _ = w.Write(body)
 }
 
 // writeQueryError sends the structured 400, lifting position info out
@@ -521,6 +661,7 @@ func (s *Server) handleTriples(w http.ResponseWriter, req *http.Request) {
 	s.last, s.lastAt, s.hasRun = st, time.Now(), true
 	s.lastMu.Unlock()
 
+	genHeader(w, s.r.Generation())
 	writeJSON(w, "application/json", deltaResponse{
 		Staged:      staged,
 		NewInput:    st.InputTriples,
@@ -587,6 +728,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s.updates.Add(1)
+	genHeader(w, s.r.Generation())
 	writeJSON(w, "application/json", updateResponse{
 		Ops:             st.Ops,
 		Inserted:        st.Inserted,
@@ -658,6 +800,30 @@ type statsResponse struct {
 	LastMaterialize *lastMaterialize `json:"last_materialize,omitempty"`
 	Durability      *durabilityInfo  `json:"durability,omitempty"`
 	Hierarchy       *hierarchyInfo   `json:"hierarchy,omitempty"`
+
+	// Generation is the store generation counter (Reasoner.Generation):
+	// bumped on every mutation, it keys the query-result cache and is
+	// echoed on responses as X-Inferray-Generation.
+	Generation uint64          `json:"generation"`
+	Cache      *qcache.Stats   `json:"cache,omitempty"`
+	Ratelimit  *ratelimitStats `json:"ratelimit,omitempty"`
+	Admission  *admissionInfo  `json:"admission,omitempty"`
+}
+
+// ratelimitStats is the rate-limiting section of /stats, present when
+// either budget is enabled.
+type ratelimitStats struct {
+	Query  ratelimit.Stats `json:"query"`
+	Update ratelimit.Stats `json:"update"`
+}
+
+// admissionInfo is the admission-control section of /stats, present
+// when an in-flight cap or a query deadline is configured.
+type admissionInfo struct {
+	MaxInFlight      int    `json:"max_in_flight"`
+	Shed             uint64 `json:"shed"`
+	QueryTimeoutMS   int64  `json:"query_timeout_ms"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
 }
 
 // hierarchyInfo is the hierarchy-encoding section of /stats, present
@@ -721,6 +887,25 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 		DeltaTriples:  s.deltaTriples.Load(),
 		Updates:       s.updates.Load(),
 		UpdateErrors:  s.updateErrors.Load(),
+		Generation:    s.r.Generation(),
+	}
+	if s.cache.Enabled() {
+		cs := s.cache.Snapshot()
+		resp.Cache = &cs
+	}
+	if s.queryLimit.Enabled() || s.updateLimit.Enabled() {
+		resp.Ratelimit = &ratelimitStats{
+			Query:  s.queryLimit.Snapshot(),
+			Update: s.updateLimit.Snapshot(),
+		}
+	}
+	if s.admit != nil || s.cfg.QueryTimeout > 0 {
+		resp.Admission = &admissionInfo{
+			MaxInFlight:      s.cfg.MaxInFlight,
+			Shed:             s.admShed.Value(),
+			QueryTimeoutMS:   s.cfg.QueryTimeout.Milliseconds(),
+			DeadlineExceeded: s.admDeadline.Value(),
+		}
 	}
 	if hs := s.r.HierarchyStats(); hs.Encoded {
 		resp.Hierarchy = &hierarchyInfo{

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"inferray/internal/ratelimit"
+)
+
+// Config tunes the serving tier wrapped around the reasoner: the
+// query-result cache, the per-client rate limiters, and admission
+// control. The zero value disables everything optional (no cache, no
+// limiting, no admission cap, no query deadline) and applies the
+// default connection timeouts; DefaultConfig is what New uses.
+type Config struct {
+	// CacheEntries caps the query-result cache; 0 disables caching.
+	CacheEntries int
+	// CacheBytes caps the cache's total body bytes (0 = qcache default).
+	CacheBytes int64
+	// CacheEntryBytes caps one cached body; larger responses are served
+	// uncached (0 = qcache default).
+	CacheEntryBytes int64
+
+	// QueryRPS grants each client this many /query requests per second
+	// (token bucket, capacity QueryBurst); 0 disables query limiting.
+	QueryRPS float64
+	// QueryBurst is the /query bucket capacity (min 1 when limiting).
+	QueryBurst int
+	// UpdateRPS limits the write endpoints (/update and /triples share
+	// one budget per client); 0 disables write limiting.
+	UpdateRPS float64
+	// UpdateBurst is the write bucket capacity (min 1 when limiting).
+	UpdateBurst int
+	// TrustForwarded keys limiter buckets on the first X-Forwarded-For
+	// address instead of the peer address. Enable only behind a proxy
+	// that overwrites the header, otherwise clients mint their own keys.
+	TrustForwarded bool
+
+	// MaxInFlight admits at most this many concurrent /query requests;
+	// excess requests are shed with 503 + Retry-After. 0 = unlimited.
+	MaxInFlight int
+	// QueryTimeout bounds one query evaluation; a query that exceeds it
+	// is aborted and answered 504. 0 = no deadline.
+	QueryTimeout time.Duration
+
+	// IdleTimeout closes kept-alive connections with no next request
+	// (0 = 2 minutes).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds a whole request/response cycle after the
+	// headers are read, which is what evicts a client that accepts its
+	// response bytes arbitrarily slowly. Responses are fully buffered
+	// before the first byte is written (see handleQuery), so the window
+	// only needs to cover handler time plus a flush, never a slow
+	// producer (0 = 5 minutes).
+	WriteTimeout time.Duration
+}
+
+// DefaultConfig is the serving tier New applies: caching on with the
+// qcache byte defaults, no rate limiting, no admission cap, no query
+// deadline, and the default connection timeouts.
+func DefaultConfig() Config {
+	return Config{CacheEntries: 1024}
+}
+
+// withDefaults resolves the zero-means-default fields.
+func (c Config) withDefaults() Config {
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// limited wraps a handler with one rate-limit budget: a dry bucket for
+// the client's key answers 429 with a Retry-After advertising when one
+// token will exist again.
+func (s *Server) limited(budget string, l *ratelimit.Limiter, h http.HandlerFunc) http.HandlerFunc {
+	if !l.Enabled() {
+		return h
+	}
+	limited := s.rlLimited.With(budget)
+	return func(w http.ResponseWriter, req *http.Request) {
+		ok, retry := l.Allow(s.clientKey(req), time.Now())
+		if !ok {
+			limited.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+			httpError(w, http.StatusTooManyRequests, "rate limit exceeded; retry after %v", retry)
+			return
+		}
+		h(w, req)
+	}
+}
+
+// admitted wraps /query with the max-in-flight semaphore: a full
+// semaphore sheds immediately with 503 + Retry-After rather than
+// queueing load the server has already declared itself unable to take.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	if s.admit == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, req *http.Request) {
+		select {
+		case s.admit <- struct{}{}:
+			defer func() { <-s.admit }()
+			h(w, req)
+		default:
+			s.admShed.Inc()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "server at max in-flight queries (%d)", cap(s.admit))
+		}
+	}
+}
+
+// clientKey derives the rate-limit bucket key for a request: the first
+// X-Forwarded-For hop when the deployment said to trust it, the peer
+// address otherwise.
+func (s *Server) clientKey(req *http.Request) string {
+	if s.cfg.TrustForwarded {
+		if xff := req.Header.Get("X-Forwarded-For"); xff != "" {
+			if i := strings.IndexByte(xff, ','); i >= 0 {
+				xff = xff[:i]
+			}
+			if ip := strings.TrimSpace(xff); ip != "" {
+				return ip
+			}
+		}
+	}
+	host, _, err := net.SplitHostPort(req.RemoteAddr)
+	if err != nil {
+		return req.RemoteAddr
+	}
+	return host
+}
+
+// wantsNoCache reports a request that opted out of the cache.
+func wantsNoCache(req *http.Request) bool {
+	return strings.Contains(strings.ToLower(req.Header.Get("Cache-Control")), "no-cache")
+}
+
+// genHeader stamps the response with the store generation it reflects,
+// the client's read-your-writes handle: a write response carries the
+// post-write generation, and any later response with an equal or
+// greater generation provably includes that write.
+func genHeader(w http.ResponseWriter, gen uint64) {
+	w.Header().Set("X-Inferray-Generation", strconv.FormatUint(gen, 10))
+}

@@ -422,6 +422,22 @@ func (st *Store) Size() int {
 // Empty reports whether the store holds no triples.
 func (st *Store) Empty() bool { return st.Size() == 0 }
 
+// VersionSum folds every table's mutation counter (plus the table
+// count, so allocating an empty table registers) into one number: any
+// content mutation anywhere in the store changes the sum. Callers use
+// it as a cheap change signal — the reasoner derives its query-cache
+// generation from it — not as an identity: two different stores may
+// share a sum, but one store cannot mutate without its sum moving.
+func (st *Store) VersionSum() uint64 {
+	n := uint64(0)
+	for _, t := range st.tables {
+		if t != nil {
+			n += t.Version() + 1
+		}
+	}
+	return n
+}
+
 // ForEachTable calls fn for every non-empty property table.
 func (st *Store) ForEachTable(fn func(pidx int, t *Table) bool) {
 	for i, t := range st.tables {

@@ -253,6 +253,13 @@ type QueryResult struct {
 	// Vars is the SELECT projection in order — the SELECT list, or for
 	// SELECT * every variable in order of first appearance.
 	Vars []string
+	// Generation is the store generation (Reasoner.Generation) the
+	// evaluation ran at, captured under the read lock it held — every
+	// mutation bumps the generation under the write lock, so the whole
+	// result was computed against exactly this generation's closure.
+	// That exactness is the query cache's correctness anchor: a result
+	// stored under its Generation can never be stale for that key.
+	Generation uint64
 }
 
 // ExecFunc is the streaming core under Select, SelectWithVars, and Ask:
@@ -283,10 +290,16 @@ func (r *Reasoner) ExecFunc(queryText string, maxRows int, onHead func(vars []st
 }
 
 // ExecFuncCtx is ExecFunc with a caller-supplied context. The context
-// is not a cancellation mechanism (evaluation does not poll it); it
 // carries request-scoped metadata — a request ID installed with
 // ContextWithRequestID is stamped into the slow-query record, which is
-// how the HTTP server's logs join query text to access-log lines.
+// how the HTTP server's logs join query text to access-log lines — and
+// a best-effort deadline: a cancelable context is polled once before
+// evaluation and every 256 delivered solutions, and a tripped deadline
+// or cancellation aborts the enumeration and returns the context's
+// error (the HTTP server maps it to 504). The check rides the row
+// stream, so a query that scans long without producing rows is only
+// interrupted at its next row; contexts without a Done channel
+// (context.Background) cost nothing.
 func (r *Reasoner) ExecFuncCtx(ctx context.Context, queryText string, maxRows int, onHead func(vars []string), onRow func(row map[string]string) bool) (QueryResult, error) {
 	start := time.Now()
 	q, err := sparql.ParseQuery(queryText)
@@ -456,6 +469,32 @@ func (r *Reasoner) ExecFuncCtx(ctx context.Context, queryText string, maxRows in
 
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	// Captured under the read lock: mutations bump the generation under
+	// the write lock, so it cannot change for the rest of the evaluation.
+	res.Generation = r.gen.Load()
+
+	// Deadline/cancellation polling, armed only for cancelable contexts
+	// (Done() is nil for context.Background(), so the library paths pay
+	// nothing — not even an allocation, which the BGP alloc budget test
+	// would notice). The counter check is a mask, not a ticker.
+	var ctxErr error
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		inner := sink
+		polled := 0
+		sink = func(row map[string]string) bool {
+			polled++
+			if polled&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return false
+				}
+			}
+			return inner(row)
+		}
+	}
 
 	if onHead != nil && !res.Ask {
 		head := res.Vars
@@ -471,6 +510,11 @@ func (r *Reasoner) ExecFuncCtx(ctx context.Context, queryText string, maxRows in
 		}
 	}
 
+	if ctxErr != nil {
+		// Canceled mid-enumeration: the buffered modifiers hold a partial
+		// solution set, so flushing them would deliver wrong rows.
+		return res, ctxErr
+	}
 	if agg != nil {
 		agg.flush(feed)
 	}

@@ -139,7 +139,9 @@ func (r *Reasoner) retractLocked(batch []rdf.Triple) (reasoner.RetractStats, err
 			return reasoner.RetractStats{}, fmt.Errorf("inferray: write-ahead log: %w", err)
 		}
 	}
-	return r.engine.Retract(batch)
+	st, err := r.engine.Retract(batch)
+	r.bumpGenerationLocked()
+	return st, err
 }
 
 // matchPatternsLocked evaluates a DELETE WHERE basic graph pattern
