@@ -26,6 +26,10 @@
 //	                                # serving-tier load test: concurrent
 //	                                # 95/5 read/write clients against the
 //	                                # HTTP server, cache on vs off
+//	benchtables -loadtest -replicas 2 -json BENCH_10.json
+//	                                # replication read-scaling: the same
+//	                                # fleet against 1 leader plus 0..N
+//	                                # WAL-shipping read replicas
 package main
 
 import (
@@ -104,6 +108,7 @@ func main() {
 		churn    = flag.Bool("churn", false, "churn workload: delete-rederive vs full rematerialization")
 		loadtest = flag.Bool("loadtest", false, "serving-tier load test: concurrent clients vs the HTTP server, cache on vs off")
 		loadCli  = flag.Int("loadclients", 1000, "loadtest: number of concurrent clients")
+		replicas = flag.Int("replicas", 0, "loadtest: compare 0..N WAL-shipping read replicas instead of cache on/off")
 		loadDur  = flag.Duration("loaddur", 10*time.Second, "loadtest: measured duration per run")
 		minSpeed = flag.Float64("minspeedup", 0, "loadtest: fail unless cache-on QPS is >= this multiple of cache-off at equal-or-better p99")
 		jsonPath = flag.String("json", "", "write the encoding comparison as JSON to this path")
@@ -165,7 +170,18 @@ func main() {
 		}
 		ran = true
 	}
-	if *loadtest {
+	if *loadtest && *replicas > 0 {
+		report, err := tableReplicas(cfg, *loadCli, *replicas, *loadDur)
+		if err != nil {
+			failLoad(err)
+		}
+		if *jsonPath != "" {
+			if err := writeReplicaReport(report, *jsonPath); err != nil {
+				failLoad(err)
+			}
+		}
+		ran = true
+	} else if *loadtest {
 		report, err := tableLoad(cfg, *loadCli, *loadDur)
 		if err != nil {
 			failLoad(err)

@@ -1,0 +1,298 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inferray"
+	"inferray/internal/datagen"
+	"inferray/internal/server"
+)
+
+// ReplicaRun is one measured configuration of the replication load
+// test: the same client fleet and 95/5 mix, with reads round-robined
+// across the given number of read replicas (0 = every request hits the
+// leader).
+type ReplicaRun struct {
+	Replicas int     `json:"replicas"`
+	Requests int     `json:"requests"`
+	Reads    int     `json:"reads"`
+	Writes   int     `json:"writes"`
+	Errors   int     `json:"errors"`
+	QPS      float64 `json:"qps"`
+	// Read latency percentiles across the whole fleet; writes are
+	// excluded (they serialize on the leader's materialization lock).
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// CatchupMs is how long the followers took to converge to the
+	// leader's store generation after the measured churn stopped —
+	// the replication-lag drain at quiesce.
+	CatchupMs float64 `json:"catchup_ms"`
+}
+
+// ReplicaReport is the -loadtest -replicas N -json document
+// (BENCH_10.json): read scaling of 1 leader plus N WAL-shipping
+// followers against the leader-only baseline.
+type ReplicaReport struct {
+	Scale       string       `json:"scale"`
+	Clients     int          `json:"clients"`
+	DurationSec float64      `json:"duration_sec"`
+	ReadPercent float64      `json:"read_percent"`
+	BaseTriples int          `json:"base_triples"`
+	Runs        []ReplicaRun `json:"runs"`
+	// ReadScalingQPS is QPS at the maximum replica count over QPS at
+	// zero replicas on the identical workload. All processes share one
+	// machine here, so this measures serving-path overhead, not
+	// multi-host capacity.
+	ReadScalingQPS float64 `json:"read_scaling_qps"`
+}
+
+// runReplicaLoad spins up one durable leader plus `replicas`
+// in-process followers (bootstrapped from the leader's image, tailing
+// its WAL), drives the client fleet for dur with reads round-robined
+// across the replica set, and returns the measured run.
+func runReplicaLoad(cfg scaleCfg, clients, replicas int, dur time.Duration) (ReplicaRun, error) {
+	dir, err := os.MkdirTemp("", "inferray-replbench-")
+	if err != nil {
+		return ReplicaRun{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	lr, err := inferray.Open(
+		inferray.WithFragment(inferray.RDFSPlus),
+		inferray.WithDurability(dir, inferray.DurabilityOptions{Sync: "none"}))
+	if err != nil {
+		return ReplicaRun{}, err
+	}
+	defer lr.Close()
+	lr.AddTriples(datagen.LUBM(loadtestBase(cfg), 42))
+	if _, err := lr.Materialize(); err != nil {
+		return ReplicaRun{}, err
+	}
+	// Checkpoint so followers bootstrap from the image instead of
+	// replaying the whole base load record by record.
+	if _, err := lr.Checkpoint(); err != nil {
+		return ReplicaRun{}, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done []chan error
+	serve := func(srv *server.Server) (string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		ch := make(chan error, 1)
+		go func() { ch <- srv.Serve(ctx, ln) }()
+		done = append(done, ch)
+		return "http://" + ln.Addr().String(), nil
+	}
+
+	lsrv := server.NewWithConfig(lr, server.Config{CacheEntries: 4096})
+	leaderURL, err := serve(lsrv)
+	if err != nil {
+		return ReplicaRun{}, err
+	}
+
+	var followers []*inferray.Reasoner
+	readURLs := make([]string, 0, replicas)
+	for i := 0; i < replicas; i++ {
+		fr := inferray.New(inferray.WithFragment(inferray.RDFSPlus))
+		fsrv := server.NewWithConfig(fr, server.Config{
+			CacheEntries: 4096, ReadOnly: true, LeaderURL: leaderURL})
+		f, err := fsrv.NewFollower(server.FollowerOptions{LeaderURL: leaderURL})
+		if err != nil {
+			return ReplicaRun{}, err
+		}
+		go f.Run(ctx)
+		select {
+		case <-f.Ready():
+		case <-time.After(60 * time.Second):
+			return ReplicaRun{}, fmt.Errorf("follower %d never bootstrapped", i)
+		}
+		u, err := serve(fsrv)
+		if err != nil {
+			return ReplicaRun{}, err
+		}
+		followers = append(followers, fr)
+		readURLs = append(readURLs, u)
+	}
+	if len(readURLs) == 0 {
+		readURLs = []string{leaderURL}
+	}
+	if err := waitReplicaConvergence(lr, followers, 60*time.Second); err != nil {
+		return ReplicaRun{}, err
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        clients * 2,
+		MaxIdleConnsPerHost: clients * 2,
+	}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	queries := loadQueries()
+
+	var (
+		reads, writes, errors atomic.Int64
+		wg                    sync.WaitGroup
+	)
+	latencies := make([][]time.Duration, clients)
+	deadline := time.Now().Add(dur)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)*977 + 3))
+			lat := make([]time.Duration, 0, 4096)
+			for i := 0; time.Now().Before(deadline); i++ {
+				if rng.Intn(100) < 95 {
+					var q string
+					if rng.Intn(100) < 80 {
+						q = queries[rng.Intn(5)]
+					} else {
+						q = queries[rng.Intn(len(queries))]
+					}
+					base := readURLs[(c+i)%len(readURLs)]
+					start := time.Now()
+					resp, err := client.Get(base + "/query?query=" + url.QueryEscape(q))
+					if err != nil {
+						errors.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					lat = append(lat, time.Since(start))
+					reads.Add(1)
+					if resp.StatusCode != http.StatusOK {
+						errors.Add(1)
+					}
+				} else {
+					triple := fmt.Sprintf("<http://example.org/load/w%d-%d> <http://example.org/lubm/worksFor> <http://example.org/lubm/dept/%d>",
+						c, i, rng.Intn(15))
+					resp, err := client.PostForm(leaderURL+"/update",
+						url.Values{"update": {"INSERT DATA { " + triple + " . }"}})
+					if err != nil {
+						errors.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					writes.Add(1)
+					if resp.StatusCode != http.StatusOK {
+						errors.Add(1)
+					}
+				}
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	wg.Wait()
+
+	// Replication-lag drain: how long until every follower holds the
+	// final leader state.
+	catchupStart := time.Now()
+	if err := waitReplicaConvergence(lr, followers, 120*time.Second); err != nil {
+		return ReplicaRun{}, err
+	}
+	catchup := time.Since(catchupStart)
+
+	cancel()
+	for _, ch := range done {
+		<-ch
+	}
+	transport.CloseIdleConnections()
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(p*float64(len(all)-1))]) / float64(time.Millisecond)
+	}
+	total := int(reads.Load() + writes.Load())
+	return ReplicaRun{
+		Replicas:  replicas,
+		Requests:  total,
+		Reads:     int(reads.Load()),
+		Writes:    int(writes.Load()),
+		Errors:    int(errors.Load()),
+		QPS:       float64(total) / dur.Seconds(),
+		P50Ms:     pct(0.50),
+		P99Ms:     pct(0.99),
+		CatchupMs: float64(catchup) / float64(time.Millisecond),
+	}, nil
+}
+
+// waitReplicaConvergence polls until every follower matches the
+// leader's store generation and closure size.
+func waitReplicaConvergence(leader *inferray.Reasoner, followers []*inferray.Reasoner, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		caught := 0
+		for _, f := range followers {
+			if f.Generation() == leader.Generation() && f.Size() == leader.Size() {
+				caught++
+			}
+		}
+		if caught == len(followers) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replicas never converged: %d/%d at leader generation %d",
+				caught, len(followers), leader.Generation())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// tableReplicas runs the replication read-scaling comparison: the same
+// client fleet against 0..maxReplicas read replicas, writes always to
+// the leader.
+func tableReplicas(cfg scaleCfg, clients, maxReplicas int, dur time.Duration) (ReplicaReport, error) {
+	report := ReplicaReport{
+		Scale:       cfg.name,
+		Clients:     clients,
+		DurationSec: dur.Seconds(),
+		ReadPercent: 95,
+		BaseTriples: loadtestBase(cfg),
+	}
+	fmt.Printf("Replication read-scaling: %d clients, 95/5 read/write, %s per run, LUBM %d, up to %d followers\n\n",
+		clients, dur, report.BaseTriples, maxReplicas)
+	fmt.Printf("%-10s %10s %10s %8s %10s %10s %12s\n",
+		"replicas", "requests", "qps", "errors", "p50 ms", "p99 ms", "catchup ms")
+	for n := 0; n <= maxReplicas; n++ {
+		run, err := runReplicaLoad(cfg, clients, n, dur)
+		if err != nil {
+			return report, err
+		}
+		report.Runs = append(report.Runs, run)
+		fmt.Printf("%-10d %10d %10.0f %8d %10.2f %10.2f %12.0f\n",
+			run.Replicas, run.Requests, run.QPS, run.Errors, run.P50Ms, run.P99Ms, run.CatchupMs)
+	}
+	if base := report.Runs[0].QPS; base > 0 {
+		report.ReadScalingQPS = report.Runs[len(report.Runs)-1].QPS / base
+	}
+	fmt.Printf("\nQPS at %d replicas vs leader-only: %.2fx (single machine — overhead check, not capacity)\n",
+		maxReplicas, report.ReadScalingQPS)
+	return report, nil
+}
+
+// writeReplicaReport marshals the replication report to path
+// (BENCH_10.json).
+func writeReplicaReport(report ReplicaReport, path string) error {
+	return writeJSON(report, path)
+}

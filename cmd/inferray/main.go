@@ -316,6 +316,8 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 		ckptBytes = fs.Int64("checkpoint-bytes", 0, "auto-checkpoint once the WAL exceeds this many bytes (0 = 64MiB default, negative disables)")
 		ckptRecs  = fs.Int("checkpoint-records", 0, "auto-checkpoint once the WAL holds this many batches (0 = 4096 default, negative disables)")
 
+		follow = fs.String("follow", "", "follower mode: replicate from the leader at this base URL (read-only; exclusive with -data-dir/-in/-load-image)")
+
 		slowMS    = fs.Int("slow-query-ms", 0, "log queries slower than this many milliseconds as structured slow-query records (0 disables)")
 		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serve mux")
 
@@ -329,6 +331,7 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 		trustForwarded = fs.Bool("trust-forwarded", false, "rate-limit on the first X-Forwarded-For address (only behind a proxy that overwrites it)")
 		maxInFlight    = fs.Int("max-in-flight", 0, "admit at most this many concurrent queries, shedding excess with 503 (0 = unlimited)")
 		queryTimeout   = fs.Duration("query-timeout", 0, "abort queries exceeding this evaluation deadline with 504 (0 disables)")
+		maxBodyBytes   = fs.Int64("max-body-bytes", 64<<20, "largest accepted write request body in bytes (413 beyond it; negative = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -337,6 +340,17 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 	fragment, err := inferray.ParseFragment(*rulesFlag)
 	if err != nil {
 		return err
+	}
+	leaderURL := ""
+	if *follow != "" {
+		if *dataDir != "" || *inFlag != "" || *loadImage != "" {
+			return fmt.Errorf("serve: -follow is exclusive with -data-dir, -in, and -load-image (a follower's state comes from the leader)")
+		}
+		leaderURL = *follow
+		if !strings.Contains(leaderURL, "://") {
+			leaderURL = "http://" + leaderURL
+		}
+		leaderURL = strings.TrimRight(leaderURL, "/")
 	}
 	opts := []inferray.Option{
 		inferray.WithFragment(fragment),
@@ -385,6 +399,9 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 		TrustForwarded:  *trustForwarded,
 		MaxInFlight:     *maxInFlight,
 		QueryTimeout:    *queryTimeout,
+		MaxBodyBytes:    *maxBodyBytes,
+		ReadOnly:        leaderURL != "",
+		LeaderURL:       leaderURL,
 	})
 	srv.SetReady(false)
 	if *pprofFlag {
@@ -404,6 +421,31 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 		cancel()
 		<-errc
 		return err
+	}
+
+	if leaderURL != "" {
+		// Follower mode: bootstrap from the leader's newest snapshot
+		// image, tail its WAL forever, and serve read-only. The serving
+		// line is printed only after the first bootstrap so the scanner
+		// pattern ("inferray: serving ... on <addr>") still means "this
+		// replica holds a closure worth querying".
+		f, err := srv.NewFollower(server.FollowerOptions{LeaderURL: leaderURL})
+		if err != nil {
+			return fail(err)
+		}
+		go func() { _ = f.Run(sctx) }()
+		fmt.Fprintf(stderr, "inferray: following %s (read-only replica)\n", leaderURL)
+		select {
+		case <-f.Ready():
+		case err := <-errc:
+			return err
+		case <-sctx.Done():
+			return <-errc
+		}
+		srv.SetReady(true)
+		fmt.Fprintf(stderr, "inferray: serving %s closure (%d triples, replicated from %s) on %s\n",
+			fragment, r.Size(), leaderURL, ln.Addr())
+		return <-errc
 	}
 
 	recovered := false
@@ -430,6 +472,16 @@ func runServe(ctx context.Context, args []string, stdin io.Reader, stderr io.Wri
 	st, err := r.Materialize()
 	if err != nil {
 		return fail(err)
+	}
+	if ds, ok := r.DurabilityStats(); ok {
+		// The WAL tail position is the replication coordinate followers
+		// stream from; logging it with the recovered generation makes
+		// "where did this process resume" greppable after any restart.
+		if tail, err := r.WALTail(); err == nil {
+			fmt.Fprintf(stderr,
+				"inferray: durable dir=%s generation=%d wal_tail=%s wal_bytes=%d store_generation=%d sync=%s\n",
+				ds.Dir, tail.Generation, tail, ds.WALBytes, r.Generation(), ds.SyncPolicy)
+		}
 	}
 	srv.SetReady(true)
 	fmt.Fprintf(stderr, "inferray: serving %s closure (%d triples, %d inferred) on %s\n",

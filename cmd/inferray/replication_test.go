@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// statsProbe reads the store generation and closure size from /stats.
+func statsProbe(t *testing.T, baseURL string) (gen uint64, triples int, ok bool) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/stats")
+	if err != nil {
+		return 0, 0, false
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Generation uint64 `json:"generation"`
+		Triples    int    `json:"triples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, 0, false
+	}
+	return st.Generation, st.Triples, true
+}
+
+// deleteData retracts one asserted triple on the leader via /update.
+func deleteData(t *testing.T, baseURL, spo string) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/update", "application/sparql-update",
+		strings.NewReader("DELETE DATA { "+spo+" }"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE DATA: %s", resp.Status)
+	}
+}
+
+// reservePort grabs a free localhost port and releases it, so a leader
+// can be killed and restarted on the same address (followers keep
+// pointing at it across the restart).
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// The replication acceptance test: a real leader process and a real
+// follower process under randomized INSERT/DELETE churn, with each side
+// SIGKILLed and restarted mid-run — the follower re-bootstraps, the
+// leader recovers from its WAL, and at quiesce both serve the identical
+// closure at the same store generation. A small checkpoint threshold
+// forces log rotations during the churn so the caught-up-continuation
+// and 410-re-bootstrap paths both actually run.
+func TestServeReplicationKillEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dataDir := t.TempDir()
+	leaderAddr := reservePort(t)
+	leaderArgs := []string{"-addr", leaderAddr, "-data-dir", dataDir,
+		"-sync", "always", "-checkpoint-records", "4"}
+	leader := startServeProc(t, leaderArgs...)
+	follower := startServeProc(t, "-follow", leader.url())
+
+	// Schema base so inserts actually infer derived triples the
+	// follower must re-derive (never receives on the wire).
+	postDelta(t, leader.url(),
+		"<cA> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <cB> .\n"+
+			"<cB> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <cC> .\n")
+
+	rng := rand.New(rand.NewSource(42))
+	var live []string // asserted instance triples eligible for deletion
+	next := 0
+	churn := func(ops int) {
+		for i := 0; i < ops; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(live))
+				deleteData(t, leader.url(), live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			spo := fmt.Sprintf("<x%d> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <cA> .", next)
+			next++
+			postDelta(t, leader.url(), spo+"\n")
+			live = append(live, spo)
+		}
+	}
+
+	churn(8)
+
+	// Kill the follower mid-stream; churn while it is gone (past a
+	// checkpoint boundary, so its position is pruned), then restart it.
+	follower.kill9(t)
+	churn(10)
+	follower = startServeProc(t, "-follow", leader.url())
+
+	churn(5)
+
+	// Kill the leader with no graceful shutdown; restart it on the same
+	// address and directory. The follower's tailer reconnects with
+	// backoff and resumes.
+	leader.kill9(t)
+	leader = startServeProc(t, leaderArgs...)
+	churn(8)
+
+	// Quiesce: the follower must converge to the leader's generation
+	// and closure size.
+	lGen, lTriples, ok := statsProbe(t, leader.url())
+	if !ok {
+		t.Fatal("leader /stats unreachable")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		fGen, fTriples, ok := statsProbe(t, follower.url())
+		if ok && fGen == lGen && fTriples == lTriples {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged: leader gen=%d triples=%d, follower gen=%d triples=%d",
+				lGen, lTriples, fGen, fTriples)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Full-closure equivalence, both directions.
+	lSet, fSet := closureSet(t, leader.url()), closureSet(t, follower.url())
+	if len(lSet) != len(fSet) {
+		t.Fatalf("closure sizes diverged: leader %d, follower %d", len(lSet), len(fSet))
+	}
+	for tr := range lSet {
+		if !fSet[tr] {
+			t.Fatalf("follower missing %s", tr)
+		}
+	}
+
+	// The follower is read-only and points writers at the leader.
+	resp, err := http.Post(follower.url()+"/triples", "application/n-triples",
+		strings.NewReader("<w> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <cA> .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("follower POST /triples: %s, want 403", resp.Status)
+	}
+	if loc := resp.Header.Get("Location"); !strings.Contains(loc, leader.url()) {
+		t.Fatalf("Location = %q, want leader %s", loc, leader.url())
+	}
+}
+
+// -follow is exclusive with every local-state flag: a follower's state
+// comes from the leader, so combining them must be refused up front.
+func TestServeFollowFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"serve", "-follow", "http://localhost:1", "-data-dir", t.TempDir()},
+		{"serve", "-follow", "http://localhost:1", "-in", "x.nt"},
+		{"serve", "-follow", "http://localhost:1", "-load-image", "x.img"},
+	} {
+		err := run(t.Context(), args, strings.NewReader(""), io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), "-follow is exclusive") {
+			t.Fatalf("%v: err = %v, want -follow exclusivity error", args, err)
+		}
+	}
+}

@@ -311,15 +311,28 @@ func Open(opts ...Option) (*Reasoner, error) {
 				return err
 			}
 			r.engine.MarkMaterialized()
+			// Resume the image's store generation so X-Inferray-Generation
+			// stays one monotone sequence across restarts (and across the
+			// leader/follower boundary: a follower bootstrapping from this
+			// image continues the same counter). The hooks run before the
+			// reasoner is shared, so the unlocked writes are safe.
+			r.gen.Store(meta.StoreGeneration)
+			r.genSum = r.engine.Main.VersionSum()
 			return nil
 		},
+		// Replaying a record advances the generation exactly the way the
+		// live path that logged it did — one bump per record that changed
+		// the closure — so every process replaying the same (image, log)
+		// prefix lands on the same generation number.
 		Replay: func(batch []rdf.Triple) error {
 			r.engine.LoadTriples(batch)
 			r.engine.Materialize()
+			r.bumpGenerationLocked()
 			return nil
 		},
 		ReplayDelete: func(batch []rdf.Triple) error {
 			_, err := r.engine.Retract(batch)
+			r.bumpGenerationLocked()
 			return err
 		},
 	}
@@ -499,7 +512,7 @@ func (r *Reasoner) Checkpoint() (CheckpointInfo, error) {
 func (r *Reasoner) doCheckpoint() (CheckpointInfo, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	cs, err := r.dur.Checkpoint(r.engine.Dict, r.engine.Main, r.engine.AssertedStore(), r.engine.StoredSize(), r.engine.HierView() != nil)
+	cs, err := r.dur.Checkpoint(r.engine.Dict, r.engine.Main, r.engine.AssertedStore(), r.engine.StoredSize(), r.engine.HierView() != nil, r.gen.Load())
 	if err != nil {
 		return CheckpointInfo{}, err
 	}

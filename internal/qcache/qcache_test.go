@@ -144,3 +144,74 @@ func TestSnapshotCounters(t *testing.T) {
 		t.Fatalf("counters = %+v", st)
 	}
 }
+
+// Byte-budget eviction under mixed entry sizes must walk strict LRU
+// order: a large entry under pressure evicts however many
+// least-recently-used entries it takes — small or large — and never
+// skips ahead to a bigger, more recently used victim.
+func TestByteBudgetEvictionOrderingMixedSizes(t *testing.T) {
+	// Charges are body + len(query) + 48; two-byte queries make each
+	// entry's charge body+50.
+	c := New(Options{MaxEntries: 100, MaxBytes: 1000, MaxEntryBytes: 1000})
+	k := func(i int) Key { return Key{Query: fmt.Sprintf("q%d", i)} }
+	put := func(i, bodyLen int) {
+		if !c.Put(k(i), Entry{Body: make([]byte, bodyLen)}) {
+			t.Fatalf("put q%d (%d bytes) refused", i, bodyLen)
+		}
+	}
+	has := func(i int) bool { _, ok := c.Get(k(i)); return ok }
+
+	// Fill exactly to the 1000-byte budget with alternating sizes:
+	// charges 150, 350, 150, 350.
+	put(0, 100)
+	put(1, 300)
+	put(2, 100)
+	put(3, 300)
+	if st := c.Snapshot(); st.Bytes != 1000 || st.Evictions != 0 {
+		t.Fatalf("after fill: %+v, want bytes=1000 evictions=0", st)
+	}
+
+	// Touch q0 so recency order (LRU→MRU) is q1, q2, q3, q0 — the
+	// smallest entry is now the most recent, the oldest is large.
+	has(0)
+
+	// A 152-byte-body insert (charge 202) overflows by 202; strict LRU
+	// must evict exactly the large q1 (350), not the smaller q2.
+	put(4, 152)
+	if has(1) {
+		t.Fatal("LRU q1 survived while the budget was exceeded")
+	}
+	for _, i := range []int{0, 2, 3, 4} {
+		if !has(i) {
+			t.Fatalf("q%d evicted out of LRU order", i)
+		}
+	}
+	if st := c.Snapshot(); st.Bytes != 1000-350+202 || st.Evictions != 1 {
+		t.Fatalf("after q4: %+v, want bytes=%d evictions=1", st, 1000-350+202)
+	}
+
+	// Recency is now q2, q3, q0, q4 (the Get calls above re-ordered
+	// nothing among the survivors except via the assertions: q0 was
+	// touched before q2/q3/q4). Re-pin the order explicitly, oldest
+	// first q2 → newest q0.
+	has(3)
+	has(4)
+	has(0)
+
+	// A 552-byte-body insert (charge 602) needs two victims: q2 (150)
+	// alone is not enough, so q3 (350) goes too — in order, smallest
+	// first because it is oldest, not because of its size.
+	put(5, 552)
+	if has(2) || has(3) {
+		t.Fatal("q2/q3 survived a two-victim eviction")
+	}
+	for _, i := range []int{0, 4, 5} {
+		if !has(i) {
+			t.Fatalf("q%d evicted beyond what the budget required", i)
+		}
+	}
+	st := c.Snapshot()
+	if st.Evictions != 3 || st.Bytes > 1000 {
+		t.Fatalf("final: %+v, want 3 evictions within budget", st)
+	}
+}

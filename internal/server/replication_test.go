@@ -1,0 +1,296 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"inferray"
+	"inferray/internal/wal"
+)
+
+// closureLines dumps a reasoner's full closure as sorted N-Triples
+// lines, the byte-comparable form replication equivalence is judged in.
+func closureLines(t *testing.T, r *inferray.Reasoner) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteNTriples(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// newFollower builds an in-memory read-only replica of the leader at
+// leaderURL and returns its server, reasoner, and tailer (not yet
+// running).
+func newFollower(t *testing.T, leaderURL string) (*Server, *inferray.Reasoner, *Follower) {
+	t.Helper()
+	fr := inferray.New(inferray.WithFragment(inferray.RDFSDefault))
+	fsrv := NewWithConfig(fr, Config{ReadOnly: true, LeaderURL: leaderURL})
+	f, err := fsrv.NewFollower(FollowerOptions{
+		LeaderURL:   leaderURL,
+		RetryMin:    10 * time.Millisecond,
+		RetryMax:    100 * time.Millisecond,
+		WaitSeconds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fsrv, fr, f
+}
+
+// waitCaughtUp polls until the follower's store generation matches the
+// leader's (and the closures agree) or the deadline passes.
+func waitCaughtUp(t *testing.T, leader, follower *inferray.Reasoner) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if follower.Generation() == leader.Generation() &&
+			follower.Size() == leader.Size() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("follower never caught up: leader gen=%d size=%d, follower gen=%d size=%d",
+		leader.Generation(), leader.Size(), follower.Generation(), follower.Size())
+}
+
+// A follower bootstraps from the leader's image, tails live writes
+// (adds and deletes), and converges to the byte-identical closure at
+// the same store generation; its own write surface answers 403 with a
+// Location hint at the leader.
+func TestReplicationLeaderFollowerConverges(t *testing.T) {
+	dir := t.TempDir()
+	lts, lr := newDurableTestServer(t, dir)
+	defer lr.Close()
+
+	// Seed the leader and checkpoint so the follower exercises the
+	// image-bootstrap path, not just the empty-log path.
+	postTriples(t, lts, "<worksFor> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <memberOf> .\n")
+	if _, err := lr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	fsrv, fr, f := newFollower(t, lts.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.Run(ctx)
+	select {
+	case <-f.Ready():
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower never bootstrapped")
+	}
+
+	// Live churn after the bootstrap: adds and a delete.
+	for i := 0; i < 5; i++ {
+		postTriples(t, lts, fmt.Sprintf("<e%d> <worksFor> <d%d> .\n", i, i))
+	}
+	resp, err := http.Post(lts.URL+"/update", "application/sparql-update",
+		strings.NewReader("DELETE DATA { <e1> <worksFor> <d1> }"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE DATA status %d", resp.StatusCode)
+	}
+
+	waitCaughtUp(t, lr, fr)
+	if got, want := closureLines(t, fr), closureLines(t, lr); got != want {
+		t.Fatalf("closures diverged:\nleader:\n%s\nfollower:\n%s", want, got)
+	}
+
+	// The replica refuses writes and points at the leader.
+	fts := httptest.NewServer(fsrv.Handler())
+	defer fts.Close()
+	resp, err = http.Post(fts.URL+"/triples", "application/n-triples",
+		strings.NewReader("<x> <worksFor> <y> .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("follower POST /triples status %d, want 403", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != lts.URL+"/triples" {
+		t.Fatalf("Location = %q, want %q", loc, lts.URL+"/triples")
+	}
+
+	// /stats on both sides reports the replication roles.
+	var lstats, fstats struct {
+		Replication *struct {
+			Role     string `json:"role"`
+			Follower *struct {
+				Connected  bool   `json:"connected"`
+				Bootstraps uint64 `json:"bootstraps"`
+			} `json:"follower"`
+		} `json:"replication"`
+	}
+	for _, probe := range []struct {
+		ts   *httptest.Server
+		into any
+		role string
+	}{{lts, &lstats, "leader"}, {fts, &fstats, "follower"}} {
+		resp, err := http.Get(probe.ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(probe.into); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if lstats.Replication == nil || lstats.Replication.Role != "leader" {
+		t.Fatalf("leader /stats replication = %+v", lstats.Replication)
+	}
+	if fstats.Replication == nil || fstats.Replication.Role != "follower" ||
+		fstats.Replication.Follower == nil || fstats.Replication.Follower.Bootstraps == 0 {
+		t.Fatalf("follower /stats replication = %+v", fstats.Replication)
+	}
+}
+
+// A follower whose position is pruned by checkpoints while it is away
+// gets 410 Gone on reconnect, re-bootstraps from the new image, and
+// still converges.
+func TestReplicationTruncationForcesRebootstrap(t *testing.T) {
+	dir := t.TempDir()
+	lts, lr := newDurableTestServer(t, dir)
+	defer lr.Close()
+	postTriples(t, lts, "<a> <worksFor> <b> .\n")
+
+	_, fr, f := newFollower(t, lts.URL)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	go f.Run(ctx1)
+	select {
+	case <-f.Ready():
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower never bootstrapped")
+	}
+	waitCaughtUp(t, lr, fr)
+	cancel1() // follower goes offline
+
+	// While the follower is away, the leader appends and checkpoints:
+	// its log generation rotates past the follower's position, so the
+	// missed records now live only inside the image.
+	postTriples(t, lts, "<c> <worksFor> <d> .\n")
+	if _, err := lr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	postTriples(t, lts, "<e> <worksFor> <f> .\n")
+	if _, err := lr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go f.Run(ctx2)
+	waitCaughtUp(t, lr, fr)
+	if got, want := closureLines(t, fr), closureLines(t, lr); got != want {
+		t.Fatalf("closures diverged after re-bootstrap:\nleader:\n%s\nfollower:\n%s", want, got)
+	}
+	st := f.Stats()
+	if st.Truncations == 0 {
+		t.Fatalf("expected a 410 truncation, stats = %+v", st)
+	}
+	if st.Bootstraps < 2 {
+		t.Fatalf("expected a re-bootstrap, stats = %+v", st)
+	}
+}
+
+// An oversized write body answers a structured 413 naming the limit on
+// both /triples and /update.
+func TestMaxBodyBytes413(t *testing.T) {
+	_, r := newTestServer(t)
+	srv := NewWithConfig(r, Config{MaxBodyBytes: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	big := strings.Repeat("<aaaaaaaaaaaa> <worksFor> <bbbbbbbbbbbb> .\n", 4)
+	for _, ep := range []struct{ path, ctype string }{
+		{"/triples", "application/n-triples"},
+		{"/update", "application/sparql-update"},
+		{"/update", "application/x-www-form-urlencoded"},
+	} {
+		body := big
+		if ep.ctype == "application/x-www-form-urlencoded" {
+			body = "update=" + big
+		}
+		resp, err := http.Post(ts.URL+ep.path, ep.ctype, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var payload struct {
+			Error      string `json:"error"`
+			LimitBytes int64  `json:"limit_bytes"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s (%s): status %d, want 413", ep.path, ep.ctype, resp.StatusCode)
+		}
+		if payload.LimitBytes != 64 || payload.Error == "" {
+			t.Fatalf("%s (%s): 413 body = %+v", ep.path, ep.ctype, payload)
+		}
+	}
+
+	// Under the limit still works.
+	resp, err := http.Post(ts.URL+"/triples", "application/n-triples",
+		strings.NewReader("<s> <worksFor> <o> .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body status %d", resp.StatusCode)
+	}
+}
+
+// A record appended mid-poll must be flushed to a tailing consumer
+// promptly — not buffered until the long-poll window closes. (The
+// instrumentation wrapper has to forward Flush for this to hold; a
+// buffered stream turns replication lag into the full wait window.)
+func TestWALLongPollFlushesMidWindow(t *testing.T) {
+	dir := t.TempDir()
+	lts, lr := newDurableTestServer(t, dir)
+	defer lr.Close()
+	postTriples(t, lts, "<a> <worksFor> <b> .\n")
+
+	tail, err := lr.WALTail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tail from the current end with a poll window far longer than the
+	// acceptable delivery latency.
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		resp, err := http.Post(lts.URL+"/triples", "application/n-triples",
+			strings.NewReader("<c> <worksFor> <d> .\n"))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	start := time.Now()
+	resp, err := http.Get(fmt.Sprintf("%s/wal?from=%d&records=%d&wait=30",
+		lts.URL, tail.Generation, tail.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fr := wal.NewFrameReader(resp.Body)
+	if _, _, err := fr.Next(); err != nil {
+		t.Fatalf("reading mid-poll frame: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("frame arrived after %v — long-poll response is buffering instead of flushing", d)
+	}
+}

@@ -31,6 +31,11 @@
 //	POST /checkpoint            admin: force a durability checkpoint (snapshot
 //	                            image + WAL rotation); 409 on an in-memory
 //	                            reasoner
+//	GET  /wal                   replication: stream committed WAL records from
+//	                            ?from=<gen>&records=<n>, long-polling for new
+//	                            ones (durable reasoners only; see replication.go)
+//	GET  /snapshot/latest       replication: the newest snapshot image for
+//	                            follower bootstrap (durable reasoners only)
 //	GET  /stats                 store size, traffic counters, build info,
 //	                            last materialization, persistence state
 //	GET  /healthz               liveness probe
@@ -88,10 +93,6 @@ import (
 	"inferray/internal/sparql"
 )
 
-// maxDeltaBytes bounds a POST /triples body; a delta is an online
-// update, not a bulk load.
-const maxDeltaBytes = 64 << 20
-
 // Server serves one Reasoner. All handlers are safe for concurrent use:
 // queries ride the reasoner's shared read lock while deltas serialize
 // through its materialization lock.
@@ -125,6 +126,14 @@ type Server struct {
 	rlLimited     *metrics.CounterVec // by budget (query | update)
 	admShed       *metrics.Counter
 	admDeadline   *metrics.Counter
+
+	// repl instruments the leader-side replication endpoints; non-nil
+	// exactly when the reasoner is durable (only a durable reasoner has
+	// a WAL to ship, so /wal and /snapshot/latest are only mounted then).
+	repl *replMetrics
+	// follower is the replication tailer feeding this server's reasoner,
+	// set by NewFollower; nil on a leader or standalone server.
+	follower *Follower
 
 	// ready gates /readyz: true once the initial recovery and
 	// materialization finished. New starts ready (embedders that
@@ -208,6 +217,9 @@ func NewWithConfig(r *inferray.Reasoner, cfg Config) *Server {
 	if cfg.MaxInFlight > 0 {
 		s.admit = make(chan struct{}, cfg.MaxInFlight)
 	}
+	if r.Durable() {
+		s.repl = newReplMetrics(reg)
+	}
 	reg.GaugeFunc("inferray_cache_entries",
 		"Entries currently held by the query-result cache.",
 		func() float64 { return float64(s.cache.Snapshot().Entries) })
@@ -242,6 +254,10 @@ func (s *Server) Handler() http.Handler {
 	route("/triples", "triples", s.limited("update", s.updateLimit, s.handleTriples))
 	route("/update", "update", s.limited("update", s.updateLimit, s.handleUpdate))
 	route("/checkpoint", "checkpoint", s.handleCheckpoint)
+	if s.r.Durable() {
+		route("/wal", "wal", s.handleWAL)
+		route("/snapshot/latest", "snapshot", s.handleSnapshotLatest)
+	}
 	route("/stats", "stats", s.handleStats)
 	route("/healthz", "healthz", s.handleHealthz)
 	route("/readyz", "readyz", s.handleReadyz)
@@ -270,6 +286,15 @@ type statusRecorder struct {
 func (sr *statusRecorder) WriteHeader(code int) {
 	sr.code = code
 	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streaming handlers (the
+// long-polling GET /wal) can push frames out mid-response instead of
+// buffering until the poll window closes.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps one endpoint with the observability middleware:
@@ -631,18 +656,70 @@ type deltaResponse struct {
 	DurationMS  int64  `json:"duration_ms"`
 }
 
+// limitBody bounds a write request's body at cfg.MaxBodyBytes (negative
+// = unlimited). Reads past the limit fail with *http.MaxBytesError,
+// which tooLarge maps to a structured 413.
+func (s *Server) limitBody(w http.ResponseWriter, req *http.Request) io.ReadCloser {
+	if s.cfg.MaxBodyBytes < 0 {
+		return req.Body
+	}
+	return http.MaxBytesReader(w, req.Body, s.cfg.MaxBodyBytes)
+}
+
+// readErrTracker remembers the first non-EOF error a reader returned.
+// The N-Triples scanner tokenizes whatever bytes arrived before a read
+// error and reports the torn last line as a parse error, so the
+// body-limit overflow has to be observed at the reader, not inferred
+// from the parser's error.
+type readErrTracker struct {
+	r   io.Reader
+	err error
+}
+
+// Read forwards to the wrapped reader, recording its first real error.
+func (tr *readErrTracker) Read(p []byte) (int, error) {
+	n, err := tr.r.Read(p)
+	if err != nil && err != io.EOF && tr.err == nil {
+		tr.err = err
+	}
+	return n, err
+}
+
+// tooLarge answers a body-limit overflow with a structured 413 carrying
+// the configured limit; reports whether err was one.
+func (s *Server) tooLarge(w http.ResponseWriter, err error) bool {
+	var mbe *http.MaxBytesError
+	if !errors.As(err, &mbe) {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusRequestEntityTooLarge)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error":       fmt.Sprintf("request body exceeds the %d-byte limit", s.cfg.MaxBodyBytes),
+		"limit_bytes": s.cfg.MaxBodyBytes,
+	})
+	return true
+}
+
 func (s *Server) handleTriples(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	if s.readOnly(w, req) {
+		return
+	}
 	var batch []inferray.Triple
-	err := rdf.ReadNTriples(http.MaxBytesReader(w, req.Body, maxDeltaBytes), func(t rdf.Triple) error {
+	body := &readErrTracker{r: s.limitBody(w, req)}
+	err := rdf.ReadNTriples(body, func(t rdf.Triple) error {
 		batch = append(batch, t)
 		return nil
 	})
 	if err != nil {
+		if s.tooLarge(w, body.err) || s.tooLarge(w, err) {
+			return
+		}
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -693,16 +770,30 @@ func (s *Server) handleUpdate(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	if s.readOnly(w, req) {
+		return
+	}
+	req.Body = s.limitBody(w, req)
 	var text string
 	ct := req.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/sparql-update") {
-		body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 1<<20))
+		body, err := io.ReadAll(req.Body)
 		if err != nil {
+			if s.tooLarge(w, err) {
+				return
+			}
 			httpError(w, http.StatusBadRequest, "reading body: %v", err)
 			return
 		}
 		text = string(body)
 	} else {
+		if err := req.ParseForm(); err != nil {
+			if s.tooLarge(w, err) {
+				return
+			}
+			httpError(w, http.StatusBadRequest, "parsing form: %v", err)
+			return
+		}
 		text = req.FormValue("update")
 	}
 	if strings.TrimSpace(text) == "" {
@@ -757,6 +848,9 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	if s.readOnly(w, req) {
+		return
+	}
 	// Serialize against /triples: Checkpoint drains pending triples
 	// through a materialization, and two drains racing would misreport
 	// each other's batches.
@@ -804,10 +898,31 @@ type statsResponse struct {
 	// Generation is the store generation counter (Reasoner.Generation):
 	// bumped on every mutation, it keys the query-result cache and is
 	// echoed on responses as X-Inferray-Generation.
-	Generation uint64          `json:"generation"`
-	Cache      *qcache.Stats   `json:"cache,omitempty"`
-	Ratelimit  *ratelimitStats `json:"ratelimit,omitempty"`
-	Admission  *admissionInfo  `json:"admission,omitempty"`
+	Generation  uint64           `json:"generation"`
+	Cache       *qcache.Stats    `json:"cache,omitempty"`
+	Ratelimit   *ratelimitStats  `json:"ratelimit,omitempty"`
+	Admission   *admissionInfo   `json:"admission,omitempty"`
+	Replication *replicationInfo `json:"replication,omitempty"`
+}
+
+// replicationInfo is the replication section of /stats: the leader form
+// (role "leader": tail position plus shipping counters) on a durable
+// server, the follower form (role "follower": the tailer's full state)
+// when a Follower is attached.
+type replicationInfo struct {
+	Role string `json:"role"` // "leader" | "follower"
+
+	// Leader fields.
+	WALGeneration  uint64 `json:"wal_generation,omitempty"`
+	WALRecords     int    `json:"wal_records,omitempty"`
+	ShippedRecords uint64 `json:"shipped_records,omitempty"`
+	ShippedBytes   uint64 `json:"shipped_bytes,omitempty"`
+	WALRequests    uint64 `json:"wal_requests,omitempty"`
+	Truncations    uint64 `json:"truncations,omitempty"`
+	SnapshotShips  uint64 `json:"snapshot_ships,omitempty"`
+
+	// Follower fields.
+	Follower *FollowerStats `json:"follower,omitempty"`
 }
 
 // ratelimitStats is the rate-limiting section of /stats, present when
@@ -935,6 +1050,23 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 			info.LastCheckpointAt = ds.LastCheckpointAt.UTC().Format(time.RFC3339)
 		}
 		resp.Durability = info
+	}
+	if s.repl != nil {
+		ri := &replicationInfo{
+			Role:           "leader",
+			ShippedRecords: s.repl.shippedRecords.Value(),
+			ShippedBytes:   s.repl.shippedBytes.Value(),
+			WALRequests:    s.repl.walRequests.Value(),
+			Truncations:    s.repl.truncations.Value(),
+			SnapshotShips:  s.repl.snapshotShips.Value(),
+		}
+		if tail, err := s.r.WALTail(); err == nil {
+			ri.WALGeneration, ri.WALRecords = tail.Generation, tail.Records
+		}
+		resp.Replication = ri
+	} else if s.follower != nil {
+		fs := s.follower.Stats()
+		resp.Replication = &replicationInfo{Role: "follower", Follower: &fs}
 	}
 	s.lastMu.Lock()
 	if s.hasRun {

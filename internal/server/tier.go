@@ -40,6 +40,20 @@ type Config struct {
 	// that overwrites the header, otherwise clients mint their own keys.
 	TrustForwarded bool
 
+	// MaxBodyBytes bounds a write request body (POST /triples and the
+	// body/form of POST /update); an oversized body is refused with a
+	// structured 413. 0 = 64 MiB, negative = unlimited.
+	MaxBodyBytes int64
+
+	// ReadOnly refuses the write surface (/triples, /update,
+	// /checkpoint) with 403 — the follower serving mode. When LeaderURL
+	// is set, refusals carry a Location header pointing the client at
+	// the leader's matching endpoint.
+	ReadOnly bool
+	// LeaderURL is the leader base URL a read-only replica redirects
+	// writers to (and, on a follower, replicates from).
+	LeaderURL string
+
 	// MaxInFlight admits at most this many concurrent /query requests;
 	// excess requests are shed with 503 + Retry-After. 0 = unlimited.
 	MaxInFlight int
@@ -74,7 +88,24 @@ func (c Config) withDefaults() Config {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 5 * time.Minute
 	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
 	return c
+}
+
+// readOnly refuses a write request on a read-only replica with 403,
+// hinting the leader's matching endpoint in Location for clients that
+// can re-aim their write. Reports whether the request was refused.
+func (s *Server) readOnly(w http.ResponseWriter, req *http.Request) bool {
+	if !s.cfg.ReadOnly {
+		return false
+	}
+	if s.cfg.LeaderURL != "" {
+		w.Header().Set("Location", strings.TrimRight(s.cfg.LeaderURL, "/")+req.URL.Path)
+	}
+	httpError(w, http.StatusForbidden, "read-only replica: send writes to the leader")
+	return true
 }
 
 // limited wraps a handler with one rate-limit budget: a dry bucket for

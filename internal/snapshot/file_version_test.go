@@ -1,0 +1,76 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A version-2 image file round-trips StoreGeneration, and a version-1
+// file — the pre-replication layout without the field — still reads,
+// reporting StoreGeneration 0. The v1 fixture is synthesized from the
+// v2 bytes (version patched, the 8 extra header bytes dropped, footer
+// CRC recomputed) so the test tracks the writer instead of a stale
+// binary blob.
+func TestFileMetaVersions(t *testing.T) {
+	dir := t.TempDir()
+	d, st := buildFixture()
+	path := filepath.Join(dir, "v2.img")
+	meta := Meta{
+		Generation:      3,
+		CreatedUnix:     1700000000,
+		Triples:         4,
+		Fragment:        "rdfs-default",
+		StoreGeneration: 42,
+	}
+	if err := WriteFile(path, d, st, nil, meta); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StoreGeneration != 42 || got.Generation != 3 || got.Fragment != "rdfs-default" {
+		t.Fatalf("v2 meta = %+v", got)
+	}
+
+	// Rewrite as version 1: same content, no StoreGeneration field.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := make([]byte, 0, len(raw)-8)
+	v1 = append(v1, raw[:metaSize]...)
+	binary.LittleEndian.PutUint32(v1[4:], 1)
+	v1 = append(v1, raw[metaSize+8:len(raw)-4]...)
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc32.Checksum(v1, castagnoli))
+	v1 = append(v1, foot[:]...)
+	v1Path := filepath.Join(dir, "v1.img")
+	if err := os.WriteFile(v1Path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, got1, err := ReadFile(v1Path)
+	if err != nil {
+		t.Fatalf("reading synthesized v1 file: %v", err)
+	}
+	if got1.StoreGeneration != 0 {
+		t.Fatalf("v1 StoreGeneration = %d, want 0", got1.StoreGeneration)
+	}
+	if got1.Generation != 3 || got1.Triples != 4 || got1.Fragment != "rdfs-default" {
+		t.Fatalf("v1 meta = %+v", got1)
+	}
+
+	// A file claiming a future version is refused, not misparsed.
+	future := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(future[4:], fileVersion+1)
+	fPath := filepath.Join(dir, "future.img")
+	if err := os.WriteFile(fPath, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := ReadFile(fPath); err == nil {
+		t.Fatal("future file version accepted")
+	}
+}

@@ -63,7 +63,7 @@ const (
 	version = 4
 
 	fileMagic   = "IFRI"
-	fileVersion = 1
+	fileVersion = 2
 
 	// flagEncoded (stream flags bit 0) marks a reduced closure written
 	// under the hierarchy interval encoding.
@@ -309,11 +309,19 @@ type Meta struct {
 	// ReadFile and consumed by WriteFile, and the IFRI byte layout is
 	// unchanged.
 	HierarchyEncoded bool
+	// StoreGeneration is the reasoner's logical store generation at
+	// checkpoint time — the monotone write counter behind the
+	// X-Inferray-Generation header. Persisting it lets recovery and
+	// follower bootstrap resume the same generation sequence, so the
+	// header stays a cluster-wide read-your-writes coordinate instead of
+	// a per-process one. File version 2; version-1 images read as 0.
+	StoreGeneration uint64
 }
 
 // metaSize is the fixed byte length of the file header — magic, file
 // version, and the fixed Meta fields — before the variable-length
-// fragment name.
+// fragment name. Version 2 appends StoreGeneration (8 bytes); version-1
+// images are still read, their StoreGeneration reported as 0.
 const metaSize = 4 + 4 + 8 + 8 + 8
 
 // maxFragmentLen bounds the fragment-name field on read.
@@ -340,12 +348,13 @@ func WriteFile(path string, d *dictionary.Dictionary, st *store.Store, asserted 
 
 	h := crc32.New(castagnoli)
 	w := io.MultiWriter(tmp, h)
-	var head [metaSize]byte
+	var head [metaSize + 8]byte
 	copy(head[:4], fileMagic)
 	binary.LittleEndian.PutUint32(head[4:], fileVersion)
 	binary.LittleEndian.PutUint64(head[8:], meta.Generation)
 	binary.LittleEndian.PutUint64(head[16:], uint64(meta.CreatedUnix))
 	binary.LittleEndian.PutUint64(head[24:], meta.Triples)
+	binary.LittleEndian.PutUint64(head[32:], meta.StoreGeneration)
 	if _, err = w.Write(head[:]); err != nil {
 		return err
 	}
@@ -409,12 +418,20 @@ func ReadFile(path string) (*dictionary.Dictionary, *store.Store, *store.Store, 
 	if string(head[:4]) != fileMagic {
 		return nil, nil, nil, meta, fmt.Errorf("snapshot: bad image magic %q", head[:4])
 	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != fileVersion {
+	v := binary.LittleEndian.Uint32(head[4:])
+	if v < 1 || v > fileVersion {
 		return nil, nil, nil, meta, fmt.Errorf("snapshot: unsupported image version %d", v)
 	}
 	meta.Generation = binary.LittleEndian.Uint64(head[8:])
 	meta.CreatedUnix = int64(binary.LittleEndian.Uint64(head[16:]))
 	meta.Triples = binary.LittleEndian.Uint64(head[24:])
+	if v >= 2 {
+		var sg [8]byte
+		if _, err := io.ReadFull(body, sg[:]); err != nil {
+			return nil, nil, nil, meta, err
+		}
+		meta.StoreGeneration = binary.LittleEndian.Uint64(sg[:])
+	}
 	var fragLen [4]byte
 	if _, err := io.ReadFull(body, fragLen[:]); err != nil {
 		return nil, nil, nil, meta, err

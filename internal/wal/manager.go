@@ -109,6 +109,12 @@ type Manager struct {
 	cur      *Log
 	gen      uint64
 	recovery Recovery
+	// prevTail is the tail position of the log the last checkpoint
+	// rotated away. A stream consumer standing exactly there is fully
+	// caught up — the image holds everything it consumed — so
+	// StreamFrom resumes it at the current generation's start instead
+	// of forcing a re-bootstrap.
+	prevTail Position
 
 	lastCheckpoint   CheckpointStats
 	lastCheckpointAt time.Time
@@ -314,8 +320,11 @@ func (m *Manager) ShouldRotate() bool {
 // recovery rebuilds the index or expands the virtual triples). asserted
 // is the engine's asserted-triples record, persisted alongside the
 // closure so a restored engine can keep serving retractions; nil writes
-// an image without the section.
-func (m *Manager) Checkpoint(d *dictionary.Dictionary, st *store.Store, asserted *store.Store, triples int, encoded bool) (CheckpointStats, error) {
+// an image without the section. storeGen is the reasoner's logical
+// store generation at checkpoint time; it is stamped into the image so
+// a recovered process (or a bootstrapping follower) resumes the same
+// generation sequence instead of restarting from zero.
+func (m *Manager) Checkpoint(d *dictionary.Dictionary, st *store.Store, asserted *store.Store, triples int, encoded bool, storeGen uint64) (CheckpointStats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	start := time.Now()
@@ -326,6 +335,7 @@ func (m *Manager) Checkpoint(d *dictionary.Dictionary, st *store.Store, asserted
 		Triples:          uint64(triples),
 		Fragment:         m.opts.Fragment,
 		HierarchyEncoded: encoded,
+		StoreGeneration:  storeGen,
 	}
 	snapPath := m.snapPath(newGen)
 	if err := snapshot.WriteFile(snapPath, d, st, asserted, meta); err != nil {
@@ -340,6 +350,7 @@ func (m *Manager) Checkpoint(d *dictionary.Dictionary, st *store.Store, asserted
 	newLog.SetMetrics(m.opts.Metrics)
 	old := m.cur
 	oldGen := m.gen
+	m.prevTail = Position{Generation: oldGen, Records: old.Records()}
 	m.cur = newLog
 	m.gen = newGen
 	if err := old.Close(); err != nil {

@@ -104,7 +104,7 @@ func TestManagerLifecycle(t *testing.T) {
 	mustContain(t, ts2, "<c>", "<d>")
 
 	// Checkpoint: image written, log rotated and emptied, old gen pruned.
-	cs, err := m2.Checkpoint(ts2.d, ts2.st, nil, ts2.st.Size(), false)
+	cs, err := m2.Checkpoint(ts2.d, ts2.st, nil, ts2.st.Size(), false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,13 +189,13 @@ func TestManagerCorruptSnapshotRefusesStart(t *testing.T) {
 	b1 := []rdf.Triple{triple("<a>", "<b>")}
 	m.Append(b1)
 	ts.apply(b1)
-	if _, err := m.Checkpoint(ts.d, ts.st, nil, ts.st.Size(), false); err != nil {
+	if _, err := m.Checkpoint(ts.d, ts.st, nil, ts.st.Size(), false, 0); err != nil {
 		t.Fatal(err)
 	}
 	b2 := []rdf.Triple{triple("<c>", "<d>")}
 	m.Append(b2)
 	ts.apply(b2)
-	if _, err := m.Checkpoint(ts.d, ts.st, nil, ts.st.Size(), false); err != nil {
+	if _, err := m.Checkpoint(ts.d, ts.st, nil, ts.st.Size(), false, 0); err != nil {
 		t.Fatal(err)
 	}
 	m.Close()
@@ -251,7 +251,7 @@ func TestManagerShouldRotate(t *testing.T) {
 	if !m.ShouldRotate() {
 		t.Fatal("threshold crossed but ShouldRotate false")
 	}
-	if _, err := m.Checkpoint(ts.d, ts.st, nil, 0, false); err != nil {
+	if _, err := m.Checkpoint(ts.d, ts.st, nil, 0, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if m.ShouldRotate() {

@@ -221,51 +221,26 @@ func replay(f *os.File, fn func(kind OpKind, payload []byte) error) (ReplayStats
 	}
 	gen := binary.LittleEndian.Uint64(head[8:])
 	offset := int64(headerSize)
-	var rh [recHeader]byte
-	var payload []byte
+	// Recovery iterates the same frame reader the replication stream
+	// does (see stream.go): replay is "replicate from local disk", and
+	// the only difference from a network tail is that a bad frame here
+	// marks the truncation point instead of a reconnect.
+	sc := frameScanner{r: f, ver: ver}
 	for {
-		if _, err := io.ReadFull(f, rh[:]); err != nil {
-			st.Truncated = err != io.EOF // mid-header tear
+		kind, body, frameLen, err := sc.next()
+		if err == io.EOF {
 			break
 		}
-		n := binary.LittleEndian.Uint32(rh[:4])
-		crc := binary.LittleEndian.Uint32(rh[4:])
-		if n == 0 || n > MaxRecordBytes {
-			st.Truncated = true
+		if err != nil {
+			st.Truncated = true // torn or corrupt tail
 			break
-		}
-		if uint32(cap(payload)) < n {
-			payload = make([]byte, n)
-		}
-		payload = payload[:n]
-		if _, err := io.ReadFull(f, payload); err != nil {
-			st.Truncated = true
-			break
-		}
-		if crc32.Checksum(payload, castagnoli) != crc {
-			st.Truncated = true
-			break
-		}
-		kind, body := OpAdd, payload
-		if ver >= 2 {
-			// The kind byte is inside the CRC, so reaching here means it
-			// was written as-is — an unknown value is a writer from the
-			// future (or a logic bug), and guessing at its semantics
-			// could silently corrupt the store. Corruption rules apply:
-			// truncate, don't replay.
-			kind = OpKind(payload[0])
-			if kind != OpAdd && kind != OpDelete {
-				st.Truncated = true
-				break
-			}
-			body = payload[1:]
 		}
 		if fn != nil {
 			if err := fn(kind, body); err != nil {
 				return st, gen, ver, err
 			}
 		}
-		offset += recHeader + int64(n)
+		offset += frameLen
 		st.Records++
 	}
 	st.Bytes = offset

@@ -167,6 +167,7 @@ func (r *Reasoner) SaveImage(path string) error {
 		Triples:          uint64(r.engine.StoredSize()),
 		Fragment:         r.engine.Fragment().String(),
 		HierarchyEncoded: r.engine.HierView() != nil,
+		StoreGeneration:  r.gen.Load(),
 	})
 }
 
@@ -190,6 +191,8 @@ func LoadImage(path string, opts ...Option) (*Reasoner, error) {
 		return nil, err
 	}
 	r.engine.MarkMaterialized()
+	r.gen.Store(meta.StoreGeneration)
+	r.genSum = r.engine.Main.VersionSum()
 	return r, nil
 }
 
